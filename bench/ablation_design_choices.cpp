@@ -1,0 +1,116 @@
+// Ablation bench (DESIGN.md §5): which Full-Lock ingredients buy the SAT
+// hardness? One 16x16 PLR on c880, toggling one design choice at a time.
+//
+// Expected shape: LUT twisting is the largest single multiplier; shared
+// SwB selects (half the key bits, permutation-only configs) measurably
+// soften the instance; the inverter layer is cheap but contributes; the
+// blocking topology collapses hardness at equal N.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "bench/bench_util.h"
+#include "core/full_lock.h"
+#include "netlist/profiles.h"
+
+namespace {
+
+using fl::bench::TablePrinter;
+using fl::core::ClnTopology;
+
+struct Variant {
+  const char* label;
+  ClnTopology topology = ClnTopology::kBanyanNonBlocking;
+  bool independent_selects = true;
+  bool with_inverters = true;
+  bool twist_luts = true;
+  bool decompose_host = false;
+};
+
+const std::vector<Variant>& variants() {
+  static const std::vector<Variant> v = {
+      {"full (baseline)"},
+      {"blocking topology", ClnTopology::kShuffleBlocking},
+      {"shared SwB selects", ClnTopology::kBanyanNonBlocking, false},
+      {"no inverter layer", ClnTopology::kBanyanNonBlocking, true, false},
+      {"no LUT twisting", ClnTopology::kBanyanNonBlocking, true, true, false},
+      {"2-input host", ClnTopology::kBanyanNonBlocking, true, true, true,
+       true},
+  };
+  return v;
+}
+
+struct Cell {
+  double seconds = 0.0;
+  bool timed_out = false;
+  std::uint64_t decisions = 0;
+  std::size_t key_bits = 0;
+};
+std::vector<Cell> g_cells;
+
+void run_variant(benchmark::State& state) {
+  const Variant& variant = variants()[state.range(0)];
+  Cell cell;
+  for (auto _ : state) {
+    const fl::netlist::Netlist original =
+        fl::netlist::make_circuit("c880", 17);
+    fl::core::FullLockConfig config;
+    fl::core::PlrConfig plr;
+    plr.cln.n = fl::bench::quick_mode() ? 8 : 16;
+    plr.cln.topology = variant.topology;
+    plr.cln.independent_selects = variant.independent_selects;
+    plr.cln.with_inverters = variant.with_inverters;
+    plr.twist_luts = variant.twist_luts;
+    plr.negate_probability = variant.with_inverters ? 0.5 : 0.0;
+    config.plrs = {plr};
+    config.decompose_two_input = variant.decompose_host;
+    config.seed = 23;
+    const fl::core::LockedCircuit locked =
+        fl::core::full_lock(original, config);
+    cell.key_bits = locked.key_bits();
+    const fl::attacks::Oracle oracle(original);
+    fl::attacks::AttackOptions options;
+    options.timeout_s = fl::bench::attack_timeout_s();
+    const fl::attacks::AttackResult result =
+        fl::attacks::SatAttack(options).run(locked, oracle);
+    cell.seconds = result.seconds;
+    cell.timed_out = result.status == fl::attacks::AttackStatus::kTimeout;
+    cell.decisions = result.solver_stats.decisions;
+  }
+  state.counters["timed_out"] = cell.timed_out ? 1 : 0;
+  state.counters["decisions"] = static_cast<double>(cell.decisions);
+  g_cells[state.range(0)] = cell;
+}
+
+void print_table() {
+  TablePrinter table("Ablation — SAT attack vs Full-Lock design choices "
+                     "(1 PLR on c880, TO = " +
+                     std::to_string(fl::bench::attack_timeout_s()) + " s)");
+  table.row({"variant", "key_bits", "attack_s", "solver_decisions"}, 22);
+  for (std::size_t i = 0; i < variants().size(); ++i) {
+    table.row({variants()[i].label, std::to_string(g_cells[i].key_bits),
+               fl::bench::fmt_time_or_to(g_cells[i].timed_out,
+                                         g_cells[i].seconds),
+               std::to_string(g_cells[i].decisions)},
+              22);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  g_cells.resize(variants().size());
+  for (std::size_t i = 0; i < variants().size(); ++i) {
+    benchmark::RegisterBenchmark(
+        (std::string("ablation/") + variants()[i].label).c_str(), run_variant)
+        ->Arg(static_cast<int>(i))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Environment knobs (all benches):
+//   FULLLOCK_TIMEOUT_S  attack timeout in seconds (default 10; the paper
+//                       used 2e6 s on a Xeon E5-2670 — see DESIGN.md §2 for
+//                       the scaling rationale)
+//   FULLLOCK_QUICK      if set, shrink sweeps for smoke-testing
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fl::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline bool env_flag(const char* name) { return std::getenv(name) != nullptr; }
+
+inline double attack_timeout_s() { return env_double("FULLLOCK_TIMEOUT_S", 10.0); }
+inline bool quick_mode() { return env_flag("FULLLOCK_QUICK"); }
+
+// N-wire identity circuit (the Table 2 harness: a CLN locked over plain
+// wires, so the oracle is the identity function).
+inline netlist::Netlist identity_circuit(int n) {
+  netlist::Netlist net("identity" + std::to_string(n));
+  for (int i = 0; i < n; ++i) net.add_input("x" + std::to_string(i));
+  for (int i = 0; i < n; ++i) {
+    const netlist::GateId b =
+        net.add_gate(netlist::GateType::kBuf, {static_cast<netlist::GateId>(i)});
+    net.mark_output(b, "y" + std::to_string(i));
+  }
+  return net;
+}
+
+// "TO" rendering used by the paper's tables.
+inline std::string fmt_time_or_to(bool timed_out, double seconds) {
+  if (timed_out) return "TO";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", seconds);
+  return buf;
+}
+
+struct TablePrinter {
+  explicit TablePrinter(std::string title) {
+    std::printf("\n=== %s ===\n", title.c_str());
+  }
+  void row(const std::vector<std::string>& cells, int width = 12) {
+    for (const std::string& c : cells) std::printf("%-*s", width, c.c_str());
+    std::printf("\n");
+  }
+};
+
+}  // namespace fl::bench

@@ -1,0 +1,90 @@
+// Figure 1: median number of recursive DPLL calls for random 3-SAT as the
+// clauses-to-variables ratio sweeps 2.0 .. 8.0.
+//
+// Expected shape: easy when under-constrained (< 3) or over-constrained
+// (> 6), a hardness peak near ratio 4.3 — the distribution Full-Lock's CLN
+// is engineered to land in (§3).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "sat/dpll.h"
+#include "sat/ksat.h"
+
+namespace {
+
+using fl::bench::TablePrinter;
+
+struct RatioResult {
+  std::uint64_t median_calls = 0;
+  std::uint64_t max_calls = 0;
+  double sat_fraction = 0.0;
+};
+std::map<int, RatioResult> g_results;  // key: ratio * 10
+
+int num_vars() { return fl::bench::quick_mode() ? 24 : 40; }
+int num_seeds() { return fl::bench::quick_mode() ? 5 : 9; }
+
+void run_ratio(benchmark::State& state) {
+  const double ratio = static_cast<double>(state.range(0)) / 10.0;
+  const int n = num_vars();
+  RatioResult result;
+  for (auto _ : state) {
+    std::vector<std::uint64_t> calls;
+    int sat_count = 0;
+    for (int seed = 0; seed < num_seeds(); ++seed) {
+      fl::sat::KSatConfig config;
+      config.num_vars = n;
+      config.num_clauses = std::max(1, static_cast<int>(n * ratio));
+      config.k = 3;
+      config.seed = 7000 + seed;
+      const fl::sat::DpllResult r =
+          fl::sat::Dpll().solve(fl::sat::random_ksat(config));
+      calls.push_back(r.recursive_calls);
+      sat_count += r.satisfiable ? 1 : 0;
+    }
+    std::sort(calls.begin(), calls.end());
+    result.median_calls = calls[calls.size() / 2];
+    result.max_calls = calls.back();
+    result.sat_fraction = static_cast<double>(sat_count) / num_seeds();
+  }
+  state.counters["median_dpll_calls"] =
+      static_cast<double>(result.median_calls);
+  state.counters["sat_fraction"] = result.sat_fraction;
+  g_results[state.range(0)] = result;
+}
+
+void print_table() {
+  TablePrinter table("Fig. 1 — median recursive DPLL calls vs clause/var "
+                     "ratio (random 3-SAT, n=" +
+                     std::to_string(num_vars()) + ")");
+  table.row({"ratio", "median_calls", "max_calls", "sat_frac"});
+  for (const auto& [ratio10, r] : g_results) {
+    char ratio_s[16];
+    std::snprintf(ratio_s, sizeof(ratio_s), "%.1f", ratio10 / 10.0);
+    table.row({ratio_s, std::to_string(r.median_calls),
+               std::to_string(r.max_calls),
+               std::to_string(r.sat_fraction)});
+  }
+  std::printf("(paper: hardness peak at ratio ~4.3, easy below 3 and "
+              "above 6)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (int ratio10 = 20; ratio10 <= 80; ratio10 += 5) {
+    benchmark::RegisterBenchmark(
+        ("fig1/ratio=" + std::to_string(ratio10 / 10.0).substr(0, 3)).c_str(),
+        run_ratio)
+        ->Arg(ratio10)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

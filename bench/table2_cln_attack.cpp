@@ -1,0 +1,110 @@
+// Table 2: SAT-attack iterations and execution time on a single CLN
+// (locked identity circuit), blocking shuffle vs almost-non-blocking
+// LOG(N, log2N-2, 1), N = 4 .. 512.
+//
+// Expected shape (paper, scaled by FULLLOCK_TIMEOUT_S instead of 2e6 s):
+// time grows exponentially in N for both topologies; the non-blocking
+// network is >= an order of magnitude harder at equal N and times out
+// first (paper: non-blocking unbroken beyond N=64, blocking only at 512).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "bench/bench_util.h"
+#include "core/full_lock.h"
+
+namespace {
+
+using fl::bench::TablePrinter;
+using fl::core::ClnTopology;
+
+struct CellResult {
+  std::uint64_t iterations = 0;
+  double seconds = 0.0;
+  bool timed_out = false;
+  std::size_t key_bits = 0;
+};
+// key: {topology, n}
+std::map<std::pair<int, int>, CellResult> g_results;
+
+std::vector<int> sweep_sizes() {
+  if (fl::bench::quick_mode()) return {4, 8, 16};
+  const int max_n = fl::bench::env_int("FULLLOCK_MAX_N", 512);
+  std::vector<int> sizes;
+  for (int n = 4; n <= max_n; n *= 2) sizes.push_back(n);
+  return sizes;
+}
+
+void run_cell(benchmark::State& state) {
+  const auto topology = static_cast<ClnTopology>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  CellResult cell;
+  for (auto _ : state) {
+    const fl::netlist::Netlist original = fl::bench::identity_circuit(n);
+    // CLN-only lock: no LUT twisting so the instance is exactly one CLN,
+    // matching the paper's Table 2 setup.
+    fl::core::FullLockConfig config = fl::core::FullLockConfig::with_plrs(
+        {n}, topology, fl::core::CycleMode::kAvoid, /*twist_luts=*/false,
+        /*negate_probability=*/0.5);
+    config.seed = 7;
+    const fl::core::LockedCircuit locked = fl::core::full_lock(original, config);
+    cell.key_bits = locked.key_bits();
+    const fl::attacks::Oracle oracle(original);
+    fl::attacks::AttackOptions options;
+    options.timeout_s = fl::bench::attack_timeout_s();
+    const fl::attacks::AttackResult result =
+        fl::attacks::SatAttack(options).run(locked, oracle);
+    cell.iterations = result.iterations;
+    cell.seconds = result.seconds;
+    cell.timed_out = result.status == fl::attacks::AttackStatus::kTimeout;
+  }
+  state.counters["iterations"] = static_cast<double>(cell.iterations);
+  state.counters["timed_out"] = cell.timed_out ? 1 : 0;
+  g_results[{state.range(0), n}] = cell;
+}
+
+void print_table() {
+  const double timeout = fl::bench::attack_timeout_s();
+  TablePrinter table("Table 2 — SAT attack on CLN-locked identity circuit "
+                     "(TO = " + std::to_string(timeout) + " s)");
+  const auto emit = [&](ClnTopology topo, const char* name) {
+    std::printf("-- %s --\n", name);
+    table.row({"N", "key_bits", "iterations", "time_s"});
+    for (const auto& [key, cell] : g_results) {
+      if (key.first != static_cast<int>(topo)) continue;
+      table.row({std::to_string(key.second), std::to_string(cell.key_bits),
+                 cell.timed_out ? ">" + std::to_string(cell.iterations)
+                                : std::to_string(cell.iterations),
+                 fl::bench::fmt_time_or_to(cell.timed_out, cell.seconds)});
+    }
+  };
+  emit(ClnTopology::kShuffleBlocking, "shuffle-based blocking CLN");
+  emit(ClnTopology::kBanyanNonBlocking,
+       "almost non-blocking CLN LOG(N, log2N-2, 1)");
+  std::printf("(paper shape: non-blocking TOs at smaller N than blocking; "
+              "time grows exponentially in N)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const ClnTopology topo :
+       {ClnTopology::kShuffleBlocking, ClnTopology::kBanyanNonBlocking}) {
+    for (const int n : sweep_sizes()) {
+      const std::string name =
+          std::string("table2/") +
+          (topo == ClnTopology::kShuffleBlocking ? "blocking" : "nonblocking") +
+          "/N=" + std::to_string(n);
+      benchmark::RegisterBenchmark(name.c_str(), run_cell)
+          ->Args({static_cast<int>(topo), n})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

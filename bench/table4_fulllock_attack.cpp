@@ -1,0 +1,137 @@
+// Table 4: CycSAT execution time on Full-Lock across ISCAS-85 / MCNC
+// benchmark profiles, as the number and size of inserted PLRs grows
+// (k x 16x16 and k x 32x32).
+//
+// Expected shape: time climbs steeply with PLR count/size; every circuit
+// eventually hits TO; larger CLNs reach TO with fewer PLRs. An ablation
+// column (1x16 CLN-only, no LUT twisting) quantifies §3.2's contribution.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "attacks/cycsat.h"
+#include "attacks/oracle.h"
+#include "bench/bench_util.h"
+#include "core/full_lock.h"
+#include "netlist/profiles.h"
+
+namespace {
+
+using fl::bench::TablePrinter;
+
+struct Column {
+  const char* label;
+  std::vector<int> cln_sizes;
+  bool twist_luts;
+};
+
+const std::vector<Column>& columns() {
+  // Scaled-down analogue of the paper's 16x16/32x32 sweep: with the bench
+  // timeout at seconds instead of 2e6 s, the breakable-to-TO gradient sits
+  // at 4..16-wire PLRs. "-noLUT" is the §3.2 ablation (CLN only).
+  static const std::vector<Column> cols = {
+      {"1x4", {4}, true},
+      {"1x8-noLUT", {8}, false},
+      {"1x8", {8}, true},
+      {"2x8-noLUT", {8, 8}, false},
+      {"2x8", {8, 8}, true},
+      {"1x16", {16}, true},
+      {"2x16", {16, 16}, true},
+  };
+  return cols;
+}
+
+std::vector<std::string> circuits() {
+  if (fl::bench::quick_mode()) return {"c432"};
+  if (fl::bench::env_flag("FULLLOCK_FULL")) {
+    std::vector<std::string> all;
+    for (const auto& p : fl::netlist::table5_profiles()) all.push_back(p.name);
+    return all;
+  }
+  return {"c432", "c499", "c880", "c1355", "apex2", "i4"};
+}
+
+struct CellResult {
+  double seconds = 0.0;
+  bool timed_out = false;
+  std::uint64_t iterations = 0;
+  bool cyclic = false;
+};
+std::map<std::pair<int, int>, CellResult> g_results;  // {circuit, column}
+
+void run_cell(benchmark::State& state) {
+  const std::string circuit = circuits()[state.range(0)];
+  const Column& column = columns()[state.range(1)];
+  CellResult cell;
+  for (auto _ : state) {
+    const fl::netlist::Netlist original = fl::netlist::make_circuit(circuit, 1);
+    // Random insertion (paper §3.3): cycles allowed, hence CycSAT.
+    fl::core::FullLockConfig config = fl::core::FullLockConfig::with_plrs(
+        column.cln_sizes, fl::core::ClnTopology::kBanyanNonBlocking,
+        fl::core::CycleMode::kAllow, column.twist_luts, 0.5);
+    config.seed = 11;
+    const fl::core::LockedCircuit locked =
+        fl::core::full_lock(original, config);
+    cell.cyclic = locked.netlist.is_cyclic();
+    const fl::attacks::Oracle oracle(original);
+    fl::attacks::AttackOptions options;
+    options.timeout_s = fl::bench::attack_timeout_s();
+    const fl::attacks::AttackResult result =
+        fl::attacks::CycSat(options).run(locked, oracle);
+    cell.seconds = result.seconds;
+    cell.timed_out = result.status != fl::attacks::AttackStatus::kSuccess;
+    cell.iterations = result.iterations;
+  }
+  state.counters["timed_out"] = cell.timed_out ? 1 : 0;
+  state.counters["iterations"] = static_cast<double>(cell.iterations);
+  g_results[{state.range(0), state.range(1)}] = cell;
+}
+
+void print_table() {
+  TablePrinter table(
+      "Table 4 — CycSAT time (s) on Full-Lock, TO = " +
+      std::to_string(fl::bench::attack_timeout_s()) + " s");
+  std::vector<std::string> header{"circuit"};
+  for (const Column& c : columns()) header.push_back(c.label);
+  table.row(header);
+  const auto names = circuits();
+  for (std::size_t ci = 0; ci < names.size(); ++ci) {
+    std::vector<std::string> cells{names[ci]};
+    for (std::size_t col = 0; col < columns().size(); ++col) {
+      const auto it = g_results.find({static_cast<int>(ci),
+                                      static_cast<int>(col)});
+      if (it == g_results.end()) {
+        cells.push_back("-");
+        continue;
+      }
+      std::string text =
+          fl::bench::fmt_time_or_to(it->second.timed_out, it->second.seconds);
+      if (it->second.cyclic) text += "*";
+      cells.push_back(text);
+    }
+    table.row(cells);
+  }
+  std::printf("(* = insertion produced a cyclic netlist; paper shape: time "
+              "climbs with PLR count/size until TO; 32x32 PLRs TO with "
+              "fewer insertions than 16x16)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const auto names = circuits();
+  for (std::size_t ci = 0; ci < names.size(); ++ci) {
+    for (std::size_t col = 0; col < columns().size(); ++col) {
+      const std::string bench_name =
+          "table4/" + names[ci] + "/" + columns()[col].label;
+      benchmark::RegisterBenchmark(bench_name.c_str(), run_cell)
+          ->Args({static_cast<int>(ci), static_cast<int>(col)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// File-based command-line front end: lock / attack / report on .bench
+// netlists, the workflow an IP owner or red-team would actually run.
+//
+//   lock:    example_fulllock_cli lock <in.bench> <out.bench> [plr sizes...]
+//            Writes the locked netlist, the key to <out.bench>.key, and a
+//            structural Verilog view to <out.bench>.v.
+//   attack:  example_fulllock_cli attack <locked.bench> <oracle.bench>
+//                                        [timeout_s]
+//            Runs the (Cyc)SAT attack with the oracle circuit standing in
+//            for the activated chip.
+//   report:  example_fulllock_cli report <netlist.bench>
+//            Prints structural statistics and the PPA estimate.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "attacks/cycsat.h"
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "core/full_lock.h"
+#include "core/verify.h"
+#include "netlist/bench_io.h"
+#include "netlist/verilog_io.h"
+#include "ppa/estimator.h"
+
+using namespace fl;
+
+namespace {
+
+int cmd_lock(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: lock <in.bench> <out.bench> [sizes...]\n");
+    return 2;
+  }
+  const netlist::Netlist original = netlist::read_bench_file(argv[2]);
+  std::vector<int> sizes;
+  for (int i = 4; i < argc; ++i) sizes.push_back(std::atoi(argv[i]));
+  if (sizes.empty()) sizes = {16};
+  const core::LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs(sizes));
+  if (!core::verify_unlocks(original, locked, 16, 1)) {
+    std::fprintf(stderr, "internal error: correct key failed verification\n");
+    return 1;
+  }
+  const std::string out_path = argv[3];
+  netlist::write_bench_file(locked.netlist, out_path);
+  {
+    std::ofstream key_file(out_path + ".key");
+    for (std::size_t i = 0; i < locked.correct_key.size(); ++i) {
+      key_file << locked.netlist.gate(locked.netlist.keys()[i]).name << " "
+               << (locked.correct_key[i] ? 1 : 0) << "\n";
+    }
+  }
+  {
+    std::ofstream v_file(out_path + ".v");
+    netlist::write_verilog(locked.netlist, v_file);
+  }
+  std::printf("locked %s: %zu -> %zu gates, %zu key bits\n", argv[2],
+              original.num_logic_gates(), locked.netlist.num_logic_gates(),
+              locked.key_bits());
+  std::printf("wrote %s, %s.key, %s.v\n", out_path.c_str(), out_path.c_str(),
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_attack(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: attack <locked.bench> <oracle.bench> [timeout_s]\n");
+    return 2;
+  }
+  core::LockedCircuit locked;
+  locked.netlist = netlist::read_bench_file(argv[2]);
+  locked.scheme = "file";
+  const netlist::Netlist oracle_netlist = netlist::read_bench_file(argv[3]);
+  const attacks::Oracle oracle(oracle_netlist);
+  attacks::AttackOptions options;
+  options.timeout_s = argc > 4 ? std::atof(argv[4]) : 60.0;
+  const bool cyclic = locked.netlist.is_cyclic();
+  const attacks::AttackResult result =
+      cyclic ? attacks::CycSat(options).run(locked, oracle)
+             : attacks::SatAttack(options).run(locked, oracle);
+  std::printf("%s attack on %s (%zu key bits): %s\n",
+              cyclic ? "CycSAT" : "SAT", argv[2], locked.netlist.num_keys(),
+              to_string(result.status));
+  std::printf("iterations %llu, %.2f s, %llu oracle queries\n",
+              static_cast<unsigned long long>(result.iterations),
+              result.seconds,
+              static_cast<unsigned long long>(result.oracle_queries));
+  if (result.status == attacks::AttackStatus::kSuccess) {
+    const bool good = core::verify_unlocks(oracle_netlist, locked.netlist,
+                                           result.key, 16, 1);
+    std::printf("recovered key (%s):", good ? "verified" : "UNVERIFIED");
+    for (const bool b : result.key) std::printf("%d", b ? 1 : 0);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: report <netlist.bench>\n");
+    return 2;
+  }
+  const netlist::Netlist n = netlist::read_bench_file(argv[2]);
+  std::printf("%s: %zu inputs, %zu keys, %zu outputs, %zu gates%s\n",
+              n.name().c_str(), n.num_inputs(), n.num_keys(), n.num_outputs(),
+              n.num_logic_gates(), n.is_cyclic() ? " (cyclic)" : "");
+  const auto hist = n.type_histogram();
+  for (std::size_t t = 0; t < hist.size(); ++t) {
+    if (hist[t] == 0) continue;
+    std::printf("  %-6s %zu\n",
+                std::string(netlist::to_string(
+                                static_cast<netlist::GateType>(t)))
+                    .c_str(),
+                hist[t]);
+  }
+  const ppa::PpaReport ppa_report = ppa::estimate_ppa(n);
+  std::printf("area %.1f um2, power %.1f nW, critical delay %.3f ns\n",
+              ppa_report.area_um2, ppa_report.power_nw,
+              ppa_report.critical_delay_ns);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "lock") return cmd_lock(argc, argv);
+    if (cmd == "attack") return cmd_attack(argc, argv);
+    if (cmd == "report") return cmd_report(argc, argv);
+    std::fprintf(stderr, "usage: %s lock|attack|report ...\n",
+                 argc > 0 ? argv[0] : "fulllock_cli");
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

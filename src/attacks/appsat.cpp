@@ -1,0 +1,172 @@
+#include "attacks/appsat.h"
+
+#include <bit>
+#include <chrono>
+#include <optional>
+#include <random>
+
+#include "attacks/cycsat.h"
+#include "cnf/miter.h"
+#include "netlist/simulator.h"
+
+namespace fl::attacks {
+
+using Clock = std::chrono::steady_clock;
+using netlist::Word;
+
+namespace {
+
+std::vector<Word> key_to_words(const std::vector<bool>& key) {
+  std::vector<Word> w(key.size());
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    w[i] = key[i] ? ~Word{0} : Word{0};
+  }
+  return w;
+}
+
+}  // namespace
+
+AppSatResult AppSat::run(const core::LockedCircuit& locked,
+                         const Oracle& oracle) const {
+  const auto start = Clock::now();
+  const auto deadline =
+      options_.base.timeout_s > 0.0
+          ? std::optional(start + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(
+                                          options_.base.timeout_s)))
+          : std::nullopt;
+  std::mt19937_64 rng(0xA99547ull);
+
+  AppSatResult result;
+  sat::Solver solver;
+  const cnf::AttackMiter miter =
+      cnf::encode_attack_miter(locked.netlist, solver);
+  if (locked.netlist.is_cyclic()) {
+    add_nc_conditions(locked.netlist, solver, miter.key1, miter.key2);
+  }
+
+  const bool cyclic = locked.netlist.is_cyclic();
+  std::optional<netlist::Simulator> locked_sim;
+  if (!cyclic) locked_sim.emplace(locked.netlist);
+
+  const auto finish = [&](AttackStatus status) {
+    result.status = status;
+    result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    return result;
+  };
+
+  const auto extract_key = [&]() {
+    std::vector<bool> key(miter.key1.size());
+    for (std::size_t i = 0; i < miter.key1.size(); ++i) {
+      key[i] = solver.value_of(miter.key1[i]);
+    }
+    return key;
+  };
+
+  // Estimates the error of `key` on random queries; feeds at most one
+  // failing pattern per round back into the solver (query reinforcement).
+  const auto estimate_error = [&](const std::vector<bool>& key) {
+    const std::vector<Word> kw = key_to_words(key);
+    std::uint64_t wrong_bits = 0, total_bits = 0;
+    for (int round = 0; round < options_.rounds_per_check; ++round) {
+      std::vector<Word> inputs(locked.netlist.num_inputs());
+      for (Word& w : inputs) w = rng();
+      const std::vector<Word> golden = oracle.query_words(inputs);
+      std::vector<Word> got;
+      Word valid = ~Word{0};
+      if (cyclic) {
+        const auto sim = netlist::simulate_cyclic(locked.netlist, inputs, kw);
+        got = sim.outputs;
+        valid = sim.converged;
+      } else {
+        got = locked_sim->run(inputs, kw);
+      }
+      Word any_diff = 0;
+      for (std::size_t o = 0; o < golden.size(); ++o) {
+        const Word diff = (golden[o] ^ got[o]) | ~valid;
+        any_diff |= diff;
+        wrong_bits += std::popcount(diff);
+        total_bits += 64;
+      }
+      if (any_diff != 0) {
+        // Reinforce with the first failing pattern of this round.
+        const int bit = std::countr_zero(any_diff);
+        std::vector<bool> pattern(inputs.size());
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+          pattern[i] = ((inputs[i] >> bit) & 1) != 0;
+        }
+        std::vector<bool> response(golden.size());
+        for (std::size_t o = 0; o < golden.size(); ++o) {
+          response[o] = ((golden[o] >> bit) & 1) != 0;
+        }
+        cnf::add_io_constraint(locked.netlist, solver, miter.key1, pattern,
+                               response);
+        cnf::add_io_constraint(locked.netlist, solver, miter.key2, pattern,
+                               response);
+      }
+    }
+    return total_bits == 0 ? 0.0
+                           : static_cast<double>(wrong_bits) / total_bits;
+  };
+
+  if (miter.trivially_equal) {
+    result.key.assign(locked.netlist.num_keys(), false);
+    result.estimated_error = 0.0;
+    return finish(AttackStatus::kSuccess);
+  }
+
+  const sat::Lit activate[] = {miter.activate};
+  while (true) {
+    if (options_.base.max_iterations != 0 &&
+        result.iterations >= options_.base.max_iterations) {
+      return finish(AttackStatus::kIterationLimit);
+    }
+    solver.set_deadline(deadline);
+    const sat::LBool dip_found = solver.solve(activate);
+    if (dip_found == sat::LBool::kUndef) return finish(AttackStatus::kTimeout);
+    if (dip_found == sat::LBool::kFalse) {
+      solver.set_deadline(deadline);
+      const sat::LBool key_found = solver.solve();
+      if (key_found == sat::LBool::kUndef) {
+        return finish(AttackStatus::kTimeout);
+      }
+      if (key_found == sat::LBool::kFalse) {
+        return finish(AttackStatus::kKeySpaceEmpty);
+      }
+      result.key = extract_key();
+      result.approximate = false;
+      result.estimated_error = estimate_error(result.key);
+      return finish(AttackStatus::kSuccess);
+    }
+
+    std::vector<bool> pattern(miter.inputs.size());
+    for (std::size_t i = 0; i < miter.inputs.size(); ++i) {
+      pattern[i] = solver.value_of(miter.inputs[i]);
+    }
+    const std::vector<bool> response = oracle.query(pattern);
+    cnf::add_io_constraint(locked.netlist, solver, miter.key1, pattern,
+                           response);
+    cnf::add_io_constraint(locked.netlist, solver, miter.key2, pattern,
+                           response);
+    ++result.iterations;
+
+    if (result.iterations % options_.settle_every == 0) {
+      solver.set_deadline(deadline);
+      const sat::LBool settled = solver.solve();
+      if (settled == sat::LBool::kUndef) return finish(AttackStatus::kTimeout);
+      if (settled == sat::LBool::kFalse) {
+        return finish(AttackStatus::kKeySpaceEmpty);
+      }
+      const std::vector<bool> candidate = extract_key();
+      const double error = estimate_error(candidate);
+      if (error <= options_.error_threshold) {
+        result.key = candidate;
+        result.approximate = true;
+        result.estimated_error = error;
+        return finish(AttackStatus::kSuccess);
+      }
+    }
+  }
+}
+
+}  // namespace fl::attacks

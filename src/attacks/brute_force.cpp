@@ -1,0 +1,37 @@
+#include "attacks/brute_force.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/verify.h"
+
+namespace fl::attacks {
+
+BruteForceResult brute_force_attack(const core::LockedCircuit& locked,
+                                    const Oracle& oracle, int rounds,
+                                    std::uint64_t seed) {
+  const std::size_t k = locked.netlist.num_keys();
+  if (k > 24) {
+    throw std::invalid_argument("brute force limited to <= 24 key bits");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  BruteForceResult result;
+  const std::uint64_t space = std::uint64_t{1} << k;
+  std::vector<bool> key(k);
+  for (std::uint64_t candidate = 0; candidate < space; ++candidate) {
+    for (std::size_t i = 0; i < k; ++i) key[i] = ((candidate >> i) & 1) != 0;
+    ++result.keys_tried;
+    if (core::verify_unlocks(oracle.circuit(), locked.netlist, key, rounds,
+                             seed)) {
+      result.found = true;
+      result.key = key;
+      break;
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace fl::attacks

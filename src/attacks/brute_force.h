@@ -1,0 +1,27 @@
+// Brute-force key sweep — the baseline the introduction argues against
+// (2^k candidate keys). Practical only for tiny key spaces; used by tests
+// and as a sanity cross-check of the SAT attack.
+#pragma once
+
+#include <cstdint>
+
+#include "attacks/oracle.h"
+#include "core/locked_circuit.h"
+
+namespace fl::attacks {
+
+struct BruteForceResult {
+  bool found = false;
+  std::vector<bool> key;
+  std::uint64_t keys_tried = 0;
+  double seconds = 0.0;
+};
+
+// Tries keys 0, 1, 2, ... (little-endian over the key bits) and returns the
+// first key matching the oracle on `rounds` x 64 random patterns.
+// Throws std::invalid_argument if the circuit has more than 24 key bits.
+BruteForceResult brute_force_attack(const core::LockedCircuit& locked,
+                                    const Oracle& oracle, int rounds = 4,
+                                    std::uint64_t seed = 1);
+
+}  // namespace fl::attacks

@@ -1,0 +1,43 @@
+// CycSAT (Zhou et al., ICCAD'17): SAT attack on cyclic logic locking.
+//
+// Pre-processing derives, for every feedback edge of the locked netlist, a
+// "no structural cycle" (NC) condition over the key inputs: a key is only
+// admissible if every structural cycle through that edge is broken by some
+// key-controlled MUX select on the path. The conditions are asserted for
+// both key copies of the attack miter; the standard DIP loop then runs on
+// the (constraint-wise acyclic) problem.
+#pragma once
+
+#include "attacks/sat_attack.h"
+
+namespace fl::attacks {
+
+struct CycSatStats {
+  int feedback_edges = 0;
+  double preprocess_seconds = 0.0;
+};
+
+// Derives and asserts the NC ("no structural cycle") key conditions for
+// both key-variable sets. No-op for acyclic netlists. Shared by CycSat and
+// AppSat (the paper runs AppSAT on top of CycSAT for cyclic Full-Lock).
+CycSatStats add_nc_conditions(const netlist::Netlist& locked,
+                              sat::Solver& solver,
+                              std::span<const sat::Var> key1,
+                              std::span<const sat::Var> key2);
+
+class CycSat final : public SatAttack {
+ public:
+  explicit CycSat(AttackOptions options = {}) : SatAttack(options) {}
+
+  const CycSatStats& preprocess_stats() const { return stats_; }
+
+ protected:
+  void add_preconditions(const netlist::Netlist& locked, sat::Solver& solver,
+                         std::span<const sat::Var> key1,
+                         std::span<const sat::Var> key2) const override;
+
+ private:
+  mutable CycSatStats stats_;
+};
+
+}  // namespace fl::attacks

@@ -1,0 +1,141 @@
+#include "attacks/double_dip.h"
+
+#include <chrono>
+
+#include "cnf/miter.h"
+
+namespace fl::attacks {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::vector<cnf::NetLit> key_lits(const cnf::EncodedCircuit& copy) {
+  std::vector<cnf::NetLit> lits;
+  lits.reserve(copy.key_vars.size());
+  for (const sat::Var v : copy.key_vars) {
+    lits.push_back(cnf::NetLit::of(sat::pos(v)));
+  }
+  return lits;
+}
+
+}  // namespace
+
+DoubleDipResult DoubleDip::run(const core::LockedCircuit& locked,
+                               const Oracle& oracle) const {
+  const auto start = Clock::now();
+  const auto deadline =
+      options_.timeout_s > 0.0
+          ? std::optional(start + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(
+                                          options_.timeout_s)))
+          : std::nullopt;
+
+  DoubleDipResult result;
+  const auto finish = [&](AttackStatus status) {
+    result.status = status;
+    result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    return result;
+  };
+
+  if (locked.netlist.num_keys() == 0) {
+    result.key.clear();
+    return finish(AttackStatus::kSuccess);
+  }
+
+  sat::Solver solver;
+  cnf::SolverSink sink(solver);
+
+  // Four circuit copies sharing the primary inputs. A 2-DIP is an input x
+  // with two *distinct* keys (k1 != k2) agreeing on one output vector and
+  // two distinct keys (k3 != k4) agreeing on a different one; whichever
+  // side the oracle contradicts, at least two wrong keys die per query
+  // (Shen & Zhou's guarantee).
+  cnf::EncodeOptions free_inputs;
+  const cnf::EncodedCircuit a = cnf::encode(locked.netlist, sink, free_inputs);
+  const cnf::EncodedCircuit b = cnf::encode(locked.netlist, sink, free_inputs);
+  const cnf::EncodedCircuit c = cnf::encode(locked.netlist, sink, free_inputs);
+  const cnf::EncodedCircuit d = cnf::encode(locked.netlist, sink, free_inputs);
+  const auto tie_inputs = [&](const cnf::EncodedCircuit& other) {
+    for (std::size_t i = 0; i < a.input_vars.size(); ++i) {
+      const sat::Lit x = sat::pos(a.input_vars[i]);
+      const sat::Lit y = sat::pos(other.input_vars[i]);
+      solver.add_clause({~x, y});
+      solver.add_clause({x, ~y});
+    }
+  };
+  tie_inputs(b);
+  tie_inputs(c);
+  tie_inputs(d);
+
+  const cnf::NetLit ab_out_diff =
+      cnf::encode_difference(a.outputs, b.outputs, sink);
+  const cnf::NetLit cd_out_diff =
+      cnf::encode_difference(c.outputs, d.outputs, sink);
+  const cnf::NetLit ac_out_diff =
+      cnf::encode_difference(a.outputs, c.outputs, sink);
+  const std::vector<cnf::NetLit> ka = key_lits(a), kb = key_lits(b),
+                                 kc = key_lits(c), kd = key_lits(d);
+  const cnf::NetLit ab_key_diff = cnf::encode_difference(ka, kb, sink);
+  const cnf::NetLit cd_key_diff = cnf::encode_difference(kc, kd, sink);
+
+  if (ac_out_diff.is_const() && !ac_out_diff.const_value()) {
+    // Output never depends on the key: any key unlocks.
+    result.key.assign(locked.netlist.num_keys(), false);
+    return finish(AttackStatus::kSuccess);
+  }
+
+  // Activation: (A==B) & (C==D) & (A!=C) & (kA!=kB) & (kC!=kD).
+  const sat::Var act = solver.new_var();
+  const auto guard = [&](cnf::NetLit condition, bool want) {
+    if (condition.is_const()) {
+      if (condition.const_value() != want) solver.add_clause({sat::neg(act)});
+      return;
+    }
+    solver.add_clause({sat::neg(act), want ? condition.lit : ~condition.lit});
+  };
+  guard(ab_out_diff, false);
+  guard(cd_out_diff, false);
+  guard(ac_out_diff, true);
+  guard(ab_key_diff, true);
+  guard(cd_key_diff, true);
+  const sat::Lit activate[] = {sat::pos(act)};
+
+  while (true) {
+    if (options_.max_iterations != 0 &&
+        result.iterations >= options_.max_iterations) {
+      return finish(AttackStatus::kIterationLimit);
+    }
+    solver.set_deadline(deadline);
+    const sat::LBool found = solver.solve(activate);
+    if (found == sat::LBool::kUndef) return finish(AttackStatus::kTimeout);
+    if (found == sat::LBool::kFalse) break;
+
+    std::vector<bool> pattern(a.input_vars.size());
+    for (std::size_t i = 0; i < a.input_vars.size(); ++i) {
+      pattern[i] = solver.value_of(a.input_vars[i]);
+    }
+    const std::vector<bool> response = oracle.query(pattern);
+    for (const std::span<const sat::Var> keys :
+         {std::span<const sat::Var>(a.key_vars), std::span(b.key_vars),
+          std::span(c.key_vars), std::span(d.key_vars)}) {
+      cnf::add_io_constraint(locked.netlist, solver, keys, pattern, response);
+    }
+    ++result.iterations;
+  }
+
+  // No 2-DIP remains: mop up with the plain SAT attack (keys the weaker
+  // 2-DIP condition cannot distinguish), reusing whatever budget is left.
+  AttackOptions rest = options_;
+  if (options_.timeout_s > 0.0) {
+    const double used =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    rest.timeout_s = std::max(0.1, options_.timeout_s - used);
+  }
+  const AttackResult mop_up = SatAttack(rest).run(locked, oracle);
+  result.fallback_iterations = mop_up.iterations;
+  result.key = mop_up.key;
+  return finish(mop_up.status);
+}
+
+}  // namespace fl::attacks

@@ -1,0 +1,36 @@
+// Double DIP (Shen & Zhou, GLSVLSI'17) — the 2-DIP attack the paper cites
+// among the approximate-attack family ([22]).
+//
+// Each query is chosen so that two key candidates agree with each other
+// while a third disagrees: whatever the oracle answers, at least one key is
+// eliminated, and when the oracle contradicts the consensus at least *two*
+// are — doubling the worst-case pruning rate against point-function schemes
+// (SARLock's "one key per DIP" floor). When no 2-DIP remains, the attack
+// falls back to the standard SAT attack to finish.
+#pragma once
+
+#include "attacks/sat_attack.h"
+
+namespace fl::attacks {
+
+struct DoubleDipResult {
+  AttackStatus status = AttackStatus::kTimeout;
+  std::vector<bool> key;
+  std::uint64_t iterations = 0;           // 2-DIP queries
+  std::uint64_t fallback_iterations = 0;  // plain-DIP mop-up queries
+  double seconds = 0.0;
+};
+
+class DoubleDip {
+ public:
+  explicit DoubleDip(AttackOptions options = {}) : options_(options) {}
+
+  // Requires an acyclic locked netlist (run CycSat for cyclic locks).
+  DoubleDipResult run(const core::LockedCircuit& locked,
+                      const Oracle& oracle) const;
+
+ private:
+  AttackOptions options_;
+};
+
+}  // namespace fl::attacks

@@ -1,0 +1,36 @@
+#include "attacks/oracle.h"
+
+#include <stdexcept>
+
+namespace fl::attacks {
+
+using netlist::Word;
+
+Oracle::Oracle(netlist::Netlist original)
+    : original_(std::move(original)), simulator_(original_) {
+  if (original_.num_keys() != 0) {
+    throw std::invalid_argument("oracle circuit must be key-free");
+  }
+}
+
+std::vector<bool> Oracle::query(const std::vector<bool>& input) const {
+  if (input.size() != original_.num_inputs()) {
+    throw std::invalid_argument("oracle query width mismatch");
+  }
+  ++queries_;
+  std::vector<Word> words(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    words[i] = input[i] ? ~Word{0} : Word{0};
+  }
+  const std::vector<Word> out = simulator_.run(words, {});
+  std::vector<bool> result(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) result[i] = (out[i] & 1) != 0;
+  return result;
+}
+
+std::vector<Word> Oracle::query_words(std::span<const Word> inputs) const {
+  queries_ += 64;
+  return simulator_.run(inputs, {});
+}
+
+}  // namespace fl::attacks

@@ -1,0 +1,36 @@
+// Activated-chip oracle: the attacker's black-box access to a functional
+// (unlocked) IC. Counts queries, as oracle access is the scarce resource in
+// the threat model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "netlist/simulator.h"
+
+namespace fl::attacks {
+
+class Oracle {
+ public:
+  // `original` must be key-free and acyclic.
+  explicit Oracle(netlist::Netlist original);
+
+  // Single-pattern query. Counts as 1 query.
+  std::vector<bool> query(const std::vector<bool>& input) const;
+
+  // Bit-parallel batch (64 patterns per word). Counts as 64 queries.
+  std::vector<netlist::Word> query_words(
+      std::span<const netlist::Word> inputs) const;
+
+  std::uint64_t num_queries() const { return queries_; }
+  const netlist::Netlist& circuit() const { return original_; }
+
+ private:
+  netlist::Netlist original_;
+  netlist::Simulator simulator_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+}  // namespace fl::attacks

@@ -1,0 +1,226 @@
+#include "attacks/sat_attack.h"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+
+#include "cnf/miter.h"
+#include "netlist/simulator.h"
+
+namespace fl::attacks {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// True iff `key` is single-valued and oracle-consistent on `pattern`:
+// relaxation simulation from the all-zeros and all-ones initial states must
+// both converge to `response`. The correct key of any locked circuit breaks
+// every structural cycle, so it always passes.
+bool functionally_pins(const netlist::Netlist& locked,
+                       const std::vector<bool>& key,
+                       const std::vector<bool>& pattern,
+                       const std::vector<bool>& response) {
+  std::vector<netlist::Word> in(pattern.size());
+  std::vector<netlist::Word> kw(key.size());
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    in[i] = pattern[i] ? ~netlist::Word{0} : 0;
+  }
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    kw[i] = key[i] ? ~netlist::Word{0} : 0;
+  }
+  for (const bool init_ones : {false, true}) {
+    const netlist::CyclicSimResult sim =
+        netlist::simulate_cyclic(locked, in, kw, 0, init_ones);
+    if (sim.converged != ~netlist::Word{0}) return false;
+    for (std::size_t o = 0; o < response.size(); ++o) {
+      if (((sim.outputs[o] & 1) != 0) != response[o]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(AttackStatus status) {
+  switch (status) {
+    case AttackStatus::kSuccess: return "success";
+    case AttackStatus::kTimeout: return "timeout";
+    case AttackStatus::kIterationLimit: return "iteration-limit";
+    case AttackStatus::kKeySpaceEmpty: return "key-space-empty";
+  }
+  return "?";
+}
+
+void SatAttack::add_preconditions(const netlist::Netlist&, sat::Solver&,
+                                  std::span<const sat::Var>,
+                                  std::span<const sat::Var>) const {}
+
+AttackResult SatAttack::run(const core::LockedCircuit& locked,
+                            const Oracle& oracle) const {
+  const auto start = Clock::now();
+  const auto deadline =
+      options_.timeout_s > 0.0
+          ? std::optional(start + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(
+                                          options_.timeout_s)))
+          : std::nullopt;
+
+  AttackResult result;
+  const std::uint64_t queries_before = oracle.num_queries();
+
+  sat::Solver solver;
+  const cnf::AttackMiter miter =
+      cnf::encode_attack_miter(locked.netlist, solver);
+  add_preconditions(locked.netlist, solver, miter.key1, miter.key2);
+
+  double ratio_sum = 0.0;
+  std::uint64_t ratio_samples = 0;
+  const auto sample_ratio = [&]() {
+    if (solver.num_vars() > 0) {
+      ratio_sum += static_cast<double>(solver.num_clauses()) /
+                   static_cast<double>(solver.num_vars());
+      ++ratio_samples;
+    }
+  };
+  sample_ratio();
+
+  const auto extract_key = [&](std::span<const sat::Var> key_vars) {
+    std::vector<bool> key(key_vars.size());
+    for (std::size_t i = 0; i < key_vars.size(); ++i) {
+      key[i] = solver.value_of(key_vars[i]);
+    }
+    return key;
+  };
+
+  const auto finish = [&](AttackStatus status) {
+    result.status = status;
+    result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    result.mean_iteration_seconds =
+        result.iterations > 0 ? result.seconds / result.iterations : 0.0;
+    result.mean_clause_var_ratio =
+        ratio_samples > 0 ? ratio_sum / ratio_samples : 0.0;
+    result.solver_stats = solver.stats();
+    result.oracle_queries = oracle.num_queries() - queries_before;
+    return result;
+  };
+
+  if (miter.trivially_equal) {
+    // Output does not depend on the key at all: any key unlocks.
+    result.key.assign(locked.netlist.num_keys(), false);
+    return finish(AttackStatus::kSuccess);
+  }
+
+  const sat::Lit activate[] = {miter.activate};
+  std::set<std::vector<bool>> seen_dips;
+  std::vector<std::pair<std::vector<bool>, std::vector<bool>>> dip_history;
+  const bool cyclic = locked.netlist.is_cyclic();
+  while (true) {
+    if (options_.max_iterations != 0 &&
+        result.iterations >= options_.max_iterations) {
+      return finish(AttackStatus::kIterationLimit);
+    }
+    solver.set_deadline(deadline);
+    const sat::LBool dip_found = solver.solve(activate);
+    if (dip_found == sat::LBool::kUndef) {
+      return finish(AttackStatus::kTimeout);
+    }
+    if (dip_found == sat::LBool::kFalse) {
+      // No distinguishing input remains: extract a key. On cyclic locks the
+      // CNF may still admit stateful keys, so validate the candidate
+      // functionally against every observed DIP; reject-and-ban until a
+      // functional key (the correct key always qualifies) survives.
+      solver.set_deadline(deadline);
+      const sat::LBool key_found = solver.solve();
+      if (key_found == sat::LBool::kUndef) {
+        return finish(AttackStatus::kTimeout);
+      }
+      if (key_found == sat::LBool::kFalse) {
+        return finish(AttackStatus::kKeySpaceEmpty);
+      }
+      std::vector<bool> key = extract_key(miter.key1);
+      if (cyclic) {
+        bool functional = true;
+        for (const auto& [pattern, response] : dip_history) {
+          if (!functionally_pins(locked.netlist, key, pattern, response)) {
+            functional = false;
+            break;
+          }
+        }
+        if (!functional) {
+          sat::Clause ban;
+          for (std::size_t i = 0; i < miter.key1.size(); ++i) {
+            ban.push_back(sat::Lit(miter.key1[i], key[i]));
+          }
+          solver.add_clause(std::move(ban));
+          ++result.banned_keys;
+          continue;
+        }
+      }
+      result.key = std::move(key);
+      return finish(AttackStatus::kSuccess);
+    }
+
+    // Extract the DIP and query the oracle.
+    std::vector<bool> pattern(miter.inputs.size());
+    for (std::size_t i = 0; i < miter.inputs.size(); ++i) {
+      pattern[i] = solver.value_of(miter.inputs[i]);
+    }
+    if (!seen_dips.insert(pattern).second) {
+      // A repeated DIP means the I/O constraints did not prune this key
+      // pair — on cyclic netlists the CNF can take stateful (multi-valued)
+      // assignments that dodge the constraint copies (BeSAT's
+      // observation). Ban every involved key that is not functionally
+      // pinned to the oracle on this pattern; the correct key is always
+      // single-valued and oracle-consistent, so it is never banned.
+      const std::vector<bool> response = oracle.query(pattern);
+      bool banned_any = false;
+      for (const std::span<const sat::Var> key_vars :
+           {std::span<const sat::Var>(miter.key1),
+            std::span<const sat::Var>(miter.key2)}) {
+        std::vector<bool> key(key_vars.size());
+        for (std::size_t i = 0; i < key_vars.size(); ++i) {
+          key[i] = solver.value_of(key_vars[i]);
+        }
+        if (!functionally_pins(locked.netlist, key, pattern, response)) {
+          sat::Clause ban;
+          for (std::size_t i = 0; i < key_vars.size(); ++i) {
+            ban.push_back(sat::Lit(key_vars[i], key[i]));
+          }
+          solver.add_clause(std::move(ban));
+          banned_any = true;
+          ++result.banned_keys;
+        }
+      }
+      if (!banned_any) {
+        // Should be unreachable (a repeat requires a non-functional copy);
+        // ban the second key to guarantee progress — a key that is
+        // functionally pinned here but re-selected is stateful elsewhere.
+        sat::Clause ban;
+        for (const sat::Var v : miter.key2) {
+          ban.push_back(sat::Lit(v, solver.value_of(v)));
+        }
+        solver.add_clause(std::move(ban));
+        ++result.banned_keys;
+      }
+      continue;
+    }
+    const std::vector<bool> response = oracle.query(pattern);
+    dip_history.emplace_back(pattern, response);
+
+    // Both key copies must reproduce the oracle on this pattern.
+    cnf::add_io_constraint(locked.netlist, solver, miter.key1, pattern,
+                           response);
+    cnf::add_io_constraint(locked.netlist, solver, miter.key2, pattern,
+                           response);
+    ++result.iterations;
+    sample_ratio();
+    if (options_.verbose) {
+      std::fprintf(stderr, "[sat-attack] iter %llu, %d vars, %zu clauses\n",
+                   static_cast<unsigned long long>(result.iterations),
+                   solver.num_vars(), solver.num_clauses());
+    }
+  }
+}
+
+}  // namespace fl::attacks

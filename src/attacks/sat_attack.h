@@ -1,0 +1,73 @@
+// Oracle-guided SAT attack (Subramanyan et al., HOST'15).
+//
+// Iteratively finds Discriminating Input Patterns with a double-key miter,
+// queries the oracle, and constrains the key space until no DIP remains;
+// any remaining key is then functionally correct.
+//
+// Reports the statistics the paper's evaluation tables are built from:
+// iteration count, wall time, per-iteration time, and the average
+// clauses-to-variables ratio of the CNF the solver worked on (Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attacks/oracle.h"
+#include "core/locked_circuit.h"
+#include "sat/solver.h"
+
+namespace fl::attacks {
+
+enum class AttackStatus : std::uint8_t {
+  kSuccess,         // UNSAT miter: extracted key is provably correct
+  kTimeout,         // wall-clock budget exhausted (the paper's "TO")
+  kIterationLimit,  // max_iterations reached
+  kKeySpaceEmpty,   // constraints became UNSAT (should not happen with a
+                    // well-formed locked circuit)
+};
+
+const char* to_string(AttackStatus status);
+
+struct AttackOptions {
+  double timeout_s = 0.0;            // 0 = unlimited
+  std::uint64_t max_iterations = 0;  // 0 = unlimited
+  bool verbose = false;
+};
+
+struct AttackResult {
+  AttackStatus status = AttackStatus::kTimeout;
+  std::vector<bool> key;  // valid for kSuccess (best-effort otherwise)
+  std::uint64_t iterations = 0;
+  double seconds = 0.0;
+  double mean_iteration_seconds = 0.0;
+  double mean_clause_var_ratio = 0.0;  // averaged over solver snapshots
+  sat::SolverStats solver_stats;
+  std::uint64_t oracle_queries = 0;
+  // Stateful key assignments banned after repeated DIPs (cyclic locks
+  // only; BeSAT-style progress guarantee).
+  std::uint64_t banned_keys = 0;
+};
+
+class SatAttack {
+ public:
+  explicit SatAttack(AttackOptions options = {}) : options_(options) {}
+
+  AttackResult run(const core::LockedCircuit& locked,
+                   const Oracle& oracle) const;
+
+ protected:
+  // Hook for CycSAT: add pre-conditions on the two key-variable sets before
+  // the DIP loop starts.
+  virtual void add_preconditions(const netlist::Netlist& locked,
+                                 sat::Solver& solver,
+                                 std::span<const sat::Var> key1,
+                                 std::span<const sat::Var> key2) const;
+
+ public:
+  virtual ~SatAttack() = default;
+
+ private:
+  AttackOptions options_;
+};
+
+}  // namespace fl::attacks

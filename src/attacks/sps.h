@@ -1,0 +1,31 @@
+// Signal Probability Skew (SPS) attack (Yasin et al., ASP-DAC'17).
+//
+// Computes per-net signal probabilities and flags highly skewed nets —
+// the tell-tale of Anti-SAT-style point-function blocks, whose flip signal
+// is ~always 0. Full-Lock's CLN nets stay near p = 0.5, so SPS finds no
+// foothold (§2, property 3).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fl::attacks {
+
+struct SkewedNet {
+  netlist::GateId gate;
+  double probability;  // estimated P(net = 1)
+  double skew;         // |p - 0.5| * 2, in [0, 1]
+};
+
+struct SpsReport {
+  std::vector<SkewedNet> top;  // most-skewed first
+  double max_skew = 0.0;
+  double mean_skew = 0.0;  // over key-dependent internal nets
+};
+
+// Considers only key-dependent logic nets (where a locking block could
+// hide); `top_k` limits the report size.
+SpsReport sps_attack(const netlist::Netlist& locked, int top_k = 10);
+
+}  // namespace fl::attacks

@@ -1,0 +1,170 @@
+#include "cnf/miter.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace fl::cnf {
+
+using netlist::Netlist;
+using sat::Lit;
+using sat::Var;
+
+AttackMiter encode_attack_miter(const Netlist& locked, sat::Solver& solver) {
+  SolverSink sink(solver);
+  if (locked.num_keys() == 0) {
+    // No key inputs: both copies are identical functions by construction.
+    AttackMiter miter;
+    miter.trivially_equal = true;
+    miter.activate = sat::pos(solver.new_var());
+    return miter;
+  }
+  EncodeOptions options;  // inputs free, fresh keys
+  const EncodedCircuit copy1 = encode(locked, sink, options);
+
+  // Second copy with its own key set; the shared primary inputs are tied
+  // together with equality clauses.
+  EncodeOptions options2;
+  const EncodedCircuit copy2 = encode(locked, sink, options2);
+  for (std::size_t i = 0; i < copy1.input_vars.size(); ++i) {
+    const Lit a = sat::pos(copy1.input_vars[i]);
+    const Lit b = sat::pos(copy2.input_vars[i]);
+    solver.add_clause({~a, b});
+    solver.add_clause({a, ~b});
+  }
+
+  AttackMiter miter;
+  miter.inputs = copy1.input_vars;
+  miter.key1 = copy1.key_vars;
+  miter.key2 = copy2.key_vars;
+
+  const NetLit diff = encode_difference(copy1.outputs, copy2.outputs, sink);
+  if (diff.is_const()) {
+    if (diff.const_value()) {
+      // Outputs always differ: degenerate, signal via an always-true lit.
+      const Var t = solver.new_var();
+      solver.add_clause({sat::pos(t)});
+      miter.activate = sat::pos(t);
+    } else {
+      miter.trivially_equal = true;
+      const Var t = solver.new_var();
+      miter.activate = sat::pos(t);
+    }
+    return miter;
+  }
+  // Fresh activation literal: act -> diff.
+  const Var act = solver.new_var();
+  solver.add_clause({sat::neg(act), diff.lit});
+  miter.activate = sat::pos(act);
+  return miter;
+}
+
+void add_io_constraint(const Netlist& locked, sat::Solver& solver,
+                       std::span<const sat::Var> key_vars,
+                       const std::vector<bool>& pattern,
+                       const std::vector<bool>& response) {
+  if (response.size() != locked.num_outputs()) {
+    throw std::invalid_argument("add_io_constraint: response size mismatch");
+  }
+  SolverSink sink(solver);
+  EncodeOptions options;
+  options.fixed_inputs = pattern;
+  options.shared_key_vars = key_vars;
+  const EncodedCircuit copy = encode(locked, sink, options);
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    const NetLit o = copy.outputs[i];
+    if (o.is_const()) {
+      if (o.const_value() != response[i]) {
+        solver.add_clause({});  // contradiction: key space empty
+      }
+      continue;
+    }
+    solver.add_clause({response[i] ? o.lit : ~o.lit});
+  }
+}
+
+double deobfuscation_cnf_ratio(const Netlist& locked, int num_dips,
+                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  sat::Cnf cnf;
+  CnfSink sink(cnf);
+
+  // Double-key miter: two unfolded copies sharing input variables via
+  // equality clauses, plus the output-difference tree.
+  EncodeOptions raw;
+  raw.fold_constants = false;
+  const EncodedCircuit copy1 = encode(locked, sink, raw);
+  const EncodedCircuit copy2 = encode(locked, sink, raw);
+  for (std::size_t i = 0; i < copy1.input_vars.size(); ++i) {
+    const sat::Lit a = sat::pos(copy1.input_vars[i]);
+    const sat::Lit b = sat::pos(copy2.input_vars[i]);
+    cnf.add({~a, b});
+    cnf.add({a, ~b});
+  }
+  const NetLit diff = encode_difference(copy1.outputs, copy2.outputs, sink);
+  if (!diff.is_const()) cnf.add({diff.lit});
+
+  // DIP constraint copies: random fixed inputs as unit clauses, outputs
+  // pinned (the pin value does not change the count).
+  for (int d = 0; d < num_dips; ++d) {
+    EncodeOptions dip;
+    dip.fold_constants = false;
+    dip.inputs_as_unit_clauses = true;
+    dip.fixed_inputs.resize(locked.num_inputs());
+    for (std::size_t i = 0; i < locked.num_inputs(); ++i) {
+      dip.fixed_inputs[i] = (rng() & 1) != 0;
+    }
+    dip.shared_key_vars = (d % 2 == 0) ? copy1.key_vars : copy2.key_vars;
+    const EncodedCircuit copy = encode(locked, sink, dip);
+    for (const NetLit& o : copy.outputs) {
+      if (!o.is_const()) cnf.add({(rng() & 1) != 0 ? o.lit : ~o.lit});
+    }
+  }
+  return cnf.clause_to_var_ratio();
+}
+
+bool check_equivalence(const Netlist& a, const std::vector<bool>& key_a,
+                       const Netlist& b, const std::vector<bool>& key_b,
+                       std::vector<bool>* counterexample) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
+    throw std::invalid_argument("check_equivalence: interface mismatch");
+  }
+  if (a.is_cyclic() || b.is_cyclic()) {
+    throw std::invalid_argument("check_equivalence: needs acyclic netlists");
+  }
+  if (key_a.size() != a.num_keys() || key_b.size() != b.num_keys()) {
+    throw std::invalid_argument("check_equivalence: key size mismatch");
+  }
+  sat::Solver solver;
+  SolverSink sink(solver);
+
+  EncodeOptions options_a;
+  const EncodedCircuit enc_a = encode(a, sink, options_a);
+  for (std::size_t i = 0; i < key_a.size(); ++i) {
+    solver.add_clause({Lit(enc_a.key_vars[i], !key_a[i])});
+  }
+
+  EncodeOptions options_b;
+  const EncodedCircuit enc_b = encode(b, sink, options_b);
+  for (std::size_t i = 0; i < key_b.size(); ++i) {
+    solver.add_clause({Lit(enc_b.key_vars[i], !key_b[i])});
+  }
+  for (std::size_t i = 0; i < enc_a.input_vars.size(); ++i) {
+    const Lit x = sat::pos(enc_a.input_vars[i]);
+    const Lit y = sat::pos(enc_b.input_vars[i]);
+    solver.add_clause({~x, y});
+    solver.add_clause({x, ~y});
+  }
+  const NetLit diff = encode_difference(enc_a.outputs, enc_b.outputs, sink);
+  if (diff.is_const()) return !diff.const_value();
+  solver.add_clause({diff.lit});
+  const sat::LBool result = solver.solve();
+  if (result == sat::LBool::kTrue && counterexample != nullptr) {
+    counterexample->assign(a.num_inputs(), false);
+    for (std::size_t i = 0; i < enc_a.input_vars.size(); ++i) {
+      (*counterexample)[i] = solver.value_of(enc_a.input_vars[i]);
+    }
+  }
+  return result == sat::LBool::kFalse;
+}
+
+}  // namespace fl::cnf

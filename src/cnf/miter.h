@@ -1,0 +1,53 @@
+// Miter construction for oracle-guided attacks and equivalence checking.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cnf/tseytin.h"
+#include "netlist/netlist.h"
+#include "sat/solver.h"
+
+namespace fl::cnf {
+
+// The double-key attack miter of Subramanyan et al.: two copies of the
+// locked circuit share the primary inputs but carry independent key vectors
+// K1/K2; assuming `activate` forces at least one output to differ.
+struct AttackMiter {
+  std::vector<sat::Var> inputs;
+  std::vector<sat::Var> key1;
+  std::vector<sat::Var> key2;
+  sat::Lit activate;       // assume this to search for a DIP
+  bool trivially_equal = false;  // outputs identical for all keys (no DIP)
+};
+
+AttackMiter encode_attack_miter(const netlist::Netlist& locked,
+                                sat::Solver& solver);
+
+// Adds the constraint "locked(pattern, K) == response" for the key variables
+// `key_vars` (one circuit copy with inputs fixed; constants are folded when
+// the netlist is acyclic).
+void add_io_constraint(const netlist::Netlist& locked, sat::Solver& solver,
+                       std::span<const sat::Var> key_vars,
+                       const std::vector<bool>& pattern,
+                       const std::vector<bool>& response);
+
+// Clauses-to-variables ratio of the deobfuscation CNF as a naive
+// MiniSAT-frontend (the paper's tooling, Fig. 7) sees it: a double-key
+// miter plus `num_dips` I/O-constraint circuit copies, all encoded without
+// constant folding and with DIP inputs pinned by unit clauses. Random DIP
+// patterns are drawn from `seed`; oracle responses are irrelevant to the
+// ratio (unit clauses either way).
+double deobfuscation_cnf_ratio(const netlist::Netlist& locked, int num_dips,
+                               std::uint64_t seed);
+
+// SAT equivalence check of two acyclic netlists with equal PI/PO counts.
+// Keys of either netlist are fixed to the supplied constants (pass empty
+// spans for key-less netlists). Returns true iff functionally equivalent.
+// Throws std::invalid_argument on interface mismatches or cyclic inputs.
+bool check_equivalence(const netlist::Netlist& a, const std::vector<bool>& key_a,
+                       const netlist::Netlist& b, const std::vector<bool>& key_b,
+                       std::vector<bool>* counterexample = nullptr);
+
+}  // namespace fl::cnf

@@ -1,0 +1,127 @@
+// Tseytin transformation of netlists into CNF (Table 1 of the paper).
+//
+// The encoder writes clauses into a ClauseSink so the same code can target
+// the incremental CDCL solver (attacks) or a plain Cnf container (DIMACS
+// export, the clause/variable-ratio measurements of Fig. 7).
+//
+// With `fold_constants` (acyclic netlists only) the encoder propagates
+// constants and buffers/inverters without allocating variables — essential
+// for the SAT attack, where each DIP adds two circuit copies with all
+// primary inputs fixed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace fl::cnf {
+
+// Abstract destination for fresh variables and clauses.
+class ClauseSink {
+ public:
+  virtual ~ClauseSink() = default;
+  virtual sat::Var new_var() = 0;
+  virtual void add_clause(sat::Clause clause) = 0;
+};
+
+class SolverSink final : public ClauseSink {
+ public:
+  explicit SolverSink(sat::Solver& solver) : solver_(solver) {}
+  sat::Var new_var() override { return solver_.new_var(); }
+  void add_clause(sat::Clause clause) override {
+    solver_.add_clause(std::move(clause));
+  }
+
+ private:
+  sat::Solver& solver_;
+};
+
+class CnfSink final : public ClauseSink {
+ public:
+  explicit CnfSink(sat::Cnf& cnf) : cnf_(cnf) {}
+  sat::Var new_var() override { return cnf_.new_var(); }
+  void add_clause(sat::Clause clause) override { cnf_.add(std::move(clause)); }
+
+ private:
+  sat::Cnf& cnf_;
+};
+
+// A net's CNF representation: a literal, or a folded-away constant.
+struct NetLit {
+  enum class Kind : std::uint8_t { kLit, kConst0, kConst1 };
+  Kind kind = Kind::kConst0;
+  sat::Lit lit;
+
+  static NetLit constant(bool v) {
+    NetLit n;
+    n.kind = v ? Kind::kConst1 : Kind::kConst0;
+    return n;
+  }
+  static NetLit of(sat::Lit l) {
+    NetLit n;
+    n.kind = Kind::kLit;
+    n.lit = l;
+    return n;
+  }
+  bool is_const() const { return kind != Kind::kLit; }
+  bool const_value() const { return kind == Kind::kConst1; }
+  NetLit operator~() const {
+    if (is_const()) return constant(!const_value());
+    return of(~lit);
+  }
+};
+
+struct EncodeOptions {
+  // Requires an acyclic netlist; cyclic netlists are encoded gate-per-var.
+  bool fold_constants = true;
+  // If non-empty: primary inputs take these constant values (size must equal
+  // num_inputs()).
+  std::vector<bool> fixed_inputs;  // empty = free inputs
+  // With fixed_inputs: allocate input variables and pin them with unit
+  // clauses instead of substituting constants. This is what naive CNF
+  // generators (the paper's MiniSAT-based tooling) emit, and is the mode
+  // the Fig. 7 clauses/variables measurements are defined over.
+  bool inputs_as_unit_clauses = false;
+  // If non-empty: reuse these solver variables for the key inputs instead of
+  // allocating fresh ones (size must equal num_keys()).
+  std::span<const sat::Var> shared_key_vars = {};
+};
+
+struct EncodedCircuit {
+  std::vector<NetLit> net;           // indexed by GateId
+  std::vector<sat::Var> input_vars;  // kNullVar when fixed
+  std::vector<sat::Var> key_vars;    // shared or fresh
+  std::vector<NetLit> outputs;       // per output port
+  std::size_t vars_added = 0;
+  std::size_t clauses_added = 0;
+};
+
+// Throws std::invalid_argument on size mismatches or if a cyclic netlist is
+// combined with fixed inputs that cannot be folded (cyclic encoding simply
+// disables folding; it never throws for cyclicity alone).
+EncodedCircuit encode(const netlist::Netlist& netlist, ClauseSink& sink,
+                      const EncodeOptions& options = {});
+
+// Standalone CNF of a netlist (all inputs/keys free). Used for ratio
+// measurements and DIMACS export.
+sat::Cnf to_cnf(const netlist::Netlist& netlist);
+
+// Emits "XOR/OR difference" logic: a literal that is true iff the two output
+// vectors differ. Both vectors must have equal size >= 1; constants fold.
+NetLit encode_difference(std::span<const NetLit> a, std::span<const NetLit> b,
+                         ClauseSink& sink);
+
+// Free-standing expression builders (constants fold; vars allocated lazily).
+// Used by attacks that synthesize side conditions (e.g. CycSAT's
+// no-structural-cycle clauses) directly over existing solver variables.
+NetLit emit_and(ClauseSink& sink, std::vector<NetLit> terms);
+NetLit emit_or(ClauseSink& sink, std::vector<NetLit> terms);
+NetLit emit_xor(ClauseSink& sink, NetLit a, NetLit b);
+// Adds clauses asserting `lit` is true (no-op for const-1; empty clause,
+// i.e. UNSAT, for const-0).
+void assert_true(ClauseSink& sink, NetLit lit);
+
+}  // namespace fl::cnf

@@ -1,0 +1,333 @@
+#include "core/cln.h"
+
+#include <bit>
+#include <set>
+#include <stdexcept>
+
+namespace fl::core {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+namespace {
+
+int log2_exact(int n) {
+  if (n < 4 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("CLN size must be a power of two >= 4");
+  }
+  return std::countr_zero(static_cast<unsigned>(n));
+}
+
+void check_config(const ClnConfig& config) {
+  log2_exact(config.n);
+  if (config.extra_stages < -1) {
+    throw std::invalid_argument("CLN extra_stages must be >= -1");
+  }
+  if (config.copies < 1) {
+    throw std::invalid_argument("CLN copies must be >= 1");
+  }
+}
+
+int effective_extra_stages(const ClnConfig& config) {
+  const int b = log2_exact(config.n);
+  return config.extra_stages < 0 ? b - 2 : config.extra_stages;
+}
+
+// Perfect shuffle moves the wire at position i to position rotl(i); the
+// stage's source mapping is therefore the inverse rotation.
+int rotr_bits(int value, int bits) {
+  return ((value >> 1) | ((value & 1) << (bits - 1))) & ((1 << bits) - 1);
+}
+
+std::vector<std::pair<int, int>> stride_pairs(int n, int stride) {
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(n / 2);
+  for (int i = 0; i < n; ++i) {
+    if ((i & stride) == 0) pairs.emplace_back(i, i + stride);
+  }
+  return pairs;
+}
+
+std::vector<ClnStage> make_stages(const ClnConfig& config) {
+  const int n = config.n;
+  const int b = log2_exact(n);
+  std::vector<ClnStage> stages;
+  if (config.topology == ClnTopology::kShuffleBlocking) {
+    // Omega network: each of the log2(n) stages shuffles then pairs
+    // adjacent wires.
+    std::vector<int> shuffle_src(n);
+    for (int p = 0; p < n; ++p) shuffle_src[p] = rotr_bits(p, b);
+    std::vector<std::pair<int, int>> adjacent;
+    for (int i = 0; i < n; i += 2) adjacent.emplace_back(i, i + 1);
+    for (int s = 0; s < b; ++s) {
+      stages.push_back(ClnStage{shuffle_src, adjacent});
+    }
+  } else {
+    // LOG(N, M, 1) core: butterfly strides n/2 ... 1, then M extra stages
+    // cycling through the mirrored strides 2, 4, ... (M = log2N-2 yields
+    // a Benes network minus its final stage — the paper's default; for
+    // n == 4 that degenerates to the plain 2-stage butterfly).
+    for (int stride = n / 2; stride >= 1; stride /= 2) {
+      stages.push_back(ClnStage{{}, stride_pairs(n, stride)});
+    }
+    const int extra = effective_extra_stages(config);
+    int stride = 2;
+    for (int s = 0; s < extra; ++s) {
+      stages.push_back(ClnStage{{}, stride_pairs(n, stride)});
+      stride = stride >= n / 2 ? 2 : stride * 2;
+    }
+  }
+  return stages;
+}
+
+}  // namespace
+
+int cln_num_stages(const ClnConfig& config) {
+  check_config(config);
+  const int b = log2_exact(config.n);
+  if (config.topology == ClnTopology::kShuffleBlocking) return b;
+  return b + effective_extra_stages(config);
+}
+
+int cln_num_swbs(const ClnConfig& config) {
+  const int copies =
+      config.topology == ClnTopology::kShuffleBlocking ? 1 : config.copies;
+  return config.n / 2 * cln_num_stages(config) * copies;
+}
+
+int cln_copy_select_bits(const ClnConfig& config) {
+  if (config.topology == ClnTopology::kShuffleBlocking || config.copies <= 1) {
+    return 0;
+  }
+  return std::bit_width(static_cast<unsigned>(config.copies - 1));
+}
+
+int cln_num_keys(const ClnConfig& config) {
+  const int per_swb = config.independent_selects ? 2 : 1;
+  int keys = cln_num_swbs(config) * per_swb;
+  keys += config.n * cln_copy_select_bits(config);
+  if (config.with_inverters) keys += config.n;
+  return keys;
+}
+
+int ClnInstance::num_swbs() const {
+  const int copies =
+      config.topology == ClnTopology::kShuffleBlocking ? 1 : config.copies;
+  int per_copy = 0;
+  for (const ClnStage& s : stages) {
+    per_copy += static_cast<int>(s.pairs.size());
+  }
+  return per_copy * copies;
+}
+
+namespace {
+
+// Runs one vertical copy's index routing. `key` supplies matched/independent
+// SwB bits starting at `k`, which is advanced past this copy's bits.
+std::vector<int> trace_copy(const ClnConfig& config,
+                            const std::vector<ClnStage>& stages,
+                            const std::vector<bool>& key, std::size_t& k) {
+  std::vector<int> cur(config.n);
+  for (int i = 0; i < config.n; ++i) cur[i] = i;
+  std::vector<int> next(config.n);
+  for (const ClnStage& stage : stages) {
+    if (!stage.pre_wiring.empty()) {
+      for (int p = 0; p < config.n; ++p) next[p] = cur[stage.pre_wiring[p]];
+      std::swap(cur, next);
+    }
+    for (const auto& [a, b] : stage.pairs) {
+      const bool k0 = key[k++];
+      const bool k1 = config.independent_selects ? key[k++] : k0;
+      const int va = cur[a];
+      const int vb = cur[b];
+      const int out_a = k0 ? vb : va;
+      const int out_b = k1 ? va : vb;
+      if (out_a == out_b) {
+        throw std::invalid_argument(
+            "trace_permutation: SwB in broadcast configuration");
+      }
+      cur[a] = out_a;
+      cur[b] = out_b;
+    }
+  }
+  return cur;
+}
+
+}  // namespace
+
+std::vector<int> ClnInstance::trace_permutation(
+    const std::vector<bool>& key) const {
+  if (key.size() < static_cast<std::size_t>(num_select_keys)) {
+    throw std::invalid_argument("trace_permutation: key too short");
+  }
+  const int copies =
+      config.topology == ClnTopology::kShuffleBlocking ? 1 : config.copies;
+  std::size_t k = 0;
+  std::vector<std::vector<int>> per_copy;
+  per_copy.reserve(copies);
+  for (int c = 0; c < copies; ++c) {
+    per_copy.push_back(trace_copy(config, stages, key, k));
+  }
+  std::vector<int> result(config.n);
+  if (copies == 1) {
+    result = per_copy[0];
+  } else {
+    const int bits = cln_copy_select_bits(config);
+    for (int j = 0; j < config.n; ++j) {
+      std::size_t index = 0;
+      for (int b = 0; b < bits; ++b) {
+        index |= static_cast<std::size_t>(key[k++]) << b;
+      }
+      // The builder pads the MUX leaves by cycling the copies.
+      const int copy = static_cast<int>(index % copies);
+      result[j] = per_copy[copy][j];
+    }
+  }
+  std::set<int> seen(result.begin(), result.end());
+  if (seen.size() != static_cast<std::size_t>(config.n)) {
+    throw std::invalid_argument(
+        "trace_permutation: copy-mixed routing is not a permutation");
+  }
+  return result;
+}
+
+ClnBuilder::ClnBuilder(ClnConfig config) : config_(config) {
+  check_config(config_);
+  stages_ = make_stages(config_);
+}
+
+ClnInstance ClnBuilder::build(Netlist& netlist,
+                              std::span<const GateId> inputs,
+                              const std::string& name_prefix) const {
+  if (inputs.size() != static_cast<std::size_t>(config_.n)) {
+    throw std::invalid_argument("ClnBuilder::build: input count mismatch");
+  }
+  ClnInstance inst;
+  inst.config = config_;
+  inst.stages = stages_;
+  inst.inputs.assign(inputs.begin(), inputs.end());
+
+  int key_counter = 0;
+  // "keyinput" prefix: the .bench logic-locking convention, so locked
+  // netlists survive write/read round-trips with keys classified correctly.
+  auto new_key = [&]() {
+    return netlist.add_key("keyinput_" + name_prefix + "_k" +
+                           std::to_string(key_counter++));
+  };
+
+  const int copies =
+      config_.topology == ClnTopology::kShuffleBlocking ? 1 : config_.copies;
+  std::vector<std::vector<GateId>> copy_outputs;
+  copy_outputs.reserve(copies);
+  for (int c = 0; c < copies; ++c) {
+    std::vector<GateId> cur(inputs.begin(), inputs.end());
+    std::vector<GateId> next(config_.n);
+    for (const ClnStage& stage : stages_) {
+      if (!stage.pre_wiring.empty()) {
+        for (int p = 0; p < config_.n; ++p) {
+          next[p] = cur[stage.pre_wiring[p]];
+        }
+        std::swap(cur, next);
+      }
+      for (const auto& [a, b] : stage.pairs) {
+        const GateId k0 = new_key();
+        inst.key_gates.push_back(k0);
+        GateId k1 = k0;
+        if (config_.independent_selects) {
+          k1 = new_key();
+          inst.key_gates.push_back(k1);
+        }
+        const GateId in_a = cur[a];
+        const GateId in_b = cur[b];
+        // out_a = k0 ? in_b : in_a ; out_b = k1 ? in_a : in_b.
+        const GateId out_a =
+            netlist.add_gate(GateType::kMux, {k0, in_a, in_b});
+        const GateId out_b =
+            netlist.add_gate(GateType::kMux, {k1, in_b, in_a});
+        cur[a] = out_a;
+        cur[b] = out_b;
+      }
+    }
+    copy_outputs.push_back(std::move(cur));
+  }
+  inst.num_swb_keys = key_counter;
+
+  std::vector<GateId> merged(config_.n);
+  if (copies == 1) {
+    merged = copy_outputs[0];
+  } else {
+    // Key-selected P:1 output MUX column; leaves padded by cycling copies.
+    const int bits = cln_copy_select_bits(config_);
+    const std::size_t padded = std::size_t{1} << bits;
+    for (int j = 0; j < config_.n; ++j) {
+      std::vector<GateId> selects(bits);
+      for (int b = 0; b < bits; ++b) {
+        selects[b] = new_key();
+        inst.key_gates.push_back(selects[b]);
+      }
+      std::vector<GateId> layer(padded);
+      for (std::size_t l = 0; l < padded; ++l) {
+        layer[l] = copy_outputs[l % copies][j];
+      }
+      for (int b = 0; b < bits; ++b) {
+        std::vector<GateId> next_layer(layer.size() / 2);
+        for (std::size_t l = 0; l < next_layer.size(); ++l) {
+          if (layer[2 * l] == layer[2 * l + 1]) {
+            next_layer[l] = layer[2 * l];
+          } else {
+            // Leaf index bit b selects between even (0) and odd (1) halves
+            // of consecutive pairs.
+            next_layer[l] = netlist.add_gate(
+                GateType::kMux, {selects[b], layer[2 * l], layer[2 * l + 1]});
+          }
+        }
+        layer = std::move(next_layer);
+      }
+      merged[j] = layer[0];
+    }
+  }
+  inst.num_copy_keys = key_counter - inst.num_swb_keys;
+  inst.num_select_keys = key_counter;
+
+  if (config_.with_inverters) {
+    for (int p = 0; p < config_.n; ++p) {
+      const GateId kv = new_key();
+      inst.key_gates.push_back(kv);
+      merged[p] = netlist.add_gate(GateType::kXor, {merged[p], kv});
+    }
+  }
+  inst.num_inverter_keys = key_counter - inst.num_select_keys;
+  inst.outputs = merged;
+  return inst;
+}
+
+std::vector<bool> ClnBuilder::random_routing_key(std::mt19937_64& rng) const {
+  std::vector<bool> key;
+  std::uniform_int_distribution<int> coin(0, 1);
+  const int copies =
+      config_.topology == ClnTopology::kShuffleBlocking ? 1 : config_.copies;
+  for (int c = 0; c < copies; ++c) {
+    for (const ClnStage& stage : stages_) {
+      for (std::size_t i = 0; i < stage.pairs.size(); ++i) {
+        const bool swap_bit = coin(rng) == 1;
+        key.push_back(swap_bit);
+        if (config_.independent_selects) key.push_back(swap_bit);
+      }
+    }
+  }
+  if (copies > 1) {
+    // One shared random copy so the merged routing stays a permutation.
+    const int bits = cln_copy_select_bits(config_);
+    std::uniform_int_distribution<int> pick(0, copies - 1);
+    const int copy = pick(rng);
+    for (int j = 0; j < config_.n; ++j) {
+      for (int b = 0; b < bits; ++b) {
+        key.push_back(((copy >> b) & 1) != 0);
+      }
+    }
+  }
+  return key;
+}
+
+}  // namespace fl::core

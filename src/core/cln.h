@@ -1,0 +1,121 @@
+// Key-Configurable Logarithmic-based Network (CLN) — §3.1 of the paper.
+//
+// A CLN is a cascade of stages of 2x2 switch-boxes (SwB). Each SwB is two
+// 2:1 MUXes whose selects are key inputs; each network output optionally
+// passes through a key-configurable inverter (XOR with a key bit).
+//
+// Topologies:
+//  * kShuffleBlocking   — omega/shuffle network (Fig. 3): log2(N) stages of
+//                         perfect-shuffle wiring + adjacent SwBs;
+//                         N/2*log2(N) SwBs; blocking.
+//  * kBanyanNonBlocking — the LOG(N, M, P) family of Shyy & Lea that the
+//                         paper builds on: a butterfly (strides N/2 .. 1)
+//                         followed by M extra mirrored stages, vertically
+//                         cascaded P times with a key-selected output MUX
+//                         column. The paper's recommended configuration is
+//                         LOG(N, log2(N)-2, 1) — "almost non-blocking" at
+//                         ~2x the blocking cost (Fig. 4); LOG(64, 3, 6) is
+//                         the strictly non-blocking point (5x area).
+//
+// Each stage is described as a fixed pre-wiring permutation followed by a
+// column of SwBs on explicit position pairs; this uniform form drives both
+// netlist construction and key-to-permutation tracing.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fl::core {
+
+enum class ClnTopology : std::uint8_t {
+  kShuffleBlocking,
+  kBanyanNonBlocking,
+};
+
+struct ClnConfig {
+  int n = 8;  // inputs/outputs; power of two, >= 4
+  ClnTopology topology = ClnTopology::kBanyanNonBlocking;
+  // Extra cascaded stages M beyond the log2(N) butterfly (banyan topology
+  // only). -1 selects the paper's default M = log2(N) - 2; 0 is the plain
+  // blocking butterfly; larger M cycles through mirrored strides.
+  int extra_stages = -1;
+  // Vertical copies P (banyan topology only). P > 1 replicates the switch
+  // fabric and adds a key-selected P:1 MUX column on the outputs —
+  // LOG(N, M, P) in Shyy & Lea's notation.
+  int copies = 1;
+  // Two independent select keys per SwB (one per MUX). When false the two
+  // MUXes share one swap bit (permutation-only configurations).
+  bool independent_selects = true;
+  // Key-configurable inverter on every network output.
+  bool with_inverters = true;
+};
+
+struct ClnStage {
+  // cur'[p] = cur[pre_wiring[p]]; empty means identity.
+  std::vector<int> pre_wiring;
+  // SwB position pairs (a, b): SwB reads positions a,b and writes a,b.
+  std::vector<std::pair<int, int>> pairs;
+};
+
+int cln_num_stages(const ClnConfig& config);  // per vertical copy
+int cln_num_swbs(const ClnConfig& config);    // across all copies
+// Key-bit budget: SwB selects (all copies) + copy-select bits + inverters.
+int cln_num_keys(const ClnConfig& config);
+// ceil(log2(copies)); 0 when copies == 1.
+int cln_copy_select_bits(const ClnConfig& config);
+
+// Structural description of one built CLN, independent of key values.
+struct ClnInstance {
+  ClnConfig config;
+  std::vector<ClnStage> stages;  // one vertical copy (all copies identical)
+  std::vector<netlist::GateId> inputs;     // as passed to build
+  std::vector<netlist::GateId> outputs;    // after inverter layer
+  // Key order: [copy 0 SwB selects][copy 1 ...]...[copy selects][inverters].
+  std::vector<netlist::GateId> key_gates;
+  int num_select_keys = 0;    // SwB + copy-select bits (leading portion)
+  int num_swb_keys = 0;       // of which SwB select bits
+  int num_copy_keys = 0;      // of which copy-select bits
+  int num_inverter_keys = 0;  // trailing portion
+
+  int num_stages() const { return static_cast<int>(stages.size()); }
+  int num_swbs() const;  // across all copies
+
+  // For a routing-key assignment (first num_select_keys bits of `key`; any
+  // extra bits are ignored), returns the realized routing ignoring the
+  // inverter layer: result[j] = input index appearing at output j.
+  // Throws std::invalid_argument if the configuration does not route a
+  // permutation (a SwB in broadcast configuration, or colliding
+  // copy-mixed sources).
+  std::vector<int> trace_permutation(const std::vector<bool>& key) const;
+};
+
+class ClnBuilder {
+ public:
+  // Throws std::invalid_argument unless config.n is a power of two >= 4,
+  // extra_stages >= -1 and copies >= 1.
+  explicit ClnBuilder(ClnConfig config);
+
+  // Appends the CLN to `netlist`, fed by `inputs` (size must equal
+  // config.n). New key inputs are appended to the netlist.
+  ClnInstance build(netlist::Netlist& netlist,
+                    std::span<const netlist::GateId> inputs,
+                    const std::string& name_prefix = "cln") const;
+
+  // Uniformly random permutation-routing key assignment: matched SwB bits
+  // in every copy (no broadcast), one shared random copy choice. Size ==
+  // num_select_keys of the built instance.
+  std::vector<bool> random_routing_key(std::mt19937_64& rng) const;
+
+  const ClnConfig& config() const { return config_; }
+  const std::vector<ClnStage>& stages() const { return stages_; }
+
+ private:
+  ClnConfig config_;
+  std::vector<ClnStage> stages_;
+};
+
+}  // namespace fl::core

@@ -1,0 +1,281 @@
+#include "core/insertion.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "core/plr.h"
+#include "netlist/structure.h"
+
+namespace fl::core {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+namespace {
+
+bool negatable(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+    case GateType::kBuf:
+    case GateType::kNot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+GateType negate_type(GateType type) {
+  switch (type) {
+    case GateType::kAnd: return GateType::kNand;
+    case GateType::kNand: return GateType::kAnd;
+    case GateType::kOr: return GateType::kNor;
+    case GateType::kNor: return GateType::kOr;
+    case GateType::kXor: return GateType::kXnor;
+    case GateType::kXnor: return GateType::kXor;
+    case GateType::kBuf: return GateType::kNot;
+    case GateType::kNot: return GateType::kBuf;
+    default: throw std::logic_error("gate type is not negatable");
+  }
+}
+
+// Wires eligible to feed a CLN: logic gates or primary inputs with at least
+// one *live* reader (a reader feeding some primary output — otherwise the
+// rerouted/negated wire would be functionally invisible). Key inputs,
+// constants, and anything downstream of a key (i.e. inside a previously
+// inserted PLR) are excluded — PLRs lock the original logic, not each
+// other.
+std::vector<GateId> candidate_wires(const Netlist& netlist) {
+  const auto fanout = netlist.fanout_map();
+  const std::vector<bool> live = netlist::live_gates(netlist);
+  std::vector<bool> is_output(netlist.num_gates(), false);
+  for (const netlist::OutputPort& o : netlist.outputs()) is_output[o.gate] = true;
+  std::vector<bool> key_tainted(netlist.num_gates(), false);
+  {
+    std::vector<GateId> stack(netlist.keys().begin(), netlist.keys().end());
+    for (const GateId k : stack) key_tainted[k] = true;
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      for (const GateId out : fanout[g]) {
+        if (!key_tainted[out]) {
+          key_tainted[out] = true;
+          stack.push_back(out);
+        }
+      }
+    }
+  }
+  std::vector<GateId> candidates;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const GateType t = netlist.gate(g).type;
+    if (t == GateType::kKey || t == GateType::kConst0 ||
+        t == GateType::kConst1 || key_tainted[g]) {
+      continue;
+    }
+    bool has_live_reader = is_output[g];
+    for (const GateId r : fanout[g]) {
+      if (live[r]) {
+        has_live_reader = true;
+        break;
+      }
+    }
+    if (!has_live_reader) continue;
+    candidates.push_back(g);
+  }
+  return candidates;
+}
+
+std::vector<GateId> select_wires(const Netlist& netlist, int n,
+                                 CycleMode mode, std::mt19937_64& rng) {
+  std::vector<GateId> candidates = candidate_wires(netlist);
+  if (static_cast<int>(candidates.size()) < n) {
+    throw std::invalid_argument("not enough candidate wires for PLR");
+  }
+  std::shuffle(candidates.begin(), candidates.end(), rng);
+  if (mode == CycleMode::kAllow) {
+    candidates.resize(n);
+    return candidates;
+  }
+  netlist::Reachability reach(netlist);
+  std::vector<GateId> chosen;
+  if (mode == CycleMode::kForce) {
+    // Find a comparable pair (a reaches b) so the rewiring closes a cycle.
+    for (std::size_t i = 0; i < candidates.size() && chosen.empty(); ++i) {
+      for (std::size_t j = 0; j < candidates.size(); ++j) {
+        if (i == j) continue;
+        if (reach.reaches(candidates[i], candidates[j])) {
+          chosen.push_back(candidates[i]);
+          chosen.push_back(candidates[j]);
+          break;
+        }
+      }
+    }
+    if (chosen.empty()) {
+      throw std::invalid_argument("no comparable wire pair; cannot force cycle");
+    }
+    for (const GateId c : candidates) {
+      if (static_cast<int>(chosen.size()) == n) break;
+      if (std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
+        chosen.push_back(c);
+      }
+    }
+  } else {  // kAvoid: antichain in the reachability order
+    // Greedy with random restarts; narrow circuits may need several tries.
+    constexpr int kRestarts = 32;
+    for (int attempt = 0; attempt < kRestarts; ++attempt) {
+      chosen.clear();
+      for (const GateId c : candidates) {
+        if (static_cast<int>(chosen.size()) == n) break;
+        bool comparable = false;
+        for (const GateId s : chosen) {
+          if (reach.reaches(s, c) || reach.reaches(c, s)) {
+            comparable = true;
+            break;
+          }
+        }
+        if (!comparable) chosen.push_back(c);
+      }
+      if (static_cast<int>(chosen.size()) == n) break;
+      std::shuffle(candidates.begin(), candidates.end(), rng);
+    }
+  }
+  if (static_cast<int>(chosen.size()) < n) {
+    throw std::invalid_argument(
+        "could not select enough wires under the cycle-mode constraint");
+  }
+  chosen.resize(n);
+  return chosen;
+}
+
+struct Reader {
+  GateId gate;       // kNullGate for output ports
+  std::size_t slot;  // fanin pin, or output-port index
+};
+
+}  // namespace
+
+PlrInsertion insert_plr(Netlist& netlist, const PlrConfig& config,
+                        std::mt19937_64& rng, const std::string& name_prefix) {
+  if (config.negate_probability > 0.0 && !config.cln.with_inverters) {
+    throw std::invalid_argument(
+        "leading-gate negation requires the CLN inverter layer");
+  }
+  const int n = config.cln.n;
+  const std::vector<GateId> wires =
+      select_wires(netlist, n, config.cycle_mode, rng);
+
+  // Record every reader of each selected wire before any edit.
+  std::vector<std::vector<Reader>> readers(n);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const netlist::Gate& gate = netlist.gate(g);
+    for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+      const auto it = std::find(wires.begin(), wires.end(), gate.fanin[pin]);
+      if (it != wires.end()) {
+        readers[it - wires.begin()].push_back(Reader{g, pin});
+      }
+    }
+  }
+  for (std::size_t oi = 0; oi < netlist.num_outputs(); ++oi) {
+    const auto it =
+        std::find(wires.begin(), wires.end(), netlist.outputs()[oi].gate);
+    if (it != wires.end()) {
+      readers[it - wires.begin()].push_back(Reader{netlist::kNullGate, oi});
+    }
+  }
+
+  PlrInsertion result;
+  result.selected_wires.assign(wires.begin(), wires.end());
+
+  // Negate a random subset of the leading (driver) gates; the CLN's inverter
+  // layer will undo the negation under the correct key.
+  std::vector<bool> negated(n, false);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    if (negatable(netlist.gate(wires[i]).type) &&
+        coin(rng) < config.negate_probability) {
+      netlist.retype(wires[i], negate_type(netlist.gate(wires[i]).type));
+      negated[i] = true;
+      ++result.num_negated_drivers;
+    }
+  }
+
+  // Build the CLN fed by the selected wires.
+  const ClnBuilder builder(config.cln);
+  const ClnInstance cln = builder.build(netlist, wires, name_prefix);
+
+  // Choose the correct routing key, derive the realized permutation, and set
+  // the inverter bits to absorb the driver negations.
+  const std::vector<bool> select_key = builder.random_routing_key(rng);
+  const std::vector<int> perm = cln.trace_permutation(select_key);
+  std::vector<bool> inverter_key;
+  if (config.cln.with_inverters) {
+    inverter_key.resize(n);
+    for (int j = 0; j < n; ++j) inverter_key[j] = negated[perm[j]];
+  }
+
+  // Rewire: readers of wire perm[j] now read CLN output j.
+  for (int j = 0; j < n; ++j) {
+    const int i = perm[j];
+    for (const Reader& r : readers[i]) {
+      if (r.gate == netlist::kNullGate) {
+        netlist.set_output_gate(r.slot, cln.outputs[j]);
+      } else {
+        // Replace only this pin.
+        std::vector<GateId> fanin = netlist.gate(r.gate).fanin;
+        fanin[r.slot] = cln.outputs[j];
+        netlist.set_fanin(r.gate, std::move(fanin));
+      }
+    }
+  }
+
+  result.added_key_values = select_key;
+  result.added_key_values.insert(result.added_key_values.end(),
+                                 inverter_key.begin(), inverter_key.end());
+
+  // LUT-twist the consuming gates (paper §3.2): every gate reading a CLN
+  // output becomes a key-programmable LUT.
+  std::map<GateId, GateId> replaced;  // old gate -> LUT tree root
+  if (config.twist_luts) {
+    std::vector<GateId> consumers;
+    for (int i = 0; i < n; ++i) {
+      for (const Reader& r : readers[i]) {
+        if (r.gate != netlist::kNullGate &&
+            std::find(consumers.begin(), consumers.end(), r.gate) ==
+                consumers.end()) {
+          consumers.push_back(r.gate);
+        }
+      }
+    }
+    for (const GateId g : consumers) {
+      if (!lut_replaceable(netlist, g)) continue;
+      if (replaced.count(g) != 0) continue;
+      const KeyLutResult lut = replace_with_key_lut(
+          netlist, g, name_prefix + "_lut" + std::to_string(result.num_luts));
+      replaced[g] = lut.root;
+      result.added_key_values.insert(result.added_key_values.end(),
+                                     lut.correct_key.begin(),
+                                     lut.correct_key.end());
+      ++result.num_luts;
+    }
+  }
+
+  // Removal-attack hint (drivers may have been LUT-replaced in cyclic mode).
+  result.hint.block_inputs.reserve(n);
+  for (const GateId w : wires) {
+    const auto it = replaced.find(w);
+    result.hint.block_inputs.push_back(it == replaced.end() ? w : it->second);
+  }
+  result.hint.block_outputs = cln.outputs;
+  result.hint.permutation = perm;
+  result.hint.inverted.assign(n, false);
+  if (config.cln.with_inverters) result.hint.inverted = inverter_key;
+  return result;
+}
+
+}  // namespace fl::core

@@ -1,0 +1,44 @@
+// PLR insertion (§3.3): grabs a group of wires, routes them through a CLN,
+// negates a subset of the driving ("leading") gates (absorbed by the CLN's
+// key-configurable inverters), and replaces the consuming ("proceeding")
+// gates with key-programmable LUTs.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "core/cln.h"
+#include "core/locked_circuit.h"
+
+namespace fl::core {
+
+enum class CycleMode : std::uint8_t {
+  kAvoid,  // antichain wire selection: locked netlist stays acyclic (Fig 6b)
+  kAllow,  // unconstrained random selection (may create cycles)
+  kForce,  // deliberately pick wires on a common path (Fig 6c)
+};
+
+struct PlrConfig {
+  ClnConfig cln;
+  CycleMode cycle_mode = CycleMode::kAvoid;
+  bool twist_luts = true;             // LUT-ify the consuming gates
+  double negate_probability = 0.5;    // leading-gate negation rate
+};
+
+struct PlrInsertion {
+  RoutingBlockHint hint;
+  // Correct values for the key inputs appended to the netlist by this
+  // insertion, in netlist key order (CLN selects, inverters, LUT bits).
+  std::vector<bool> added_key_values;
+  int num_luts = 0;
+  int num_negated_drivers = 0;
+  std::vector<int> selected_wires;  // original GateIds, input-position order
+};
+
+// Inserts one PLR. Throws std::invalid_argument if the netlist has fewer
+// candidate wires than config.cln.n, or if negation is requested with the
+// inverter layer disabled.
+PlrInsertion insert_plr(netlist::Netlist& netlist, const PlrConfig& config,
+                        std::mt19937_64& rng, const std::string& name_prefix);
+
+}  // namespace fl::core

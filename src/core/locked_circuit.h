@@ -1,0 +1,36 @@
+// Common result type for every locking scheme in this library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fl::core {
+
+// Structural hint describing one inserted routing block, consumed by the
+// removal attack (which models an attacker who has already identified the
+// block and recovered its routing — the strongest removal adversary).
+struct RoutingBlockHint {
+  // Wire that fed network input position i (the *driver* side, possibly a
+  // negated gate).
+  std::vector<netlist::GateId> block_inputs;
+  // Network output gate at position j (post-inverter-layer).
+  std::vector<netlist::GateId> block_outputs;
+  // permutation[j] = input position routed to output j under the correct key.
+  std::vector<int> permutation;
+  // inverted[j]: output j is negated relative to its source wire's *current*
+  // (possibly negated) driver under the correct key.
+  std::vector<bool> inverted;
+};
+
+struct LockedCircuit {
+  netlist::Netlist netlist;        // carries the key inputs
+  std::vector<bool> correct_key;   // aligned with netlist.keys()
+  std::string scheme;              // e.g. "full-lock", "rll", "sarlock"
+  std::vector<RoutingBlockHint> routing_blocks;  // empty for logic-only locks
+
+  std::size_t key_bits() const { return correct_key.size(); }
+};
+
+}  // namespace fl::core

@@ -1,0 +1,77 @@
+#include "core/plr.h"
+
+#include <stdexcept>
+
+#include "netlist/simulator.h"
+
+namespace fl::core {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::Word;
+
+bool lut_replaceable(const Netlist& netlist, GateId gate) {
+  const netlist::Gate& g = netlist.gate(gate);
+  if (netlist::is_source(g.type)) return false;
+  return !g.fanin.empty() &&
+         g.fanin.size() <= static_cast<std::size_t>(kMaxLutInputs);
+}
+
+namespace {
+
+// Truth table of a single gate: bit `idx` of the result = gate output when
+// fanin i carries bit i of idx.
+std::vector<bool> gate_truth_table(const netlist::Gate& gate) {
+  const std::size_t k = gate.fanin.size();
+  const std::size_t rows = std::size_t{1} << k;
+  std::vector<bool> table(rows);
+  std::vector<Word> fan(k);
+  for (std::size_t idx = 0; idx < rows; ++idx) {
+    for (std::size_t i = 0; i < k; ++i) {
+      fan[i] = ((idx >> i) & 1) != 0 ? ~Word{0} : Word{0};
+    }
+    table[idx] = (netlist::eval_gate(gate.type, fan) & 1) != 0;
+  }
+  return table;
+}
+
+// tree over key leaves [lo, hi) selecting on fanin bit `depth` (MSB-first).
+GateId build_mux_tree(Netlist& netlist, const std::vector<GateId>& leaves,
+                      const std::vector<GateId>& selects, std::size_t lo,
+                      std::size_t hi, int depth) {
+  if (depth < 0) return leaves[lo];
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const GateId low = build_mux_tree(netlist, leaves, selects, lo, mid, depth - 1);
+  const GateId high =
+      build_mux_tree(netlist, leaves, selects, mid, hi, depth - 1);
+  // Truth-table index bit i == fanin i, so level `depth` selects on
+  // selects[depth]: 0 -> lower half, 1 -> upper half.
+  return netlist.add_gate(GateType::kMux, {selects[depth], low, high});
+}
+
+}  // namespace
+
+KeyLutResult replace_with_key_lut(Netlist& netlist, GateId gate,
+                                  const std::string& name_prefix) {
+  if (!lut_replaceable(netlist, gate)) {
+    throw std::invalid_argument("gate is not LUT-replaceable");
+  }
+  const netlist::Gate snapshot = netlist.gate(gate);  // copy before edits
+  const int k = static_cast<int>(snapshot.fanin.size());
+  const std::size_t rows = std::size_t{1} << k;
+
+  KeyLutResult result;
+  result.correct_key = gate_truth_table(snapshot);
+  result.key_gates.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    result.key_gates.push_back(
+        netlist.add_key("keyinput_" + name_prefix + "_t" + std::to_string(r)));
+  }
+  result.root = build_mux_tree(netlist, result.key_gates, snapshot.fanin, 0,
+                               rows, k - 1);
+  netlist.replace_net(gate, result.root);
+  return result;
+}
+
+}  // namespace fl::core

@@ -1,0 +1,36 @@
+// Key-programmable LUTs (the "L" of PLR) — §3.2 of the paper.
+//
+// A gate is replaced by a MUX tree selecting among 2^k key bits, with the
+// gate's original fanins as the tree selects: exactly the STT-LUT structure
+// the paper describes ("each LUT will be translated to MUXes", adding up to
+// k levels to the DPLL recursion below the CLN).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fl::core {
+
+inline constexpr int kMaxLutInputs = 5;  // paper: max ISCAS/MCNC fan-in is 5
+
+struct KeyLutResult {
+  netlist::GateId root = netlist::kNullGate;   // output of the MUX tree
+  std::vector<netlist::GateId> key_gates;      // 2^k bits, truth-table order
+  std::vector<bool> correct_key;               // truth table of the old gate
+};
+
+// True if `gate` can be LUT-ified: a logic gate with 1..kMaxLutInputs fanins.
+bool lut_replaceable(const netlist::Netlist& netlist, netlist::GateId gate);
+
+// Builds the MUX tree for `gate`'s function and redirects every reader of
+// `gate` (including output ports) to the tree root. The original gate is
+// left in place but dead (strip with netlist::compact-style cleanup by the
+// caller if desired). Truth-table index: bit i = value of fanin i.
+// Throws std::invalid_argument if !lut_replaceable.
+KeyLutResult replace_with_key_lut(netlist::Netlist& netlist,
+                                  netlist::GateId gate,
+                                  const std::string& name_prefix);
+
+}  // namespace fl::core

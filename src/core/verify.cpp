@@ -1,0 +1,117 @@
+#include "core/verify.h"
+
+#include <bit>
+
+#include "cnf/miter.h"
+#include "netlist/simulator.h"
+
+namespace fl::core {
+
+using netlist::Netlist;
+using netlist::Word;
+
+namespace {
+
+std::vector<Word> random_words(std::size_t n, std::mt19937_64& rng) {
+  std::vector<Word> w(n);
+  for (Word& x : w) x = rng();
+  return w;
+}
+
+std::vector<Word> key_words(const std::vector<bool>& key) {
+  std::vector<Word> w(key.size());
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    w[i] = key[i] ? ~Word{0} : Word{0};
+  }
+  return w;
+}
+
+// Returns (#differing bits, #total bits) for one 64-pattern round.
+std::pair<std::uint64_t, std::uint64_t> diff_round(
+    const netlist::Simulator& gold, const Netlist& locked, bool locked_cyclic,
+    const netlist::Simulator* locked_sim, const std::vector<bool>& key,
+    std::mt19937_64& rng) {
+  const std::vector<Word> inputs = random_words(locked.num_inputs(), rng);
+  const std::vector<Word> kw = key_words(key);
+  const std::vector<Word> expected = gold.run(inputs, {});
+  std::vector<Word> got;
+  Word valid_mask = ~Word{0};
+  if (locked_cyclic) {
+    const netlist::CyclicSimResult r =
+        netlist::simulate_cyclic(locked, inputs, kw);
+    got = r.outputs;
+    valid_mask = r.converged;
+  } else {
+    got = locked_sim->run(inputs, kw);
+  }
+  std::uint64_t diff = 0;
+  for (std::size_t o = 0; o < expected.size(); ++o) {
+    // Non-converged patterns count as wrong on every output.
+    diff += std::popcount((expected[o] ^ got[o]) | ~valid_mask);
+  }
+  return {diff, expected.size() * 64};
+}
+
+}  // namespace
+
+bool verify_unlocks(const Netlist& original, const Netlist& locked,
+                    const std::vector<bool>& key, int rounds, std::uint64_t seed,
+                    bool also_sat_check) {
+  if (original.num_inputs() != locked.num_inputs() ||
+      original.num_outputs() != locked.num_outputs()) {
+    return false;
+  }
+  std::mt19937_64 rng(seed);
+  const netlist::Simulator gold(original);
+  const bool cyclic = locked.is_cyclic();
+  std::optional<netlist::Simulator> locked_sim;
+  if (!cyclic) locked_sim.emplace(locked);
+  for (int r = 0; r < rounds; ++r) {
+    const auto [diff, total] = diff_round(
+        gold, locked, cyclic, cyclic ? nullptr : &*locked_sim, key, rng);
+    if (diff != 0) return false;
+  }
+  if (also_sat_check && !cyclic) {
+    return cnf::check_equivalence(original, {}, locked, key);
+  }
+  return true;
+}
+
+double error_rate(const Netlist& original, const Netlist& locked,
+                  const std::vector<bool>& key, int rounds, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const netlist::Simulator gold(original);
+  const bool cyclic = locked.is_cyclic();
+  std::optional<netlist::Simulator> locked_sim;
+  if (!cyclic) locked_sim.emplace(locked);
+  std::uint64_t diff = 0, total = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const auto [d, t] = diff_round(gold, locked, cyclic,
+                                   cyclic ? nullptr : &*locked_sim, key, rng);
+    diff += d;
+    total += t;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(diff) / total;
+}
+
+CorruptionStats output_corruption(const Netlist& original,
+                                  const LockedCircuit& locked, int num_keys,
+                                  int rounds_per_key, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  CorruptionStats stats;
+  for (int k = 0; k < num_keys; ++k) {
+    std::vector<bool> key(locked.correct_key.size());
+    for (std::size_t i = 0; i < key.size(); ++i) key[i] = (rng() & 1) != 0;
+    if (key == locked.correct_key) continue;  // want wrong keys only
+    const double e =
+        error_rate(original, locked.netlist, key, rounds_per_key, rng());
+    stats.mean_error_rate += e;
+    stats.min_error_rate = std::min(stats.min_error_rate, e);
+    stats.max_error_rate = std::max(stats.max_error_rate, e);
+    ++stats.keys_sampled;
+  }
+  if (stats.keys_sampled > 0) stats.mean_error_rate /= stats.keys_sampled;
+  return stats;
+}
+
+}  // namespace fl::core

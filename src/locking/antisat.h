@@ -1,0 +1,24 @@
+// Anti-SAT (Xie & Srivastava, CHES'16).
+//
+// Adds the block Y = g(X xor K1) AND NOT g(X xor K2) with g = AND-tree,
+// XORed into one output. For K1 == K2 the block is constant 0 (correct);
+// for K1 != K2 it fires on a handful of inputs, forcing ~2^k SAT
+// iterations. The AND-tree output is heavily skewed toward 0 — the signal
+// the SPS attack locates.
+#pragma once
+
+#include <cstdint>
+
+#include "core/locked_circuit.h"
+
+namespace fl::lock {
+
+struct AntiSatConfig {
+  int block_inputs = 8;  // clamped to the circuit's input count
+  std::uint64_t seed = 1;
+};
+
+core::LockedCircuit antisat_lock(const netlist::Netlist& original,
+                                 const AntiSatConfig& config);
+
+}  // namespace fl::lock

@@ -1,0 +1,28 @@
+// Cross-Lock (Shamsi et al., GLSVLSI'18): crossbar interconnect locking —
+// the closest prior work to Full-Lock (§1, §4.2).
+//
+// An N x M crossbar is inserted over M selected wires (plus N-M decoy
+// sources): each destination picks one of the N sources through a
+// key-controlled MUX tree (ceil(log2 N) key bits per destination). Unlike
+// Full-Lock there is no inverter layer and no LUT twisting, so a removal
+// adversary who recovers the routing recovers the circuit.
+#pragma once
+
+#include <cstdint>
+
+#include "core/locked_circuit.h"
+
+namespace fl::lock {
+
+struct CrossLockConfig {
+  int num_sources = 32;       // N (crossbar inputs)
+  int num_destinations = 36;  // M (crossbar outputs; M wires are rerouted)
+  std::uint64_t seed = 1;
+};
+
+// Throws std::invalid_argument if the circuit cannot supply enough
+// antichain wires / decoy sources.
+core::LockedCircuit crosslock_lock(const netlist::Netlist& original,
+                                   const CrossLockConfig& config);
+
+}  // namespace fl::lock

@@ -1,0 +1,49 @@
+#include "locking/lutlock.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "core/plr.h"
+#include "netlist/structure.h"
+
+namespace fl::lock {
+
+using netlist::GateId;
+
+core::LockedCircuit lutlock_lock(const netlist::Netlist& original,
+                                 const LutLockConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  core::LockedCircuit locked;
+  locked.scheme = "lut-lock";
+  locked.netlist = original;
+  locked.netlist.set_name(original.name() + "_lutlock");
+  netlist::Netlist& net = locked.netlist;
+
+  std::vector<GateId> candidates;
+  for (GateId g = 0; g < net.num_gates(); ++g) {
+    if (core::lut_replaceable(net, g)) candidates.push_back(g);
+  }
+  if (static_cast<int>(candidates.size()) < config.num_luts) {
+    throw std::invalid_argument("lutlock: not enough replaceable gates");
+  }
+  std::shuffle(candidates.begin(), candidates.end(), rng);
+  if (config.prefer_small) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&net](GateId a, GateId b) {
+                       return net.gate(a).fanin.size() <
+                              net.gate(b).fanin.size();
+                     });
+  }
+
+  for (int i = 0; i < config.num_luts; ++i) {
+    const core::KeyLutResult lut = core::replace_with_key_lut(
+        net, candidates[i], "lutlock" + std::to_string(i));
+    locked.correct_key.insert(locked.correct_key.end(),
+                              lut.correct_key.begin(), lut.correct_key.end());
+  }
+  locked.netlist = netlist::compact(locked.netlist);
+  return locked;
+}
+
+}  // namespace fl::lock

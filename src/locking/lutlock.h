@@ -1,0 +1,24 @@
+// LUT-Lock (Kamali et al., ISVLSI'18): replaces selected gates with
+// key-programmable LUTs (MUX trees over key bits). The authors' precursor
+// to Full-Lock — MUX-based CNF, but without back-to-back cascading, so the
+// DPLL tree stays shallow (Fig. 7 discussion).
+#pragma once
+
+#include <cstdint>
+
+#include "core/locked_circuit.h"
+
+namespace fl::lock {
+
+struct LutLockConfig {
+  int num_luts = 8;
+  std::uint64_t seed = 1;
+  // Prefer gates with fewer fanins first (cheaper hardware), mimicking the
+  // paper's output-away selection pressure toward small cones.
+  bool prefer_small = true;
+};
+
+core::LockedCircuit lutlock_lock(const netlist::Netlist& original,
+                                 const LutLockConfig& config);
+
+}  // namespace fl::lock

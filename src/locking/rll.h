@@ -1,0 +1,21 @@
+// Random Logic Locking (RLL / EPIC, Roy et al.): XOR/XNOR key gates on
+// random wires. The primitive scheme the SAT attack breaks in seconds —
+// the Fig. 7 baseline with the lowest clauses/variables ratio.
+#pragma once
+
+#include <cstdint>
+
+#include "core/locked_circuit.h"
+
+namespace fl::lock {
+
+struct RllConfig {
+  int num_keys = 32;
+  std::uint64_t seed = 1;
+};
+
+// Throws std::invalid_argument if the circuit has fewer wires than keys.
+core::LockedCircuit rll_lock(const netlist::Netlist& original,
+                             const RllConfig& config);
+
+}  // namespace fl::lock

@@ -1,0 +1,24 @@
+// SARLock (Yasin et al., HOST'16): point-function SAT resistance.
+//
+// Adds a comparator block that flips one output iff the (first k bits of
+// the) input equals the key AND the key differs from the correct key — so
+// every wrong key errs on exactly one input pattern, forcing the SAT attack
+// through ~2^k DIPs while output corruption stays minimal (the weakness
+// AppSAT exploits).
+#pragma once
+
+#include <cstdint>
+
+#include "core/locked_circuit.h"
+
+namespace fl::lock {
+
+struct SarLockConfig {
+  int num_keys = 16;  // clamped to the circuit's input count
+  std::uint64_t seed = 1;
+};
+
+core::LockedCircuit sarlock_lock(const netlist::Netlist& original,
+                                 const SarLockConfig& config);
+
+}  // namespace fl::lock

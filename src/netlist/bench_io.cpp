@@ -1,0 +1,256 @@
+#include "netlist/bench_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace fl::netlist {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+bool is_key_name(std::string_view name) {
+  return name.starts_with("keyinput") || name.starts_with("KEYINPUT");
+}
+
+GateType parse_gate_type(const std::string& token, int line_no) {
+  const std::string t = upper(token);
+  if (t == "AND") return GateType::kAnd;
+  if (t == "NAND") return GateType::kNand;
+  if (t == "OR") return GateType::kOr;
+  if (t == "NOR") return GateType::kNor;
+  if (t == "XOR") return GateType::kXor;
+  if (t == "XNOR") return GateType::kXnor;
+  if (t == "NOT" || t == "INV") return GateType::kNot;
+  if (t == "BUF" || t == "BUFF") return GateType::kBuf;
+  if (t == "MUX") return GateType::kMux;
+  if (t == "CONST0") return GateType::kConst0;
+  if (t == "CONST1") return GateType::kConst1;
+  throw std::runtime_error("bench line " + std::to_string(line_no) +
+                           ": unknown gate type '" + token + "'");
+}
+
+struct PendingGate {
+  std::string name;
+  GateType type;
+  std::vector<std::string> fanin_names;
+  int line_no;
+};
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string name) {
+  Netlist netlist(std::move(name));
+  std::map<std::string, GateId> by_name;
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> pending;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string text = trim(line);
+    if (text.empty()) continue;
+
+    const std::size_t lpar = text.find('(');
+    const std::size_t eq = text.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const std::size_t rpar = text.rfind(')');
+      if (lpar == std::string::npos || rpar == std::string::npos ||
+          rpar < lpar) {
+        throw std::runtime_error("bench line " + std::to_string(line_no) +
+                                 ": malformed declaration");
+      }
+      const std::string kind = upper(trim(text.substr(0, lpar)));
+      const std::string arg = trim(text.substr(lpar + 1, rpar - lpar - 1));
+      if (kind == "INPUT") {
+        const GateId id = is_key_name(arg) ? netlist.add_key(arg)
+                                           : netlist.add_input(arg);
+        by_name[arg] = id;
+      } else if (kind == "OUTPUT") {
+        output_names.push_back(arg);
+      } else {
+        throw std::runtime_error("bench line " + std::to_string(line_no) +
+                                 ": expected INPUT/OUTPUT, got '" + kind + "'");
+      }
+      continue;
+    }
+
+    // name = GATE(a, b, ...)
+    const std::string lhs = trim(text.substr(0, eq));
+    const std::string rhs = trim(text.substr(eq + 1));
+    const std::size_t glpar = rhs.find('(');
+    const std::size_t grpar = rhs.rfind(')');
+    if (glpar == std::string::npos || grpar == std::string::npos ||
+        grpar < glpar) {
+      throw std::runtime_error("bench line " + std::to_string(line_no) +
+                               ": malformed gate definition");
+    }
+    PendingGate pg;
+    pg.name = lhs;
+    pg.type = parse_gate_type(trim(rhs.substr(0, glpar)), line_no);
+    pg.line_no = line_no;
+    std::stringstream args(rhs.substr(glpar + 1, grpar - glpar - 1));
+    std::string tok;
+    while (std::getline(args, tok, ',')) {
+      const std::string fanin = trim(tok);
+      if (!fanin.empty()) pg.fanin_names.push_back(fanin);
+    }
+    pending.push_back(std::move(pg));
+  }
+
+  // Gates can be declared in any order; resolve names iteratively so we keep
+  // a (rough) definition order in the netlist. Cyclic definitions are allowed
+  // (Full-Lock can emit them), so any still-unresolved gates get placeholder
+  // ids in a second pass.
+  // First pass: create all gates with placeholder fanin, then patch.
+  for (const PendingGate& pg : pending) {
+    if (by_name.count(pg.name) != 0) {
+      throw std::runtime_error("bench line " + std::to_string(pg.line_no) +
+                               ": duplicate definition of '" + pg.name + "'");
+    }
+    GateId id;
+    if (pg.type == GateType::kConst0 || pg.type == GateType::kConst1) {
+      id = netlist.add_const(pg.type == GateType::kConst1);
+    } else {
+      // Temporary self-fanin placeholders with the right arity; patched below.
+      const std::size_t arity =
+          pg.fanin_names.empty() ? 1 : pg.fanin_names.size();
+      // add_gate validates arity; build a legal placeholder vector.
+      std::vector<GateId> placeholder(arity, 0);
+      if (netlist.num_gates() == 0) {
+        // Ensure some gate exists to point placeholders at.
+        netlist.add_const(false);
+      }
+      id = netlist.add_gate(pg.type, std::move(placeholder), pg.name);
+    }
+    by_name[pg.name] = id;
+  }
+  for (const PendingGate& pg : pending) {
+    if (pg.type == GateType::kConst0 || pg.type == GateType::kConst1) continue;
+    std::vector<GateId> fanin;
+    fanin.reserve(pg.fanin_names.size());
+    for (const std::string& fn : pg.fanin_names) {
+      const auto it = by_name.find(fn);
+      if (it == by_name.end()) {
+        throw std::runtime_error("bench line " + std::to_string(pg.line_no) +
+                                 ": undefined signal '" + fn + "'");
+      }
+      fanin.push_back(it->second);
+    }
+    netlist.set_fanin(by_name.at(pg.name), std::move(fanin));
+  }
+
+  for (const std::string& on : output_names) {
+    const auto it = by_name.find(on);
+    if (it == by_name.end()) {
+      throw std::runtime_error("bench: OUTPUT(" + on + ") never defined");
+    }
+    netlist.mark_output(it->second, on);
+  }
+  netlist.validate();
+  return netlist;
+}
+
+Netlist read_bench_string(const std::string& text, std::string name) {
+  std::istringstream in(text);
+  return read_bench(in, std::move(name));
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name.erase(0, slash + 1);
+  return read_bench(in, std::move(name));
+}
+
+namespace {
+
+// Every gate needs a unique printable name; auto-name anonymous nets.
+std::vector<std::string> printable_names(const Netlist& netlist) {
+  std::vector<std::string> names(netlist.num_gates());
+  std::map<std::string, int> used;
+  for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+    const std::string& n = netlist.gate(static_cast<GateId>(g)).name;
+    if (!n.empty() && used.emplace(n, 1).second) {
+      names[g] = n;
+    }
+  }
+  int counter = 0;
+  for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+    if (!names[g].empty()) continue;
+    std::string candidate;
+    do {
+      candidate = "n" + std::to_string(counter++);
+    } while (used.count(candidate) != 0);
+    used.emplace(candidate, 1);
+    names[g] = candidate;
+  }
+  return names;
+}
+
+}  // namespace
+
+void write_bench(const Netlist& netlist, std::ostream& out) {
+  const auto names = printable_names(netlist);
+  out << "# " << netlist.name() << " (" << netlist.num_inputs() << " inputs, "
+      << netlist.num_keys() << " keys, " << netlist.num_outputs()
+      << " outputs, " << netlist.num_logic_gates() << " gates)\n";
+  for (const GateId g : netlist.inputs()) out << "INPUT(" << names[g] << ")\n";
+  for (const GateId g : netlist.keys()) out << "INPUT(" << names[g] << ")\n";
+  for (const OutputPort& o : netlist.outputs()) {
+    out << "OUTPUT(" << names[o.gate] << ")\n";
+  }
+  for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+    const Gate& gate = netlist.gate(static_cast<GateId>(g));
+    if (gate.type == GateType::kInput || gate.type == GateType::kKey) continue;
+    out << names[g] << " = ";
+    switch (gate.type) {
+      case GateType::kConst0: out << "CONST0()"; break;
+      case GateType::kConst1: out << "CONST1()"; break;
+      default: {
+        out << to_string(gate.type) << "(";
+        for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+          if (i != 0) out << ", ";
+          out << names[gate.fanin[i]];
+        }
+        out << ")";
+      }
+    }
+    out << "\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& netlist) {
+  std::ostringstream out;
+  write_bench(netlist, out);
+  return out.str();
+}
+
+void write_bench_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write bench file: " + path);
+  write_bench(netlist, out);
+}
+
+}  // namespace fl::netlist

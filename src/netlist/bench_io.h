@@ -1,0 +1,29 @@
+// ISCAS-85 ".bench" reader/writer.
+//
+// Supported grammar (comments start with '#'):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(a, b, ...)     GATE in {AND,NAND,OR,NOR,XOR,XNOR,NOT,BUF,
+//                                       BUFF,MUX,CONST0,CONST1}
+//
+// Logic-locking convention: inputs whose name starts with "keyinput" are
+// parsed as key inputs (and written back the same way).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fl::netlist {
+
+// Throws std::runtime_error with a line-numbered message on malformed input.
+Netlist read_bench(std::istream& in, std::string name = "bench");
+Netlist read_bench_string(const std::string& text, std::string name = "bench");
+Netlist read_bench_file(const std::string& path);
+
+void write_bench(const Netlist& netlist, std::ostream& out);
+std::string write_bench_string(const Netlist& netlist);
+void write_bench_file(const Netlist& netlist, const std::string& path);
+
+}  // namespace fl::netlist

@@ -1,0 +1,67 @@
+// Gate model for combinational netlists.
+//
+// A netlist is a flat array of single-output gates; the output net of a gate
+// is identified by the gate's id, so "net" and "gate" are interchangeable.
+// Primary inputs and key inputs are modelled as source gates with no fanin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fl::netlist {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNullGate = 0xFFFFFFFFu;
+
+enum class GateType : std::uint8_t {
+  kConst0,  // constant 0, no fanin
+  kConst1,  // constant 1, no fanin
+  kInput,   // primary input, no fanin
+  kKey,     // key input (locking), no fanin
+  kBuf,     // 1 fanin
+  kNot,     // 1 fanin
+  kAnd,     // n-ary, n >= 2
+  kNand,    // n-ary, n >= 2
+  kOr,      // n-ary, n >= 2
+  kNor,     // n-ary, n >= 2
+  kXor,     // n-ary, n >= 2 (odd parity)
+  kXnor,    // n-ary, n >= 2 (even parity)
+  kMux,     // exactly 3 fanins: {sel, a, b}; out = sel ? b : a
+};
+
+// Human-readable gate-type name ("AND", "MUX", ...). Stable, used by .bench IO.
+std::string_view to_string(GateType type);
+
+// True for source gates (no fanin allowed): consts, inputs, keys.
+constexpr bool is_source(GateType type) {
+  return type == GateType::kConst0 || type == GateType::kConst1 ||
+         type == GateType::kInput || type == GateType::kKey;
+}
+
+// True for gate types whose fanin count is fixed.
+constexpr int fixed_arity(GateType type) {
+  switch (type) {
+    case GateType::kConst0:
+    case GateType::kConst1:
+    case GateType::kInput:
+    case GateType::kKey:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1;
+    case GateType::kMux:
+      return 3;
+    default:
+      return -1;  // n-ary
+  }
+}
+
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::vector<GateId> fanin;
+  std::string name;  // optional; required for inputs/keys/outputs on IO
+};
+
+}  // namespace fl::netlist

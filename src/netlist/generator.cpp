@@ -1,0 +1,114 @@
+#include "netlist/generator.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace fl::netlist {
+
+namespace {
+
+GateType pick_type(std::mt19937_64& rng, int fanin) {
+  // ISCAS-85-ish mix: inverter-rich, NAND-heavy, some XOR.
+  if (fanin == 1) {
+    return std::uniform_int_distribution<int>(0, 3)(rng) == 0 ? GateType::kBuf
+                                                              : GateType::kNot;
+  }
+  const int r = std::uniform_int_distribution<int>(0, 99)(rng);
+  if (r < 30) return GateType::kNand;
+  if (r < 50) return GateType::kAnd;
+  if (r < 65) return GateType::kNor;
+  if (r < 80) return GateType::kOr;
+  if (r < 90) return GateType::kXor;
+  return GateType::kXnor;
+}
+
+}  // namespace
+
+Netlist generate_circuit(const GeneratorConfig& config) {
+  if (config.num_inputs == 0 || config.num_outputs == 0) {
+    throw std::invalid_argument("generator needs >= 1 input and output");
+  }
+  if (config.num_gates == 0) {
+    throw std::invalid_argument("generator needs >= 1 gate");
+  }
+  if (config.max_fanin < 2) {
+    throw std::invalid_argument("max_fanin must be >= 2");
+  }
+  std::mt19937_64 rng(config.seed);
+  Netlist netlist("synth_" + std::to_string(config.seed));
+
+  std::vector<GateId> nets;
+  nets.reserve(config.num_inputs + config.num_gates);
+  for (std::size_t i = 0; i < config.num_inputs; ++i) {
+    nets.push_back(netlist.add_input("G" + std::to_string(i) + "pi"));
+  }
+  std::vector<int> fanout_count(config.num_inputs + config.num_gates, 0);
+
+  auto pick_net = [&](std::size_t upto) -> GateId {
+    // With probability `locality`, pick among the most recent half to build
+    // depth; otherwise uniform (creates long reconvergent paths).
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(rng) < config.locality && upto > 2) {
+      const std::size_t lo = upto / 2;
+      return nets[std::uniform_int_distribution<std::size_t>(lo, upto - 1)(rng)];
+    }
+    return nets[std::uniform_int_distribution<std::size_t>(0, upto - 1)(rng)];
+  };
+
+  for (std::size_t g = 0; g < config.num_gates; ++g) {
+    const std::size_t avail = nets.size();
+    int fanin_n;
+    const int roll = std::uniform_int_distribution<int>(0, 99)(rng);
+    if (roll < 25) {
+      fanin_n = 1;
+    } else if (roll < 75 || config.max_fanin == 2) {
+      fanin_n = 2;
+    } else {
+      fanin_n = std::uniform_int_distribution<int>(3, config.max_fanin)(rng);
+    }
+    fanin_n = std::min<int>(fanin_n, static_cast<int>(avail));
+    std::vector<GateId> fanin;
+    while (static_cast<int>(fanin.size()) < fanin_n) {
+      const GateId cand = pick_net(avail);
+      if (std::find(fanin.begin(), fanin.end(), cand) == fanin.end()) {
+        fanin.push_back(cand);
+      }
+    }
+    const GateType type = pick_type(rng, static_cast<int>(fanin.size()));
+    for (const GateId f : fanin) ++fanout_count[f];
+    const GateId id =
+        netlist.add_gate(type, std::move(fanin), "G" + std::to_string(avail));
+    nets.push_back(id);
+  }
+
+  // Outputs: prefer nets with no fanout (so nothing dangles), newest first.
+  std::vector<GateId> sinks;
+  for (std::size_t i = config.num_inputs; i < nets.size(); ++i) {
+    if (fanout_count[i] == 0) sinks.push_back(nets[i]);
+  }
+  std::reverse(sinks.begin(), sinks.end());
+  std::vector<GateId> outputs;
+  for (const GateId s : sinks) {
+    if (outputs.size() == config.num_outputs) break;
+    outputs.push_back(s);
+  }
+  // Top up from the newest gates if there were not enough sinks.
+  for (auto it = nets.rbegin(); it != nets.rend() &&
+                                outputs.size() < config.num_outputs; ++it) {
+    if (std::find(outputs.begin(), outputs.end(), *it) == outputs.end() &&
+        !is_source(netlist.gate(*it).type)) {
+      outputs.push_back(*it);
+    }
+  }
+  if (outputs.size() < config.num_outputs) {
+    throw std::invalid_argument("gate budget too small for requested outputs");
+  }
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    netlist.mark_output(outputs[i], "po" + std::to_string(i));
+  }
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace fl::netlist

@@ -1,0 +1,31 @@
+// Deterministic random combinational-circuit generator.
+//
+// Substitute for the ISCAS-85 / MCNC netlists the paper evaluates on (the
+// real gate-level files are not redistributable here). The generator
+// produces an acyclic netlist with a requested gate / PI / PO budget and a
+// gate-type mix resembling the ISCAS-85 suite (NAND/NOR-heavy, fanin <= 5,
+// reconvergent fanout). See DESIGN.md §2 for why this preserves the
+// experiments: Full-Lock's hardness lives in the inserted PLRs, not the host.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace fl::netlist {
+
+struct GeneratorConfig {
+  std::size_t num_inputs = 16;
+  std::size_t num_outputs = 8;
+  std::size_t num_gates = 100;  // logic gates (excludes PIs)
+  std::uint64_t seed = 1;
+  int max_fanin = 4;
+  // Bias toward recently created nets; larger => deeper circuits.
+  double locality = 0.75;
+};
+
+// Throws std::invalid_argument on impossible budgets (e.g. 0 gates but
+// outputs requested).
+Netlist generate_circuit(const GeneratorConfig& config);
+
+}  // namespace fl::netlist

@@ -1,0 +1,249 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fl::netlist {
+
+std::string_view to_string(GateType type) {
+  switch (type) {
+    case GateType::kConst0: return "CONST0";
+    case GateType::kConst1: return "CONST1";
+    case GateType::kInput:  return "INPUT";
+    case GateType::kKey:    return "KEY";
+    case GateType::kBuf:    return "BUF";
+    case GateType::kNot:    return "NOT";
+    case GateType::kAnd:    return "AND";
+    case GateType::kNand:   return "NAND";
+    case GateType::kOr:     return "OR";
+    case GateType::kNor:    return "NOR";
+    case GateType::kXor:    return "XOR";
+    case GateType::kXnor:   return "XNOR";
+    case GateType::kMux:    return "MUX";
+  }
+  return "?";
+}
+
+void Netlist::check_arity(GateType type, std::size_t n_fanin) const {
+  const int fixed = fixed_arity(type);
+  if (fixed >= 0) {
+    if (n_fanin != static_cast<std::size_t>(fixed)) {
+      throw std::invalid_argument("gate arity mismatch for " +
+                                  std::string(to_string(type)));
+    }
+  } else if (n_fanin < 2) {
+    throw std::invalid_argument("n-ary gate needs >= 2 fanins");
+  }
+}
+
+GateId Netlist::add_input(std::string name) {
+  const GateId id = static_cast<GateId>(gates_.size());
+  gates_.push_back(Gate{GateType::kInput, {}, std::move(name)});
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_key(std::string name) {
+  const GateId id = static_cast<GateId>(gates_.size());
+  gates_.push_back(Gate{GateType::kKey, {}, std::move(name)});
+  keys_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_const(bool value) {
+  const GateId id = static_cast<GateId>(gates_.size());
+  gates_.push_back(
+      Gate{value ? GateType::kConst1 : GateType::kConst0, {}, ""});
+  return id;
+}
+
+GateId Netlist::add_gate(GateType type, std::vector<GateId> fanin,
+                         std::string name) {
+  if (is_source(type)) {
+    throw std::invalid_argument("use add_input/add_key/add_const for sources");
+  }
+  check_arity(type, fanin.size());
+  for (const GateId f : fanin) {
+    if (f >= gates_.size()) throw std::invalid_argument("fanin id out of range");
+  }
+  const GateId id = static_cast<GateId>(gates_.size());
+  gates_.push_back(Gate{type, std::move(fanin), std::move(name)});
+  return id;
+}
+
+void Netlist::mark_output(GateId gate, std::string name) {
+  if (gate >= gates_.size()) throw std::invalid_argument("output id out of range");
+  if (name.empty()) name = gates_[gate].name;
+  outputs_.push_back(OutputPort{gate, std::move(name)});
+}
+
+void Netlist::set_output_gate(std::size_t index, GateId gate) {
+  if (index >= outputs_.size() || gate >= gates_.size()) {
+    throw std::invalid_argument("set_output_gate: index out of range");
+  }
+  outputs_[index].gate = gate;
+}
+
+void Netlist::replace_fanin_of(GateId gate, GateId from, GateId to) {
+  for (GateId& f : gates_[gate].fanin) {
+    if (f == from) f = to;
+  }
+}
+
+void Netlist::replace_net(GateId from, GateId to) {
+  for (Gate& g : gates_) {
+    for (GateId& f : g.fanin) {
+      if (f == from) f = to;
+    }
+  }
+  for (OutputPort& o : outputs_) {
+    if (o.gate == from) o.gate = to;
+  }
+}
+
+void Netlist::retype(GateId gate, GateType type) {
+  check_arity(type, gates_[gate].fanin.size());
+  gates_[gate].type = type;
+}
+
+void Netlist::set_fanin(GateId gate, std::vector<GateId> fanin) {
+  check_arity(gates_[gate].type, fanin.size());
+  for (const GateId f : fanin) {
+    if (f >= gates_.size()) throw std::invalid_argument("fanin id out of range");
+  }
+  gates_[gate].fanin = std::move(fanin);
+}
+
+std::size_t Netlist::num_logic_gates() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (!is_source(g.type)) ++n;
+  }
+  return n;
+}
+
+int Netlist::key_index(GateId gate) const {
+  const auto it = std::find(keys_.begin(), keys_.end(), gate);
+  return it == keys_.end() ? -1 : static_cast<int>(it - keys_.begin());
+}
+
+int Netlist::input_index(GateId gate) const {
+  const auto it = std::find(inputs_.begin(), inputs_.end(), gate);
+  return it == inputs_.end() ? -1 : static_cast<int>(it - inputs_.begin());
+}
+
+std::optional<std::vector<GateId>> Netlist::topological_order() const {
+  const std::size_t n = gates_.size();
+  std::vector<std::uint32_t> pending(n, 0);
+  for (std::size_t g = 0; g < n; ++g) {
+    pending[g] = static_cast<std::uint32_t>(gates_[g].fanin.size());
+  }
+  const auto fanout = fanout_map();
+  std::vector<GateId> order;
+  order.reserve(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    if (pending[g] == 0) order.push_back(static_cast<GateId>(g));
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const GateId g = order[head];
+    for (const GateId out : fanout[g]) {
+      // A gate may read the same net several times; decrement per edge.
+      std::uint32_t edges = 0;
+      for (const GateId f : gates_[out].fanin) {
+        if (f == g) ++edges;
+      }
+      pending[out] -= edges;
+      if (pending[out] == 0) order.push_back(out);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool Netlist::is_cyclic() const { return !topological_order().has_value(); }
+
+std::vector<std::vector<GateId>> Netlist::fanout_map() const {
+  std::vector<std::vector<GateId>> fanout(gates_.size());
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    for (const GateId f : gates_[g].fanin) {
+      fanout[f].push_back(static_cast<GateId>(g));
+    }
+  }
+  for (auto& v : fanout) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return fanout;
+}
+
+std::vector<bool> Netlist::fanin_cone(GateId target) const {
+  std::vector<bool> in_cone(gates_.size(), false);
+  std::vector<GateId> stack{target};
+  in_cone[target] = true;
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (const GateId f : gates_[g].fanin) {
+      if (!in_cone[f]) {
+        in_cone[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  return in_cone;
+}
+
+std::vector<bool> Netlist::fanout_cone(GateId source) const {
+  const auto fanout = fanout_map();
+  std::vector<bool> in_cone(gates_.size(), false);
+  std::vector<GateId> stack{source};
+  in_cone[source] = true;
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (const GateId out : fanout[g]) {
+      if (!in_cone[out]) {
+        in_cone[out] = true;
+        stack.push_back(out);
+      }
+    }
+  }
+  return in_cone;
+}
+
+std::optional<std::vector<int>> Netlist::levels() const {
+  const auto order = topological_order();
+  if (!order) return std::nullopt;
+  std::vector<int> level(gates_.size(), 0);
+  for (const GateId g : *order) {
+    int lvl = 0;
+    for (const GateId f : gates_[g].fanin) {
+      lvl = std::max(lvl, level[f] + 1);
+    }
+    level[g] = lvl;
+  }
+  return level;
+}
+
+void Netlist::validate() const {
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    const Gate& gate = gates_[g];
+    check_arity(gate.type, gate.fanin.size());
+    for (const GateId f : gate.fanin) {
+      if (f >= gates_.size()) throw std::logic_error("dangling fanin id");
+    }
+  }
+  for (const OutputPort& o : outputs_) {
+    if (o.gate >= gates_.size()) throw std::logic_error("dangling output id");
+  }
+}
+
+std::vector<std::size_t> Netlist::type_histogram() const {
+  std::vector<std::size_t> hist(static_cast<std::size_t>(GateType::kMux) + 1, 0);
+  for (const Gate& g : gates_) {
+    hist[static_cast<std::size_t>(g.type)]++;
+  }
+  return hist;
+}
+
+}  // namespace fl::netlist

@@ -1,0 +1,103 @@
+// Combinational netlist container.
+//
+// Gates live in a flat vector; GateId indexes it. The container supports the
+// structural edits used by logic locking (rewiring fanins, retyping gates,
+// appending key inputs) and the queries used by attacks (topological order,
+// cycle detection, fanout maps).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.h"
+
+namespace fl::netlist {
+
+struct OutputPort {
+  GateId gate = kNullGate;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  // --- construction -------------------------------------------------------
+  GateId add_input(std::string name);
+  GateId add_key(std::string name);
+  GateId add_const(bool value);
+  // Adds a logic gate. Fanin ids must already exist. Throws std::invalid_argument
+  // on arity violations.
+  GateId add_gate(GateType type, std::vector<GateId> fanin, std::string name = "");
+  // Marks an existing gate as (an additional) primary output.
+  void mark_output(GateId gate, std::string name = "");
+  void clear_outputs() { outputs_.clear(); }
+  // Re-points output port `index` at a different net (name is kept).
+  void set_output_gate(std::size_t index, GateId gate);
+
+  // --- structural edits (used by locking transforms) -----------------------
+  // Replaces every occurrence of `from` in `gate`'s fanin with `to`.
+  void replace_fanin_of(GateId gate, GateId from, GateId to);
+  // Replaces every reader of net `from` (fanins of all gates, and output
+  // ports) with net `to`. Does not touch `from` itself.
+  void replace_net(GateId from, GateId to);
+  // Retypes a gate in place (arity is re-validated).
+  void retype(GateId gate, GateType type);
+  // Replaces a gate's fanin list wholesale.
+  void set_fanin(GateId gate, std::vector<GateId> fanin);
+
+  // --- accessors -----------------------------------------------------------
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  std::size_t num_gates() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+  std::span<const Gate> gates() const { return gates_; }
+  std::span<const GateId> inputs() const { return inputs_; }
+  std::span<const GateId> keys() const { return keys_; }
+  std::span<const OutputPort> outputs() const { return outputs_; }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_keys() const { return keys_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  // Number of gates that are neither sources nor outputs bookkeeping; i.e.
+  // actual logic (excludes consts/inputs/keys).
+  std::size_t num_logic_gates() const;
+
+  // Index of `gate` within keys(), or -1 if it is not a key input.
+  int key_index(GateId gate) const;
+  // Index of `gate` within inputs(), or -1.
+  int input_index(GateId gate) const;
+
+  // --- graph queries -------------------------------------------------------
+  // Topological order over all gates (sources first). std::nullopt if cyclic.
+  std::optional<std::vector<GateId>> topological_order() const;
+  bool is_cyclic() const;
+  // fanout[g] = gates reading net g (deduplicated, sorted).
+  std::vector<std::vector<GateId>> fanout_map() const;
+  // Set of gates from which `target` is reachable (i.e. transitive fanin cone
+  // of target, including target itself).
+  std::vector<bool> fanin_cone(GateId target) const;
+  // Set of gates reachable from `source` (transitive fanout, incl. source).
+  std::vector<bool> fanout_cone(GateId source) const;
+  // Logic depth (levels) of each gate; cyclic netlists return nullopt.
+  std::optional<std::vector<int>> levels() const;
+
+  // Throws std::logic_error if any fanin id is out of range or arity is wrong.
+  void validate() const;
+
+  // Per-gate-type population count, e.g. for reports.
+  std::vector<std::size_t> type_histogram() const;
+
+ private:
+  void check_arity(GateType type, std::size_t n_fanin) const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> keys_;
+  std::vector<OutputPort> outputs_;
+};
+
+}  // namespace fl::netlist

@@ -1,0 +1,247 @@
+#include "netlist/optimize.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "netlist/structure.h"
+
+namespace fl::netlist {
+
+namespace {
+
+// A net with an optional complement — lets double negations, NOT-chains and
+// XOR input polarities fold without materializing inverters.
+struct SigLit {
+  GateId gate = kNullGate;
+  bool neg = false;
+
+  SigLit operator~() const { return SigLit{gate, !neg}; }
+  bool operator==(const SigLit&) const = default;
+  auto operator<=>(const SigLit&) const = default;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(const Netlist& in, OptimizeStats& stats)
+      : in_(in), stats_(stats) {}
+
+  Netlist run() {
+    const auto order = in_.topological_order();
+    if (!order) {
+      throw std::invalid_argument("optimize: cyclic netlist");
+    }
+    map_.assign(in_.num_gates(), SigLit{});
+    for (const GateId g : in_.inputs()) {
+      map_[g] = SigLit{out_.add_input(in_.gate(g).name)};
+    }
+    for (const GateId g : in_.keys()) {
+      map_[g] = SigLit{out_.add_key(in_.gate(g).name)};
+    }
+    for (const GateId g : *order) {
+      const Gate& gate = in_.gate(g);
+      if (is_source(gate.type)) {
+        if (gate.type == GateType::kConst0) map_[g] = constant(false);
+        if (gate.type == GateType::kConst1) map_[g] = constant(true);
+        continue;
+      }
+      std::vector<SigLit> fan;
+      fan.reserve(gate.fanin.size());
+      for (const GateId f : gate.fanin) fan.push_back(map_[f]);
+      map_[g] = build(gate.type, std::move(fan));
+    }
+    for (const OutputPort& o : in_.outputs()) {
+      out_.mark_output(materialize(map_[o.gate]), o.name);
+    }
+    return compact(out_);
+  }
+
+ private:
+  SigLit constant(bool value) {
+    GateId& slot = value ? const1_ : const0_;
+    if (slot == kNullGate) slot = out_.add_const(value);
+    return SigLit{slot};
+  }
+  bool is_const(SigLit s, bool value) const {
+    if (const0_ != kNullGate && s.gate == const0_) return s.neg == value;
+    if (const1_ != kNullGate && s.gate == const1_) return s.neg != value;
+    return false;
+  }
+  bool is_any_const(SigLit s) const {
+    return (s.gate == const0_ && const0_ != kNullGate) ||
+           (s.gate == const1_ && const1_ != kNullGate);
+  }
+
+  // Emits (or reuses) a NOT gate when a complemented literal must become a
+  // real net (gate fanins have no polarity in the Netlist model).
+  GateId materialize(SigLit s) {
+    if (!s.neg) return s.gate;
+    if (s.gate == const0_ && const0_ != kNullGate) {
+      return constant(true).gate;
+    }
+    if (s.gate == const1_ && const1_ != kNullGate) {
+      return constant(false).gate;
+    }
+    const auto key = std::make_pair(GateType::kNot,
+                                    std::vector<SigLit>{SigLit{s.gate}});
+    const auto hit = hash_.find(key);
+    if (hit != hash_.end()) return hit->second;
+    const GateId inv = out_.add_gate(GateType::kNot, {s.gate});
+    hash_.emplace(key, inv);
+    return inv;
+  }
+
+  SigLit emit(GateType type, std::vector<SigLit> fan) {
+    // Canonicalize commutative operands.
+    if (type == GateType::kAnd || type == GateType::kOr ||
+        type == GateType::kXor) {
+      std::sort(fan.begin(), fan.end());
+    }
+    const auto key = std::make_pair(type, fan);
+    const auto hit = hash_.find(key);
+    if (hit != hash_.end()) {
+      ++stats_.subexpressions_merged;
+      return SigLit{hit->second};
+    }
+    std::vector<GateId> fanin;
+    fanin.reserve(fan.size());
+    for (const SigLit s : fan) fanin.push_back(materialize(s));
+    const GateId g = out_.add_gate(type, std::move(fanin));
+    hash_.emplace(key, g);
+    return SigLit{g};
+  }
+
+  SigLit build_and(std::vector<SigLit> fan, bool negate_out) {
+    std::vector<SigLit> lits;
+    for (const SigLit s : fan) {
+      if (is_const(s, false)) {
+        ++stats_.constants_folded;
+        return constant(negate_out);
+      }
+      if (is_const(s, true)) {
+        ++stats_.constants_folded;
+        continue;
+      }
+      lits.push_back(s);
+    }
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+      if (lits[i].gate == lits[i + 1].gate) {  // x & ~x
+        ++stats_.identities_applied;
+        return constant(negate_out);
+      }
+    }
+    if (lits.empty()) return constant(!negate_out);
+    if (lits.size() == 1) {
+      ++stats_.identities_applied;
+      return negate_out ? ~lits[0] : lits[0];
+    }
+    const SigLit g = emit(GateType::kAnd, std::move(lits));
+    return negate_out ? ~g : g;
+  }
+
+  SigLit build_or(std::vector<SigLit> fan, bool negate_out) {
+    for (SigLit& s : fan) s = ~s;
+    return ~build_and(std::move(fan), negate_out);
+  }
+
+  SigLit build_xor(std::vector<SigLit> fan, bool negate_out) {
+    bool parity = negate_out;
+    std::vector<SigLit> lits;
+    for (SigLit s : fan) {
+      if (is_any_const(s)) {
+        parity ^= is_const(s, true);
+        ++stats_.constants_folded;
+        continue;
+      }
+      parity ^= s.neg;  // polarity folds into the output parity
+      lits.push_back(SigLit{s.gate});
+    }
+    // x ^ x cancels pairwise.
+    std::sort(lits.begin(), lits.end());
+    std::vector<SigLit> reduced;
+    for (std::size_t i = 0; i < lits.size();) {
+      if (i + 1 < lits.size() && lits[i] == lits[i + 1]) {
+        ++stats_.identities_applied;
+        i += 2;
+      } else {
+        reduced.push_back(lits[i]);
+        ++i;
+      }
+    }
+    if (reduced.empty()) return constant(parity);
+    if (reduced.size() == 1) return parity ? ~reduced[0] : reduced[0];
+    const SigLit g = emit(GateType::kXor, std::move(reduced));
+    return parity ? ~g : g;
+  }
+
+  SigLit build_mux(SigLit sel, SigLit a, SigLit b) {
+    if (is_const(sel, false)) {
+      ++stats_.constants_folded;
+      return a;
+    }
+    if (is_const(sel, true)) {
+      ++stats_.constants_folded;
+      return b;
+    }
+    if (sel.neg) {
+      std::swap(a, b);
+      sel = ~sel;
+    }
+    if (a == b) {
+      ++stats_.identities_applied;
+      return a;
+    }
+    if (a == ~b) {  // sel ? b : ~b  ==  sel XNOR b
+      ++stats_.identities_applied;
+      return build_xor({sel, b}, true);
+    }
+    if (is_any_const(a) || is_any_const(b)) {
+      ++stats_.constants_folded;
+      if (is_const(a, false)) return build_and({sel, b}, false);
+      if (is_const(a, true)) return build_or({~sel, b}, false);
+      if (is_const(b, false)) return build_and({~sel, a}, false);
+      return build_or({sel, a}, false);  // b == 1
+    }
+    return emit(GateType::kMux, {sel, a, b});
+  }
+
+  SigLit build(GateType type, std::vector<SigLit> fan) {
+    switch (type) {
+      case GateType::kBuf: return fan[0];
+      case GateType::kNot: return ~fan[0];
+      case GateType::kAnd: return build_and(std::move(fan), false);
+      case GateType::kNand: return build_and(std::move(fan), true);
+      case GateType::kOr: return build_or(std::move(fan), false);
+      case GateType::kNor: return build_or(std::move(fan), true);
+      case GateType::kXor: return build_xor(std::move(fan), false);
+      case GateType::kXnor: return build_xor(std::move(fan), true);
+      case GateType::kMux: return build_mux(fan[0], fan[1], fan[2]);
+      default:
+        throw std::logic_error("optimize: unexpected source gate");
+    }
+  }
+
+  const Netlist& in_;
+  OptimizeStats& stats_;
+  Netlist out_{in_.name()};
+  std::vector<SigLit> map_;
+  GateId const0_ = kNullGate;
+  GateId const1_ = kNullGate;
+  std::map<std::pair<GateType, std::vector<SigLit>>, GateId> hash_;
+};
+
+}  // namespace
+
+Netlist optimize(const Netlist& netlist, OptimizeStats* stats) {
+  OptimizeStats local;
+  Optimizer optimizer(netlist, local);
+  Netlist out = optimizer.run();
+  local.gates_before = netlist.num_logic_gates();
+  local.gates_after = out.num_logic_gates();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace fl::netlist

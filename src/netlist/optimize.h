@@ -1,0 +1,29 @@
+// Combinational netlist optimization.
+//
+// A light resynthesis pass: constant propagation, algebraic identities,
+// buffer/double-inverter sweeping, structural hashing (CSE), and dead-logic
+// removal. Used (a) to clean generated/locked netlists and (b) as the
+// attacker's "resynthesize before attacking" preprocessing step — a locked
+// design must keep its key dependence through resynthesis, which
+// `test_optimize` asserts for every scheme.
+//
+// Only acyclic netlists are optimized; key inputs are preserved untouched.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace fl::netlist {
+
+struct OptimizeStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t constants_folded = 0;
+  std::size_t identities_applied = 0;  // x&x, x^x, double negation, ...
+  std::size_t subexpressions_merged = 0;
+};
+
+// Returns a functionally equivalent, usually smaller netlist. Throws
+// std::invalid_argument for cyclic netlists.
+Netlist optimize(const Netlist& netlist, OptimizeStats* stats = nullptr);
+
+}  // namespace fl::netlist

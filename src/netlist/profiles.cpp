@@ -1,0 +1,89 @@
+#include "netlist/profiles.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "netlist/bench_io.h"
+#include "netlist/generator.h"
+
+namespace fl::netlist {
+
+namespace {
+
+// Table 5, columns "# Gates" and "# I/Os".
+constexpr std::size_t kNumProfiles = 13;
+const std::array<BenchmarkProfile, kNumProfiles>& profile_table() {
+  static const std::array<BenchmarkProfile, kNumProfiles> table = {{
+      {"c432", 160, 36, 7},
+      {"c499", 202, 41, 32},
+      {"c880", 386, 60, 26},
+      {"c1355", 546, 41, 32},
+      {"c1908", 880, 33, 25},
+      {"c2670", 1193, 157, 64},
+      {"c3540", 1669, 50, 22},
+      {"c5315", 2307, 178, 123},
+      {"c7552", 3512, 206, 107},
+      {"apex2", 610, 39, 3},
+      {"apex4", 5360, 10, 19},
+      {"i4", 338, 192, 6},
+      {"i7", 1315, 199, 67},
+  }};
+  return table;
+}
+
+}  // namespace
+
+std::span<const BenchmarkProfile> table5_profiles() { return profile_table(); }
+
+std::optional<BenchmarkProfile> find_profile(std::string_view name) {
+  for (const BenchmarkProfile& p : profile_table()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+Netlist make_circuit(const BenchmarkProfile& profile, std::uint64_t seed) {
+  GeneratorConfig config;
+  config.num_inputs = profile.num_inputs;
+  config.num_outputs = profile.num_outputs;
+  config.num_gates = profile.num_gates;
+  // Distinct profiles get distinct streams even at equal seed.
+  std::uint64_t mix = seed;
+  for (const char c : profile.name) mix = mix * 131 + static_cast<unsigned char>(c);
+  config.seed = mix;
+  Netlist netlist = generate_circuit(config);
+  netlist.set_name(profile.name);
+  return netlist;
+}
+
+Netlist make_circuit(std::string_view profile_name, std::uint64_t seed) {
+  const auto profile = find_profile(profile_name);
+  if (!profile) {
+    throw std::invalid_argument("unknown benchmark profile: " +
+                                std::string(profile_name));
+  }
+  return make_circuit(*profile, seed);
+}
+
+Netlist make_c17() {
+  // Canonical ISCAS-85 c17 (public domain).
+  static const char* kC17 = R"(
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+  return read_bench_string(kC17, "c17");
+}
+
+}  // namespace fl::netlist

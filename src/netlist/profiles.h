@@ -1,0 +1,36 @@
+// Benchmark-circuit profiles matching the suites used in the paper.
+//
+// Gate / IO counts are taken from Table 5 of the Full-Lock paper (ISCAS-85 +
+// MCNC). `make_circuit` synthesizes a deterministic stand-in of that shape
+// (see generator.h for the substitution rationale); c17 is the real netlist.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fl::netlist {
+
+struct BenchmarkProfile {
+  std::string name;
+  std::size_t num_gates;
+  std::size_t num_inputs;
+  std::size_t num_outputs;
+};
+
+// The 13 circuits of Table 5 (ISCAS-85 c432..c7552, MCNC apex2/apex4/i4/i7).
+std::span<const BenchmarkProfile> table5_profiles();
+
+std::optional<BenchmarkProfile> find_profile(std::string_view name);
+
+// Deterministic synthetic circuit with the profile's shape. Same (name,seed)
+// always yields the same netlist.
+Netlist make_circuit(const BenchmarkProfile& profile, std::uint64_t seed = 1);
+Netlist make_circuit(std::string_view profile_name, std::uint64_t seed = 1);
+
+// The real ISCAS-85 c17 netlist (6 NAND gates) — small enough to embed.
+Netlist make_c17();
+
+}  // namespace fl::netlist

@@ -1,0 +1,182 @@
+#include "netlist/simulator.h"
+
+#include <stdexcept>
+
+namespace fl::netlist {
+
+Word eval_gate(GateType type, std::span<const Word> fanin) {
+  switch (type) {
+    case GateType::kConst0: return Word{0};
+    case GateType::kConst1: return ~Word{0};
+    case GateType::kInput:
+    case GateType::kKey:
+      throw std::logic_error("source gate evaluated without stimulus");
+    case GateType::kBuf: return fanin[0];
+    case GateType::kNot: return ~fanin[0];
+    case GateType::kAnd: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v &= fanin[i];
+      return v;
+    }
+    case GateType::kNand: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v &= fanin[i];
+      return ~v;
+    }
+    case GateType::kOr: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v |= fanin[i];
+      return v;
+    }
+    case GateType::kNor: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v |= fanin[i];
+      return ~v;
+    }
+    case GateType::kXor: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v ^= fanin[i];
+      return v;
+    }
+    case GateType::kXnor: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v ^= fanin[i];
+      return ~v;
+    }
+    case GateType::kMux:
+      // fanin = {sel, a, b}: out = sel ? b : a, bitwise.
+      return (fanin[0] & fanin[2]) | (~fanin[0] & fanin[1]);
+  }
+  throw std::logic_error("unknown gate type");
+}
+
+namespace {
+
+// Shared inner loop: fills `value` for every gate given stimulus.
+void sweep_sources(const Netlist& netlist, std::span<const Word> inputs,
+                   std::span<const Word> keys, std::vector<Word>& value) {
+  if (inputs.size() != netlist.num_inputs() ||
+      keys.size() != netlist.num_keys()) {
+    throw std::invalid_argument("stimulus width mismatch");
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    value[netlist.inputs()[i]] = inputs[i];
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    value[netlist.keys()[i]] = keys[i];
+  }
+}
+
+Word eval_gate_at(const Netlist& netlist, GateId g,
+                  const std::vector<Word>& value) {
+  const Gate& gate = netlist.gate(g);
+  Word buf[8];
+  std::span<const Word> fan;
+  if (gate.fanin.size() <= 8) {
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      buf[i] = value[gate.fanin[i]];
+    }
+    fan = std::span<const Word>(buf, gate.fanin.size());
+    return eval_gate(gate.type, fan);
+  }
+  std::vector<Word> big(gate.fanin.size());
+  for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+    big[i] = value[gate.fanin[i]];
+  }
+  return eval_gate(gate.type, big);
+}
+
+}  // namespace
+
+Simulator::Simulator(const Netlist& netlist) : netlist_(netlist) {
+  auto order = netlist.topological_order();
+  if (!order) throw std::invalid_argument("Simulator requires acyclic netlist");
+  order_ = std::move(*order);
+}
+
+std::vector<Word> Simulator::run_full(std::span<const Word> inputs,
+                                      std::span<const Word> keys) const {
+  std::vector<Word> value(netlist_.num_gates(), 0);
+  sweep_sources(netlist_, inputs, keys, value);
+  for (const GateId g : order_) {
+    const Gate& gate = netlist_.gate(g);
+    if (is_source(gate.type)) {
+      if (gate.type == GateType::kConst1) value[g] = ~Word{0};
+      if (gate.type == GateType::kConst0) value[g] = 0;
+      continue;
+    }
+    value[g] = eval_gate_at(netlist_, g, value);
+  }
+  return value;
+}
+
+std::vector<Word> Simulator::run(std::span<const Word> inputs,
+                                 std::span<const Word> keys) const {
+  const std::vector<Word> value = run_full(inputs, keys);
+  std::vector<Word> out;
+  out.reserve(netlist_.num_outputs());
+  for (const OutputPort& o : netlist_.outputs()) {
+    out.push_back(value[o.gate]);
+  }
+  return out;
+}
+
+CyclicSimResult simulate_cyclic(const Netlist& netlist,
+                                std::span<const Word> inputs,
+                                std::span<const Word> keys, int max_sweeps,
+                                bool init_ones) {
+  if (max_sweeps <= 0) {
+    max_sweeps = static_cast<int>(netlist.num_gates()) + 8;
+  }
+  std::vector<Word> value(netlist.num_gates(), init_ones ? ~Word{0} : Word{0});
+  sweep_sources(netlist, inputs, keys, value);
+  for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+    const GateType t = netlist.gate(static_cast<GateId>(g)).type;
+    if (t == GateType::kConst1) value[g] = ~Word{0};
+    if (t == GateType::kConst0) value[g] = 0;
+  }
+  Word changed = ~Word{0};
+  for (int sweep = 0; sweep < max_sweeps && changed != 0; ++sweep) {
+    changed = 0;
+    for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+      const Gate& gate = netlist.gate(static_cast<GateId>(g));
+      if (is_source(gate.type)) continue;
+      const Word next = eval_gate_at(netlist, static_cast<GateId>(g), value);
+      changed |= next ^ value[g];
+      value[g] = next;
+    }
+  }
+  CyclicSimResult result;
+  result.converged = ~changed;  // patterns still flipping did not settle
+  result.outputs.reserve(netlist.num_outputs());
+  for (const OutputPort& o : netlist.outputs()) {
+    result.outputs.push_back(value[o.gate]);
+  }
+  return result;
+}
+
+std::vector<bool> eval_once(const Netlist& netlist,
+                            const std::vector<bool>& inputs,
+                            const std::vector<bool>& keys) {
+  std::vector<Word> in_words(inputs.size());
+  std::vector<Word> key_words(keys.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    in_words[i] = inputs[i] ? ~Word{0} : 0;
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    key_words[i] = keys[i] ? ~Word{0} : 0;
+  }
+  std::vector<Word> out_words;
+  if (netlist.is_cyclic()) {
+    out_words = simulate_cyclic(netlist, in_words, key_words).outputs;
+  } else {
+    out_words = Simulator(netlist).run(in_words, key_words);
+  }
+  std::vector<bool> out(out_words.size());
+  for (std::size_t i = 0; i < out_words.size(); ++i) {
+    out[i] = (out_words[i] & 1u) != 0;
+  }
+  return out;
+}
+
+}  // namespace fl::netlist

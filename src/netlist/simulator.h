@@ -1,0 +1,65 @@
+// Bit-parallel (64 patterns per word) logic simulation.
+//
+// Two engines:
+//  * Simulator      — acyclic netlists, single topological sweep;
+//  * simulate_cyclic — structurally cyclic netlists (Full-Lock's cyclic PLR
+//    insertion), Gauss-Seidel relaxation to a fixpoint with oscillation
+//    detection. Patterns that fail to converge are flagged; callers treat
+//    them as corrupted outputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fl::netlist {
+
+using Word = std::uint64_t;
+
+// Evaluates one gate over bit-parallel fanin words.
+Word eval_gate(GateType type, std::span<const Word> fanin);
+
+// Acyclic simulator. Construction pre-computes the topological order; call
+// run() many times with different stimuli. Throws std::invalid_argument if
+// the netlist is cyclic.
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  // inputs.size() == num_inputs(), keys.size() == num_keys().
+  // Returns one word per output port.
+  std::vector<Word> run(std::span<const Word> inputs,
+                        std::span<const Word> keys) const;
+
+  // As run(), but also exposes every internal net value (indexed by GateId).
+  std::vector<Word> run_full(std::span<const Word> inputs,
+                             std::span<const Word> keys) const;
+
+ private:
+  const Netlist& netlist_;
+  std::vector<GateId> order_;
+};
+
+struct CyclicSimResult {
+  std::vector<Word> outputs;  // one word per output port
+  Word converged = ~Word{0};  // per-pattern convergence mask (1 = settled)
+};
+
+// Relaxation simulation for possibly-cyclic netlists. All nets start at 0
+// (or 1 with `init_ones` — comparing both fixpoints detects state-holding
+// cycles); gates are re-evaluated in id order until a fixpoint or
+// `max_sweeps`.
+CyclicSimResult simulate_cyclic(const Netlist& netlist,
+                                std::span<const Word> inputs,
+                                std::span<const Word> keys,
+                                int max_sweeps = 0 /* 0 = #gates + 8 */,
+                                bool init_ones = false);
+
+// Convenience single-pattern evaluation (bools in input order).
+std::vector<bool> eval_once(const Netlist& netlist,
+                            const std::vector<bool>& inputs,
+                            const std::vector<bool>& keys);
+
+}  // namespace fl::netlist

@@ -1,0 +1,285 @@
+#include "netlist/structure.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fl::netlist {
+
+Reachability::Reachability(const Netlist& netlist)
+    : netlist_(netlist),
+      fanout_(netlist.fanout_map()),
+      cache_(netlist.num_gates()),
+      cached_(netlist.num_gates(), false) {}
+
+bool Reachability::reaches(GateId from, GateId to) {
+  if (!cached_[from]) {
+    std::vector<bool> cone(netlist_.num_gates(), false);
+    std::vector<GateId> stack{from};
+    cone[from] = true;
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      for (const GateId out : fanout_[g]) {
+        if (!cone[out]) {
+          cone[out] = true;
+          stack.push_back(out);
+        }
+      }
+    }
+    cache_[from] = std::move(cone);
+    cached_[from] = true;
+  }
+  return cache_[from][to];
+}
+
+std::vector<bool> live_gates(const Netlist& netlist) {
+  std::vector<bool> live(netlist.num_gates(), false);
+  std::vector<GateId> stack;
+  for (const OutputPort& o : netlist.outputs()) {
+    if (!live[o.gate]) {
+      live[o.gate] = true;
+      stack.push_back(o.gate);
+    }
+  }
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (const GateId f : netlist.gate(g).fanin) {
+      if (!live[f]) {
+        live[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  return live;
+}
+
+std::vector<Edge> feedback_edges(const Netlist& netlist) {
+  // Iterative DFS over the fanin graph; a back edge (to a gate currently on
+  // the DFS stack) is a feedback edge.
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  const std::size_t n = netlist.num_gates();
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<Edge> feedback;
+
+  struct Frame {
+    GateId gate;
+    std::size_t next_pin;
+  };
+  std::vector<Frame> stack;
+  for (GateId root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    color[root] = Color::kGray;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const Gate& gate = netlist.gate(frame.gate);
+      if (frame.next_pin < gate.fanin.size()) {
+        const std::size_t pin = frame.next_pin++;
+        const GateId src = gate.fanin[pin];
+        if (color[src] == Color::kWhite) {
+          color[src] = Color::kGray;
+          stack.push_back({src, 0});
+        } else if (color[src] == Color::kGray) {
+          feedback.push_back(Edge{frame.gate, pin, src});
+        }
+      } else {
+        color[frame.gate] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return feedback;
+}
+
+Netlist compact(const Netlist& netlist, std::vector<GateId>* remap_out) {
+  const std::vector<bool> live = live_gates(netlist);
+  Netlist out(netlist.name());
+  std::vector<GateId> remap(netlist.num_gates(), kNullGate);
+  // Sources first, in interface order, live or not.
+  for (const GateId g : netlist.inputs()) {
+    remap[g] = out.add_input(netlist.gate(g).name);
+  }
+  for (const GateId g : netlist.keys()) {
+    remap[g] = out.add_key(netlist.gate(g).name);
+  }
+  // Remaining gates in an id order pass; ids only increase, so any live
+  // acyclic gate sees its fanins remapped... but cyclic netlists and
+  // forward references require a placeholder patch pass, mirroring bench_io.
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Gate& gate = netlist.gate(g);
+    if (remap[g] != kNullGate || !live[g]) continue;
+    if (gate.type == GateType::kConst0 || gate.type == GateType::kConst1) {
+      remap[g] = out.add_const(gate.type == GateType::kConst1);
+      continue;
+    }
+    remap[g] = out.add_gate(gate.type,
+                            std::vector<GateId>(gate.fanin.size(), 0),
+                            gate.name);
+  }
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Gate& gate = netlist.gate(g);
+    if (remap[g] == kNullGate || is_source(gate.type)) continue;
+    std::vector<GateId> fanin;
+    fanin.reserve(gate.fanin.size());
+    for (const GateId f : gate.fanin) fanin.push_back(remap[f]);
+    out.set_fanin(remap[g], std::move(fanin));
+  }
+  for (const OutputPort& o : netlist.outputs()) {
+    out.mark_output(remap[o.gate], o.name);
+  }
+  out.validate();
+  if (remap_out != nullptr) *remap_out = std::move(remap);
+  return out;
+}
+
+namespace {
+
+// Non-inverting base operation of each decomposable n-ary family.
+GateType tree_op(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand: return GateType::kAnd;
+    case GateType::kOr:
+    case GateType::kNor: return GateType::kOr;
+    case GateType::kXor:
+    case GateType::kXnor: return GateType::kXor;
+    default: return type;
+  }
+}
+
+bool inverted_family(GateType type) {
+  return type == GateType::kNand || type == GateType::kNor ||
+         type == GateType::kXnor;
+}
+
+}  // namespace
+
+Netlist decompose_to_two_input(const Netlist& netlist) {
+  Netlist out(netlist.name());
+  std::vector<GateId> remap(netlist.num_gates(), kNullGate);
+  for (const GateId g : netlist.inputs()) {
+    remap[g] = out.add_input(netlist.gate(g).name);
+  }
+  for (const GateId g : netlist.keys()) {
+    remap[g] = out.add_key(netlist.gate(g).name);
+  }
+  const auto order = netlist.topological_order();
+  if (!order) {
+    throw std::invalid_argument("decompose_to_two_input: cyclic netlist");
+  }
+  for (const GateId g : *order) {
+    const Gate& gate = netlist.gate(g);
+    if (is_source(gate.type)) {
+      if (gate.type == GateType::kConst0 || gate.type == GateType::kConst1) {
+        remap[g] = out.add_const(gate.type == GateType::kConst1);
+      }
+      continue;
+    }
+    std::vector<GateId> fanin;
+    fanin.reserve(gate.fanin.size());
+    for (const GateId f : gate.fanin) fanin.push_back(remap[f]);
+    if (fanin.size() <= 2 || gate.type == GateType::kMux) {
+      remap[g] = out.add_gate(gate.type, std::move(fanin), gate.name);
+      continue;
+    }
+    // Balanced reduction; the *last* combining node carries the family's
+    // inversion and the original name.
+    const GateType op = tree_op(gate.type);
+    std::vector<GateId> layer = std::move(fanin);
+    while (layer.size() > 2) {
+      std::vector<GateId> next;
+      for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+        next.push_back(out.add_gate(op, {layer[i], layer[i + 1]}));
+      }
+      if (layer.size() % 2 == 1) next.push_back(layer.back());
+      layer = std::move(next);
+    }
+    const GateType root_op =
+        inverted_family(gate.type)
+            ? (op == GateType::kAnd
+                   ? GateType::kNand
+                   : op == GateType::kOr ? GateType::kNor : GateType::kXnor)
+            : op;
+    remap[g] = out.add_gate(root_op, {layer[0], layer[1]}, gate.name);
+  }
+  for (const OutputPort& o : netlist.outputs()) {
+    out.mark_output(remap[o.gate], o.name);
+  }
+  out.validate();
+  return out;
+}
+
+namespace {
+
+double gate_probability(const Gate& gate, const std::vector<double>& p) {
+  auto pin = [&](std::size_t i) { return p[gate.fanin[i]]; };
+  switch (gate.type) {
+    case GateType::kConst0: return 0.0;
+    case GateType::kConst1: return 1.0;
+    case GateType::kInput:
+    case GateType::kKey: return 0.5;
+    case GateType::kBuf: return pin(0);
+    case GateType::kNot: return 1.0 - pin(0);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      double v = 1.0;
+      for (std::size_t i = 0; i < gate.fanin.size(); ++i) v *= pin(i);
+      return gate.type == GateType::kAnd ? v : 1.0 - v;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      double v = 1.0;
+      for (std::size_t i = 0; i < gate.fanin.size(); ++i) v *= 1.0 - pin(i);
+      return gate.type == GateType::kOr ? 1.0 - v : v;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      double v = pin(0);
+      for (std::size_t i = 1; i < gate.fanin.size(); ++i) {
+        const double q = pin(i);
+        v = v * (1.0 - q) + q * (1.0 - v);
+      }
+      return gate.type == GateType::kXor ? v : 1.0 - v;
+    }
+    case GateType::kMux: {
+      const double s = pin(0);
+      return (1.0 - s) * pin(1) + s * pin(2);
+    }
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+std::vector<double> signal_probabilities(const Netlist& netlist) {
+  std::vector<double> p(netlist.num_gates(), 0.5);
+  const auto order = netlist.topological_order();
+  if (order) {
+    for (const GateId g : *order) {
+      p[g] = gate_probability(netlist.gate(g), p);
+    }
+    return p;
+  }
+  // Cyclic: damped relaxation.
+  constexpr int kSweeps = 64;
+  constexpr double kDamping = 0.5;
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    double delta = 0.0;
+    for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+      const Gate& gate = netlist.gate(static_cast<GateId>(g));
+      if (is_source(gate.type) &&
+          gate.type != GateType::kConst0 && gate.type != GateType::kConst1) {
+        continue;
+      }
+      const double next =
+          kDamping * gate_probability(gate, p) + (1.0 - kDamping) * p[g];
+      delta = std::max(delta, std::abs(next - p[g]));
+      p[g] = next;
+    }
+    if (delta < 1e-9) break;
+  }
+  return p;
+}
+
+}  // namespace fl::netlist

@@ -1,0 +1,60 @@
+// Structural analysis helpers shared by locking transforms and attacks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fl::netlist {
+
+// Reachability oracle: answers "is `to` in the transitive fanout of `from`"
+// over a frozen snapshot of the netlist. Lazily computes and caches one
+// BFS per queried source.
+class Reachability {
+ public:
+  explicit Reachability(const Netlist& netlist);
+  bool reaches(GateId from, GateId to);
+
+ private:
+  const Netlist& netlist_;
+  std::vector<std::vector<GateId>> fanout_;
+  std::vector<std::vector<bool>> cache_;   // per-source cone, lazily filled
+  std::vector<bool> cached_;
+};
+
+// Gates that feed at least one primary output (dead logic excluded).
+std::vector<bool> live_gates(const Netlist& netlist);
+
+// Minimal feedback-arc set heuristic for cyclic netlists: returns a set of
+// (gate, fanin_index) edges whose removal makes the netlist acyclic.
+// DFS-based; the netlist itself is not modified.
+struct Edge {
+  GateId gate;       // consumer
+  std::size_t pin;   // index into consumer's fanin
+  GateId source;     // producer (== gate(gate).fanin[pin])
+};
+std::vector<Edge> feedback_edges(const Netlist& netlist);
+
+// Copy of `netlist` with dead logic removed. All primary/key inputs are
+// kept (the interface is preserved, in order); logic gates survive only if
+// they feed some output. Gate ids are remapped; names and output order are
+// preserved.
+// If `remap_out` is non-null it receives the old-id -> new-id mapping
+// (kNullGate for removed gates).
+Netlist compact(const Netlist& netlist,
+                std::vector<GateId>* remap_out = nullptr);
+
+// Functionally equivalent copy with every n-ary gate (n > 2) lowered to a
+// balanced tree of 2-input gates of the same family (the final tree node
+// carries the inversion for NAND/NOR/XNOR). Paper §3.2: lowering the gates
+// around a PLR to 2 inputs means only 2-input (4-entry) LUTs are needed.
+// MUX gates and 1..2-input gates pass through unchanged.
+Netlist decompose_to_two_input(const Netlist& netlist);
+
+// Signal probabilities under the independence assumption (inputs at 0.5),
+// topological propagation. Key inputs also at 0.5. Cyclic netlists:
+// relaxation with damping, bounded sweeps.
+std::vector<double> signal_probabilities(const Netlist& netlist);
+
+}  // namespace fl::netlist

@@ -1,0 +1,21 @@
+// Structural Verilog-2001 netlist writer.
+//
+// Emits one module with primitive continuous assignments (&, |, ^, ~, ?:),
+// suitable for synthesis handoff of locked designs. Key inputs appear as
+// ordinary input ports named per the keyinput convention, so downstream
+// flows treat them as tie-offs from the tamper-proof key memory.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fl::netlist {
+
+void write_verilog(const Netlist& netlist, std::ostream& out,
+                   const std::string& module_name = "");
+std::string write_verilog_string(const Netlist& netlist,
+                                 const std::string& module_name = "");
+
+}  // namespace fl::netlist

@@ -1,0 +1,76 @@
+#include "ppa/estimator.h"
+
+#include <algorithm>
+
+#include "netlist/structure.h"
+
+namespace fl::ppa {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+PpaReport estimate_ppa(const Netlist& netlist) {
+  PpaReport report;
+  const std::vector<double> prob = netlist::signal_probabilities(netlist);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const netlist::Gate& gate = netlist.gate(g);
+    if (netlist::is_source(gate.type)) continue;
+    const GateCost cost =
+        gate_cost(gate.type, static_cast<int>(gate.fanin.size()));
+    report.area_um2 += cost.area_um2;
+    const double activity = 2.0 * prob[g] * (1.0 - prob[g]);
+    report.power_nw += cost.power_nw * activity;
+    ++report.gate_count;
+  }
+
+  // Critical path over the acyclic skeleton (feedback edges dropped).
+  std::vector<std::vector<std::pair<GateId, std::size_t>>> skip;
+  const std::vector<netlist::Edge> feedback = netlist::feedback_edges(netlist);
+  auto is_feedback = [&feedback](GateId g, std::size_t pin) {
+    return std::any_of(feedback.begin(), feedback.end(),
+                       [&](const netlist::Edge& e) {
+                         return e.gate == g && e.pin == pin;
+                       });
+  };
+  // Longest-path DP in a manually topologically-ordered skeleton: Kahn over
+  // non-feedback edges.
+  const std::size_t n = netlist.num_gates();
+  std::vector<std::uint32_t> pending(n, 0);
+  std::vector<std::vector<GateId>> fanout(n);
+  for (GateId g = 0; g < n; ++g) {
+    const netlist::Gate& gate = netlist.gate(g);
+    for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+      if (feedback.empty() || !is_feedback(g, pin)) {
+        ++pending[g];
+        fanout[gate.fanin[pin]].push_back(g);
+      }
+    }
+  }
+  std::vector<GateId> order;
+  order.reserve(n);
+  for (GateId g = 0; g < n; ++g) {
+    if (pending[g] == 0) order.push_back(g);
+  }
+  std::vector<double> arrival(n, 0.0);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const GateId g = order[head];
+    const netlist::Gate& gate = netlist.gate(g);
+    double in_arrival = 0.0;
+    for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+      if (!feedback.empty() && is_feedback(g, pin)) continue;
+      in_arrival = std::max(in_arrival, arrival[gate.fanin[pin]]);
+    }
+    const GateCost cost = netlist::is_source(gate.type)
+                              ? GateCost{}
+                              : gate_cost(gate.type,
+                                          static_cast<int>(gate.fanin.size()));
+    arrival[g] = in_arrival + cost.delay_ns;
+    report.critical_delay_ns = std::max(report.critical_delay_ns, arrival[g]);
+    for (const GateId out : fanout[g]) {
+      if (--pending[out] == 0) order.push_back(out);
+    }
+  }
+  return report;
+}
+
+}  // namespace fl::ppa

@@ -1,0 +1,22 @@
+// Netlist-level PPA estimation (drives Table 3).
+#pragma once
+
+#include "netlist/netlist.h"
+#include "ppa/gate_cost.h"
+
+namespace fl::ppa {
+
+struct PpaReport {
+  double area_um2 = 0.0;
+  double power_nw = 0.0;       // activity-weighted dynamic power
+  double critical_delay_ns = 0.0;
+  std::size_t gate_count = 0;  // logic gates costed
+};
+
+// Area: sum of gate areas. Power: per-gate dynamic power weighted by the
+// gate's switching activity 2*p*(1-p) from signal-probability analysis.
+// Delay: longest gate-delay path (cyclic netlists: feedback edges broken
+// first, i.e. the acyclic skeleton's critical path).
+PpaReport estimate_ppa(const netlist::Netlist& netlist);
+
+}  // namespace fl::ppa

@@ -1,0 +1,44 @@
+#include "ppa/gate_cost.h"
+
+#include <bit>
+#include <cmath>
+
+namespace fl::ppa {
+
+using netlist::GateType;
+
+GateCost base_cell_cost(GateType type) {
+  // {area um^2, dynamic nW @1GHz full activity, delay ns} — 32nm-class.
+  switch (type) {
+    case GateType::kConst0:
+    case GateType::kConst1:
+    case GateType::kInput:
+    case GateType::kKey:
+      return {0.0, 0.0, 0.0};
+    case GateType::kBuf:  return {0.81, 14.0, 0.020};
+    case GateType::kNot:  return {0.61, 10.0, 0.012};
+    case GateType::kAnd:  return {1.22, 22.0, 0.030};
+    case GateType::kNand: return {1.02, 18.0, 0.022};
+    case GateType::kOr:   return {1.22, 23.0, 0.032};
+    case GateType::kNor:  return {1.02, 19.0, 0.024};
+    case GateType::kXor:  return {1.83, 34.0, 0.040};
+    case GateType::kXnor: return {1.83, 34.0, 0.040};
+    case GateType::kMux:  return {2.03, 30.0, 0.038};
+  }
+  return {0.0, 0.0, 0.0};
+}
+
+GateCost gate_cost(GateType type, int fanin) {
+  const GateCost base = base_cell_cost(type);
+  if (netlist::is_source(type) || fanin <= 2 || type == GateType::kMux ||
+      type == GateType::kBuf || type == GateType::kNot) {
+    return base;
+  }
+  // n-ary gate decomposed into a balanced tree of (fanin-1) 2-input cells.
+  const int cells = fanin - 1;
+  const int levels = std::bit_width(static_cast<unsigned>(fanin - 1));
+  return GateCost{base.area_um2 * cells, base.power_nw * cells,
+                  base.delay_ns * levels};
+}
+
+}  // namespace fl::ppa

@@ -1,0 +1,28 @@
+// Analytical per-gate area/power/delay model.
+//
+// Stand-in for the Synopsys 32nm educational library the paper uses for
+// Table 3 (see DESIGN.md §2). Absolute numbers are calibrated to typical
+// 32nm standard-cell datasheets (NAND2 ~= 1 um^2, ~20 nW/GHz switching,
+// ~25 ps); what the experiments rely on are the *ratios* between gate
+// types and the linear scaling of n-ary gates.
+#pragma once
+
+#include "netlist/gate.h"
+
+namespace fl::ppa {
+
+struct GateCost {
+  double area_um2 = 0.0;
+  double power_nw = 0.0;  // dynamic power at full activity, 1 GHz
+  double delay_ns = 0.0;
+};
+
+// Cost of one gate instance; n-ary gates are costed as a balanced tree of
+// 2-input cells ((fanin-1) cells, ceil(log2(fanin)) levels of delay).
+// Sources (inputs/keys/constants) cost zero.
+GateCost gate_cost(netlist::GateType type, int fanin);
+
+// The 2-input / unary base cells.
+GateCost base_cell_cost(netlist::GateType type);
+
+}  // namespace fl::ppa

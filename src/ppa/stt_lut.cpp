@@ -1,0 +1,49 @@
+#include "ppa/stt_lut.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fl::ppa {
+
+namespace {
+
+void check_size(int k) {
+  if (k < 2 || k > 8) {
+    throw std::invalid_argument("STT-LUT size must be in [2, 8]");
+  }
+}
+
+}  // namespace
+
+GateCost stt_lut_cost(int k) {
+  check_size(k);
+  // Fixed sense/read frontend + 2^k MTJ storage cells (near-zero leakage,
+  // ~4x denser than SRAM bitcells) + a compact pass-gate select tree of
+  // (2^k - 1) 2:1 stages. The exponential terms are negligible through
+  // k = 5 and dominate beyond — the Fig. 5 knee.
+  const double cells = std::pow(2.0, k);
+  const double frontend_area = 0.9;  // um^2, size-independent
+  const double mtj_area = 0.035 * cells;
+  const double tree_area = 0.10 * (cells - 1.0);
+  const double area = frontend_area + mtj_area + tree_area;
+  // GHz-class read path: delay grows with tree depth (k stages).
+  const double delay = 0.010 + 0.006 * k;
+  // Read current dominates dynamic power; near-zero leakage.
+  const double power = 5.0 + 1.1 * (cells / 4.0);
+  return GateCost{area, power, delay};
+}
+
+GateCost cmos_equivalent_cost(int k) {
+  check_size(k);
+  return gate_cost(netlist::GateType::kNand, k);
+}
+
+LutOverhead stt_lut_overhead(int k) {
+  const GateCost stt = stt_lut_cost(k);
+  const GateCost cmos = cmos_equivalent_cost(k);
+  return LutOverhead{stt.area_um2 / cmos.area_um2 - 1.0,
+                     stt.power_nw / cmos.power_nw - 1.0,
+                     stt.delay_ns / cmos.delay_ns - 1.0};
+}
+
+}  // namespace fl::ppa

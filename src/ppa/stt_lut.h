@@ -1,0 +1,31 @@
+// STT-MTJ-based LUT cost model (Fig. 5 of the paper).
+//
+// The paper's Fig. 5 compares SPICE-characterized STT-LUTs of size 2..8
+// against 28nm CMOS standard cells and finds sizes <= 5 have negligible
+// power/delay/area overhead while sizes > 5 grow steeply (per-size cost
+// roughly doubles with each extra input: 2^k MTJ cells + CMOS select tree).
+// This module reproduces that shape analytically.
+#pragma once
+
+#include "ppa/gate_cost.h"
+
+namespace fl::ppa {
+
+// Cost of a k-input STT-LUT (2 <= k <= 8). Throws std::invalid_argument
+// outside that range.
+GateCost stt_lut_cost(int k);
+
+// Cost of the *equivalent CMOS standard cell* of k inputs (a k-input NAND
+// tree), the comparison baseline of Fig. 5.
+GateCost cmos_equivalent_cost(int k);
+
+// Relative overhead (stt/cmos - 1) per metric; the paper's claim is that
+// all three stay near zero through k = 5.
+struct LutOverhead {
+  double area = 0.0;
+  double power = 0.0;
+  double delay = 0.0;
+};
+LutOverhead stt_lut_overhead(int k);
+
+}  // namespace fl::ppa

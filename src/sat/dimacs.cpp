@@ -1,0 +1,64 @@
+#include "sat/dimacs.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace fl::sat {
+
+Cnf read_dimacs(std::istream& in) {
+  Cnf cnf;
+  std::string line;
+  Clause current;
+  int declared_vars = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, fmt;
+      int nv = 0, nc = 0;
+      header >> p >> fmt >> nv >> nc;
+      if (fmt != "cnf") throw std::runtime_error("dimacs: expected 'p cnf'");
+      declared_vars = nv;
+      continue;
+    }
+    std::istringstream body(line);
+    long long v = 0;
+    while (body >> v) {
+      if (v == 0) {
+        cnf.add(current);
+        current.clear();
+      } else {
+        const Var var = static_cast<Var>(std::llabs(v)) - 1;
+        cnf.num_vars = std::max(cnf.num_vars, var + 1);
+        current.push_back(Lit(var, v < 0));
+      }
+    }
+  }
+  if (!current.empty()) cnf.add(current);  // tolerate missing trailing 0
+  cnf.num_vars = std::max(cnf.num_vars, declared_vars);
+  return cnf;
+}
+
+Cnf read_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_dimacs(in);
+}
+
+void write_dimacs(const Cnf& cnf, std::ostream& out) {
+  out << "p cnf " << cnf.num_vars << " " << cnf.clauses.size() << "\n";
+  for (const Clause& c : cnf.clauses) {
+    for (const Lit l : c) {
+      out << (l.negated() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+    }
+    out << "0\n";
+  }
+}
+
+std::string write_dimacs_string(const Cnf& cnf) {
+  std::ostringstream out;
+  write_dimacs(cnf, out);
+  return out.str();
+}
+
+}  // namespace fl::sat

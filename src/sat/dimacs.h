@@ -1,0 +1,19 @@
+// DIMACS CNF reader/writer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sat/types.h"
+
+namespace fl::sat {
+
+// Throws std::runtime_error on malformed input. Accepts missing/incorrect
+// "p cnf" headers (variable count is inferred as the max seen).
+Cnf read_dimacs(std::istream& in);
+Cnf read_dimacs_string(const std::string& text);
+
+void write_dimacs(const Cnf& cnf, std::ostream& out);
+std::string write_dimacs_string(const Cnf& cnf);
+
+}  // namespace fl::sat

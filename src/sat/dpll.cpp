@@ -1,0 +1,184 @@
+#include "sat/dpll.h"
+
+#include <algorithm>
+
+namespace fl::sat {
+
+DpllResult Dpll::solve(const Cnf& cnf) {
+  cnf_ = &cnf;
+  result_ = DpllResult{};
+  assign_.assign(cnf.num_vars, LBool::kUndef);
+  trail_.clear();
+  clause_state_.assign(cnf.clauses.size(), ClauseState{});
+  occurs_.assign(static_cast<std::size_t>(cnf.num_vars) * 2, {});
+  bool trivially_unsat = false;
+  for (std::size_t ci = 0; ci < cnf.clauses.size(); ++ci) {
+    clause_state_[ci].unassigned =
+        static_cast<std::uint32_t>(cnf.clauses[ci].size());
+    if (cnf.clauses[ci].empty()) trivially_unsat = true;
+    for (const Lit l : cnf.clauses[ci]) {
+      occurs_[l.index()].push_back(static_cast<std::uint32_t>(ci));
+    }
+  }
+  if (trivially_unsat) {
+    result_.satisfiable = false;
+    return result_;
+  }
+  const Outcome out = recurse();
+  result_.satisfiable = out == Outcome::kSat;
+  result_.completed = out != Outcome::kAborted;
+  if (out == Outcome::kSat) {
+    result_.model.assign(cnf.num_vars, false);
+    for (Var v = 0; v < cnf.num_vars; ++v) {
+      result_.model[v] = assign_[v] == LBool::kTrue;
+    }
+  }
+  return result_;
+}
+
+bool Dpll::assign(Var v, bool value) {
+  const Lit true_lit(v, !value);
+  const std::int32_t mark = static_cast<std::int32_t>(trail_.size());
+  assign_[v] = lbool_from(value);
+  trail_.push_back(true_lit);
+  for (const std::uint32_t ci : occurs_[true_lit.index()]) {
+    ClauseState& cs = clause_state_[ci];
+    if (cs.satisfied_by < 0) cs.satisfied_by = mark;
+  }
+  bool conflict = false;
+  for (const std::uint32_t ci : occurs_[(~true_lit).index()]) {
+    ClauseState& cs = clause_state_[ci];
+    --cs.unassigned;
+    if (cs.satisfied_by < 0 && cs.unassigned == 0) conflict = true;
+  }
+  return !conflict;
+}
+
+void Dpll::unassign_to(std::size_t trail_mark) {
+  while (trail_.size() > trail_mark) {
+    const std::int32_t idx = static_cast<std::int32_t>(trail_.size()) - 1;
+    const Lit true_lit = trail_.back();
+    trail_.pop_back();
+    assign_[true_lit.var()] = LBool::kUndef;
+    for (const std::uint32_t ci : occurs_[true_lit.index()]) {
+      ClauseState& cs = clause_state_[ci];
+      if (cs.satisfied_by == idx) cs.satisfied_by = -1;
+    }
+    for (const std::uint32_t ci : occurs_[(~true_lit).index()]) {
+      ++clause_state_[ci].unassigned;
+    }
+  }
+}
+
+std::optional<Lit> Dpll::find_unit() const {
+  for (std::size_t ci = 0; ci < clause_state_.size(); ++ci) {
+    const ClauseState& cs = clause_state_[ci];
+    if (cs.satisfied_by >= 0 || cs.unassigned != 1) continue;
+    for (const Lit l : cnf_->clauses[ci]) {
+      if (assign_[l.var()] == LBool::kUndef) return l;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Lit> Dpll::find_pure() const {
+  for (Var v = 0; v < cnf_->num_vars; ++v) {
+    if (assign_[v] != LBool::kUndef) continue;
+    bool pos_seen = false, neg_seen = false;
+    for (const std::uint32_t ci : occurs_[pos(v).index()]) {
+      if (clause_state_[ci].satisfied_by < 0) {
+        pos_seen = true;
+        break;
+      }
+    }
+    for (const std::uint32_t ci : occurs_[neg(v).index()]) {
+      if (clause_state_[ci].satisfied_by < 0) {
+        neg_seen = true;
+        break;
+      }
+    }
+    if (pos_seen != neg_seen) return Lit(v, !pos_seen);
+    // Vars absent from all unsatisfied clauses are skipped (irrelevant).
+  }
+  return std::nullopt;
+}
+
+Var Dpll::pick_branch_var() const {
+  // MOMS-flavoured: the unassigned variable occurring most often in
+  // unsatisfied clauses.
+  Var best = kNullVar;
+  std::size_t best_count = 0;
+  for (Var v = 0; v < cnf_->num_vars; ++v) {
+    if (assign_[v] != LBool::kUndef) continue;
+    std::size_t count = 0;
+    for (const std::uint32_t ci : occurs_[pos(v).index()]) {
+      if (clause_state_[ci].satisfied_by < 0) ++count;
+    }
+    for (const std::uint32_t ci : occurs_[neg(v).index()]) {
+      if (clause_state_[ci].satisfied_by < 0) ++count;
+    }
+    if (best == kNullVar || count > best_count) {
+      best = v;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+Dpll::Outcome Dpll::recurse() {
+  ++result_.recursive_calls;
+  if (max_calls_ != 0 && result_.recursive_calls > max_calls_) {
+    return Outcome::kAborted;
+  }
+  // "Phi is []": every clause satisfied?
+  bool all_satisfied = true;
+  for (const ClauseState& cs : clause_state_) {
+    if (cs.satisfied_by < 0) {
+      all_satisfied = false;
+      break;
+    }
+  }
+  if (all_satisfied) return Outcome::kSat;
+
+  if (const auto unit = find_unit()) {
+    ++result_.unit_propagations;
+    const std::size_t mark = trail_.size();
+    if (!assign(unit->var(), !unit->negated())) {
+      unassign_to(mark);
+      return Outcome::kUnsat;
+    }
+    const Outcome out = recurse();
+    if (out == Outcome::kUnsat) unassign_to(mark);
+    return out;
+  }
+  if (const auto pure = find_pure()) {
+    ++result_.purifications;
+    const std::size_t mark = trail_.size();
+    if (!assign(pure->var(), !pure->negated())) {
+      unassign_to(mark);
+      return Outcome::kUnsat;
+    }
+    const Outcome out = recurse();
+    if (out == Outcome::kUnsat) unassign_to(mark);
+    return out;
+  }
+
+  const Var v = pick_branch_var();
+  if (v == kNullVar) {
+    // No unassigned variable left in an unsatisfied clause: with no unit and
+    // no empty clause this cannot happen, but guard anyway.
+    return Outcome::kUnsat;
+  }
+  ++result_.branches;
+  for (const bool value : {true, false}) {
+    const std::size_t mark = trail_.size();
+    if (assign(v, value)) {
+      const Outcome out = recurse();
+      if (out != Outcome::kUnsat) return out;  // kSat or kAborted
+    }
+    unassign_to(mark);
+  }
+  return Outcome::kUnsat;
+}
+
+}  // namespace fl::sat

@@ -1,0 +1,58 @@
+// Classic recursive DPLL solver (Algorithm 1 of the paper).
+//
+// Deliberately *not* CDCL: it implements exactly the unit-propagation /
+// pure-literal / branching recursion the paper analyzes, and counts the
+// recursive calls so Fig. 1 (hardness peak at clause/var ratio ~4.3) can be
+// regenerated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace fl::sat {
+
+struct DpllResult {
+  bool satisfiable = false;
+  bool completed = true;        // false if the call budget was exhausted
+  std::uint64_t recursive_calls = 0;
+  std::uint64_t unit_propagations = 0;
+  std::uint64_t purifications = 0;
+  std::uint64_t branches = 0;
+  std::vector<bool> model;      // valid when satisfiable && completed
+};
+
+class Dpll {
+ public:
+  // max_calls == 0 disables the budget.
+  explicit Dpll(std::uint64_t max_calls = 0) : max_calls_(max_calls) {}
+
+  DpllResult solve(const Cnf& cnf);
+
+ private:
+  enum class Outcome { kSat, kUnsat, kAborted };
+  Outcome recurse();
+  bool assign(Var v, bool value);  // false on immediate empty clause
+  void unassign_to(std::size_t trail_mark);
+  std::optional<Lit> find_unit() const;
+  std::optional<Lit> find_pure() const;
+  Var pick_branch_var() const;
+
+  // Formula state: per-clause satisfied flag + unassigned-literal count,
+  // per-literal occurrence lists. Assignments are trailed for backtracking.
+  struct ClauseState {
+    std::uint32_t unassigned = 0;
+    std::int32_t satisfied_by = -1;  // trail index that satisfied it, -1 none
+  };
+  const Cnf* cnf_ = nullptr;
+  std::vector<ClauseState> clause_state_;
+  std::vector<std::vector<std::uint32_t>> occurs_;  // by Lit::index()
+  std::vector<LBool> assign_;
+  std::vector<Lit> trail_;
+  std::uint64_t max_calls_ = 0;
+  DpllResult result_;
+};
+
+}  // namespace fl::sat

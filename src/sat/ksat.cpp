@@ -1,0 +1,37 @@
+#include "sat/ksat.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace fl::sat {
+
+Cnf random_ksat(const KSatConfig& config) {
+  if (config.num_vars <= 0 || config.num_clauses <= 0 || config.k <= 0) {
+    throw std::invalid_argument("ksat: counts must be positive");
+  }
+  if (config.k > config.num_vars) {
+    throw std::invalid_argument("ksat: k exceeds variable count");
+  }
+  std::mt19937_64 rng(config.seed);
+  std::uniform_int_distribution<Var> pick_var(0, config.num_vars - 1);
+  std::uniform_int_distribution<int> pick_sign(0, 1);
+
+  Cnf cnf;
+  cnf.num_vars = config.num_vars;
+  cnf.clauses.reserve(config.num_clauses);
+  Clause clause;
+  for (int c = 0; c < config.num_clauses; ++c) {
+    clause.clear();
+    while (static_cast<int>(clause.size()) < config.k) {
+      const Var v = pick_var(rng);
+      const bool dup = std::any_of(clause.begin(), clause.end(),
+                                   [v](Lit l) { return l.var() == v; });
+      if (!dup) clause.push_back(Lit(v, pick_sign(rng) == 1));
+    }
+    cnf.add(clause);
+  }
+  return cnf;
+}
+
+}  // namespace fl::sat

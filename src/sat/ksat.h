@@ -1,0 +1,22 @@
+// Fixed-length random k-SAT generator (Mitchell/Selman/Levesque model used
+// by the paper's Fig. 1): m clauses, each with k distinct variables and
+// uniform random polarities.
+#pragma once
+
+#include <cstdint>
+
+#include "sat/types.h"
+
+namespace fl::sat {
+
+struct KSatConfig {
+  int num_vars = 50;
+  int num_clauses = 215;
+  int k = 3;
+  std::uint64_t seed = 1;
+};
+
+// Throws std::invalid_argument if k > num_vars or any count is nonpositive.
+Cnf random_ksat(const KSatConfig& config);
+
+}  // namespace fl::sat

@@ -1,0 +1,549 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fl::sat {
+
+struct Solver::ClauseData {
+  float activity = 0.0f;
+  bool learnt = false;
+  std::vector<Lit> lits;
+};
+
+struct Solver::Watcher {
+  ClauseData* clause;
+  Lit blocker;
+};
+
+namespace {
+
+// Luby restart sequence (unit = 128 conflicts).
+double luby(double y, int x) {
+  int size, seq;
+  for (size = 1, seq = 0; size < x + 1; seq++, size = 2 * size + 1) {
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    seq--;
+    x = x % size;
+  }
+  double result = 1.0;
+  for (int i = 0; i < seq; ++i) result *= y;
+  return result;
+}
+
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr int kRestartUnit = 128;
+
+}  // namespace
+
+Solver::Solver() = default;
+Solver::~Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(LBool::kUndef);
+  saved_phase_.push_back(0);
+  level_.push_back(0);
+  reason_.push_back(nullptr);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  heap_pos_.push_back(-1);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+LBool Solver::value(Lit l) const { return assign_[l.var()] ^ l.negated(); }
+
+bool Solver::value_of(Var v) const { return assign_[v] == LBool::kTrue; }
+
+std::vector<bool> Solver::model() const {
+  std::vector<bool> m(assign_.size());
+  for (std::size_t v = 0; v < assign_.size(); ++v) {
+    m[v] = assign_[v] == LBool::kTrue;
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------- heap ----
+
+void Solver::heap_insert(Var v) {
+  if (heap_pos_[v] >= 0) return;
+  heap_pos_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_up(heap_pos_[v]);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_up(int i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const int parent = (i - 1) >> 1;
+    if (!heap_less(heap_[parent], v)) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+void Solver::heap_down(int i) {
+  const Var v = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  while (true) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_less(heap_[child], heap_[child + 1])) ++child;
+    if (!heap_less(v, heap_[child])) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[v] >= 0) heap_up(heap_pos_[v]);
+}
+
+void Solver::decay_var_activity() { var_inc_ /= kVarDecay; }
+
+void Solver::bump_clause(ClauseData& c) {
+  c.activity += static_cast<float>(cla_inc_);
+  if (c.activity > 1e20f) {
+    for (auto& cl : learnt_clauses_) cl->activity *= 1e-20f;
+    cla_inc_ *= 1e-20;
+  }
+}
+
+// ------------------------------------------------------------- clauses ----
+
+void Solver::attach(ClauseData* c) {
+  assert(c->lits.size() >= 2);
+  watches_[(~c->lits[0]).index()].push_back(Watcher{c, c->lits[1]});
+  watches_[(~c->lits[1]).index()].push_back(Watcher{c, c->lits[0]});
+}
+
+void Solver::detach(ClauseData* c) {
+  for (const Lit w : {c->lits[0], c->lits[1]}) {
+    auto& list = watches_[(~w).index()];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].clause == c) {
+        list[i] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::add_clause(Clause clause) {
+  if (!ok_) return false;
+  if (!trail_lim_.empty()) backtrack_to(0);
+
+  std::sort(clause.begin(), clause.end());
+  Lit prev = kUndefLit;
+  std::size_t out = 0;
+  for (const Lit l : clause) {
+    assert(l.var() >= 0 && l.var() < num_vars());
+    if (value(l) == LBool::kTrue || l == ~prev) return true;  // satisfied/taut
+    if (value(l) != LBool::kFalse && l != prev) {
+      prev = l;
+      clause[out++] = l;
+    }
+  }
+  clause.resize(out);
+
+  if (clause.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (clause.size() == 1) {
+    if (!enqueue(clause[0], nullptr)) {
+      ok_ = false;
+      return false;
+    }
+    if (propagate() != nullptr) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  auto data = std::make_unique<ClauseData>();
+  data->lits = std::move(clause);
+  attach(data.get());
+  problem_clauses_.push_back(std::move(data));
+  ++num_problem_clauses_;
+  return true;
+}
+
+// --------------------------------------------------------- propagation ----
+
+bool Solver::enqueue(Lit l, ClauseData* reason) {
+  const LBool v = value(l);
+  if (v != LBool::kUndef) return v == LBool::kTrue;
+  assign_[l.var()] = lbool_from(!l.negated());
+  level_[l.var()] = static_cast<int>(trail_lim_.size());
+  reason_[l.var()] = reason;
+  saved_phase_[l.var()] = l.negated() ? 0 : 1;
+  trail_.push_back(l);
+  return true;
+}
+
+Solver::ClauseData* Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p.index()];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      if (value(w.blocker) == LBool::kTrue) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      ClauseData& c = *w.clause;
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      ++i;
+      const Lit first = c.lits[0];
+      if (first != w.blocker && value(first) == LBool::kTrue) {
+        ws[j++] = Watcher{w.clause, first};
+        continue;
+      }
+      bool found_watch = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).index()].push_back(Watcher{w.clause, first});
+          found_watch = true;
+          break;
+        }
+      }
+      if (found_watch) continue;
+      // Clause is unit or conflicting.
+      ws[j++] = Watcher{w.clause, first};
+      if (value(first) == LBool::kFalse) {
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        propagate_head_ = trail_.size();
+        return w.clause;
+      }
+      enqueue(first, w.clause);
+    }
+    ws.resize(j);
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------ analysis ----
+
+void Solver::analyze(ClauseData* conflict, Clause& learnt,
+                     int& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(kUndefLit);  // placeholder for the asserting literal
+  int path_count = 0;
+  Lit p = kUndefLit;
+  std::size_t idx = trail_.size();
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  ClauseData* c = conflict;
+  do {
+    assert(c != nullptr);
+    if (c->learnt) bump_clause(*c);
+    for (const Lit q : c->lits) {
+      if (q == p) continue;
+      const Var v = q.var();
+      if (seen_[v] == 0 && level_[v] > 0) {
+        seen_[v] = 1;
+        bump_var(v);
+        if (level_[v] >= current_level) {
+          ++path_count;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    while (seen_[trail_[idx - 1].var()] == 0) --idx;
+    p = trail_[idx - 1];
+    --idx;
+    c = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --path_count;
+  } while (path_count > 0);
+  learnt[0] = ~p;
+
+  // Conflict-clause minimization (local, via reason-implied redundancy).
+  analyze_toclear_.assign(learnt.begin() + 1, learnt.end());
+  for (const Lit l : learnt) {
+    if (l != kUndefLit) seen_[l.var()] = 1;
+  }
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    abstract_levels |= 1u << (level_[learnt[i].var()] & 31);
+  }
+  std::size_t out = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (reason_[learnt[i].var()] == nullptr ||
+        !lit_redundant(learnt[i], abstract_levels)) {
+      learnt[out++] = learnt[i];
+    }
+  }
+  learnt.resize(out);
+  seen_[learnt[0].var()] = 0;
+  for (const Lit l : analyze_toclear_) seen_[l.var()] = 0;
+
+  if (learnt.size() == 1) {
+    backtrack_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level = level_[learnt[1].var()];
+  }
+}
+
+bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const std::size_t toclear_base = analyze_toclear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const ClauseData* c = reason_[q.var()];
+    assert(c != nullptr);
+    for (const Lit r : c->lits) {
+      const Var v = r.var();
+      if (v == q.var() || seen_[v] != 0 || level_[v] == 0) continue;
+      if (reason_[v] != nullptr &&
+          ((1u << (level_[v] & 31)) & abstract_levels) != 0) {
+        seen_[v] = 1;
+        analyze_stack_.push_back(r);
+        analyze_toclear_.push_back(r);
+      } else {
+        // Not redundant: undo marks made during this probe.
+        for (std::size_t k = toclear_base; k < analyze_toclear_.size(); ++k) {
+          seen_[analyze_toclear_[k].var()] = 0;
+        }
+        analyze_toclear_.resize(toclear_base);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::backtrack_to(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) return;
+  const std::size_t bound = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    const Var v = trail_[i - 1].var();
+    assign_[v] = LBool::kUndef;
+    reason_[v] = nullptr;
+    heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!heap_.empty()) {
+    const Var v = heap_[0];
+    if (assign_[v] == LBool::kUndef) {
+      heap_pop();
+      return Lit(v, saved_phase_[v] == 0);
+    }
+    heap_pop();
+  }
+  return kUndefLit;
+}
+
+void Solver::reduce_db() {
+  std::sort(learnt_clauses_.begin(), learnt_clauses_.end(),
+            [](const auto& a, const auto& b) {
+              if ((a->lits.size() > 2) != (b->lits.size() > 2)) {
+                return a->lits.size() > 2;  // long clauses first (victims)
+              }
+              return a->activity < b->activity;
+            });
+  auto locked = [&](const ClauseData* c) {
+    return reason_[c->lits[0].var()] == c && value(c->lits[0]) == LBool::kTrue;
+  };
+  const std::size_t target = learnt_clauses_.size() / 2;
+  std::vector<std::unique_ptr<ClauseData>> kept;
+  kept.reserve(learnt_clauses_.size());
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < learnt_clauses_.size(); ++i) {
+    ClauseData* c = learnt_clauses_[i].get();
+    if (removed < target && c->lits.size() > 2 && !locked(c)) {
+      detach(c);
+      ++removed;
+    } else {
+      kept.push_back(std::move(learnt_clauses_[i]));
+    }
+  }
+  learnt_clauses_ = std::move(kept);
+  stats_.removed_clauses += removed;
+}
+
+bool Solver::budget_exhausted() const {
+  if (budget_hit_) return true;
+  if (conflict_budget_ != 0 &&
+      stats_.conflicts - conflicts_at_solve_ >= conflict_budget_) {
+    budget_hit_ = true;
+    return true;
+  }
+  if (deadline_) {
+    if (deadline_check_countdown_ == 0) {
+      deadline_check_countdown_ = 256;
+      if (std::chrono::steady_clock::now() >= *deadline_) {
+        budget_hit_ = true;
+        return true;
+      }
+    }
+    --deadline_check_countdown_;
+  }
+  return false;
+}
+
+LBool Solver::search() {
+  std::uint64_t restart_budget = static_cast<std::uint64_t>(
+      luby(2.0, static_cast<int>(stats_.restarts)) * kRestartUnit);
+  std::uint64_t conflicts_this_restart = 0;
+  std::size_t max_learnts =
+      std::max<std::size_t>(4000, num_problem_clauses_ / 3);
+
+  Clause learnt;
+  while (true) {
+    ClauseData* conflict = propagate();
+    if (conflict != nullptr) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (trail_lim_.empty()) {
+        ok_ = false;
+        return LBool::kFalse;
+      }
+      int backtrack_level = 0;
+      analyze(conflict, learnt, backtrack_level);
+      backtrack_to(backtrack_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], nullptr);
+      } else {
+        auto data = std::make_unique<ClauseData>();
+        data->learnt = true;
+        data->lits = learnt;
+        attach(data.get());
+        bump_clause(*data);
+        enqueue(learnt[0], data.get());
+        learnt_clauses_.push_back(std::move(data));
+        ++stats_.learned_clauses;
+        stats_.learned_literals += learnt.size();
+      }
+      decay_var_activity();
+      cla_inc_ /= kClauseDecay;
+    } else {
+      if (budget_exhausted()) {
+        backtrack_to(0);
+        return LBool::kUndef;
+      }
+      if (conflicts_this_restart >= restart_budget) {
+        ++stats_.restarts;
+        backtrack_to(0);
+        return LBool::kUndef;  // caller loops; keeps restart bookkeeping simple
+      }
+      if (learnt_clauses_.size() >= max_learnts + trail_.size()) {
+        reduce_db();
+      }
+      Lit next = kUndefLit;
+      while (trail_lim_.size() < assumptions_.size()) {
+        const Lit a = assumptions_[trail_lim_.size()];
+        if (value(a) == LBool::kTrue) {
+          trail_lim_.push_back(trail_.size());
+        } else if (value(a) == LBool::kFalse) {
+          return LBool::kFalse;
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next == kUndefLit) {
+        next = pick_branch_lit();
+        if (next == kUndefLit) return LBool::kTrue;
+        ++stats_.decisions;
+      }
+      trail_lim_.push_back(trail_.size());
+      enqueue(next, nullptr);
+    }
+  }
+}
+
+LBool Solver::solve(std::span<const Lit> assumptions) {
+  if (!ok_) return LBool::kFalse;
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  conflicts_at_solve_ = stats_.conflicts;
+  budget_hit_ = false;
+  deadline_check_countdown_ = 0;
+  backtrack_to(0);
+  if (propagate() != nullptr) {
+    ok_ = false;
+    return LBool::kFalse;
+  }
+  LBool result = LBool::kUndef;
+  while (result == LBool::kUndef) {
+    result = search();
+    if (result == LBool::kUndef) {
+      // Restart (or budget). Distinguish: budget => bail out.
+      if (budget_exhausted()) break;
+    }
+    if (!ok_) {
+      result = LBool::kFalse;
+      break;
+    }
+  }
+  if (result != LBool::kTrue) backtrack_to(0);
+  assumptions_.clear();
+  return result;
+}
+
+LBool solve_cnf(const Cnf& cnf, std::vector<bool>* model, SolverStats* stats) {
+  Solver solver;
+  for (int v = 0; v < cnf.num_vars; ++v) solver.new_var();
+  for (const Clause& c : cnf.clauses) {
+    if (!solver.add_clause(c)) {
+      if (stats != nullptr) *stats = solver.stats();
+      return LBool::kFalse;
+    }
+  }
+  const LBool result = solver.solve();
+  if (result == LBool::kTrue && model != nullptr) *model = solver.model();
+  if (stats != nullptr) *stats = solver.stats();
+  return result;
+}
+
+}  // namespace fl::sat

@@ -1,0 +1,140 @@
+// Conflict-driven clause-learning (CDCL) SAT solver.
+//
+// MiniSat-style architecture: two-watched-literal propagation, first-UIP
+// conflict analysis with clause minimization, VSIDS branching with phase
+// saving, Luby restarts and activity-based learnt-clause reduction.
+//
+// Built for the oracle-guided SAT attack, so it supports
+//  * incremental clause addition between solve() calls,
+//  * solving under assumptions (used for the miter activation literal),
+//  * wall-clock deadlines and conflict budgets (solve returns kUndef),
+//  * the search statistics the paper reasons about (decisions ~ DPLL
+//    branching, propagations, conflicts ~ backtracks).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace fl::sat {
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t removed_clauses = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  // Returns false if the clause makes the formula trivially UNSAT (empty
+  // clause after root-level simplification). The solver stays usable but
+  // will report UNSAT from then on.
+  bool add_clause(Clause clause);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(Clause(lits));
+  }
+
+  // Solves under the given assumptions. kUndef means a budget/deadline was
+  // hit. The model (for kTrue) is read with value_of/model().
+  LBool solve(std::span<const Lit> assumptions = {});
+
+  // Model access; only valid after solve() returned kTrue.
+  bool value_of(Var v) const;
+  std::vector<bool> model() const;
+
+  // Budgets: 0 disables. The deadline is checked during propagation.
+  void set_conflict_budget(std::uint64_t max_conflicts) {
+    conflict_budget_ = max_conflicts;
+  }
+  void set_deadline(std::optional<std::chrono::steady_clock::time_point> t) {
+    deadline_ = t;
+  }
+
+  const SolverStats& stats() const { return stats_; }
+  std::size_t num_clauses() const { return num_problem_clauses_; }
+
+ private:
+  struct ClauseData;
+  struct Watcher;
+
+  bool enqueue(Lit l, ClauseData* reason);
+  ClauseData* propagate();
+  void analyze(ClauseData* conflict, Clause& learnt, int& backtrack_level);
+  bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+  void backtrack_to(int level);
+  Lit pick_branch_lit();
+  void bump_var(Var v);
+  void decay_var_activity();
+  void bump_clause(ClauseData& c);
+  void reduce_db();
+  void attach(ClauseData* c);
+  void detach(ClauseData* c);
+  LBool value(Lit l) const;
+  LBool search();
+  bool budget_exhausted() const;
+
+  // Assignment state.
+  std::vector<LBool> assign_;
+  std::vector<std::uint8_t> saved_phase_;
+  std::vector<int> level_;
+  std::vector<ClauseData*> reason_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t propagate_head_ = 0;
+
+  // Clause storage.
+  std::vector<std::unique_ptr<ClauseData>> problem_clauses_;
+  std::vector<std::unique_ptr<ClauseData>> learnt_clauses_;
+  std::size_t num_problem_clauses_ = 0;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+
+  // VSIDS.
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<Var> heap_;  // binary max-heap of vars by activity
+  std::vector<int> heap_pos_;
+  void heap_insert(Var v);
+  Var heap_pop();
+  void heap_up(int i);
+  void heap_down(int i);
+  bool heap_less(Var a, Var b) const { return activity_[a] < activity_[b]; }
+
+  double cla_inc_ = 1.0;
+
+  // Conflict-analysis scratch.
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_toclear_;
+
+  bool ok_ = true;
+  std::vector<Lit> assumptions_;
+  SolverStats stats_;
+  std::uint64_t conflict_budget_ = 0;
+  std::uint64_t conflicts_at_solve_ = 0;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  mutable std::uint64_t deadline_check_countdown_ = 0;
+  mutable bool budget_hit_ = false;
+};
+
+// One-shot convenience used by tests and the k-SAT experiments.
+LBool solve_cnf(const Cnf& cnf, std::vector<bool>* model = nullptr,
+                SolverStats* stats = nullptr);
+
+}  // namespace fl::sat

@@ -1,0 +1,65 @@
+// Core SAT types: variables, literals, ternary values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fl::sat {
+
+using Var = std::int32_t;  // 0-based
+inline constexpr Var kNullVar = -1;
+
+// Literal encoded as 2*var + sign (sign 1 = negated). Matches MiniSat.
+class Lit {
+ public:
+  constexpr Lit() = default;
+  constexpr Lit(Var v, bool negated) : x_(2 * v + (negated ? 1 : 0)) {}
+
+  constexpr Var var() const { return x_ >> 1; }
+  constexpr bool negated() const { return (x_ & 1) != 0; }
+  constexpr Lit operator~() const { return from_index(x_ ^ 1); }
+  constexpr bool operator==(const Lit&) const = default;
+  constexpr bool operator<(const Lit& o) const { return x_ < o.x_; }
+
+  // Dense index for watch lists etc.
+  constexpr std::int32_t index() const { return x_; }
+  static constexpr Lit from_index(std::int32_t i) {
+    Lit l;
+    l.x_ = i;
+    return l;
+  }
+
+ private:
+  std::int32_t x_ = -2;
+};
+
+inline constexpr Lit kUndefLit{};
+
+constexpr Lit pos(Var v) { return Lit(v, false); }
+constexpr Lit neg(Var v) { return Lit(v, true); }
+
+enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+constexpr LBool lbool_from(bool b) { return b ? LBool::kTrue : LBool::kFalse; }
+constexpr LBool operator^(LBool v, bool flip) {
+  if (v == LBool::kUndef) return v;
+  return lbool_from((v == LBool::kTrue) != flip);
+}
+
+using Clause = std::vector<Lit>;
+
+// A CNF formula in portable form (used by DIMACS IO, the DPLL solver and the
+// clause/variable-ratio measurements of Fig. 7).
+struct Cnf {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+
+  Var new_var() { return num_vars++; }
+  void add(Clause c) { clauses.push_back(std::move(c)); }
+  double clause_to_var_ratio() const {
+    return num_vars == 0 ? 0.0
+                         : static_cast<double>(clauses.size()) / num_vars;
+  }
+};
+
+}  // namespace fl::sat

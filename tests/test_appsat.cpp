@@ -1,0 +1,88 @@
+// AppSAT: approximate attack; settles early on point-function schemes.
+#include <gtest/gtest.h>
+
+#include "attacks/appsat.h"
+#include "attacks/oracle.h"
+#include "core/full_lock.h"
+#include "core/verify.h"
+#include "locking/rll.h"
+#include "locking/sarlock.h"
+#include "netlist/profiles.h"
+
+namespace fl::attacks {
+namespace {
+
+using core::LockedCircuit;
+using netlist::Netlist;
+
+TEST(AppSat, SettlesEarlyOnSarlock) {
+  // SARLock with 14 key bits: exact SAT attack needs ~2^14 iterations;
+  // AppSAT must settle on an approximate key after a handful, because any
+  // surviving key errs on ~2^-14 of inputs.
+  const Netlist original = netlist::make_circuit("c432", 111);
+  lock::SarLockConfig config;
+  config.num_keys = 14;
+  const LockedCircuit locked = lock::sarlock_lock(original, config);
+  const Oracle oracle(original);
+  AppSatOptions options;
+  options.base.timeout_s = 60.0;
+  options.error_threshold = 0.01;
+  const AppSatResult result = AppSat(options).run(locked, oracle);
+  ASSERT_EQ(result.status, AttackStatus::kSuccess);
+  EXPECT_TRUE(result.approximate);
+  EXPECT_LT(result.iterations, 200u);
+  EXPECT_LE(result.estimated_error, 0.01);
+  // The approximate key is *nearly* correct on random patterns.
+  const double err = core::error_rate(original, locked.netlist, result.key,
+                                      16, 5);
+  EXPECT_LT(err, 0.02);
+}
+
+TEST(AppSat, ExactOnEasySchemes) {
+  const Netlist original = netlist::make_circuit("c499", 112);
+  lock::RllConfig config;
+  config.num_keys = 16;
+  const LockedCircuit locked = lock::rll_lock(original, config);
+  const Oracle oracle(original);
+  AppSatOptions options;
+  options.base.timeout_s = 60.0;
+  const AppSatResult result = AppSat(options).run(locked, oracle);
+  ASSERT_EQ(result.status, AttackStatus::kSuccess);
+  if (result.approximate) {
+    // Legitimate AppSAT outcome: settled on a key below the error
+    // threshold. Hold it to that promise on fresh patterns.
+    const double err =
+        core::error_rate(original, locked.netlist, result.key, 32, 17);
+    EXPECT_LT(err, 4 * options.error_threshold);
+  } else {
+    EXPECT_TRUE(core::verify_unlocks(original, locked.netlist, result.key, 16,
+                                     1, /*sat=*/true));
+  }
+}
+
+TEST(AppSat, FullLockResistsApproximation) {
+  // §2 property (3): Full-Lock is "not susceptible to approximate attacks" —
+  // no early settlement, because partial keys still corrupt heavily. With a
+  // tight budget the attack times out rather than settling.
+  const Netlist original = netlist::make_circuit("c432", 113);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({16}));
+  const Oracle oracle(original);
+  AppSatOptions options;
+  options.base.timeout_s = 1.5;
+  options.error_threshold = 0.005;
+  const AppSatResult result = AppSat(options).run(locked, oracle);
+  // Acceptable outcomes: budget exhausted without settling, an exact
+  // finish, or an approximate settlement that genuinely meets the error
+  // bar. What must NOT happen is settling on a badly wrong key.
+  if (result.status == AttackStatus::kSuccess) {
+    const double err =
+        core::error_rate(original, locked.netlist, result.key, 32, 19);
+    EXPECT_LT(err, 4 * options.error_threshold);
+  } else {
+    EXPECT_EQ(result.status, AttackStatus::kTimeout);
+  }
+}
+
+}  // namespace
+}  // namespace fl::attacks

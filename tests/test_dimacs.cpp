@@ -1,0 +1,55 @@
+// DIMACS CNF I/O.
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.h"
+#include "sat/ksat.h"
+
+namespace fl::sat {
+namespace {
+
+TEST(Dimacs, ParseSimple) {
+  const Cnf cnf = read_dimacs_string("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  EXPECT_EQ(cnf.num_vars, 3);
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0][0], pos(0));
+  EXPECT_EQ(cnf.clauses[0][1], neg(1));
+}
+
+TEST(Dimacs, RoundTrip) {
+  KSatConfig config;
+  config.num_vars = 25;
+  config.num_clauses = 100;
+  config.seed = 12;
+  const Cnf cnf = random_ksat(config);
+  const Cnf again = read_dimacs_string(write_dimacs_string(cnf));
+  ASSERT_EQ(again.num_vars, cnf.num_vars);
+  ASSERT_EQ(again.clauses.size(), cnf.clauses.size());
+  for (std::size_t i = 0; i < cnf.clauses.size(); ++i) {
+    EXPECT_EQ(again.clauses[i], cnf.clauses[i]);
+  }
+}
+
+TEST(Dimacs, MultiClausePerLineAndMissingTerminator) {
+  const Cnf cnf = read_dimacs_string("p cnf 2 2\n1 0 -1 2\n");
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[1].size(), 2u);
+}
+
+TEST(Dimacs, HeaderlessInputInfersVars) {
+  const Cnf cnf = read_dimacs_string("1 -5 0\n");
+  EXPECT_EQ(cnf.num_vars, 5);
+}
+
+TEST(Dimacs, BadFormatRejected) {
+  EXPECT_THROW(read_dimacs_string("p sat 3 2\n"), std::runtime_error);
+}
+
+TEST(Dimacs, RatioHelper) {
+  Cnf cnf;
+  cnf.num_vars = 10;
+  for (int i = 0; i < 43; ++i) cnf.add({pos(i % 10)});
+  EXPECT_NEAR(cnf.clause_to_var_ratio(), 4.3, 1e-9);
+}
+
+}  // namespace
+}  // namespace fl::sat

@@ -1,0 +1,125 @@
+// Recursive DPLL solver: correctness, statistics, and the hardness-peak
+// property behind Fig. 1.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sat/dpll.h"
+#include "sat/ksat.h"
+#include "sat/solver.h"
+
+namespace fl::sat {
+namespace {
+
+TEST(Dpll, TrivialSat) {
+  Cnf cnf;
+  const Var a = cnf.new_var();
+  cnf.add({pos(a)});
+  const DpllResult r = Dpll().solve(cnf);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.model[a]);
+  EXPECT_GE(r.recursive_calls, 1u);
+}
+
+TEST(Dpll, TrivialUnsat) {
+  Cnf cnf;
+  const Var a = cnf.new_var();
+  cnf.add({pos(a)});
+  cnf.add({neg(a)});
+  EXPECT_FALSE(Dpll().solve(cnf).satisfiable);
+}
+
+TEST(Dpll, EmptyClauseIsUnsat) {
+  Cnf cnf;
+  cnf.new_var();
+  cnf.add({});
+  EXPECT_FALSE(Dpll().solve(cnf).satisfiable);
+}
+
+TEST(Dpll, UnitPropagationCounted) {
+  Cnf cnf;
+  const Var a = cnf.new_var();
+  const Var b = cnf.new_var();
+  cnf.add({pos(a)});
+  cnf.add({neg(a), pos(b)});
+  const DpllResult r = Dpll().solve(cnf);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_GE(r.unit_propagations, 2u);
+  EXPECT_EQ(r.branches, 0u);
+}
+
+TEST(Dpll, PureLiteralCounted) {
+  Cnf cnf;
+  const Var a = cnf.new_var();
+  const Var b = cnf.new_var();
+  cnf.add({pos(a), pos(b)});
+  cnf.add({pos(a), neg(b)});
+  const DpllResult r = Dpll().solve(cnf);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_GE(r.purifications, 1u);  // `a` is pure positive
+}
+
+TEST(Dpll, AgreesWithCdclOnRandomInstances) {
+  std::mt19937_64 seeds(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    KSatConfig config;
+    config.num_vars = 20;
+    config.num_clauses = 60 + static_cast<int>(seeds() % 50);
+    config.seed = seeds();
+    const Cnf cnf = random_ksat(config);
+    const DpllResult dpll = Dpll().solve(cnf);
+    ASSERT_TRUE(dpll.completed);
+    const LBool cdcl = solve_cnf(cnf);
+    ASSERT_EQ(dpll.satisfiable, cdcl == LBool::kTrue) << "trial " << trial;
+    if (dpll.satisfiable) {
+      // Model actually satisfies.
+      for (const Clause& c : cnf.clauses) {
+        bool sat = false;
+        for (const Lit l : c) {
+          if (dpll.model[l.var()] != l.negated()) sat = true;
+        }
+        ASSERT_TRUE(sat);
+      }
+    }
+  }
+}
+
+TEST(Dpll, CallBudgetAborts) {
+  KSatConfig config;
+  config.num_vars = 60;
+  config.num_clauses = 258;  // ratio 4.3: hard region
+  config.seed = 17;
+  const Cnf cnf = random_ksat(config);
+  const DpllResult r = Dpll(/*max_calls=*/3).solve(cnf);
+  EXPECT_FALSE(r.completed);
+  EXPECT_LE(r.recursive_calls, 4u);
+}
+
+// The Fig. 1 property: median recursive calls peak near clause/var 4.3 and
+// collapse in the under-/over-constrained regimes.
+TEST(Dpll, HardnessPeaksNearPhaseTransition) {
+  constexpr int kVars = 30;
+  constexpr int kSeeds = 7;
+  const auto median_calls = [&](double ratio) {
+    std::vector<std::uint64_t> calls;
+    for (int s = 0; s < kSeeds; ++s) {
+      KSatConfig config;
+      config.num_vars = kVars;
+      config.num_clauses = static_cast<int>(kVars * ratio);
+      config.seed = 1000 + s;
+      const DpllResult r = Dpll().solve(random_ksat(config));
+      calls.push_back(r.recursive_calls);
+    }
+    std::sort(calls.begin(), calls.end());
+    return calls[calls.size() / 2];
+  };
+  const std::uint64_t under = median_calls(2.0);
+  const std::uint64_t critical = median_calls(4.3);
+  const std::uint64_t over = median_calls(8.0);
+  EXPECT_GT(critical, under);
+  EXPECT_GT(critical, over);
+}
+
+}  // namespace
+}  // namespace fl::sat

@@ -1,0 +1,125 @@
+// Synthetic circuit generator: budgets, determinism, structural health.
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+#include "netlist/generator.h"
+#include "netlist/profiles.h"
+#include "netlist/structure.h"
+
+namespace fl::netlist {
+namespace {
+
+TEST(Generator, MeetsBudgets) {
+  GeneratorConfig config;
+  config.num_inputs = 12;
+  config.num_outputs = 6;
+  config.num_gates = 150;
+  config.seed = 3;
+  const Netlist n = generate_circuit(config);
+  EXPECT_EQ(n.num_inputs(), 12u);
+  EXPECT_EQ(n.num_outputs(), 6u);
+  EXPECT_EQ(n.num_logic_gates(), 150u);
+  EXPECT_FALSE(n.is_cyclic());
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(Generator, Deterministic) {
+  GeneratorConfig config;
+  config.num_gates = 80;
+  config.seed = 77;
+  const Netlist a = generate_circuit(config);
+  const Netlist b = generate_circuit(config);
+  EXPECT_EQ(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig config;
+  config.num_gates = 80;
+  config.seed = 1;
+  const Netlist a = generate_circuit(config);
+  config.seed = 2;
+  const Netlist b = generate_circuit(config);
+  EXPECT_NE(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(Generator, OutputsAreDistinctLogicGates) {
+  GeneratorConfig config;
+  config.num_inputs = 8;
+  config.num_outputs = 8;
+  config.num_gates = 40;
+  config.seed = 5;
+  const Netlist n = generate_circuit(config);
+  std::vector<GateId> outs;
+  for (const OutputPort& o : n.outputs()) {
+    EXPECT_FALSE(is_source(n.gate(o.gate).type));
+    outs.push_back(o.gate);
+  }
+  std::sort(outs.begin(), outs.end());
+  EXPECT_EQ(std::unique(outs.begin(), outs.end()), outs.end());
+}
+
+TEST(Generator, RejectsBadBudgets) {
+  GeneratorConfig config;
+  config.num_gates = 0;
+  EXPECT_THROW(generate_circuit(config), std::invalid_argument);
+  config.num_gates = 10;
+  config.num_inputs = 0;
+  EXPECT_THROW(generate_circuit(config), std::invalid_argument);
+  config.num_inputs = 4;
+  config.max_fanin = 1;
+  EXPECT_THROW(generate_circuit(config), std::invalid_argument);
+}
+
+TEST(Generator, MostLogicIsLive) {
+  GeneratorConfig config;
+  config.num_inputs = 16;
+  config.num_outputs = 8;
+  config.num_gates = 200;
+  config.seed = 13;
+  const Netlist n = generate_circuit(config);
+  const auto live = live_gates(n);
+  std::size_t live_count = 0, logic = 0;
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    if (is_source(n.gate(g).type)) continue;
+    ++logic;
+    if (live[g]) ++live_count;
+  }
+  // The generator wires outputs to sinks, so a healthy majority of the
+  // logic must reach an output.
+  EXPECT_GT(live_count * 2, logic);
+}
+
+TEST(Profiles, Table5ShapesMatchPaper) {
+  const auto profiles = table5_profiles();
+  ASSERT_EQ(profiles.size(), 13u);
+  const auto c432 = find_profile("c432");
+  ASSERT_TRUE(c432.has_value());
+  EXPECT_EQ(c432->num_gates, 160u);
+  EXPECT_EQ(c432->num_inputs, 36u);
+  EXPECT_EQ(c432->num_outputs, 7u);
+  const auto apex4 = find_profile("apex4");
+  ASSERT_TRUE(apex4.has_value());
+  EXPECT_EQ(apex4->num_gates, 5360u);
+}
+
+TEST(Profiles, MakeCircuitHonorsProfile) {
+  const Netlist n = make_circuit("c880", 4);
+  EXPECT_EQ(n.num_inputs(), 60u);
+  EXPECT_EQ(n.num_outputs(), 26u);
+  EXPECT_EQ(n.num_logic_gates(), 386u);
+  EXPECT_EQ(n.name(), "c880");
+}
+
+TEST(Profiles, UnknownProfileThrows) {
+  EXPECT_THROW(make_circuit("c9999", 1), std::invalid_argument);
+  EXPECT_FALSE(find_profile("c9999").has_value());
+}
+
+TEST(Profiles, DifferentProfilesDifferAtSameSeed) {
+  const Netlist a = make_circuit("c432", 1);
+  const Netlist b = make_circuit("c499", 1);
+  EXPECT_NE(write_bench_string(a), write_bench_string(b));
+}
+
+}  // namespace
+}  // namespace fl::netlist

@@ -1,0 +1,165 @@
+// PLR insertion: functional preservation under the derived key, cycle-mode
+// guarantees, negation absorption, LUT twisting.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/insertion.h"
+#include "core/verify.h"
+#include "netlist/profiles.h"
+
+namespace fl::core {
+namespace {
+
+using netlist::Netlist;
+
+PlrConfig basic_config(int n, CycleMode mode = CycleMode::kAvoid) {
+  PlrConfig config;
+  config.cln.n = n;
+  config.cycle_mode = mode;
+  return config;
+}
+
+// Core invariant across seeds/topologies/sizes: the locked netlist under
+// the derived key matches the original.
+struct InsertCase {
+  int n;
+  ClnTopology topo;
+  bool twist;
+  double negate_p;
+  std::uint64_t seed;
+};
+
+class InsertionProperty : public ::testing::TestWithParam<InsertCase> {};
+
+TEST_P(InsertionProperty, CorrectKeyPreservesFunction) {
+  const InsertCase c = GetParam();
+  // Host sized to the CLN: a 32-wire antichain of live wires needs a
+  // larger circuit than c432.
+  const Netlist original =
+      netlist::make_circuit(c.n >= 32 ? "c1908" : "c432", 11);
+  Netlist locked = original;
+  PlrConfig config = basic_config(c.n);
+  config.cln.topology = c.topo;
+  config.twist_luts = c.twist;
+  config.negate_probability = c.negate_p;
+  std::mt19937_64 rng(c.seed);
+  const PlrInsertion ins = insert_plr(locked, config, rng, "plr");
+  EXPECT_FALSE(locked.is_cyclic());
+  EXPECT_TRUE(
+      verify_unlocks(original, locked, ins.added_key_values, 8, c.seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InsertionProperty,
+    ::testing::Values(
+        InsertCase{4, ClnTopology::kBanyanNonBlocking, true, 0.5, 1},
+        InsertCase{8, ClnTopology::kBanyanNonBlocking, true, 0.5, 2},
+        InsertCase{16, ClnTopology::kBanyanNonBlocking, true, 0.5, 3},
+        InsertCase{8, ClnTopology::kShuffleBlocking, true, 0.5, 4},
+        InsertCase{8, ClnTopology::kBanyanNonBlocking, false, 0.5, 5},
+        InsertCase{8, ClnTopology::kBanyanNonBlocking, true, 0.0, 6},
+        InsertCase{8, ClnTopology::kBanyanNonBlocking, true, 1.0, 7},
+        InsertCase{32, ClnTopology::kBanyanNonBlocking, true, 0.5, 8}));
+
+TEST(Insertion, AvoidModeStaysAcyclicAcrossSeeds) {
+  const Netlist original = netlist::make_circuit("c880", 21);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Netlist locked = original;
+    std::mt19937_64 rng(seed);
+    insert_plr(locked, basic_config(8), rng, "plr");
+    EXPECT_FALSE(locked.is_cyclic()) << "seed " << seed;
+  }
+}
+
+TEST(Insertion, ForceModeCreatesCycle) {
+  const Netlist original = netlist::make_circuit("c432", 5);
+  Netlist locked = original;
+  std::mt19937_64 rng(9);
+  const PlrInsertion ins =
+      insert_plr(locked, basic_config(8, CycleMode::kForce), rng, "plr");
+  EXPECT_TRUE(locked.is_cyclic());
+  // Still functionally correct under the derived key (relaxation sim).
+  EXPECT_TRUE(verify_unlocks(original, locked, ins.added_key_values, 8, 3));
+}
+
+TEST(Insertion, NegationRequiresInverters) {
+  const Netlist original = netlist::make_circuit("c432", 5);
+  Netlist locked = original;
+  PlrConfig config = basic_config(8);
+  config.cln.with_inverters = false;
+  config.negate_probability = 0.5;
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(insert_plr(locked, config, rng, "plr"), std::invalid_argument);
+  config.negate_probability = 0.0;
+  EXPECT_NO_THROW(insert_plr(locked, config, rng, "plr"));
+}
+
+TEST(Insertion, NegationActuallyRetypesDrivers) {
+  const Netlist original = netlist::make_circuit("c1355", 6);
+  Netlist locked = original;
+  PlrConfig config = basic_config(16);
+  config.negate_probability = 1.0;  // negate every negatable driver
+  std::mt19937_64 rng(2);
+  const PlrInsertion ins = insert_plr(locked, config, rng, "plr");
+  int retyped = 0;
+  for (const netlist::GateId w : ins.selected_wires) {
+    if (locked.gate(w).type != original.gate(w).type) ++retyped;
+  }
+  EXPECT_EQ(retyped, ins.num_negated_drivers);
+  EXPECT_GT(retyped, 0);
+  EXPECT_TRUE(verify_unlocks(original, locked, ins.added_key_values, 8, 4));
+}
+
+TEST(Insertion, KeyCountMatchesStructure) {
+  const Netlist original = netlist::make_circuit("c499", 7);
+  Netlist locked = original;
+  PlrConfig config = basic_config(8);
+  config.twist_luts = false;
+  std::mt19937_64 rng(3);
+  const PlrInsertion ins = insert_plr(locked, config, rng, "plr");
+  EXPECT_EQ(static_cast<int>(ins.added_key_values.size()),
+            cln_num_keys(config.cln));
+  EXPECT_EQ(locked.num_keys(), ins.added_key_values.size());
+}
+
+TEST(Insertion, LutTwistingAddsTruthTableKeys) {
+  const Netlist original = netlist::make_circuit("c499", 7);
+  Netlist locked = original;
+  PlrConfig config = basic_config(8);
+  config.twist_luts = true;
+  std::mt19937_64 rng(3);
+  const PlrInsertion ins = insert_plr(locked, config, rng, "plr");
+  EXPECT_GT(ins.num_luts, 0);
+  EXPECT_GT(static_cast<int>(ins.added_key_values.size()),
+            cln_num_keys(config.cln));
+}
+
+TEST(Insertion, HintDescribesRouting) {
+  const Netlist original = netlist::make_circuit("i4", 8);
+  Netlist locked = original;
+  PlrConfig config = basic_config(8);
+  std::mt19937_64 rng(4);
+  const PlrInsertion ins = insert_plr(locked, config, rng, "plr");
+  ASSERT_EQ(ins.hint.block_outputs.size(), 8u);
+  ASSERT_EQ(ins.hint.permutation.size(), 8u);
+  // Permutation is a bijection on 0..7.
+  std::vector<bool> seen(8, false);
+  for (const int p : ins.hint.permutation) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 8);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Insertion, TooSmallCircuitThrows) {
+  const Netlist c17 = netlist::make_c17();
+  Netlist locked = c17;
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(insert_plr(locked, basic_config(32), rng, "plr"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fl::core

@@ -1,0 +1,80 @@
+// Random k-SAT generator properties.
+#include <gtest/gtest.h>
+
+#include "sat/ksat.h"
+
+namespace fl::sat {
+namespace {
+
+TEST(KSat, ShapeIsExact) {
+  KSatConfig config;
+  config.num_vars = 40;
+  config.num_clauses = 170;
+  config.k = 3;
+  config.seed = 9;
+  const Cnf cnf = random_ksat(config);
+  EXPECT_EQ(cnf.num_vars, 40);
+  ASSERT_EQ(cnf.clauses.size(), 170u);
+  for (const Clause& c : cnf.clauses) {
+    ASSERT_EQ(c.size(), 3u);
+    // Distinct variables within a clause.
+    EXPECT_NE(c[0].var(), c[1].var());
+    EXPECT_NE(c[0].var(), c[2].var());
+    EXPECT_NE(c[1].var(), c[2].var());
+    for (const Lit l : c) {
+      EXPECT_GE(l.var(), 0);
+      EXPECT_LT(l.var(), 40);
+    }
+  }
+}
+
+TEST(KSat, Deterministic) {
+  KSatConfig config;
+  config.seed = 123;
+  const Cnf a = random_ksat(config);
+  const Cnf b = random_ksat(config);
+  ASSERT_EQ(a.clauses.size(), b.clauses.size());
+  for (std::size_t i = 0; i < a.clauses.size(); ++i) {
+    EXPECT_EQ(a.clauses[i], b.clauses[i]);
+  }
+}
+
+TEST(KSat, PolaritiesRoughlyBalanced) {
+  KSatConfig config;
+  config.num_vars = 50;
+  config.num_clauses = 2000;
+  config.seed = 5;
+  const Cnf cnf = random_ksat(config);
+  std::size_t negs = 0, total = 0;
+  for (const Clause& c : cnf.clauses) {
+    for (const Lit l : c) {
+      negs += l.negated() ? 1 : 0;
+      ++total;
+    }
+  }
+  const double frac = static_cast<double>(negs) / total;
+  EXPECT_GT(frac, 0.45);
+  EXPECT_LT(frac, 0.55);
+}
+
+TEST(KSat, K2AndK4Supported) {
+  KSatConfig config;
+  config.k = 2;
+  config.num_clauses = 10;
+  EXPECT_EQ(random_ksat(config).clauses[0].size(), 2u);
+  config.k = 4;
+  EXPECT_EQ(random_ksat(config).clauses[0].size(), 4u);
+}
+
+TEST(KSat, InvalidConfigsRejected) {
+  KSatConfig config;
+  config.k = 10;
+  config.num_vars = 5;
+  EXPECT_THROW(random_ksat(config), std::invalid_argument);
+  config = {};
+  config.num_clauses = 0;
+  EXPECT_THROW(random_ksat(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fl::sat

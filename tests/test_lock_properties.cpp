@@ -1,0 +1,123 @@
+// Cross-scheme property sweeps: every locking transform must (1) preserve
+// the interface, (2) unlock under its correct key, (3) be deterministic in
+// its seed, (4) produce keys following the keyinput naming convention, and
+// (5) never leave the correct key as the all-zeros vector by construction
+// accident more often than chance would allow.
+#include <gtest/gtest.h>
+
+#include "core/full_lock.h"
+#include "core/verify.h"
+#include "locking/antisat.h"
+#include "locking/crosslock.h"
+#include "locking/lutlock.h"
+#include "locking/rll.h"
+#include "locking/sarlock.h"
+#include "netlist/profiles.h"
+
+namespace fl {
+namespace {
+
+using core::LockedCircuit;
+using netlist::Netlist;
+
+LockedCircuit lock_with(const std::string& scheme, const Netlist& original,
+                        std::uint64_t seed) {
+  if (scheme == "rll") {
+    lock::RllConfig c;
+    c.num_keys = 12;
+    c.seed = seed;
+    return lock::rll_lock(original, c);
+  }
+  if (scheme == "sarlock") {
+    lock::SarLockConfig c;
+    c.num_keys = 8;
+    c.seed = seed;
+    return lock::sarlock_lock(original, c);
+  }
+  if (scheme == "antisat") {
+    lock::AntiSatConfig c;
+    c.block_inputs = 6;
+    c.seed = seed;
+    return lock::antisat_lock(original, c);
+  }
+  if (scheme == "lut-lock") {
+    lock::LutLockConfig c;
+    c.num_luts = 6;
+    c.seed = seed;
+    return lock::lutlock_lock(original, c);
+  }
+  if (scheme == "cross-lock") {
+    lock::CrossLockConfig c;
+    c.num_sources = 8;
+    c.num_destinations = 10;
+    c.seed = seed;
+    return lock::crosslock_lock(original, c);
+  }
+  core::FullLockConfig c = core::FullLockConfig::with_plrs({8});
+  c.seed = seed;
+  return core::full_lock(original, c);
+}
+
+struct PropertyCase {
+  const char* scheme;
+  const char* profile;
+  std::uint64_t seed;
+};
+
+class LockProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(LockProperty, InterfaceAndUnlockInvariants) {
+  const PropertyCase p = GetParam();
+  const Netlist original = netlist::make_circuit(p.profile, p.seed);
+  const LockedCircuit locked = lock_with(p.scheme, original, p.seed);
+
+  // (1) Interface preserved.
+  ASSERT_EQ(locked.netlist.num_inputs(), original.num_inputs());
+  ASSERT_EQ(locked.netlist.num_outputs(), original.num_outputs());
+  ASSERT_EQ(locked.netlist.num_keys(), locked.correct_key.size());
+  ASSERT_GT(locked.key_bits(), 0u);
+  EXPECT_NO_THROW(locked.netlist.validate());
+
+  // (2) Correct key unlocks (simulation; SAT proof where acyclic).
+  EXPECT_TRUE(core::verify_unlocks(original, locked, 12, p.seed,
+                                   !locked.netlist.is_cyclic()));
+
+  // (3) Deterministic in the seed.
+  const LockedCircuit again = lock_with(p.scheme, original, p.seed);
+  EXPECT_EQ(again.correct_key, locked.correct_key);
+  EXPECT_EQ(again.netlist.num_gates(), locked.netlist.num_gates());
+
+  // (4) Key naming convention.
+  for (const netlist::GateId k : locked.netlist.keys()) {
+    EXPECT_TRUE(locked.netlist.gate(k).name.starts_with("keyinput"))
+        << locked.netlist.gate(k).name;
+  }
+}
+
+std::vector<PropertyCase> grid() {
+  std::vector<PropertyCase> cases;
+  for (const char* scheme : {"full-lock", "rll", "sarlock", "antisat",
+                             "lut-lock", "cross-lock"}) {
+    for (const char* profile : {"c499", "i4"}) {
+      for (const std::uint64_t seed : {3ull, 17ull}) {
+        cases.push_back({scheme, profile, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LockProperty, ::testing::ValuesIn(grid()),
+                         [](const auto& info) {
+                           std::string name = info.param.scheme;
+                           name += "_";
+                           name += info.param.profile;
+                           name += "_s" + std::to_string(info.param.seed);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,67 @@
+// LUT-Lock baseline.
+#include <gtest/gtest.h>
+
+#include "core/verify.h"
+#include "locking/lutlock.h"
+#include "netlist/profiles.h"
+
+namespace fl::lock {
+namespace {
+
+using netlist::Netlist;
+
+TEST(LutLock, CorrectKeyUnlocks) {
+  const Netlist original = netlist::make_circuit("c432", 71);
+  LutLockConfig config;
+  config.num_luts = 12;
+  const core::LockedCircuit locked = lutlock_lock(original, config);
+  EXPECT_EQ(locked.scheme, "lut-lock");
+  EXPECT_GE(locked.key_bits(), 2u * 12);  // smallest LUT has 2 rows
+  EXPECT_TRUE(core::verify_unlocks(original, locked, 16, 1, /*sat=*/true));
+}
+
+TEST(LutLock, InvertedTablesCorrupt) {
+  const Netlist original = netlist::make_circuit("c499", 72);
+  LutLockConfig config;
+  config.num_luts = 8;
+  const core::LockedCircuit locked = lutlock_lock(original, config);
+  std::vector<bool> wrong = locked.correct_key;
+  wrong.flip();
+  EXPECT_FALSE(core::verify_unlocks(original, locked.netlist, wrong, 16, 2,
+                                    /*sat=*/true));
+}
+
+TEST(LutLock, PreferSmallPicksCheapGates) {
+  const Netlist original = netlist::make_circuit("c880", 73);
+  LutLockConfig small;
+  small.num_luts = 10;
+  small.prefer_small = true;
+  LutLockConfig any;
+  any.num_luts = 10;
+  any.prefer_small = false;
+  const auto k_small = lutlock_lock(original, small).key_bits();
+  const auto k_any = lutlock_lock(original, any).key_bits();
+  EXPECT_LE(k_small, k_any);
+}
+
+TEST(LutLock, TooManyLutsThrows) {
+  const Netlist c17 = netlist::make_c17();
+  LutLockConfig config;
+  config.num_luts = 100;
+  EXPECT_THROW(lutlock_lock(c17, config), std::invalid_argument);
+}
+
+TEST(LutLock, HighCorruption) {
+  // Unlike point functions, LUT-Lock corrupts broadly (each wrong table bit
+  // flips a whole input subspace).
+  const Netlist original = netlist::make_circuit("c432", 74);
+  LutLockConfig config;
+  config.num_luts = 16;
+  const core::LockedCircuit locked = lutlock_lock(original, config);
+  const core::CorruptionStats stats =
+      core::output_corruption(original, locked, 16, 4, 3);
+  EXPECT_GT(stats.mean_error_rate, 0.01);
+}
+
+}  // namespace
+}  // namespace fl::lock

@@ -1,0 +1,188 @@
+// Miter construction and SAT equivalence checking.
+#include <gtest/gtest.h>
+
+#include "cnf/miter.h"
+#include "netlist/generator.h"
+#include "netlist/profiles.h"
+#include "netlist/simulator.h"
+
+namespace fl::cnf {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+TEST(CheckEquivalence, CircuitEqualsItself) {
+  const Netlist c17 = netlist::make_c17();
+  EXPECT_TRUE(check_equivalence(c17, {}, c17, {}));
+}
+
+TEST(CheckEquivalence, DetectsSingleGateChange) {
+  const Netlist c17 = netlist::make_c17();
+  Netlist mutated = c17;
+  mutated.retype(mutated.outputs()[0].gate, GateType::kAnd);  // NAND -> AND
+  std::vector<bool> cex;
+  EXPECT_FALSE(check_equivalence(c17, {}, mutated, {}, &cex));
+  ASSERT_EQ(cex.size(), c17.num_inputs());
+  // The counterexample actually distinguishes them.
+  const auto out_a = netlist::eval_once(c17, cex, {});
+  const auto out_b = netlist::eval_once(mutated, cex, {});
+  EXPECT_NE(out_a, out_b);
+}
+
+TEST(CheckEquivalence, StructurallyDifferentButEqual) {
+  // DeMorgan: NAND(a,b) == OR(NOT a, NOT b).
+  Netlist lhs;
+  {
+    const GateId a = lhs.add_input("a");
+    const GateId b = lhs.add_input("b");
+    lhs.mark_output(lhs.add_gate(GateType::kNand, {a, b}), "y");
+  }
+  Netlist rhs;
+  {
+    const GateId a = rhs.add_input("a");
+    const GateId b = rhs.add_input("b");
+    const GateId na = rhs.add_gate(GateType::kNot, {a});
+    const GateId nb = rhs.add_gate(GateType::kNot, {b});
+    rhs.mark_output(rhs.add_gate(GateType::kOr, {na, nb}), "y");
+  }
+  EXPECT_TRUE(check_equivalence(lhs, {}, rhs, {}));
+}
+
+TEST(CheckEquivalence, KeyedCircuitUnderCorrectKey) {
+  // locked = XOR(original, key): equal iff key = 0.
+  Netlist original;
+  const GateId a0 = original.add_input("a");
+  original.mark_output(original.add_gate(GateType::kNot, {a0}), "y");
+  Netlist locked;
+  const GateId a1 = locked.add_input("a");
+  const GateId k = locked.add_key("k");
+  const GateId inv = locked.add_gate(GateType::kNot, {a1});
+  locked.mark_output(locked.add_gate(GateType::kXor, {inv, k}), "y");
+  EXPECT_TRUE(check_equivalence(original, {}, locked, {false}));
+  EXPECT_FALSE(check_equivalence(original, {}, locked, {true}));
+}
+
+TEST(CheckEquivalence, InterfaceMismatchThrows) {
+  const Netlist c17 = netlist::make_c17();
+  Netlist tiny;
+  tiny.add_input("a");
+  tiny.mark_output(tiny.add_gate(GateType::kNot, {0}), "y");
+  EXPECT_THROW(check_equivalence(c17, {}, tiny, {}), std::invalid_argument);
+}
+
+TEST(AttackMiter, KeylessCircuitIsTriviallyEqual) {
+  const Netlist c17 = netlist::make_c17();
+  sat::Solver solver;
+  const AttackMiter miter = encode_attack_miter(c17, solver);
+  EXPECT_TRUE(miter.trivially_equal);
+}
+
+TEST(AttackMiter, FindsDipForKeyedCircuit) {
+  Netlist locked;
+  const GateId a = locked.add_input("a");
+  const GateId k = locked.add_key("k");
+  locked.mark_output(locked.add_gate(GateType::kXor, {a, k}), "y");
+  sat::Solver solver;
+  const AttackMiter miter = encode_attack_miter(locked, solver);
+  ASSERT_FALSE(miter.trivially_equal);
+  const sat::Lit assume[] = {miter.activate};
+  // Keys differ -> outputs differ on every input: SAT.
+  ASSERT_EQ(solver.solve(assume), sat::LBool::kTrue);
+  EXPECT_NE(solver.value_of(miter.key1[0]), solver.value_of(miter.key2[0]));
+}
+
+TEST(AttackMiter, IoConstraintPinsKey) {
+  Netlist locked;
+  const GateId a = locked.add_input("a");
+  const GateId k = locked.add_key("k");
+  locked.mark_output(locked.add_gate(GateType::kXor, {a, k}), "y");
+  sat::Solver solver;
+  const AttackMiter miter = encode_attack_miter(locked, solver);
+  // Oracle says: input a=0 -> output 0. Then k must be 0 in both copies.
+  add_io_constraint(locked, solver, miter.key1, {false}, {false});
+  add_io_constraint(locked, solver, miter.key2, {false}, {false});
+  const sat::Lit assume[] = {miter.activate};
+  EXPECT_EQ(solver.solve(assume), sat::LBool::kFalse);  // no DIP remains
+  ASSERT_EQ(solver.solve(), sat::LBool::kTrue);
+  EXPECT_FALSE(solver.value_of(miter.key1[0]));
+}
+
+TEST(AttackMiter, SharedInputsAcrossCopies) {
+  const Netlist profile = netlist::make_circuit("i4", 3);
+  // Give it a key so the miter is non-trivial.
+  Netlist locked = profile;
+  const GateId k = locked.add_key("k");
+  const GateId old_out = locked.outputs()[0].gate;
+  const GateId g = locked.add_gate(GateType::kXor, {old_out, k});
+  locked.set_output_gate(0, g);
+  sat::Solver solver;
+  const AttackMiter miter = encode_attack_miter(locked, solver);
+  ASSERT_EQ(miter.inputs.size(), locked.num_inputs());
+  ASSERT_EQ(miter.key1.size(), 1u);
+  ASSERT_EQ(miter.key2.size(), 1u);
+  EXPECT_NE(miter.key1[0], miter.key2[0]);
+}
+
+
+TEST(DeobfuscationRatio, UnitPinnedInputsKeepVariables) {
+  // inputs_as_unit_clauses must allocate input vars and pin them, unlike
+  // the folding default which substitutes constants.
+  const Netlist c17 = netlist::make_c17();
+  sat::Cnf folded_cnf, pinned_cnf;
+  {
+    CnfSink sink(folded_cnf);
+    EncodeOptions options;
+    options.fixed_inputs = {true, false, true, false, true};
+    encode(c17, sink, options);
+  }
+  {
+    CnfSink sink(pinned_cnf);
+    EncodeOptions options;
+    options.fold_constants = false;
+    options.inputs_as_unit_clauses = true;
+    options.fixed_inputs = {true, false, true, false, true};
+    const EncodedCircuit enc = encode(c17, sink, options);
+    for (const sat::Var v : enc.input_vars) EXPECT_NE(v, sat::kNullVar);
+  }
+  EXPECT_EQ(folded_cnf.num_vars, 0);   // whole circuit folded away
+  EXPECT_EQ(pinned_cnf.num_vars, 11);  // 5 inputs + 6 gates
+  // 6 NANDs x 3 clauses + 5 unit pins.
+  EXPECT_EQ(pinned_cnf.clauses.size(), 23u);
+}
+
+TEST(DeobfuscationRatio, PureMuxFabricApproachesFour) {
+  // A deep MUX cascade (key-selected) is the paper's hard-instance shape:
+  // 1 var / 4 clauses per MUX, so with inputs pinned the ratio approaches 4.
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  GateId cur = a;
+  for (int i = 0; i < 200; ++i) {
+    const GateId k = n.add_key("keyinput" + std::to_string(i));
+    cur = n.add_gate(GateType::kMux, {k, cur, b});
+  }
+  n.mark_output(cur, "y");
+  const double ratio = deobfuscation_cnf_ratio(n, /*num_dips=*/64, 5);
+  EXPECT_GT(ratio, 3.5);
+  EXPECT_LT(ratio, 4.05);
+}
+
+TEST(DeobfuscationRatio, MoreDipsDiluteFreeKeyVariables) {
+  const Netlist original = netlist::make_circuit("c432", 7);
+  Netlist locked = original;
+  // A key-heavy lock: ratio must rise as DIP copies amortize the key vars.
+  for (int i = 0; i < 64; ++i) {
+    const GateId k = locked.add_key("keyinput" + std::to_string(i));
+    const GateId w = locked.outputs()[i % locked.num_outputs()].gate;
+    const GateId g = locked.add_gate(GateType::kXor, {w, k});
+    locked.set_output_gate(i % locked.num_outputs(), g);
+  }
+  const double few = deobfuscation_cnf_ratio(locked, 2, 9);
+  const double many = deobfuscation_cnf_ratio(locked, 48, 9);
+  EXPECT_GT(many, few);
+}
+
+}  // namespace
+}  // namespace fl::cnf

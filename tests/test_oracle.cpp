@@ -1,0 +1,46 @@
+// Oracle: query semantics and accounting.
+#include <gtest/gtest.h>
+
+#include "attacks/oracle.h"
+#include "netlist/profiles.h"
+
+namespace fl::attacks {
+namespace {
+
+TEST(Oracle, MatchesDirectSimulation) {
+  const netlist::Netlist c17 = netlist::make_c17();
+  const Oracle oracle(c17);
+  for (int x = 0; x < 32; ++x) {
+    std::vector<bool> in(5);
+    for (int i = 0; i < 5; ++i) in[i] = ((x >> i) & 1) != 0;
+    EXPECT_EQ(oracle.query(in), netlist::eval_once(c17, in, {}));
+  }
+}
+
+TEST(Oracle, CountsQueries) {
+  const Oracle oracle(netlist::make_c17());
+  EXPECT_EQ(oracle.num_queries(), 0u);
+  oracle.query(std::vector<bool>(5, false));
+  oracle.query(std::vector<bool>(5, true));
+  EXPECT_EQ(oracle.num_queries(), 2u);
+  const std::vector<netlist::Word> words(5, 0x1234);
+  oracle.query_words(words);
+  EXPECT_EQ(oracle.num_queries(), 66u);
+}
+
+TEST(Oracle, RejectsKeyedCircuit) {
+  netlist::Netlist n;
+  const auto a = n.add_input("a");
+  const auto k = n.add_key("k");
+  n.mark_output(n.add_gate(netlist::GateType::kXor, {a, k}), "y");
+  EXPECT_THROW(Oracle{n}, std::invalid_argument);
+}
+
+TEST(Oracle, RejectsWrongQueryWidth) {
+  const Oracle oracle(netlist::make_c17());
+  EXPECT_THROW(oracle.query(std::vector<bool>(3, false)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fl::attacks

@@ -1,0 +1,124 @@
+// Key-programmable LUT replacement (the "L" of PLR).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/plr.h"
+#include "netlist/simulator.h"
+
+namespace fl::core {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::Word;
+
+TEST(KeyLut, Replaceability) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId k = n.add_key("k");
+  const GateId g2 = n.add_gate(GateType::kAnd, {a, a});
+  std::vector<GateId> wide(6, a);
+  // 6-input gate exceeds kMaxLutInputs... need distinct fanins:
+  Netlist big;
+  std::vector<GateId> ins;
+  for (int i = 0; i < 6; ++i) ins.push_back(big.add_input("x"));
+  const GateId g6 = big.add_gate(GateType::kAnd, ins);
+  EXPECT_TRUE(lut_replaceable(n, g2));
+  EXPECT_FALSE(lut_replaceable(n, a));
+  EXPECT_FALSE(lut_replaceable(n, k));
+  EXPECT_FALSE(lut_replaceable(big, g6));
+}
+
+// Property: for every 2-input gate type, LUT replacement with the correct
+// key preserves the function on all input combinations.
+class KeyLutSemantics : public ::testing::TestWithParam<GateType> {};
+
+TEST_P(KeyLutSemantics, CorrectKeyPreservesFunction) {
+  const GateType type = GetParam();
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const int arity = netlist::fixed_arity(type) == 1 ? 1 : 2;
+  const GateId g = arity == 1 ? n.add_gate(type, {a})
+                              : n.add_gate(type, {a, b});
+  n.mark_output(g, "y");
+  Netlist original = n;
+
+  const KeyLutResult lut = replace_with_key_lut(n, g, "lut");
+  ASSERT_EQ(lut.key_gates.size(), std::size_t{1} << arity);
+  ASSERT_EQ(lut.correct_key.size(), lut.key_gates.size());
+  EXPECT_EQ(n.outputs()[0].gate, lut.root);
+
+  for (int combo = 0; combo < 4; ++combo) {
+    const std::vector<bool> in{(combo & 1) != 0, (combo & 2) != 0};
+    const auto want = netlist::eval_once(original, in, {});
+    const auto got = netlist::eval_once(n, in, lut.correct_key);
+    EXPECT_EQ(want[0], got[0]) << to_string(type) << " combo " << combo;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, KeyLutSemantics,
+    ::testing::Values(GateType::kAnd, GateType::kNand, GateType::kOr,
+                      GateType::kNor, GateType::kXor, GateType::kXnor,
+                      GateType::kBuf, GateType::kNot));
+
+TEST(KeyLut, FiveInputGate) {
+  Netlist n;
+  std::vector<GateId> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(n.add_input("x"));
+  const GateId g = n.add_gate(GateType::kXor, ins);
+  n.mark_output(g, "y");
+  Netlist original = n;
+  const KeyLutResult lut = replace_with_key_lut(n, g, "lut");
+  EXPECT_EQ(lut.key_gates.size(), 32u);
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 32; ++trial) {
+    std::vector<bool> in(5);
+    for (int i = 0; i < 5; ++i) in[i] = (rng() & 1) != 0;
+    EXPECT_EQ(netlist::eval_once(original, in, {})[0],
+              netlist::eval_once(n, in, lut.correct_key)[0]);
+  }
+}
+
+TEST(KeyLut, WrongTruthTableChangesFunction) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId g = n.add_gate(GateType::kAnd, {a, b});
+  n.mark_output(g, "y");
+  const KeyLutResult lut = replace_with_key_lut(n, g, "lut");
+  std::vector<bool> wrong = lut.correct_key;
+  wrong[3] = !wrong[3];  // flip the (1,1) row: AND becomes constant-0 table
+  const auto out = netlist::eval_once(n, std::vector<bool>{true, true}, wrong);
+  EXPECT_FALSE(out[0]);
+}
+
+TEST(KeyLut, MuxGateIsReplaceable) {
+  Netlist n;
+  const GateId s = n.add_input("s");
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId g = n.add_gate(GateType::kMux, {s, a, b});
+  n.mark_output(g, "y");
+  Netlist original = n;
+  const KeyLutResult lut = replace_with_key_lut(n, g, "lut");
+  for (int combo = 0; combo < 8; ++combo) {
+    const std::vector<bool> in{(combo & 1) != 0, (combo & 2) != 0,
+                               (combo & 4) != 0};
+    EXPECT_EQ(netlist::eval_once(original, in, {})[0],
+              netlist::eval_once(n, in, lut.correct_key)[0]);
+  }
+}
+
+TEST(KeyLut, ReplacingSourceThrows) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  n.mark_output(n.add_gate(GateType::kNot, {a}), "y");
+  EXPECT_THROW(replace_with_key_lut(n, a, "lut"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fl::core

@@ -1,0 +1,141 @@
+// PPA model: per-gate costs, netlist estimation, STT-LUT model (Fig. 5),
+// CLN overhead ratios (Table 3 shape).
+#include <gtest/gtest.h>
+
+#include "core/cln.h"
+#include "netlist/profiles.h"
+#include "ppa/estimator.h"
+#include "ppa/stt_lut.h"
+
+namespace fl::ppa {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+TEST(GateCost, SourcesAreFree) {
+  EXPECT_EQ(gate_cost(GateType::kInput, 0).area_um2, 0.0);
+  EXPECT_EQ(gate_cost(GateType::kKey, 0).area_um2, 0.0);
+  EXPECT_EQ(gate_cost(GateType::kConst1, 0).power_nw, 0.0);
+}
+
+TEST(GateCost, NaryScalesLinearlyInArea) {
+  const GateCost c2 = gate_cost(GateType::kAnd, 2);
+  const GateCost c4 = gate_cost(GateType::kAnd, 4);
+  const GateCost c8 = gate_cost(GateType::kAnd, 8);
+  EXPECT_NEAR(c4.area_um2, 3 * c2.area_um2, 1e-9);
+  EXPECT_NEAR(c8.area_um2, 7 * c2.area_um2, 1e-9);
+  // Delay scales with tree depth, not cell count.
+  EXPECT_LT(c8.delay_ns, 4 * c2.delay_ns);
+}
+
+TEST(GateCost, RelativeOrderingSane) {
+  // NAND is the cheapest 2-input gate; XOR costs more; MUX is the largest.
+  const double nand = base_cell_cost(GateType::kNand).area_um2;
+  const double x = base_cell_cost(GateType::kXor).area_um2;
+  const double mux = base_cell_cost(GateType::kMux).area_um2;
+  EXPECT_LT(nand, x);
+  EXPECT_LT(x, mux);
+}
+
+TEST(Estimator, EmptyAndSimpleNetlists) {
+  Netlist n;
+  n.add_input("a");
+  const PpaReport empty = estimate_ppa(n);
+  EXPECT_EQ(empty.area_um2, 0.0);
+  EXPECT_EQ(empty.gate_count, 0u);
+
+  const GateId g = n.add_gate(GateType::kNand, {0, 0});
+  n.mark_output(g, "y");
+  const PpaReport one = estimate_ppa(n);
+  EXPECT_NEAR(one.area_um2, base_cell_cost(GateType::kNand).area_um2, 1e-9);
+  EXPECT_EQ(one.gate_count, 1u);
+  EXPECT_GT(one.power_nw, 0.0);
+}
+
+TEST(Estimator, DelayIsCriticalPath) {
+  // Chain of 4 NOTs vs 1 NOT: delay ratio = 4.
+  Netlist chain;
+  GateId cur = chain.add_input("a");
+  for (int i = 0; i < 4; ++i) cur = chain.add_gate(GateType::kNot, {cur});
+  chain.mark_output(cur, "y");
+  const double d4 = estimate_ppa(chain).critical_delay_ns;
+  EXPECT_NEAR(d4, 4 * base_cell_cost(GateType::kNot).delay_ns, 1e-9);
+}
+
+TEST(Estimator, CyclicNetlistDoesNotHang) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId g = n.add_gate(GateType::kOr, {a, a});
+  n.set_fanin(g, {a, g});
+  n.mark_output(g, "y");
+  const PpaReport report = estimate_ppa(n);
+  EXPECT_GT(report.area_um2, 0.0);
+  EXPECT_GT(report.critical_delay_ns, 0.0);
+}
+
+TEST(SttLut, Fig5Shape) {
+  // The paper's claim: sizes 2..5 have negligible overhead vs CMOS cells;
+  // beyond 5 the LUT cost takes off.
+  for (int k = 2; k <= 5; ++k) {
+    const LutOverhead o = stt_lut_overhead(k);
+    EXPECT_LT(o.area, 4.0) << "k=" << k;   // same order of magnitude
+    EXPECT_LT(o.delay, 2.0) << "k=" << k;
+  }
+  // Cost is monotone and accelerates with size.
+  double prev = stt_lut_cost(2).area_um2;
+  for (int k = 3; k <= 8; ++k) {
+    const double area = stt_lut_cost(k).area_um2;
+    EXPECT_GT(area, prev);
+    prev = area;
+  }
+  EXPECT_GT(stt_lut_cost(8).area_um2 / stt_lut_cost(5).area_um2, 4.0);
+  EXPECT_THROW(stt_lut_cost(1), std::invalid_argument);
+  EXPECT_THROW(stt_lut_cost(9), std::invalid_argument);
+}
+
+// Table 3 shape properties over CLN hardware.
+TEST(ClnPpa, NonBlockingCostsAboutTwiceBlocking) {
+  for (const int n : {32, 64}) {
+    const auto build = [n](core::ClnTopology topo) {
+      core::ClnConfig config;
+      config.n = n;
+      config.topology = topo;
+      Netlist net;
+      std::vector<GateId> inputs;
+      for (int i = 0; i < n; ++i) inputs.push_back(net.add_input("x"));
+      const core::ClnInstance inst = core::ClnBuilder(config).build(net, inputs);
+      for (const GateId o : inst.outputs) net.mark_output(o);
+      return estimate_ppa(net);
+    };
+    const PpaReport blocking = build(core::ClnTopology::kShuffleBlocking);
+    const PpaReport nonblocking = build(core::ClnTopology::kBanyanNonBlocking);
+    // Paper §3.1: "its area and power overhead is roughly 2x compared to a
+    // blocking CLN with the same N" (stage ratio (2logN-2)/logN).
+    const double expected_ratio =
+        static_cast<double>(2 * std::log2(n) - 2) / std::log2(n);
+    EXPECT_NEAR(nonblocking.area_um2 / blocking.area_um2, expected_ratio, 0.25)
+        << "n=" << n;
+  }
+}
+
+TEST(ClnPpa, AreaGrowsWithN) {
+  double prev = 0.0;
+  for (const int n : {16, 32, 64, 128}) {
+    core::ClnConfig config;
+    config.n = n;
+    config.topology = core::ClnTopology::kShuffleBlocking;
+    Netlist net;
+    std::vector<GateId> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(net.add_input("x"));
+    const core::ClnInstance inst = core::ClnBuilder(config).build(net, inputs);
+    for (const GateId o : inst.outputs) net.mark_output(o);
+    const double area = estimate_ppa(net).area_um2;
+    EXPECT_GT(area, prev);
+    prev = area;
+  }
+}
+
+}  // namespace
+}  // namespace fl::ppa

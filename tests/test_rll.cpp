@@ -1,0 +1,73 @@
+// RLL baseline locker.
+#include <gtest/gtest.h>
+
+#include "core/verify.h"
+#include "locking/rll.h"
+#include "netlist/profiles.h"
+
+namespace fl::lock {
+namespace {
+
+using netlist::Netlist;
+
+TEST(Rll, CorrectKeyUnlocks) {
+  const Netlist original = netlist::make_circuit("c432", 41);
+  RllConfig config;
+  config.num_keys = 24;
+  const core::LockedCircuit locked = rll_lock(original, config);
+  EXPECT_EQ(locked.scheme, "rll");
+  EXPECT_EQ(locked.key_bits(), 24u);
+  EXPECT_TRUE(core::verify_unlocks(original, locked, 16, 1, /*sat=*/true));
+}
+
+TEST(Rll, WrongKeyCorrupts) {
+  const Netlist original = netlist::make_circuit("c432", 42);
+  RllConfig config;
+  config.num_keys = 16;
+  const core::LockedCircuit locked = rll_lock(original, config);
+  std::vector<bool> wrong = locked.correct_key;
+  wrong.flip();
+  EXPECT_FALSE(core::verify_unlocks(original, locked.netlist, wrong, 16, 2,
+                                    /*sat=*/true));
+}
+
+TEST(Rll, MixesXorAndXnor) {
+  const Netlist original = netlist::make_circuit("c880", 43);
+  RllConfig config;
+  config.num_keys = 32;
+  const core::LockedCircuit locked = rll_lock(original, config);
+  // XNOR key gates need key=1, XOR need key=0; with 32 draws both appear.
+  int ones = 0;
+  for (const bool b : locked.correct_key) ones += b ? 1 : 0;
+  EXPECT_GT(ones, 0);
+  EXPECT_LT(ones, 32);
+}
+
+TEST(Rll, KeysFollowBenchConvention) {
+  const Netlist original = netlist::make_circuit("c432", 44);
+  RllConfig config;
+  config.num_keys = 4;
+  const core::LockedCircuit locked = rll_lock(original, config);
+  for (const netlist::GateId k : locked.netlist.keys()) {
+    EXPECT_TRUE(locked.netlist.gate(k).name.starts_with("keyinput"));
+  }
+}
+
+TEST(Rll, TooManyKeysThrows) {
+  const Netlist c17 = netlist::make_c17();
+  RllConfig config;
+  config.num_keys = 500;
+  EXPECT_THROW(rll_lock(c17, config), std::invalid_argument);
+}
+
+TEST(Rll, Deterministic) {
+  const Netlist original = netlist::make_circuit("c499", 45);
+  RllConfig config;
+  config.num_keys = 8;
+  config.seed = 77;
+  EXPECT_EQ(rll_lock(original, config).correct_key,
+            rll_lock(original, config).correct_key);
+}
+
+}  // namespace
+}  // namespace fl::lock

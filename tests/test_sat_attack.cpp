@@ -1,0 +1,133 @@
+// Oracle-guided SAT attack: breaks every acyclic scheme at small key sizes,
+// respects budgets, reports faithful statistics.
+#include <gtest/gtest.h>
+
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "core/full_lock.h"
+#include "core/verify.h"
+#include "locking/antisat.h"
+#include "locking/crosslock.h"
+#include "locking/lutlock.h"
+#include "locking/rll.h"
+#include "locking/sarlock.h"
+#include "netlist/profiles.h"
+
+namespace fl::attacks {
+namespace {
+
+using core::LockedCircuit;
+using netlist::Netlist;
+
+void expect_breaks(const Netlist& original, const LockedCircuit& locked,
+                   std::uint64_t max_expected_iterations = 0) {
+  const Oracle oracle(original);
+  AttackOptions options;
+  options.timeout_s = 60.0;
+  const AttackResult result = SatAttack(options).run(locked, oracle);
+  ASSERT_EQ(result.status, AttackStatus::kSuccess) << locked.scheme;
+  EXPECT_TRUE(core::verify_unlocks(original, locked.netlist, result.key, 16,
+                                   1, /*sat=*/true))
+      << locked.scheme;
+  if (max_expected_iterations != 0) {
+    EXPECT_LE(result.iterations, max_expected_iterations) << locked.scheme;
+  }
+  EXPECT_EQ(result.oracle_queries, result.iterations);
+}
+
+TEST(SatAttack, BreaksRll) {
+  const Netlist original = netlist::make_circuit("c432", 90);
+  lock::RllConfig config;
+  config.num_keys = 24;
+  expect_breaks(original, lock::rll_lock(original, config), 64);
+}
+
+TEST(SatAttack, BreaksLutLock) {
+  const Netlist original = netlist::make_circuit("c499", 91);
+  lock::LutLockConfig config;
+  config.num_luts = 8;
+  expect_breaks(original, lock::lutlock_lock(original, config), 128);
+}
+
+TEST(SatAttack, BreaksSmallCrossLock) {
+  const Netlist original = netlist::make_circuit("c880", 92);
+  lock::CrossLockConfig config;
+  config.num_sources = 8;
+  config.num_destinations = 8;
+  expect_breaks(original, lock::crosslock_lock(original, config));
+}
+
+TEST(SatAttack, BreaksSmallFullLock) {
+  const Netlist original = netlist::make_circuit("c432", 93);
+  expect_breaks(original,
+                core::full_lock(original, core::FullLockConfig::with_plrs({4})));
+}
+
+TEST(SatAttack, SarlockNeedsExponentialIterations) {
+  // The SAT attack still *succeeds* on SARLock, but needs ~2^k DIPs —
+  // the paper's N-vs-M tradeoff (§2). With k=6: ~64 iterations.
+  const Netlist original = netlist::make_circuit("c432", 94);
+  lock::SarLockConfig config;
+  config.num_keys = 6;
+  const LockedCircuit locked = lock::sarlock_lock(original, config);
+  const Oracle oracle(original);
+  AttackOptions options;
+  options.timeout_s = 60.0;
+  const AttackResult result = SatAttack(options).run(locked, oracle);
+  ASSERT_EQ(result.status, AttackStatus::kSuccess);
+  EXPECT_GE(result.iterations, 32u);  // close to 2^6
+  EXPECT_TRUE(
+      core::verify_unlocks(original, locked.netlist, result.key, 16, 2, true));
+}
+
+TEST(SatAttack, IterationLimitHonored) {
+  const Netlist original = netlist::make_circuit("c432", 95);
+  lock::SarLockConfig config;
+  config.num_keys = 12;
+  const LockedCircuit locked = lock::sarlock_lock(original, config);
+  const Oracle oracle(original);
+  AttackOptions options;
+  options.max_iterations = 5;
+  const AttackResult result = SatAttack(options).run(locked, oracle);
+  EXPECT_EQ(result.status, AttackStatus::kIterationLimit);
+  EXPECT_EQ(result.iterations, 5u);
+}
+
+TEST(SatAttack, TimeoutReported) {
+  const Netlist original = netlist::make_circuit("c432", 96);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({16}));
+  const Oracle oracle(original);
+  AttackOptions options;
+  options.timeout_s = 0.05;  // far too little for a 16x16 PLR
+  const AttackResult result = SatAttack(options).run(locked, oracle);
+  EXPECT_EQ(result.status, AttackStatus::kTimeout);
+  EXPECT_LT(result.seconds, 5.0);  // deadline actually cuts the solve short
+}
+
+TEST(SatAttack, KeylessCircuitTrivial) {
+  const Netlist c17 = netlist::make_c17();
+  LockedCircuit unlocked;
+  unlocked.netlist = c17;
+  unlocked.scheme = "none";
+  const Oracle oracle(c17);
+  const AttackResult result = SatAttack().run(unlocked, oracle);
+  EXPECT_EQ(result.status, AttackStatus::kSuccess);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(SatAttack, RatioStatTracked) {
+  const Netlist original = netlist::make_circuit("c432", 97);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({4}));
+  const Oracle oracle(original);
+  AttackOptions options;
+  options.timeout_s = 60.0;
+  const AttackResult result = SatAttack(options).run(locked, oracle);
+  ASSERT_EQ(result.status, AttackStatus::kSuccess);
+  EXPECT_GT(result.mean_clause_var_ratio, 1.0);
+  EXPECT_LT(result.mean_clause_var_ratio, 10.0);
+}
+
+}  // namespace
+}  // namespace fl::attacks

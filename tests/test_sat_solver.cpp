@@ -1,0 +1,220 @@
+// CDCL solver unit tests: correctness against brute force, incremental use,
+// assumptions, budgets.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sat/ksat.h"
+#include "sat/solver.h"
+
+namespace fl::sat {
+namespace {
+
+bool brute_force_sat(const Cnf& cnf) {
+  if (cnf.num_vars > 20) throw std::logic_error("too big for brute force");
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << cnf.num_vars); ++m) {
+    bool all = true;
+    for (const Clause& c : cnf.clauses) {
+      bool sat = false;
+      for (const Lit l : c) {
+        const bool v = ((m >> l.var()) & 1) != 0;
+        if (v != l.negated()) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+bool model_satisfies(const Cnf& cnf, const std::vector<bool>& model) {
+  for (const Clause& c : cnf.clauses) {
+    bool sat = false;
+    for (const Lit l : c) {
+      if (model[l.var()] != l.negated()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(SatSolver, SingleUnit) {
+  Solver s;
+  const Var v = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(v)}));
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_TRUE(s.value_of(v));
+}
+
+TEST(SatSolver, ContradictoryUnits) {
+  Solver s;
+  const Var v = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(v)}));
+  EXPECT_FALSE(s.add_clause({neg(v)}));
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(SatSolver, TautologyIsDropped) {
+  Solver s;
+  const Var v = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(v), neg(v)}));
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(SatSolver, SimpleImplicationChain) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 10; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 10; ++i) {
+    ASSERT_TRUE(s.add_clause({neg(v[i]), pos(v[i + 1])}));
+  }
+  ASSERT_TRUE(s.add_clause({pos(v[0])}));
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.value_of(v[i])) << i;
+}
+
+TEST(SatSolver, PigeonholeUnsat) {
+  // 4 pigeons, 3 holes: classic small UNSAT instance requiring real search.
+  constexpr int P = 4, H = 3;
+  Solver s;
+  Var x[P][H];
+  for (int p = 0; p < P; ++p) {
+    for (int h = 0; h < H; ++h) x[p][h] = s.new_var();
+  }
+  for (int p = 0; p < P; ++p) {
+    Clause c;
+    for (int h = 0; h < H; ++h) c.push_back(pos(x[p][h]));
+    ASSERT_TRUE(s.add_clause(c));
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        ASSERT_TRUE(s.add_clause({neg(x[p1][h]), neg(x[p2][h])}));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(SatSolver, AssumptionsSelectBranch) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(a), pos(b)}));
+  const Lit assume_na[] = {neg(a)};
+  ASSERT_EQ(s.solve(assume_na), LBool::kTrue);
+  EXPECT_FALSE(s.value_of(a));
+  EXPECT_TRUE(s.value_of(b));
+  // Solver stays reusable after assumption solving.
+  const Lit assume_nb[] = {neg(b)};
+  ASSERT_EQ(s.solve(assume_nb), LBool::kTrue);
+  EXPECT_TRUE(s.value_of(a));
+}
+
+TEST(SatSolver, ConflictingAssumptionsReturnFalse) {
+  Solver s;
+  const Var a = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(a)}));
+  const Lit assume[] = {neg(a)};
+  EXPECT_EQ(s.solve(assume), LBool::kFalse);
+  // And without the assumption it is still satisfiable.
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(SatSolver, IncrementalTightening) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 4; ++i) v.push_back(s.new_var());
+  ASSERT_TRUE(s.add_clause({pos(v[0]), pos(v[1]), pos(v[2]), pos(v[3])}));
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  // Forbid the returned model, re-solve, repeat: must enumerate and finally
+  // exhaust all 15 satisfying assignments.
+  int models = 0;
+  while (s.solve() == LBool::kTrue) {
+    Clause block;
+    for (const Var var : v) {
+      block.push_back(Lit(var, s.value_of(var)));
+    }
+    ++models;
+    ASSERT_LE(models, 15);
+    if (!s.add_clause(block)) break;
+  }
+  EXPECT_EQ(models, 15);
+}
+
+TEST(SatSolver, RandomInstancesMatchBruteForce) {
+  std::mt19937_64 seeds(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    KSatConfig config;
+    config.num_vars = 12;
+    config.num_clauses = 12 + static_cast<int>(seeds() % 50);
+    config.seed = seeds();
+    const Cnf cnf = random_ksat(config);
+    std::vector<bool> model;
+    const LBool got = solve_cnf(cnf, &model);
+    const bool expected = brute_force_sat(cnf);
+    ASSERT_EQ(got == LBool::kTrue, expected) << "trial " << trial;
+    if (got == LBool::kTrue) {
+      EXPECT_TRUE(model_satisfies(cnf, model)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SatSolver, ConflictBudgetYieldsUndef) {
+  // A hard random instance near the phase transition with a tiny budget.
+  KSatConfig config;
+  config.num_vars = 150;
+  config.num_clauses = 645;
+  config.seed = 99;
+  const Cnf cnf = random_ksat(config);
+  Solver s;
+  for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+  for (const Clause& c : cnf.clauses) s.add_clause(c);
+  s.set_conflict_budget(5);
+  EXPECT_EQ(s.solve(), LBool::kUndef);
+  // Removing the budget lets it finish.
+  s.set_conflict_budget(0);
+  EXPECT_NE(s.solve(), LBool::kUndef);
+}
+
+TEST(SatSolver, DeadlineYieldsUndef) {
+  KSatConfig config;
+  config.num_vars = 300;
+  config.num_clauses = 1280;
+  config.seed = 3;
+  const Cnf cnf = random_ksat(config);
+  Solver s;
+  for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+  for (const Clause& c : cnf.clauses) s.add_clause(c);
+  s.set_deadline(std::chrono::steady_clock::now());  // already expired
+  EXPECT_EQ(s.solve(), LBool::kUndef);
+}
+
+TEST(SatSolver, StatsArePopulated) {
+  KSatConfig config;
+  config.num_vars = 60;
+  config.num_clauses = 258;
+  config.seed = 5;
+  const Cnf cnf = random_ksat(config);
+  SolverStats stats;
+  solve_cnf(cnf, nullptr, &stats);
+  EXPECT_GT(stats.decisions, 0u);
+  EXPECT_GT(stats.propagations, 0u);
+}
+
+}  // namespace
+}  // namespace fl::sat

@@ -1,0 +1,164 @@
+// Property sweeps over the CDCL solver: cross-validation against DPLL on a
+// density grid, model soundness, assumption semantics, incremental reuse.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sat/dpll.h"
+#include "sat/ksat.h"
+#include "sat/solver.h"
+
+namespace fl::sat {
+namespace {
+
+bool model_satisfies(const Cnf& cnf, const std::vector<bool>& model) {
+  for (const Clause& c : cnf.clauses) {
+    bool sat = false;
+    for (const Lit l : c) {
+      if (model[l.var()] != l.negated()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+struct GridPoint {
+  int num_vars;
+  double ratio;
+};
+
+class SolverGrid : public ::testing::TestWithParam<GridPoint> {};
+
+// CDCL agrees with classic DPLL across the density spectrum, and every SAT
+// answer carries a genuinely satisfying model.
+TEST_P(SolverGrid, AgreesWithDpllAndModelsAreSound) {
+  const GridPoint point = GetParam();
+  std::mt19937_64 seeds(point.num_vars * 1000 +
+                        static_cast<int>(point.ratio * 10));
+  for (int trial = 0; trial < 12; ++trial) {
+    KSatConfig config;
+    config.num_vars = point.num_vars;
+    config.num_clauses =
+        std::max(1, static_cast<int>(point.num_vars * point.ratio));
+    config.seed = seeds();
+    const Cnf cnf = random_ksat(config);
+    std::vector<bool> model;
+    const LBool cdcl = solve_cnf(cnf, &model);
+    const DpllResult dpll = Dpll().solve(cnf);
+    ASSERT_TRUE(dpll.completed);
+    ASSERT_EQ(cdcl == LBool::kTrue, dpll.satisfiable)
+        << "n=" << point.num_vars << " r=" << point.ratio << " t=" << trial;
+    if (cdcl == LBool::kTrue) {
+      EXPECT_TRUE(model_satisfies(cnf, model));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityGrid, SolverGrid,
+    ::testing::Values(GridPoint{15, 2.0}, GridPoint{15, 3.0},
+                      GridPoint{15, 4.3}, GridPoint{15, 6.0},
+                      GridPoint{15, 8.0}, GridPoint{25, 4.3},
+                      GridPoint{30, 3.5}, GridPoint{30, 5.0}));
+
+// Solving under assumptions A is equisatisfiable with solving the formula
+// plus A as unit clauses.
+TEST(SolverProperties, AssumptionsEquivalentToUnits) {
+  std::mt19937_64 seeds(404);
+  for (int trial = 0; trial < 24; ++trial) {
+    KSatConfig config;
+    config.num_vars = 18;
+    config.num_clauses = 60 + static_cast<int>(seeds() % 30);
+    config.seed = seeds();
+    const Cnf cnf = random_ksat(config);
+
+    std::vector<Lit> assumptions;
+    for (int i = 0; i < 4; ++i) {
+      assumptions.push_back(
+          Lit(static_cast<Var>(seeds() % 18), (seeds() & 1) != 0));
+    }
+
+    Solver with_assumptions;
+    for (int v = 0; v < cnf.num_vars; ++v) with_assumptions.new_var();
+    for (const Clause& c : cnf.clauses) with_assumptions.add_clause(c);
+    const LBool a = with_assumptions.solve(assumptions);
+
+    Solver with_units;
+    for (int v = 0; v < cnf.num_vars; ++v) with_units.new_var();
+    bool ok = true;
+    for (const Clause& c : cnf.clauses) ok &= with_units.add_clause(c);
+    for (const Lit l : assumptions) ok &= with_units.add_clause({l});
+    const LBool u = ok ? with_units.solve() : LBool::kFalse;
+
+    EXPECT_EQ(a, u) << "trial " << trial;
+  }
+}
+
+// Assumption solving leaves no residue: the unconstrained problem remains
+// satisfiable afterwards and flipped assumptions still work.
+TEST(SolverProperties, AssumptionsAreStateless) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 12; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 12; ++i) {
+    ASSERT_TRUE(s.add_clause({neg(v[i]), pos(v[i + 1])}));
+  }
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const Var pick = static_cast<Var>(rng() % 12);
+    const Lit assume[] = {Lit(pick, (rng() & 1) != 0)};
+    const LBool r = s.solve(assume);
+    EXPECT_NE(r, LBool::kUndef);
+  }
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+// Incremental clause addition between solves matches one-shot solving.
+TEST(SolverProperties, IncrementalMatchesOneShot) {
+  std::mt19937_64 seeds(9090);
+  for (int trial = 0; trial < 12; ++trial) {
+    KSatConfig config;
+    config.num_vars = 16;
+    config.num_clauses = 70;
+    config.seed = seeds();
+    const Cnf cnf = random_ksat(config);
+
+    Solver incremental;
+    for (int v = 0; v < cnf.num_vars; ++v) incremental.new_var();
+    LBool inc_result = LBool::kTrue;
+    for (std::size_t i = 0; i < cnf.clauses.size(); ++i) {
+      if (!incremental.add_clause(cnf.clauses[i])) {
+        inc_result = LBool::kFalse;
+        break;
+      }
+      if (i % 10 == 9) {
+        inc_result = incremental.solve();
+        if (inc_result == LBool::kFalse) break;
+      }
+    }
+    if (inc_result != LBool::kFalse) inc_result = incremental.solve();
+    EXPECT_EQ(inc_result, solve_cnf(cnf)) << "trial " << trial;
+  }
+}
+
+// Learnt-clause reduction must not change answers (stress enough conflicts
+// to trigger reduce_db).
+TEST(SolverProperties, SolvesHardInstanceAcrossRestarts) {
+  KSatConfig config;
+  config.num_vars = 120;
+  config.num_clauses = 516;  // ratio 4.3
+  config.seed = 4242;
+  const Cnf cnf = random_ksat(config);
+  SolverStats stats;
+  std::vector<bool> model;
+  const LBool r = solve_cnf(cnf, &model, &stats);
+  ASSERT_NE(r, LBool::kUndef);
+  if (r == LBool::kTrue) EXPECT_TRUE(model_satisfies(cnf, model));
+  EXPECT_GT(stats.conflicts, 0u);
+}
+
+}  // namespace
+}  // namespace fl::sat

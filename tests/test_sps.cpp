@@ -1,0 +1,99 @@
+// SPS attack: locates Anti-SAT's skewed flip signal; finds nothing in
+// Full-Lock's balanced CLN (§2 property 3).
+//
+// The host must be probability-balanced (XOR-only) so that any skew seen by
+// the attack is introduced by the locking scheme, not the host logic.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "attacks/sps.h"
+#include "core/full_lock.h"
+#include "locking/antisat.h"
+#include "netlist/profiles.h"
+
+namespace fl::attacks {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+// XOR/XNOR-only circuit: every internal net has p = 0.5 exactly.
+Netlist balanced_host(int inputs, int gates, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Netlist n("balanced");
+  std::vector<GateId> nets;
+  for (int i = 0; i < inputs; ++i) nets.push_back(n.add_input("x"));
+  for (int g = 0; g < gates; ++g) {
+    std::uniform_int_distribution<std::size_t> pick(0, nets.size() - 1);
+    GateId a = nets[pick(rng)];
+    GateId b = nets[pick(rng)];
+    while (b == a) b = nets[pick(rng)];
+    nets.push_back(n.add_gate((rng() & 1) != 0 ? GateType::kXor
+                                               : GateType::kXnor,
+                              {a, b}));
+  }
+  for (int o = 0; o < 8; ++o) {
+    n.mark_output(nets[nets.size() - 1 - o], "po" + std::to_string(o));
+  }
+  return n;
+}
+
+TEST(Sps, FlagsAntiSatBlock) {
+  const Netlist original = balanced_host(16, 120, 131);
+  lock::AntiSatConfig config;
+  config.block_inputs = 12;
+  const core::LockedCircuit locked = lock::antisat_lock(original, config);
+  const SpsReport report = sps_attack(locked.netlist, 5);
+  // The Anti-SAT AND-tree output has p ~ 2^-12: skew ~ 1.
+  EXPECT_GT(report.max_skew, 0.99);
+}
+
+TEST(Sps, FullLockStaysBalanced) {
+  const Netlist original = balanced_host(16, 120, 132);
+  const core::LockedCircuit locked = core::full_lock(
+      original, core::FullLockConfig::with_plrs({16}));
+  const SpsReport report = sps_attack(locked.netlist, 5);
+  // CLN MUX fabric, inverters and LUTs all preserve p = 0.5 on a balanced
+  // host: nothing for SPS to latch onto.
+  EXPECT_LT(report.max_skew, 0.2);
+  EXPECT_LT(report.mean_skew, 0.1);
+}
+
+TEST(Sps, ContrastIsDecisive) {
+  // The discriminator the attack relies on: Anti-SAT max skew dwarfs
+  // Full-Lock max skew on identical hosts.
+  const Netlist original = balanced_host(16, 120, 133);
+  lock::AntiSatConfig as;
+  as.block_inputs = 10;
+  const SpsReport anti =
+      sps_attack(lock::antisat_lock(original, as).netlist, 3);
+  const SpsReport full = sps_attack(
+      core::full_lock(original, core::FullLockConfig::with_plrs({8})).netlist,
+      3);
+  EXPECT_GT(anti.max_skew, 4 * full.max_skew);
+}
+
+TEST(Sps, ReportShapes) {
+  const Netlist original = netlist::make_circuit("c432", 133);
+  const core::LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({8}));
+  const SpsReport report = sps_attack(locked.netlist, 3);
+  EXPECT_LE(report.top.size(), 3u);
+  for (std::size_t i = 1; i < report.top.size(); ++i) {
+    EXPECT_GE(report.top[i - 1].skew, report.top[i].skew);  // sorted
+  }
+  EXPECT_GE(report.mean_skew, 0.0);
+  EXPECT_LE(report.mean_skew, 1.0);
+}
+
+TEST(Sps, KeyFreeCircuitHasNoKeyDependentNets) {
+  const Netlist c17 = netlist::make_c17();
+  const SpsReport report = sps_attack(c17, 5);
+  EXPECT_TRUE(report.top.empty());
+  EXPECT_EQ(report.max_skew, 0.0);
+}
+
+}  // namespace
+}  // namespace fl::attacks

@@ -1,0 +1,218 @@
+// Structural analysis: reachability, liveness, feedback edges, compaction,
+// signal probabilities.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/generator.h"
+#include "netlist/profiles.h"
+#include "netlist/simulator.h"
+#include "netlist/structure.h"
+
+namespace fl::netlist {
+namespace {
+
+TEST(Reachability, AgreesWithFanoutCone) {
+  const Netlist n = make_circuit("c432", 2);
+  Reachability reach(n);
+  const GateId src = n.inputs()[0];
+  const auto cone = n.fanout_cone(src);
+  for (GateId g = 0; g < n.num_gates(); g += 7) {
+    EXPECT_EQ(reach.reaches(src, g), static_cast<bool>(cone[g]));
+  }
+}
+
+TEST(LiveGates, DeadLogicDetected) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId live = n.add_gate(GateType::kNot, {a}, "live");
+  const GateId dead = n.add_gate(GateType::kBuf, {a}, "dead");
+  n.mark_output(live, "y");
+  const auto lv = live_gates(n);
+  EXPECT_TRUE(lv[live]);
+  EXPECT_FALSE(lv[dead]);
+  EXPECT_TRUE(lv[a]);
+}
+
+TEST(FeedbackEdges, EmptyOnDag) {
+  const Netlist n = make_c17();
+  EXPECT_TRUE(feedback_edges(n).empty());
+}
+
+TEST(FeedbackEdges, BreakingThemRestoresAcyclicity) {
+  // Two interlocking cycles.
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId g1 = n.add_gate(GateType::kAnd, {a, a});
+  const GateId g2 = n.add_gate(GateType::kOr, {g1, a});
+  const GateId g3 = n.add_gate(GateType::kXor, {g2, g1});
+  n.set_fanin(g1, {a, g3});
+  n.set_fanin(g2, {g1, g3});
+  n.mark_output(g3);
+  ASSERT_TRUE(n.is_cyclic());
+  const auto fb = feedback_edges(n);
+  ASSERT_FALSE(fb.empty());
+  Netlist cut = n;
+  for (const Edge& e : fb) {
+    // Redirect the feedback pin to a primary input to break the loop.
+    std::vector<GateId> fanin = cut.gate(e.gate).fanin;
+    fanin[e.pin] = a;
+    cut.set_fanin(e.gate, std::move(fanin));
+  }
+  EXPECT_FALSE(cut.is_cyclic());
+}
+
+TEST(Compact, RemovesDeadKeepsInterface) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId k = n.add_key("keyinput0");
+  const GateId live = n.add_gate(GateType::kXor, {a, k}, "live");
+  n.add_gate(GateType::kNot, {a}, "dead1");
+  n.add_gate(GateType::kBuf, {k}, "dead2");
+  n.mark_output(live, "y");
+  std::vector<GateId> remap;
+  const Netlist c = compact(n, &remap);
+  EXPECT_EQ(c.num_gates(), 3u);
+  EXPECT_EQ(c.num_inputs(), 1u);
+  EXPECT_EQ(c.num_keys(), 1u);
+  EXPECT_EQ(c.num_outputs(), 1u);
+  EXPECT_EQ(remap[3], kNullGate);
+  EXPECT_NE(remap[live], kNullGate);
+}
+
+TEST(Compact, PreservesFunction) {
+  const Netlist n = make_circuit("i4", 6);
+  const Netlist c = compact(n);
+  const Simulator sim_a(n);
+  const Simulator sim_b(c);
+  std::mt19937_64 rng(2);
+  std::vector<Word> in(n.num_inputs());
+  for (Word& w : in) w = rng();
+  const auto out_a = sim_a.run(in, {});
+  const auto out_b = sim_b.run(in, {});
+  for (std::size_t o = 0; o < out_a.size(); ++o) {
+    EXPECT_EQ(out_a[o], out_b[o]);
+  }
+}
+
+TEST(Compact, UnusedKeysKeptInOrder) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  n.add_key("k0");
+  n.add_key("k1");
+  const GateId g = n.add_gate(GateType::kNot, {a});
+  n.mark_output(g, "y");
+  const Netlist c = compact(n);
+  ASSERT_EQ(c.num_keys(), 2u);
+  EXPECT_EQ(c.gate(c.keys()[0]).name, "k0");
+  EXPECT_EQ(c.gate(c.keys()[1]).name, "k1");
+}
+
+TEST(Decompose, LowersEveryNaryGate) {
+  const Netlist n = make_circuit("c3540", 8);
+  const Netlist low = decompose_to_two_input(n);
+  for (GateId g = 0; g < low.num_gates(); ++g) {
+    const Gate& gate = low.gate(g);
+    if (gate.type == GateType::kMux) continue;
+    EXPECT_LE(gate.fanin.size(), 2u);
+  }
+  EXPECT_GE(low.num_logic_gates(), n.num_logic_gates());
+}
+
+TEST(Decompose, PreservesFunction) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    GeneratorConfig config;
+    config.num_inputs = 10;
+    config.num_outputs = 5;
+    config.num_gates = 120;
+    config.max_fanin = 5;
+    config.seed = seed;
+    const Netlist n = generate_circuit(config);
+    const Netlist low = decompose_to_two_input(n);
+    const Simulator sim_a(n);
+    const Simulator sim_b(low);
+    std::mt19937_64 rng(seed);
+    for (int round = 0; round < 8; ++round) {
+      std::vector<Word> in(n.num_inputs());
+      for (Word& w : in) w = rng();
+      const auto out_a = sim_a.run(in, {});
+      const auto out_b = sim_b.run(in, {});
+      for (std::size_t o = 0; o < out_a.size(); ++o) {
+        ASSERT_EQ(out_a[o], out_b[o]) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Decompose, OddFaninAndEveryFamily) {
+  Netlist n;
+  std::vector<GateId> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(n.add_input("x"));
+  for (const GateType t : {GateType::kAnd, GateType::kNand, GateType::kOr,
+                           GateType::kNor, GateType::kXor, GateType::kXnor}) {
+    n.mark_output(n.add_gate(t, ins), std::string(to_string(t)));
+  }
+  const Netlist low = decompose_to_two_input(n);
+  const Simulator sim_a(n);
+  const Simulator sim_b(low);
+  std::mt19937_64 rng(4);
+  std::vector<Word> in(5);
+  for (Word& w : in) w = rng();
+  EXPECT_EQ(sim_a.run(in, {}), sim_b.run(in, {}));
+}
+
+TEST(Decompose, RejectsCyclic) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId g = n.add_gate(GateType::kOr, {a, a});
+  n.set_fanin(g, {a, g});
+  n.mark_output(g);
+  EXPECT_THROW(decompose_to_two_input(n), std::invalid_argument);
+}
+
+TEST(SignalProbabilities, BasicGates) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId g_and = n.add_gate(GateType::kAnd, {a, b});
+  const GateId g_or = n.add_gate(GateType::kOr, {a, b});
+  const GateId g_xor = n.add_gate(GateType::kXor, {a, b});
+  const GateId g_not = n.add_gate(GateType::kNot, {g_and});
+  n.mark_output(g_not);
+  const auto p = signal_probabilities(n);
+  EXPECT_NEAR(p[g_and], 0.25, 1e-9);
+  EXPECT_NEAR(p[g_or], 0.75, 1e-9);
+  EXPECT_NEAR(p[g_xor], 0.5, 1e-9);
+  EXPECT_NEAR(p[g_not], 0.75, 1e-9);
+}
+
+TEST(SignalProbabilities, DeepAndTreeSkews) {
+  // An 8-input AND tree: p = 1/256 — the Anti-SAT tell-tale.
+  Netlist n;
+  std::vector<GateId> nodes;
+  for (int i = 0; i < 8; ++i) nodes.push_back(n.add_input("x"));
+  while (nodes.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < nodes.size(); i += 2) {
+      next.push_back(n.add_gate(GateType::kAnd, {nodes[i], nodes[i + 1]}));
+    }
+    nodes = next;
+  }
+  n.mark_output(nodes[0]);
+  const auto p = signal_probabilities(n);
+  EXPECT_NEAR(p[nodes[0]], 1.0 / 256.0, 1e-9);
+}
+
+TEST(SignalProbabilities, CyclicRelaxationStaysInRange) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId g1 = n.add_gate(GateType::kOr, {a, a});
+  n.set_fanin(g1, {a, g1});
+  n.mark_output(g1);
+  const auto p = signal_probabilities(n);
+  EXPECT_GE(p[g1], 0.0);
+  EXPECT_LE(p[g1], 1.0);
+}
+
+}  // namespace
+}  // namespace fl::netlist

@@ -1,0 +1,236 @@
+// Tseytin encoder: per-gate clause shapes (Table 1), constant folding,
+// equisatisfiability against simulation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cnf/tseytin.h"
+#include "netlist/generator.h"
+#include "netlist/profiles.h"
+#include "netlist/simulator.h"
+
+namespace fl::cnf {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+// Builds a 2-input single-gate circuit and checks the CNF agrees with
+// simulation on all input combinations via SAT queries.
+void check_gate_semantics(GateType type, int arity) {
+  Netlist n;
+  std::vector<GateId> ins;
+  for (int i = 0; i < arity; ++i) ins.push_back(n.add_input("i"));
+  const GateId g = n.add_gate(type, ins, "g");
+  n.mark_output(g, "y");
+
+  sat::Solver solver;
+  SolverSink sink(solver);
+  EncodeOptions options;
+  options.fold_constants = false;  // exercise the definitional encoding
+  const EncodedCircuit enc = encode(n, sink, options);
+  ASSERT_FALSE(enc.outputs[0].is_const());
+
+  for (int combo = 0; combo < (1 << arity); ++combo) {
+    std::vector<bool> bits(arity);
+    std::vector<sat::Lit> assumptions;
+    for (int i = 0; i < arity; ++i) {
+      bits[i] = ((combo >> i) & 1) != 0;
+      assumptions.push_back(sat::Lit(enc.input_vars[i], !bits[i]));
+    }
+    const bool expected = netlist::eval_once(n, bits, {})[0];
+    // Output forced to the expected value: SAT; to the opposite: UNSAT.
+    auto with_out = assumptions;
+    with_out.push_back(expected ? enc.outputs[0].lit : ~enc.outputs[0].lit);
+    EXPECT_EQ(solver.solve(with_out), sat::LBool::kTrue)
+        << to_string(type) << " combo " << combo;
+    with_out.back() = ~with_out.back();
+    EXPECT_EQ(solver.solve(with_out), sat::LBool::kFalse)
+        << to_string(type) << " combo " << combo;
+  }
+}
+
+TEST(Tseytin, GateSemantics2Input) {
+  for (const GateType t :
+       {GateType::kAnd, GateType::kNand, GateType::kOr, GateType::kNor,
+        GateType::kXor, GateType::kXnor}) {
+    check_gate_semantics(t, 2);
+  }
+}
+
+TEST(Tseytin, GateSemanticsUnary) {
+  check_gate_semantics(GateType::kBuf, 1);
+  check_gate_semantics(GateType::kNot, 1);
+}
+
+TEST(Tseytin, GateSemanticsMux) { check_gate_semantics(GateType::kMux, 3); }
+
+TEST(Tseytin, GateSemanticsNary) {
+  check_gate_semantics(GateType::kAnd, 4);
+  check_gate_semantics(GateType::kNor, 3);
+  check_gate_semantics(GateType::kXor, 5);
+  check_gate_semantics(GateType::kXnor, 3);
+}
+
+// Table 1 clause counts: AND/OR families 3 clauses, XOR/XNOR/MUX 4.
+TEST(Tseytin, Table1ClauseCounts) {
+  const auto count = [](GateType type, int arity) {
+    Netlist n;
+    std::vector<GateId> ins;
+    for (int i = 0; i < arity; ++i) ins.push_back(n.add_input("i"));
+    const GateId g = n.add_gate(type, ins, "g");
+    n.mark_output(g, "y");
+    const sat::Cnf cnf = to_cnf(n);
+    return cnf.clauses.size();
+  };
+  EXPECT_EQ(count(GateType::kAnd, 2), 3u);
+  EXPECT_EQ(count(GateType::kNand, 2), 3u);
+  EXPECT_EQ(count(GateType::kOr, 2), 3u);
+  EXPECT_EQ(count(GateType::kNor, 2), 3u);
+  EXPECT_EQ(count(GateType::kXor, 2), 4u);
+  EXPECT_EQ(count(GateType::kXnor, 2), 4u);
+  EXPECT_EQ(count(GateType::kMux, 3), 4u);
+}
+
+TEST(Tseytin, BufAndNotFoldAway) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b1 = n.add_gate(GateType::kBuf, {a});
+  const GateId n1 = n.add_gate(GateType::kNot, {b1});
+  const GateId n2 = n.add_gate(GateType::kNot, {n1});
+  n.mark_output(n2, "y");
+  const sat::Cnf cnf = to_cnf(n);
+  EXPECT_EQ(cnf.clauses.size(), 0u);  // pure wiring: nothing to encode
+  EXPECT_EQ(cnf.num_vars, 1);
+}
+
+TEST(Tseytin, ConstantsFoldThroughLogic) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId c1 = n.add_const(true);
+  const GateId c0 = n.add_const(false);
+  const GateId g1 = n.add_gate(GateType::kAnd, {a, c1});   // = a
+  const GateId g2 = n.add_gate(GateType::kOr, {g1, c0});   // = a
+  const GateId g3 = n.add_gate(GateType::kXor, {g2, c1});  // = ~a
+  const GateId g4 = n.add_gate(GateType::kMux, {c0, g3, a});  // sel=0 -> g3
+  n.mark_output(g4, "y");
+  const sat::Cnf cnf = to_cnf(n);
+  EXPECT_EQ(cnf.clauses.size(), 0u);
+  // And semantics: output is ~a.
+  sat::Solver solver;
+  SolverSink sink(solver);
+  const EncodedCircuit enc = encode(n, sink);
+  ASSERT_FALSE(enc.outputs[0].is_const());
+  EXPECT_EQ(enc.outputs[0].lit, ~sat::pos(enc.input_vars[0]));
+}
+
+TEST(Tseytin, FixedInputsFoldWholeCircuit) {
+  const Netlist c17 = netlist::make_c17();
+  sat::Solver solver;
+  SolverSink sink(solver);
+  EncodeOptions options;
+  options.fixed_inputs = {true, false, true, false, true};
+  const EncodedCircuit enc = encode(c17, sink, options);
+  // Key-free circuit with fixed inputs folds to constants.
+  for (const NetLit& o : enc.outputs) EXPECT_TRUE(o.is_const());
+  const auto expected = netlist::eval_once(
+      c17, std::vector<bool>{true, false, true, false, true}, {});
+  EXPECT_EQ(enc.outputs[0].const_value(), expected[0]);
+  EXPECT_EQ(enc.outputs[1].const_value(), expected[1]);
+}
+
+TEST(Tseytin, SharedKeyVarsReused) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId k = n.add_key("k");
+  const GateId g = n.add_gate(GateType::kXor, {a, k});
+  n.mark_output(g, "y");
+  sat::Solver solver;
+  SolverSink sink(solver);
+  const EncodedCircuit first = encode(n, sink);
+  EncodeOptions options;
+  options.shared_key_vars = first.key_vars;
+  const EncodedCircuit second = encode(n, sink, options);
+  EXPECT_EQ(first.key_vars, second.key_vars);
+}
+
+TEST(Tseytin, CyclicNetlistEncodesWithoutFolding) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId g1 = n.add_gate(GateType::kOr, {a, a});
+  n.set_fanin(g1, {a, g1});
+  n.mark_output(g1, "y");
+  sat::Solver solver;
+  SolverSink sink(solver);
+  const EncodedCircuit enc = encode(n, sink);
+  ASSERT_FALSE(enc.outputs[0].is_const());
+  // CNF of g = a | g: a=1 forces g=1; a=0 leaves g free (latching cycle).
+  const sat::Lit a_true[] = {sat::pos(enc.input_vars[0]),
+                             ~enc.outputs[0].lit};
+  EXPECT_EQ(solver.solve(a_true), sat::LBool::kFalse);
+}
+
+// Equisatisfiability property over random circuits: for random inputs, the
+// CNF restricted to those inputs is satisfiable exactly with the simulated
+// output values.
+TEST(Tseytin, RandomCircuitsAgreeWithSimulation) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    netlist::GeneratorConfig config;
+    config.num_inputs = 6;
+    config.num_outputs = 3;
+    config.num_gates = 40;
+    config.seed = rng();
+    const Netlist n = netlist::generate_circuit(config);
+    sat::Solver solver;
+    SolverSink sink(solver);
+    const EncodedCircuit enc = encode(n, sink);
+    for (int combo = 0; combo < 8; ++combo) {
+      std::vector<bool> bits(6);
+      std::vector<sat::Lit> assumptions;
+      for (int i = 0; i < 6; ++i) {
+        bits[i] = ((rng() >> i) & 1) != 0;
+        assumptions.push_back(sat::Lit(enc.input_vars[i], !bits[i]));
+      }
+      const auto expected = netlist::eval_once(n, bits, {});
+      for (std::size_t o = 0; o < expected.size(); ++o) {
+        if (enc.outputs[o].is_const()) {
+          EXPECT_EQ(enc.outputs[o].const_value(), expected[o]);
+          continue;
+        }
+        assumptions.push_back(expected[o] ? enc.outputs[o].lit
+                                          : ~enc.outputs[o].lit);
+      }
+      EXPECT_EQ(solver.solve(assumptions), sat::LBool::kTrue);
+    }
+  }
+}
+
+TEST(Tseytin, SizeMismatchesThrow) {
+  const Netlist c17 = netlist::make_c17();
+  sat::Solver solver;
+  SolverSink sink(solver);
+  EncodeOptions options;
+  options.fixed_inputs = {true};  // wrong width
+  EXPECT_THROW(encode(c17, sink, options), std::invalid_argument);
+}
+
+TEST(EmitHelpers, AndOrAssert) {
+  sat::Cnf cnf;
+  CnfSink sink(cnf);
+  const NetLit t = NetLit::constant(true);
+  const NetLit f = NetLit::constant(false);
+  EXPECT_TRUE(emit_and(sink, {t, t}).const_value());
+  EXPECT_FALSE(emit_and(sink, {t, f}).const_value());
+  EXPECT_TRUE(emit_or(sink, {f, t}).const_value());
+  EXPECT_FALSE(emit_or(sink, {}).const_value());
+  assert_true(sink, t);  // no-op
+  EXPECT_TRUE(cnf.clauses.empty());
+  assert_true(sink, f);  // empty clause = UNSAT marker
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  EXPECT_TRUE(cnf.clauses[0].empty());
+}
+
+}  // namespace
+}  // namespace fl::cnf

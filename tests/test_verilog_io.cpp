@@ -1,0 +1,77 @@
+// Structural Verilog writer.
+#include <gtest/gtest.h>
+
+#include "core/full_lock.h"
+#include "netlist/profiles.h"
+#include "netlist/verilog_io.h"
+
+namespace fl::netlist {
+namespace {
+
+TEST(VerilogIo, C17Shape) {
+  const Netlist c17 = make_c17();
+  const std::string v = write_verilog_string(c17, "c17");
+  EXPECT_NE(v.find("module c17("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // 6 NAND gates -> 6 inverted-AND assigns.
+  std::size_t count = 0, pos = 0;
+  while ((pos = v.find("~(", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 6u);
+  // Numeric ISCAS names must be sanitized into legal identifiers.
+  EXPECT_EQ(v.find("input 1;"), std::string::npos);
+  EXPECT_NE(v.find("input n_1;"), std::string::npos);
+}
+
+TEST(VerilogIo, AllGateTypesEmit) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId s = n.add_input("sel");
+  const GateId c1 = n.add_const(true);
+  const GateId g_and = n.add_gate(GateType::kAnd, {a, b}, "g_and");
+  const GateId g_nor = n.add_gate(GateType::kNor, {a, b, c1}, "g_nor");
+  const GateId g_xnor = n.add_gate(GateType::kXnor, {g_and, g_nor}, "g_xnor");
+  const GateId g_mux = n.add_gate(GateType::kMux, {s, g_xnor, a}, "g_mux");
+  const GateId g_not = n.add_gate(GateType::kNot, {g_mux}, "g_not");
+  n.mark_output(g_not, "y");
+  const std::string v = write_verilog_string(n, "all_gates");
+  EXPECT_NE(v.find("assign g_and = a & b;"), std::string::npos);
+  EXPECT_NE(v.find("~(a | b |"), std::string::npos);
+  EXPECT_NE(v.find("sel ? a : g_xnor;"), std::string::npos);
+  EXPECT_NE(v.find("= 1'b1;"), std::string::npos);
+  EXPECT_NE(v.find("assign g_not = ~g_mux;"), std::string::npos);
+}
+
+TEST(VerilogIo, KeyInputsAnnotated) {
+  const Netlist original = make_circuit("c432", 55);
+  const core::LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({8}));
+  const std::string v = write_verilog_string(locked.netlist);
+  EXPECT_NE(v.find("// key bit"), std::string::npos);
+}
+
+TEST(VerilogIo, InputDrivenOutputGetsOwnPort) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  n.mark_output(a, "a");  // pass-through: port must not clash with input
+  const std::string v = write_verilog_string(n, "wire_through");
+  EXPECT_NE(v.find("output a_out;"), std::string::npos);
+  EXPECT_NE(v.find("assign a_out = a;"), std::string::npos);
+}
+
+TEST(VerilogIo, DuplicateOutputPortsDisambiguated) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId g = n.add_gate(GateType::kNot, {a}, "y");
+  n.mark_output(g, "y");
+  n.mark_output(g, "y");  // same net, same requested name
+  const std::string v = write_verilog_string(n, "dup");
+  EXPECT_NE(v.find("output y;"), std::string::npos);
+  EXPECT_NE(v.find("output y_out;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fl::netlist
