@@ -5,6 +5,9 @@
 //                       used 2e6 s on a Xeon E5-2670 — see DESIGN.md §2 for
 //                       the scaling rationale)
 //   FULLLOCK_QUICK      if set, shrink sweeps for smoke-testing
+//   FULLLOCK_SEED       base seed the per-cell seeds are derived from
+//   FL_JOBS             worker threads for sweep grids (flag: --jobs N)
+//   FL_JSONL            JSONL result file (flag: --jsonl PATH)
 #pragma once
 
 #include <cstdio>
@@ -12,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "attacks/sat_attack.h"
 #include "netlist/netlist.h"
+#include "runtime/jsonl.h"
 
 namespace fl::bench {
 
@@ -30,6 +35,30 @@ inline bool env_flag(const char* name) { return std::getenv(name) != nullptr; }
 
 inline double attack_timeout_s() { return env_double("FULLLOCK_TIMEOUT_S", 10.0); }
 inline bool quick_mode() { return env_flag("FULLLOCK_QUICK"); }
+inline std::uint64_t base_seed(std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(env_int("FULLLOCK_SEED",
+                                            static_cast<int>(fallback)));
+}
+
+// The attack-stats block of the JSONL schema (see EXPERIMENTS.md): the
+// deterministic fields first, then the wall-clock fields, whose `_s` suffix
+// marks them as the only fields allowed to differ between two runs of the
+// same seed grid.
+inline void append_attack_fields(runtime::JsonObject& o,
+                                 const attacks::AttackResult& r) {
+  o.field("status", attacks::to_string(r.status))
+      .field("iterations", r.iterations)
+      .field("mean_clause_var_ratio", r.mean_clause_var_ratio)
+      .field("oracle_queries", r.oracle_queries)
+      .field("banned_keys", r.banned_keys)
+      .field("decisions", r.solver_stats.decisions)
+      .field("propagations", r.solver_stats.propagations)
+      .field("conflicts", r.solver_stats.conflicts)
+      .field("restarts", r.solver_stats.restarts)
+      .field("learned_clauses", r.solver_stats.learned_clauses)
+      .field("mean_iteration_s", r.mean_iteration_seconds)
+      .field("wall_s", r.seconds);
+}
 
 // N-wire identity circuit (the Table 2 harness: a CLN locked over plain
 // wires, so the oracle is the identity function).

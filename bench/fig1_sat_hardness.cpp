@@ -4,12 +4,23 @@
 // Expected shape: easy when under-constrained (< 3) or over-constrained
 // (> 6), a hardness peak near ratio 4.3 — the distribution Full-Lock's CLN
 // is engineered to land in (§3).
-#include <benchmark/benchmark.h>
-
+//
+// The grid is one cell per (ratio, seed-index) instance, fanned out over
+// the shared worker pool (--jobs N / FL_JOBS); the table aggregates the
+// per-instance results per ratio. --jsonl PATH / FL_JSONL logs each
+// instance individually.
 #include <algorithm>
-#include <map>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "runtime/jsonl.h"
+#include "runtime/runner.h"
+#include "runtime/seed.h"
 #include "sat/dpll.h"
 #include "sat/ksat.h"
 
@@ -17,56 +28,53 @@ namespace {
 
 using fl::bench::TablePrinter;
 
-struct RatioResult {
-  std::uint64_t median_calls = 0;
-  std::uint64_t max_calls = 0;
-  double sat_fraction = 0.0;
-};
-std::map<int, RatioResult> g_results;  // key: ratio * 10
-
 int num_vars() { return fl::bench::quick_mode() ? 24 : 40; }
 int num_seeds() { return fl::bench::quick_mode() ? 5 : 9; }
 
-void run_ratio(benchmark::State& state) {
-  const double ratio = static_cast<double>(state.range(0)) / 10.0;
+struct Cell {
+  int ratio10;
+  int seed_index;
+  std::uint64_t seed;
+};
+
+struct CellResult {
+  std::uint64_t recursive_calls = 0;
+  bool satisfiable = false;
+};
+
+CellResult run_cell(const Cell& cell) {
   const int n = num_vars();
-  RatioResult result;
-  for (auto _ : state) {
-    std::vector<std::uint64_t> calls;
-    int sat_count = 0;
-    for (int seed = 0; seed < num_seeds(); ++seed) {
-      fl::sat::KSatConfig config;
-      config.num_vars = n;
-      config.num_clauses = std::max(1, static_cast<int>(n * ratio));
-      config.k = 3;
-      config.seed = 7000 + seed;
-      const fl::sat::DpllResult r =
-          fl::sat::Dpll().solve(fl::sat::random_ksat(config));
-      calls.push_back(r.recursive_calls);
-      sat_count += r.satisfiable ? 1 : 0;
-    }
-    std::sort(calls.begin(), calls.end());
-    result.median_calls = calls[calls.size() / 2];
-    result.max_calls = calls.back();
-    result.sat_fraction = static_cast<double>(sat_count) / num_seeds();
-  }
-  state.counters["median_dpll_calls"] =
-      static_cast<double>(result.median_calls);
-  state.counters["sat_fraction"] = result.sat_fraction;
-  g_results[state.range(0)] = result;
+  fl::sat::KSatConfig config;
+  config.num_vars = n;
+  config.num_clauses = std::max(1, static_cast<int>(n * cell.ratio10 / 10.0));
+  config.k = 3;
+  config.seed = cell.seed;
+  const fl::sat::DpllResult r =
+      fl::sat::Dpll().solve(fl::sat::random_ksat(config));
+  return {r.recursive_calls, r.satisfiable};
 }
 
-void print_table() {
+void print_table(const std::vector<Cell>& grid,
+                 const std::vector<CellResult>& results) {
   TablePrinter table("Fig. 1 — median recursive DPLL calls vs clause/var "
                      "ratio (random 3-SAT, n=" +
                      std::to_string(num_vars()) + ")");
   table.row({"ratio", "median_calls", "max_calls", "sat_frac"});
-  for (const auto& [ratio10, r] : g_results) {
+  for (std::size_t i = 0; i < grid.size();) {
+    const int ratio10 = grid[i].ratio10;
+    std::vector<std::uint64_t> calls;
+    int sat_count = 0;
+    for (; i < grid.size() && grid[i].ratio10 == ratio10; ++i) {
+      calls.push_back(results[i].recursive_calls);
+      sat_count += results[i].satisfiable ? 1 : 0;
+    }
+    std::sort(calls.begin(), calls.end());
     char ratio_s[16];
     std::snprintf(ratio_s, sizeof(ratio_s), "%.1f", ratio10 / 10.0);
-    table.row({ratio_s, std::to_string(r.median_calls),
-               std::to_string(r.max_calls),
-               std::to_string(r.sat_fraction)});
+    table.row({ratio_s, std::to_string(calls[calls.size() / 2]),
+               std::to_string(calls.back()),
+               std::to_string(static_cast<double>(sat_count) /
+                              static_cast<double>(calls.size()))});
   }
   std::printf("(paper: hardness peak at ratio ~4.3, easy below 3 and "
               "above 6)\n");
@@ -75,16 +83,50 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  for (int ratio10 = 20; ratio10 <= 80; ratio10 += 5) {
-    benchmark::RegisterBenchmark(
-        ("fig1/ratio=" + std::to_string(ratio10 / 10.0).substr(0, 3)).c_str(),
-        run_ratio)
-        ->Arg(ratio10)
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
+  try {
+    const fl::runtime::RunnerArgs run_args =
+        fl::runtime::parse_runner_args(argc, argv);
+    const std::uint64_t base = fl::bench::base_seed(7000);
+
+    std::vector<Cell> grid;
+    for (int ratio10 = 20; ratio10 <= 80; ratio10 += 5) {
+      for (int s = 0; s < num_seeds(); ++s) {
+        grid.push_back({ratio10, s,
+                        fl::runtime::derive_seed(
+                            base, {static_cast<std::uint64_t>(ratio10),
+                                   static_cast<std::uint64_t>(s)})});
+      }
+    }
+    std::vector<CellResult> results(grid.size());
+
+    std::optional<std::ofstream> jsonl_file;
+    std::optional<fl::runtime::JsonlSink> sink;
+    if (!run_args.jsonl_path.empty()) {
+      jsonl_file.emplace(fl::runtime::open_jsonl(run_args.jsonl_path));
+      sink.emplace(*jsonl_file);
+    }
+
+    std::printf("fig1: %zu instances on %d worker(s)\n", grid.size(),
+                run_args.jobs);
+    fl::runtime::run_grid(grid.size(), run_args.jobs, [&](std::size_t i) {
+      results[i] = run_cell(grid[i]);
+      if (sink) {
+        fl::runtime::JsonObject o;
+        o.field("bench", "fig1")
+            .field("ratio", grid[i].ratio10 / 10.0)
+            .field("seed_index", grid[i].seed_index)
+            .field("seed", grid[i].seed)
+            .field("num_vars", num_vars())
+            .field("recursive_calls", results[i].recursive_calls)
+            .field("satisfiable", results[i].satisfiable);
+        sink->write(i, o.str());
+      }
+    });
+
+    print_table(grid, results);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
-  print_table();
-  return 0;
 }

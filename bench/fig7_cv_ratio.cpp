@@ -4,13 +4,20 @@
 // Expected shape: Full-Lock highest (paper: 3.77, in the hard 3..6 band of
 // Fig. 1), Cross-Lock next (cascade-free MUX trees), LUT-Lock after that,
 // and XOR/point-function schemes (RLL / SARLock / Anti-SAT) lowest.
-#include <benchmark/benchmark.h>
-
-#include <map>
+//
+// The grid is one cell per (scheme, circuit) pair, fanned out over the
+// shared worker pool (--jobs N / FL_JOBS); the table averages each scheme
+// over its circuits. --jsonl PATH / FL_JSONL logs each pair.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "attacks/oracle.h"
-#include "cnf/miter.h"
 #include "bench/bench_util.h"
+#include "cnf/miter.h"
 #include "core/full_lock.h"
 #include "locking/antisat.h"
 #include "locking/crosslock.h"
@@ -18,6 +25,9 @@
 #include "locking/rll.h"
 #include "locking/sarlock.h"
 #include "netlist/profiles.h"
+#include "runtime/jsonl.h"
+#include "runtime/runner.h"
+#include "runtime/seed.h"
 
 namespace {
 
@@ -55,9 +65,18 @@ LockedCircuit lock_scheme(const std::string& scheme, const Netlist& original,
     return fl::lock::lutlock_lock(original, c);
   }
   if (scheme == "Cross-Lock") {
-    fl::lock::CrossLockConfig c;  // the paper's 32x36 crossbar
-    c.seed = seed;
-    return fl::lock::crosslock_lock(original, c);
+    // The crossbar needs a wide-enough antichain, which depends on the
+    // random wire draw; retry a deterministic sequence of sub-seeds.
+    for (std::uint64_t attempt = 0; attempt < 16; ++attempt) {
+      fl::lock::CrossLockConfig c;  // the paper's 32x36 crossbar
+      c.seed = fl::runtime::derive_seed(seed, {attempt});
+      try {
+        return fl::lock::crosslock_lock(original, c);
+      } catch (const std::invalid_argument&) {
+        continue;
+      }
+    }
+    throw std::invalid_argument("crosslock: no viable wire draw in 16 tries");
   }
   // Resilient-class Full-Lock configuration; smaller hosts fall back down
   // the ladder until enough disjoint live wires exist.
@@ -85,40 +104,40 @@ std::vector<std::string> circuits() {
   return {"c432", "c499", "c880", "i4"};
 }
 
-std::map<std::string, double> g_ratio;
+struct Cell {
+  std::size_t scheme;
+  std::size_t circuit;
+  std::uint64_t seed;
+};
 
-void run_scheme(benchmark::State& state) {
-  const std::string scheme = schemes()[state.range(0)];
-  double ratio_sum = 0.0;
-  int samples = 0;
-  for (auto _ : state) {
-    for (const std::string& circuit : circuits()) {
-      const Netlist original = fl::netlist::make_circuit(circuit, 3);
-      const LockedCircuit locked = lock_scheme(scheme, original, 13);
-      // The CNF a MiniSAT-frontend attack tool works on mid-attack: miter
-      // plus DIP-constraint copies, naively encoded (see
-      // cnf::deobfuscation_cnf_ratio for the exact methodology).
-      // Deep into an attack run (dozens of DIP copies) the per-copy gate
-      // encoding dominates over the free key variables, as in the paper's
-      // long 2e6 s runs.
-      ratio_sum += fl::cnf::deobfuscation_cnf_ratio(locked.netlist,
-                                                    /*num_dips=*/64, 29);
-      ++samples;
-    }
-  }
-  const double mean = samples > 0 ? ratio_sum / samples : 0.0;
-  state.counters["clause_var_ratio"] = mean;
-  g_ratio[scheme] = mean;
+double run_cell(const std::string& scheme, const std::string& circuit,
+                std::uint64_t seed) {
+  const Netlist original = fl::netlist::make_circuit(circuit, 3);
+  const LockedCircuit locked = lock_scheme(scheme, original, seed);
+  // The CNF a MiniSAT-frontend attack tool works on mid-attack: miter
+  // plus DIP-constraint copies, naively encoded (see
+  // cnf::deobfuscation_cnf_ratio for the exact methodology).
+  // Deep into an attack run (dozens of DIP copies) the per-copy gate
+  // encoding dominates over the free key variables, as in the paper's
+  // long 2e6 s runs.
+  return fl::cnf::deobfuscation_cnf_ratio(locked.netlist, /*num_dips=*/64, 29);
 }
 
-void print_table() {
+void print_table(const std::vector<std::string>& names,
+                 const std::vector<double>& ratios) {
+  const std::size_t per_scheme = circuits().size();
   TablePrinter table("Fig. 7 — average clauses/variables ratio during "
                      "deobfuscation");
   table.row({"scheme", "ratio"}, 14);
-  for (const std::string& s : schemes()) {
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < per_scheme; ++c) {
+      sum += ratios[s * per_scheme + c];
+    }
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.2f", g_ratio[s]);
-    table.row({s, buf}, 14);
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  sum / static_cast<double>(per_scheme));
+    table.row({names[s], buf}, 14);
   }
   std::printf("(paper shape: Full-Lock highest at ~3.8, Cross-Lock closest, "
               "XOR/point-function schemes lowest)\n");
@@ -127,14 +146,51 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  for (std::size_t i = 0; i < schemes().size(); ++i) {
-    benchmark::RegisterBenchmark(("fig7/" + schemes()[i]).c_str(), run_scheme)
-        ->Arg(static_cast<int>(i))
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
+  try {
+    const fl::runtime::RunnerArgs run_args =
+        fl::runtime::parse_runner_args(argc, argv);
+    const std::uint64_t base = fl::bench::base_seed(13);
+    const std::vector<std::string> circuit_names = circuits();
+
+    std::vector<Cell> grid;
+    for (std::size_t s = 0; s < schemes().size(); ++s) {
+      for (std::size_t c = 0; c < circuit_names.size(); ++c) {
+        grid.push_back({s, c,
+                        fl::runtime::derive_seed(
+                            base, {static_cast<std::uint64_t>(s),
+                                   static_cast<std::uint64_t>(c)})});
+      }
+    }
+    std::vector<double> ratios(grid.size(), 0.0);
+
+    std::optional<std::ofstream> jsonl_file;
+    std::optional<fl::runtime::JsonlSink> sink;
+    if (!run_args.jsonl_path.empty()) {
+      jsonl_file.emplace(fl::runtime::open_jsonl(run_args.jsonl_path));
+      sink.emplace(*jsonl_file);
+    }
+
+    std::printf("fig7: %zu cells on %d worker(s)\n", grid.size(),
+                run_args.jobs);
+    fl::runtime::run_grid(grid.size(), run_args.jobs, [&](std::size_t i) {
+      const Cell& cell = grid[i];
+      ratios[i] = run_cell(schemes()[cell.scheme], circuit_names[cell.circuit],
+                           cell.seed);
+      if (sink) {
+        fl::runtime::JsonObject o;
+        o.field("bench", "fig7")
+            .field("scheme", schemes()[cell.scheme])
+            .field("circuit", circuit_names[cell.circuit])
+            .field("seed", cell.seed)
+            .field("clause_var_ratio", ratios[i]);
+        sink->write(i, o.str());
+      }
+    });
+
+    print_table(schemes(), ratios);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
-  print_table();
-  return 0;
 }

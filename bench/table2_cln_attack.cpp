@@ -6,28 +6,44 @@
 // time grows exponentially in N for both topologies; the non-blocking
 // network is >= an order of magnitude harder at equal N and times out
 // first (paper: non-blocking unbroken beyond N=64, blocking only at 512).
-#include <benchmark/benchmark.h>
-
-#include <map>
+//
+// The (topology x N) grid fans out over the shared worker pool
+// (--jobs N / FL_JOBS; --jobs 1 = the serial reference loop) and every cell
+// can be logged to a JSONL sink (--jsonl PATH / FL_JSONL).
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
 #include "bench/bench_util.h"
 #include "core/full_lock.h"
+#include "runtime/jsonl.h"
+#include "runtime/runner.h"
+#include "runtime/seed.h"
 
 namespace {
 
 using fl::bench::TablePrinter;
 using fl::core::ClnTopology;
 
-struct CellResult {
-  std::uint64_t iterations = 0;
-  double seconds = 0.0;
-  bool timed_out = false;
-  std::size_t key_bits = 0;
+struct Cell {
+  ClnTopology topology;
+  int n;
+  std::uint64_t seed;
 };
-// key: {topology, n}
-std::map<std::pair<int, int>, CellResult> g_results;
+
+struct CellResult {
+  std::size_t key_bits = 0;
+  fl::attacks::AttackResult attack;
+};
+
+const char* topology_name(ClnTopology topo) {
+  return topo == ClnTopology::kShuffleBlocking ? "blocking" : "nonblocking";
+}
 
 std::vector<int> sweep_sizes() {
   if (fl::bench::quick_mode()) return {4, 8, 16};
@@ -37,47 +53,42 @@ std::vector<int> sweep_sizes() {
   return sizes;
 }
 
-void run_cell(benchmark::State& state) {
-  const auto topology = static_cast<ClnTopology>(state.range(0));
-  const int n = static_cast<int>(state.range(1));
-  CellResult cell;
-  for (auto _ : state) {
-    const fl::netlist::Netlist original = fl::bench::identity_circuit(n);
-    // CLN-only lock: no LUT twisting so the instance is exactly one CLN,
-    // matching the paper's Table 2 setup.
-    fl::core::FullLockConfig config = fl::core::FullLockConfig::with_plrs(
-        {n}, topology, fl::core::CycleMode::kAvoid, /*twist_luts=*/false,
-        /*negate_probability=*/0.5);
-    config.seed = 7;
-    const fl::core::LockedCircuit locked = fl::core::full_lock(original, config);
-    cell.key_bits = locked.key_bits();
-    const fl::attacks::Oracle oracle(original);
-    fl::attacks::AttackOptions options;
-    options.timeout_s = fl::bench::attack_timeout_s();
-    const fl::attacks::AttackResult result =
-        fl::attacks::SatAttack(options).run(locked, oracle);
-    cell.iterations = result.iterations;
-    cell.seconds = result.seconds;
-    cell.timed_out = result.status == fl::attacks::AttackStatus::kTimeout;
-  }
-  state.counters["iterations"] = static_cast<double>(cell.iterations);
-  state.counters["timed_out"] = cell.timed_out ? 1 : 0;
-  g_results[{state.range(0), n}] = cell;
+CellResult run_cell(const Cell& cell) {
+  CellResult result;
+  const fl::netlist::Netlist original = fl::bench::identity_circuit(cell.n);
+  // CLN-only lock: no LUT twisting so the instance is exactly one CLN,
+  // matching the paper's Table 2 setup.
+  fl::core::FullLockConfig config = fl::core::FullLockConfig::with_plrs(
+      {cell.n}, cell.topology, fl::core::CycleMode::kAvoid,
+      /*twist_luts=*/false,
+      /*negate_probability=*/0.5);
+  config.seed = cell.seed;
+  const fl::core::LockedCircuit locked = fl::core::full_lock(original, config);
+  result.key_bits = locked.key_bits();
+  const fl::attacks::Oracle oracle(original);
+  fl::attacks::AttackOptions options;
+  options.timeout_s = fl::bench::attack_timeout_s();
+  result.attack = fl::attacks::SatAttack(options).run(locked, oracle);
+  return result;
 }
 
-void print_table() {
+void print_table(const std::vector<Cell>& grid,
+                 const std::vector<CellResult>& results) {
   const double timeout = fl::bench::attack_timeout_s();
   TablePrinter table("Table 2 — SAT attack on CLN-locked identity circuit "
                      "(TO = " + std::to_string(timeout) + " s)");
   const auto emit = [&](ClnTopology topo, const char* name) {
     std::printf("-- %s --\n", name);
     table.row({"N", "key_bits", "iterations", "time_s"});
-    for (const auto& [key, cell] : g_results) {
-      if (key.first != static_cast<int>(topo)) continue;
-      table.row({std::to_string(key.second), std::to_string(cell.key_bits),
-                 cell.timed_out ? ">" + std::to_string(cell.iterations)
-                                : std::to_string(cell.iterations),
-                 fl::bench::fmt_time_or_to(cell.timed_out, cell.seconds)});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i].topology != topo) continue;
+      const CellResult& cell = results[i];
+      const bool timed_out =
+          cell.attack.status == fl::attacks::AttackStatus::kTimeout;
+      table.row({std::to_string(grid[i].n), std::to_string(cell.key_bits),
+                 timed_out ? ">" + std::to_string(cell.attack.iterations)
+                           : std::to_string(cell.attack.iterations),
+                 fl::bench::fmt_time_or_to(timed_out, cell.attack.seconds)});
     }
   };
   emit(ClnTopology::kShuffleBlocking, "shuffle-based blocking CLN");
@@ -90,21 +101,50 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  for (const ClnTopology topo :
-       {ClnTopology::kShuffleBlocking, ClnTopology::kBanyanNonBlocking}) {
-    for (const int n : sweep_sizes()) {
-      const std::string name =
-          std::string("table2/") +
-          (topo == ClnTopology::kShuffleBlocking ? "blocking" : "nonblocking") +
-          "/N=" + std::to_string(n);
-      benchmark::RegisterBenchmark(name.c_str(), run_cell)
-          ->Args({static_cast<int>(topo), n})
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
+  try {
+    const fl::runtime::RunnerArgs run_args =
+        fl::runtime::parse_runner_args(argc, argv);
+    const std::uint64_t base = fl::bench::base_seed(7);
+
+    std::vector<Cell> grid;
+    for (const ClnTopology topo :
+         {ClnTopology::kShuffleBlocking, ClnTopology::kBanyanNonBlocking}) {
+      for (const int n : sweep_sizes()) {
+        grid.push_back({topo, n,
+                        fl::runtime::derive_seed(
+                            base, {static_cast<std::uint64_t>(topo),
+                                   static_cast<std::uint64_t>(n)})});
+      }
     }
+    std::vector<CellResult> results(grid.size());
+
+    std::optional<std::ofstream> jsonl_file;
+    std::optional<fl::runtime::JsonlSink> sink;
+    if (!run_args.jsonl_path.empty()) {
+      jsonl_file.emplace(fl::runtime::open_jsonl(run_args.jsonl_path));
+      sink.emplace(*jsonl_file);
+    }
+
+    std::printf("table2: %zu cells on %d worker(s)\n", grid.size(),
+                run_args.jobs);
+    fl::runtime::run_grid(grid.size(), run_args.jobs, [&](std::size_t i) {
+      results[i] = run_cell(grid[i]);
+      if (sink) {
+        fl::runtime::JsonObject o;
+        o.field("bench", "table2")
+            .field("topology", topology_name(grid[i].topology))
+            .field("n", grid[i].n)
+            .field("seed", grid[i].seed)
+            .field("key_bits", results[i].key_bits);
+        fl::bench::append_attack_fields(o, results[i].attack);
+        sink->write(i, o.str());
+      }
+    });
+
+    print_table(grid, results);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
-  print_table();
-  return 0;
 }

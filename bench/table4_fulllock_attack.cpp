@@ -5,15 +5,25 @@
 // Expected shape: time climbs steeply with PLR count/size; every circuit
 // eventually hits TO; larger CLNs reach TO with fewer PLRs. An ablation
 // column (1x16 CLN-only, no LUT twisting) quantifies §3.2's contribution.
-#include <benchmark/benchmark.h>
-
-#include <map>
+//
+// The (circuit x column) grid fans out over the shared worker pool
+// (--jobs N / FL_JOBS) with per-cell seeds derived from the grid
+// coordinates; --jsonl PATH / FL_JSONL logs every cell.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "attacks/cycsat.h"
 #include "attacks/oracle.h"
 #include "bench/bench_util.h"
 #include "core/full_lock.h"
 #include "netlist/profiles.h"
+#include "runtime/jsonl.h"
+#include "runtime/runner.h"
+#include "runtime/seed.h"
 
 namespace {
 
@@ -51,62 +61,52 @@ std::vector<std::string> circuits() {
   return {"c432", "c499", "c880", "c1355", "apex2", "i4"};
 }
 
-struct CellResult {
-  double seconds = 0.0;
-  bool timed_out = false;
-  std::uint64_t iterations = 0;
-  bool cyclic = false;
+struct Cell {
+  std::size_t circuit;
+  std::size_t column;
+  std::uint64_t seed;
 };
-std::map<std::pair<int, int>, CellResult> g_results;  // {circuit, column}
 
-void run_cell(benchmark::State& state) {
-  const std::string circuit = circuits()[state.range(0)];
-  const Column& column = columns()[state.range(1)];
+struct CellResult {
+  bool cyclic = false;
+  fl::attacks::AttackResult attack;
+};
+
+CellResult run_cell(const std::string& circuit, const Column& column,
+                    std::uint64_t seed) {
   CellResult cell;
-  for (auto _ : state) {
-    const fl::netlist::Netlist original = fl::netlist::make_circuit(circuit, 1);
-    // Random insertion (paper §3.3): cycles allowed, hence CycSAT.
-    fl::core::FullLockConfig config = fl::core::FullLockConfig::with_plrs(
-        column.cln_sizes, fl::core::ClnTopology::kBanyanNonBlocking,
-        fl::core::CycleMode::kAllow, column.twist_luts, 0.5);
-    config.seed = 11;
-    const fl::core::LockedCircuit locked =
-        fl::core::full_lock(original, config);
-    cell.cyclic = locked.netlist.is_cyclic();
-    const fl::attacks::Oracle oracle(original);
-    fl::attacks::AttackOptions options;
-    options.timeout_s = fl::bench::attack_timeout_s();
-    const fl::attacks::AttackResult result =
-        fl::attacks::CycSat(options).run(locked, oracle);
-    cell.seconds = result.seconds;
-    cell.timed_out = result.status != fl::attacks::AttackStatus::kSuccess;
-    cell.iterations = result.iterations;
-  }
-  state.counters["timed_out"] = cell.timed_out ? 1 : 0;
-  state.counters["iterations"] = static_cast<double>(cell.iterations);
-  g_results[{state.range(0), state.range(1)}] = cell;
+  const fl::netlist::Netlist original = fl::netlist::make_circuit(circuit, 1);
+  // Random insertion (paper §3.3): cycles allowed, hence CycSAT.
+  fl::core::FullLockConfig config = fl::core::FullLockConfig::with_plrs(
+      column.cln_sizes, fl::core::ClnTopology::kBanyanNonBlocking,
+      fl::core::CycleMode::kAllow, column.twist_luts, 0.5);
+  config.seed = seed;
+  const fl::core::LockedCircuit locked = fl::core::full_lock(original, config);
+  cell.cyclic = locked.netlist.is_cyclic();
+  const fl::attacks::Oracle oracle(original);
+  fl::attacks::AttackOptions options;
+  options.timeout_s = fl::bench::attack_timeout_s();
+  cell.attack = fl::attacks::CycSat(options).run(locked, oracle);
+  return cell;
 }
 
-void print_table() {
+void print_table(const std::vector<std::string>& names,
+                 const std::vector<CellResult>& results) {
   TablePrinter table(
       "Table 4 — CycSAT time (s) on Full-Lock, TO = " +
       std::to_string(fl::bench::attack_timeout_s()) + " s");
   std::vector<std::string> header{"circuit"};
   for (const Column& c : columns()) header.push_back(c.label);
   table.row(header);
-  const auto names = circuits();
   for (std::size_t ci = 0; ci < names.size(); ++ci) {
     std::vector<std::string> cells{names[ci]};
     for (std::size_t col = 0; col < columns().size(); ++col) {
-      const auto it = g_results.find({static_cast<int>(ci),
-                                      static_cast<int>(col)});
-      if (it == g_results.end()) {
-        cells.push_back("-");
-        continue;
-      }
+      const CellResult& cell = results[ci * columns().size() + col];
+      const bool timed_out =
+          cell.attack.status != fl::attacks::AttackStatus::kSuccess;
       std::string text =
-          fl::bench::fmt_time_or_to(it->second.timed_out, it->second.seconds);
-      if (it->second.cyclic) text += "*";
+          fl::bench::fmt_time_or_to(timed_out, cell.attack.seconds);
+      if (cell.cyclic) text += "*";
       cells.push_back(text);
     }
     table.row(cells);
@@ -119,19 +119,52 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  const auto names = circuits();
-  for (std::size_t ci = 0; ci < names.size(); ++ci) {
-    for (std::size_t col = 0; col < columns().size(); ++col) {
-      const std::string bench_name =
-          "table4/" + names[ci] + "/" + columns()[col].label;
-      benchmark::RegisterBenchmark(bench_name.c_str(), run_cell)
-          ->Args({static_cast<int>(ci), static_cast<int>(col)})
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
+  try {
+    const fl::runtime::RunnerArgs run_args =
+        fl::runtime::parse_runner_args(argc, argv);
+    const std::uint64_t base = fl::bench::base_seed(11);
+    const std::vector<std::string> names = circuits();
+
+    std::vector<Cell> grid;
+    for (std::size_t ci = 0; ci < names.size(); ++ci) {
+      for (std::size_t col = 0; col < columns().size(); ++col) {
+        grid.push_back({ci, col,
+                        fl::runtime::derive_seed(
+                            base, {static_cast<std::uint64_t>(ci),
+                                   static_cast<std::uint64_t>(col)})});
+      }
     }
+    std::vector<CellResult> results(grid.size());
+
+    std::optional<std::ofstream> jsonl_file;
+    std::optional<fl::runtime::JsonlSink> sink;
+    if (!run_args.jsonl_path.empty()) {
+      jsonl_file.emplace(fl::runtime::open_jsonl(run_args.jsonl_path));
+      sink.emplace(*jsonl_file);
+    }
+
+    std::printf("table4: %zu cells on %d worker(s)\n", grid.size(),
+                run_args.jobs);
+    fl::runtime::run_grid(grid.size(), run_args.jobs, [&](std::size_t i) {
+      const Cell& cell = grid[i];
+      results[i] = run_cell(names[cell.circuit], columns()[cell.column],
+                            cell.seed);
+      if (sink) {
+        fl::runtime::JsonObject o;
+        o.field("bench", "table4")
+            .field("circuit", names[cell.circuit])
+            .field("plr", columns()[cell.column].label)
+            .field("seed", cell.seed)
+            .field("cyclic", results[i].cyclic);
+        fl::bench::append_attack_fields(o, results[i].attack);
+        sink->write(i, o.str());
+      }
+    });
+
+    print_table(names, results);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
-  print_table();
-  return 0;
 }

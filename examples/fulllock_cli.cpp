@@ -1,18 +1,28 @@
-// File-based command-line front end: lock / attack / report on .bench
-// netlists, the workflow an IP owner or red-team would actually run.
+// File-based command-line front end: lock / attack / sweep / report on
+// .bench netlists, the workflow an IP owner or red-team would actually run.
 //
 //   lock:    example_fulllock_cli lock <in.bench> <out.bench> [plr sizes...]
 //            Writes the locked netlist, the key to <out.bench>.key, and a
 //            structural Verilog view to <out.bench>.v.
 //   attack:  example_fulllock_cli attack <locked.bench> <oracle.bench>
-//                                        [timeout_s]
+//                                        [timeout_s] [--portfolio K]
 //            Runs the (Cyc)SAT attack with the oracle circuit standing in
-//            for the activated chip.
+//            for the activated chip. --portfolio K races K solver
+//            configurations on the same miter; the first finisher cancels
+//            the rest.
+//   sweep:   example_fulllock_cli sweep <in.bench> [plr sizes...]
+//            Locks <in.bench> once per (PLR size, seed index) cell and
+//            attacks each instance, fanning the grid out over a worker
+//            pool. --jobs N / FL_JOBS sets the pool size (1 = serial
+//            reference loop); --jsonl PATH / FL_JSONL records one JSON
+//            object per cell; FULLLOCK_SEED / FULLLOCK_SWEEP_SEEDS set the
+//            base seed and per-size replica count.
 //   report:  example_fulllock_cli report <netlist.bench>
 //            Prints structural statistics and the PPA estimate.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +34,9 @@
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
 #include "ppa/estimator.h"
+#include "runtime/jsonl.h"
+#include "runtime/runner.h"
+#include "runtime/seed.h"
 
 using namespace fl;
 
@@ -66,35 +79,158 @@ int cmd_lock(int argc, char** argv) {
 }
 
 int cmd_attack(int argc, char** argv) {
-  if (argc < 4) {
+  // Separate flags from positionals so "--portfolio K" can sit anywhere.
+  std::vector<std::string> positional;
+  int portfolio = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--portfolio" && i + 1 < argc) {
+      portfolio = std::atoi(argv[++i]);
+    } else if (arg.rfind("--portfolio=", 0) == 0) {
+      portfolio = std::atoi(arg.c_str() + 12);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) {
     std::fprintf(stderr,
-                 "usage: attack <locked.bench> <oracle.bench> [timeout_s]\n");
+                 "usage: attack <locked.bench> <oracle.bench> [timeout_s] "
+                 "[--portfolio K]\n");
     return 2;
   }
   core::LockedCircuit locked;
-  locked.netlist = netlist::read_bench_file(argv[2]);
+  locked.netlist = netlist::read_bench_file(positional[0]);
   locked.scheme = "file";
-  const netlist::Netlist oracle_netlist = netlist::read_bench_file(argv[3]);
+  const netlist::Netlist oracle_netlist = netlist::read_bench_file(positional[1]);
   const attacks::Oracle oracle(oracle_netlist);
   attacks::AttackOptions options;
-  options.timeout_s = argc > 4 ? std::atof(argv[4]) : 60.0;
+  options.timeout_s =
+      positional.size() > 2 ? std::atof(positional[2].c_str()) : 60.0;
+  options.portfolio = portfolio;
   const bool cyclic = locked.netlist.is_cyclic();
   const attacks::AttackResult result =
       cyclic ? attacks::CycSat(options).run(locked, oracle)
              : attacks::SatAttack(options).run(locked, oracle);
   std::printf("%s attack on %s (%zu key bits): %s\n",
-              cyclic ? "CycSAT" : "SAT", argv[2], locked.netlist.num_keys(),
-              to_string(result.status));
+              cyclic ? "CycSAT" : "SAT", positional[0].c_str(),
+              locked.netlist.num_keys(), to_string(result.status));
   std::printf("iterations %llu, %.2f s, %llu oracle queries\n",
               static_cast<unsigned long long>(result.iterations),
               result.seconds,
               static_cast<unsigned long long>(result.oracle_queries));
+  if (result.portfolio_winner >= 0) {
+    const sat::SolverConfig cfg =
+        attacks::SatAttack::portfolio_config(result.portfolio_winner);
+    std::printf("portfolio: config %d won (var_decay %.2f, clause_decay "
+                "%.4f, restart_unit %d)\n",
+                result.portfolio_winner, cfg.var_decay, cfg.clause_decay,
+                cfg.restart_unit);
+  }
   if (result.status == attacks::AttackStatus::kSuccess) {
     const bool good = core::verify_unlocks(oracle_netlist, locked.netlist,
                                            result.key, 16, 1);
     std::printf("recovered key (%s):", good ? "verified" : "UNVERIFIED");
     for (const bool b : result.key) std::printf("%d", b ? 1 : 0);
     std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: sweep <in.bench> [sizes...] (--jobs N, --jsonl "
+                 "PATH)\n");
+    return 2;
+  }
+  const netlist::Netlist original = netlist::read_bench_file(argv[2]);
+  std::vector<int> sizes;
+  for (int i = 3; i < argc; ++i) sizes.push_back(std::atoi(argv[i]));
+  if (sizes.empty()) sizes = {4, 8, 16};
+  const int replicas =
+      std::max(1, static_cast<int>(
+                      std::getenv("FULLLOCK_SWEEP_SEEDS")
+                          ? std::atoi(std::getenv("FULLLOCK_SWEEP_SEEDS"))
+                          : 3));
+  const char* base_env = std::getenv("FULLLOCK_SEED");
+  const std::uint64_t base =
+      base_env ? static_cast<std::uint64_t>(std::atoll(base_env)) : 17;
+
+  struct Cell {
+    int size;
+    int replica;
+    std::uint64_t seed;
+  };
+  struct CellResult {
+    std::size_t key_bits = 0;
+    bool cyclic = false;
+    attacks::AttackResult attack;
+  };
+  std::vector<Cell> grid;
+  for (const int size : sizes) {
+    for (int r = 0; r < replicas; ++r) {
+      grid.push_back({size, r,
+                      runtime::derive_seed(
+                          base, {static_cast<std::uint64_t>(size),
+                                 static_cast<std::uint64_t>(r)})});
+    }
+  }
+  std::vector<CellResult> results(grid.size());
+
+  std::optional<std::ofstream> jsonl_file;
+  std::optional<runtime::JsonlSink> sink;
+  if (!run_args.jsonl_path.empty()) {
+    jsonl_file.emplace(runtime::open_jsonl(run_args.jsonl_path));
+    sink.emplace(*jsonl_file);
+  }
+
+  std::printf("sweep %s: %zu cells on %d worker(s)\n", argv[2], grid.size(),
+              run_args.jobs);
+  runtime::run_grid(grid.size(), run_args.jobs, [&](std::size_t i) {
+    const Cell& cell = grid[i];
+    core::FullLockConfig config =
+        core::FullLockConfig::with_plrs({cell.size});
+    config.seed = cell.seed;
+    const core::LockedCircuit locked = core::full_lock(original, config);
+    const attacks::Oracle oracle(original);
+    attacks::AttackOptions options;
+    options.timeout_s = std::getenv("FULLLOCK_TIMEOUT_S")
+                            ? std::atof(std::getenv("FULLLOCK_TIMEOUT_S"))
+                            : 10.0;
+    const bool cyclic = locked.netlist.is_cyclic();
+    results[i].key_bits = locked.key_bits();
+    results[i].cyclic = cyclic;
+    results[i].attack = cyclic ? attacks::CycSat(options).run(locked, oracle)
+                               : attacks::SatAttack(options).run(locked, oracle);
+    if (sink) {
+      runtime::JsonObject o;
+      o.field("bench", "cli_sweep")
+          .field("circuit", original.name())
+          .field("plr_size", cell.size)
+          .field("replica", cell.replica)
+          .field("seed", cell.seed)
+          .field("key_bits", results[i].key_bits)
+          .field("cyclic", results[i].cyclic)
+          .field("status", attacks::to_string(results[i].attack.status))
+          .field("iterations", results[i].attack.iterations)
+          .field("mean_clause_var_ratio",
+                 results[i].attack.mean_clause_var_ratio)
+          .field("oracle_queries", results[i].attack.oracle_queries)
+          .field("conflicts", results[i].attack.solver_stats.conflicts)
+          .field("mean_iteration_s", results[i].attack.mean_iteration_seconds)
+          .field("wall_s", results[i].attack.seconds);
+      sink->write(i, o.str());
+    }
+  });
+
+  std::printf("%-6s %-8s %-10s %-12s %-10s %s\n", "size", "replica",
+              "key_bits", "status", "iters", "time_s");
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::printf("%-6d %-8d %-10zu %-12s %-10llu %.2f\n", grid[i].size,
+                grid[i].replica, results[i].key_bits,
+                attacks::to_string(results[i].attack.status),
+                static_cast<unsigned long long>(results[i].attack.iterations),
+                results[i].attack.seconds);
   }
   return 0;
 }
@@ -128,11 +264,15 @@ int cmd_report(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
+    // Strips --jobs/--jsonl (and reads FL_JOBS/FL_JSONL) for subcommands
+    // that fan out; harmless for the single-shot ones.
+    const runtime::RunnerArgs run_args = runtime::parse_runner_args(argc, argv);
     const std::string cmd = argc > 1 ? argv[1] : "";
     if (cmd == "lock") return cmd_lock(argc, argv);
     if (cmd == "attack") return cmd_attack(argc, argv);
+    if (cmd == "sweep") return cmd_sweep(argc, argv, run_args);
     if (cmd == "report") return cmd_report(argc, argv);
-    std::fprintf(stderr, "usage: %s lock|attack|report ...\n",
+    std::fprintf(stderr, "usage: %s lock|attack|sweep|report ...\n",
                  argc > 0 ? argv[0] : "fulllock_cli");
     return 2;
   } catch (const std::exception& e) {

@@ -17,7 +17,7 @@ std::vector<bool> Oracle::query(const std::vector<bool>& input) const {
   if (input.size() != original_.num_inputs()) {
     throw std::invalid_argument("oracle query width mismatch");
   }
-  ++queries_;
+  queries_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Word> words(input.size());
   for (std::size_t i = 0; i < input.size(); ++i) {
     words[i] = input[i] ? ~Word{0} : Word{0};
@@ -29,7 +29,7 @@ std::vector<bool> Oracle::query(const std::vector<bool>& input) const {
 }
 
 std::vector<Word> Oracle::query_words(std::span<const Word> inputs) const {
-  queries_ += 64;
+  queries_.fetch_add(64, std::memory_order_relaxed);
   return simulator_.run(inputs, {});
 }
 

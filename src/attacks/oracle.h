@@ -3,6 +3,7 @@
 // the threat model.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -24,13 +25,17 @@ class Oracle {
   std::vector<netlist::Word> query_words(
       std::span<const netlist::Word> inputs) const;
 
-  std::uint64_t num_queries() const { return queries_; }
+  std::uint64_t num_queries() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
   const netlist::Netlist& circuit() const { return original_; }
 
  private:
   netlist::Netlist original_;
   netlist::Simulator simulator_;
-  mutable std::uint64_t queries_ = 0;
+  // Atomic so one oracle can serve concurrent attacks (portfolio racers,
+  // parallel sweep jobs); Simulator::run is const with per-call scratch.
+  mutable std::atomic<std::uint64_t> queries_{0};
 };
 
 }  // namespace fl::attacks

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 #include <set>
+#include <thread>
 
 #include "cnf/miter.h"
 #include "netlist/simulator.h"
@@ -58,6 +60,83 @@ void SatAttack::add_preconditions(const netlist::Netlist&, sat::Solver&,
 
 AttackResult SatAttack::run(const core::LockedCircuit& locked,
                             const Oracle& oracle) const {
+  if (options_.portfolio > 1) return run_portfolio(locked, oracle);
+  return run_single(locked, oracle, sat::SolverConfig{}, options_.interrupt);
+}
+
+sat::SolverConfig SatAttack::portfolio_config(int k) {
+  // Diversity along the two axes CDCL portfolios classically race: VSIDS
+  // agility (decay) and restart cadence. Entry 0 keeps the MiniSat defaults.
+  static constexpr struct {
+    double var_decay;
+    double clause_decay;
+    int restart_unit;
+  } kConfigs[] = {
+      {0.95, 0.999, 128},   // MiniSat defaults
+      {0.80, 0.999, 32},    // agile: fast decay, rapid restarts
+      {0.99, 0.995, 512},   // sluggish: long-horizon activity, rare restarts
+      {0.90, 0.9995, 64},   // moderately agile
+      {0.95, 0.999, 1024},  // default decay, near-monolithic runs
+      {0.85, 0.99, 256},
+  };
+  constexpr int n = static_cast<int>(std::size(kConfigs));
+  const auto& c = kConfigs[((k % n) + n) % n];
+  return {c.var_decay, c.clause_decay, c.restart_unit};
+}
+
+AttackResult SatAttack::run_portfolio(const core::LockedCircuit& locked,
+                                      const Oracle& oracle) const {
+  const int width = options_.portfolio;
+  const std::uint64_t queries_before = oracle.num_queries();
+  std::atomic<bool> cancel{false};
+  std::atomic<int> winner{-1};
+  std::vector<AttackResult> results(static_cast<std::size_t>(width));
+  std::vector<std::thread> racers;
+  racers.reserve(static_cast<std::size_t>(width));
+  for (int k = 0; k < width; ++k) {
+    racers.emplace_back([&, k] {
+      results[k] = run_single(locked, oracle, portfolio_config(k), &cancel);
+      const bool decisive = results[k].status == AttackStatus::kSuccess ||
+                            results[k].status == AttackStatus::kKeySpaceEmpty;
+      if (decisive) {
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, k)) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Forward external cancellation into the race while the racers run.
+  std::atomic<bool> race_done{false};
+  std::thread watcher;
+  if (options_.interrupt != nullptr) {
+    watcher = std::thread([&] {
+      while (!race_done.load(std::memory_order_relaxed)) {
+        if (options_.interrupt->load(std::memory_order_relaxed)) {
+          cancel.store(true, std::memory_order_relaxed);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+  for (std::thread& t : racers) t.join();
+  race_done.store(true, std::memory_order_relaxed);
+  if (watcher.joinable()) watcher.join();
+
+  const int w = winner.load();
+  AttackResult result = w >= 0 ? std::move(results[w]) : std::move(results[0]);
+  result.portfolio_winner = w;
+  // The racers share one oracle, so per-racer query deltas interleave;
+  // report the total the whole portfolio consumed instead.
+  result.oracle_queries = oracle.num_queries() - queries_before;
+  return result;
+}
+
+AttackResult SatAttack::run_single(const core::LockedCircuit& locked,
+                                   const Oracle& oracle,
+                                   const sat::SolverConfig& config,
+                                   const std::atomic<bool>* interrupt) const {
   const auto start = Clock::now();
   const auto deadline =
       options_.timeout_s > 0.0
@@ -69,11 +148,15 @@ AttackResult SatAttack::run(const core::LockedCircuit& locked,
   AttackResult result;
   const std::uint64_t queries_before = oracle.num_queries();
 
-  sat::Solver solver;
+  sat::Solver solver(config);
+  solver.set_interrupt(interrupt);
   const cnf::AttackMiter miter =
       cnf::encode_attack_miter(locked.netlist, solver);
   add_preconditions(locked.netlist, solver, miter.key1, miter.key2);
 
+  // One ratio sample per DIP-miter solve: exactly the CNF snapshots the
+  // solver worked on, each counted once (the final key-extraction solve
+  // reuses the last snapshot, so it adds no sample).
   double ratio_sum = 0.0;
   std::uint64_t ratio_samples = 0;
   const auto sample_ratio = [&]() {
@@ -83,7 +166,11 @@ AttackResult SatAttack::run(const core::LockedCircuit& locked,
       ++ratio_samples;
     }
   };
-  sample_ratio();
+
+  // Wall time spent inside completed DIP iterations (DIP solve + oracle
+  // query + constraint encoding); the divisor for mean_iteration_seconds.
+  // Miter encoding above and the final key extraction are excluded.
+  double dip_loop_seconds = 0.0;
 
   const auto extract_key = [&](std::span<const sat::Var> key_vars) {
     std::vector<bool> key(key_vars.size());
@@ -97,7 +184,7 @@ AttackResult SatAttack::run(const core::LockedCircuit& locked,
     result.status = status;
     result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
     result.mean_iteration_seconds =
-        result.iterations > 0 ? result.seconds / result.iterations : 0.0;
+        result.iterations > 0 ? dip_loop_seconds / result.iterations : 0.0;
     result.mean_clause_var_ratio =
         ratio_samples > 0 ? ratio_sum / ratio_samples : 0.0;
     result.solver_stats = solver.stats();
@@ -120,7 +207,9 @@ AttackResult SatAttack::run(const core::LockedCircuit& locked,
         result.iterations >= options_.max_iterations) {
       return finish(AttackStatus::kIterationLimit);
     }
+    const auto iteration_start = Clock::now();
     solver.set_deadline(deadline);
+    sample_ratio();
     const sat::LBool dip_found = solver.solve(activate);
     if (dip_found == sat::LBool::kUndef) {
       return finish(AttackStatus::kTimeout);
@@ -214,7 +303,8 @@ AttackResult SatAttack::run(const core::LockedCircuit& locked,
     cnf::add_io_constraint(locked.netlist, solver, miter.key2, pattern,
                            response);
     ++result.iterations;
-    sample_ratio();
+    dip_loop_seconds +=
+        std::chrono::duration<double>(Clock::now() - iteration_start).count();
     if (options_.verbose) {
       std::fprintf(stderr, "[sat-attack] iter %llu, %d vars, %zu clauses\n",
                    static_cast<unsigned long long>(result.iterations),

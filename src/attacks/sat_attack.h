@@ -9,6 +9,7 @@
 // clauses-to-variables ratio of the CNF the solver worked on (Fig. 7).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -32,6 +33,16 @@ struct AttackOptions {
   double timeout_s = 0.0;            // 0 = unlimited
   std::uint64_t max_iterations = 0;  // 0 = unlimited
   bool verbose = false;
+  // Cooperative cancellation (e.g. fl::runtime::CancelToken::flag()).
+  // Polled inside every solve; a cancelled attack reports kTimeout. The
+  // attack never writes the flag. nullptr disables.
+  const std::atomic<bool>* interrupt = nullptr;
+  // Portfolio mode: race this many solver configurations (restart cadence /
+  // VSIDS decay variants, see SatAttack::portfolio_config) on the same
+  // miter from parallel threads; the first decisive finisher cancels the
+  // rest. 0 or 1 = single default configuration. Which racer wins is
+  // timing-dependent, so leave this off when results must be reproducible.
+  int portfolio = 0;
 };
 
 struct AttackResult {
@@ -39,13 +50,21 @@ struct AttackResult {
   std::vector<bool> key;  // valid for kSuccess (best-effort otherwise)
   std::uint64_t iterations = 0;
   double seconds = 0.0;
+  // Mean wall time of one DIP-loop iteration (DIP solve + oracle query +
+  // constraint encoding). Excludes the one-off miter encoding and the final
+  // key-extraction solve, so it matches the paper's per-iteration metric.
   double mean_iteration_seconds = 0.0;
-  double mean_clause_var_ratio = 0.0;  // averaged over solver snapshots
+  // Mean clauses/variables ratio over the CNF snapshots the DIP solver
+  // actually worked on (one sample per DIP-miter solve).
+  double mean_clause_var_ratio = 0.0;
   sat::SolverStats solver_stats;
   std::uint64_t oracle_queries = 0;
   // Stateful key assignments banned after repeated DIPs (cyclic locks
   // only; BeSAT-style progress guarantee).
   std::uint64_t banned_keys = 0;
+  // Portfolio mode only: index of the solver configuration that produced
+  // this result, or -1 outside portfolio mode / when every racer timed out.
+  int portfolio_winner = -1;
 };
 
 class SatAttack {
@@ -54,6 +73,11 @@ class SatAttack {
 
   AttackResult run(const core::LockedCircuit& locked,
                    const Oracle& oracle) const;
+
+  // The solver configuration racer `k` uses in portfolio mode. Config 0 is
+  // the default SolverConfig, so a 1-wide portfolio degenerates to the
+  // plain attack; further entries diversify restart cadence and decay.
+  static sat::SolverConfig portfolio_config(int k);
 
  protected:
   // Hook for CycSAT: add pre-conditions on the two key-variable sets before
@@ -67,6 +91,13 @@ class SatAttack {
   virtual ~SatAttack() = default;
 
  private:
+  AttackResult run_single(const core::LockedCircuit& locked,
+                          const Oracle& oracle,
+                          const sat::SolverConfig& config,
+                          const std::atomic<bool>* interrupt) const;
+  AttackResult run_portfolio(const core::LockedCircuit& locked,
+                             const Oracle& oracle) const;
+
   AttackOptions options_;
 };
 

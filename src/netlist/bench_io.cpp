@@ -52,6 +52,23 @@ struct PendingGate {
   int line_no;
 };
 
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw std::runtime_error("bench line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+// Signal names may not be empty or contain structural characters; catching
+// this here turns "garbage substring parsed as a name" into a line-numbered
+// parse error.
+void expect_signal_name(const std::string& name, int line_no,
+                        const char* what) {
+  if (name.empty()) fail(line_no, std::string("empty ") + what + " name");
+  if (name.find_first_of("()=,# \t") != std::string::npos) {
+    fail(line_no,
+         std::string("bad ") + what + " name '" + name + "'");
+  }
+}
+
 }  // namespace
 
 Netlist read_bench(std::istream& in, std::string name) {
@@ -71,48 +88,77 @@ Netlist read_bench(std::istream& in, std::string name) {
 
     const std::size_t lpar = text.find('(');
     const std::size_t eq = text.find('=');
-    if (eq == std::string::npos) {
+    // A '(' before any '=' means the '=' (if present at all) sits inside the
+    // argument list — route to the declaration branch so "OUTPUT(a=b)" is
+    // rejected as a bad name instead of mangled by substring arithmetic.
+    if (eq == std::string::npos ||
+        (lpar != std::string::npos && lpar < eq)) {
       // INPUT(x) or OUTPUT(x)
-      const std::size_t rpar = text.rfind(')');
-      if (lpar == std::string::npos || rpar == std::string::npos ||
-          rpar < lpar) {
-        throw std::runtime_error("bench line " + std::to_string(line_no) +
-                                 ": malformed declaration");
+      if (lpar == std::string::npos) {
+        fail(line_no, "malformed declaration (expected INPUT(name) or "
+                      "OUTPUT(name))");
+      }
+      const std::size_t rpar = text.find(')', lpar + 1);
+      if (rpar == std::string::npos) {
+        fail(line_no, "missing ')' in declaration");
+      }
+      if (!trim(text.substr(rpar + 1)).empty()) {
+        fail(line_no, "trailing characters after ')'");
       }
       const std::string kind = upper(trim(text.substr(0, lpar)));
       const std::string arg = trim(text.substr(lpar + 1, rpar - lpar - 1));
       if (kind == "INPUT") {
+        expect_signal_name(arg, line_no, "input");
         const GateId id = is_key_name(arg) ? netlist.add_key(arg)
                                            : netlist.add_input(arg);
         by_name[arg] = id;
       } else if (kind == "OUTPUT") {
+        expect_signal_name(arg, line_no, "output");
         output_names.push_back(arg);
       } else {
-        throw std::runtime_error("bench line " + std::to_string(line_no) +
-                                 ": expected INPUT/OUTPUT, got '" + kind + "'");
+        fail(line_no, "expected INPUT/OUTPUT, got '" + kind + "'");
       }
       continue;
     }
 
     // name = GATE(a, b, ...)
     const std::string lhs = trim(text.substr(0, eq));
+    expect_signal_name(lhs, line_no, "gate");
     const std::string rhs = trim(text.substr(eq + 1));
+    if (rhs.empty()) fail(line_no, "missing gate expression after '='");
     const std::size_t glpar = rhs.find('(');
-    const std::size_t grpar = rhs.rfind(')');
-    if (glpar == std::string::npos || grpar == std::string::npos ||
-        grpar < glpar) {
-      throw std::runtime_error("bench line " + std::to_string(line_no) +
-                               ": malformed gate definition");
+    if (glpar == std::string::npos) {
+      fail(line_no, "malformed gate definition (expected TYPE(args))");
+    }
+    const std::size_t grpar = rhs.find(')', glpar + 1);
+    if (grpar == std::string::npos) {
+      fail(line_no, "missing ')' in gate definition");
+    }
+    if (!trim(rhs.substr(grpar + 1)).empty()) {
+      fail(line_no, "trailing characters after ')'");
     }
     PendingGate pg;
     pg.name = lhs;
     pg.type = parse_gate_type(trim(rhs.substr(0, glpar)), line_no);
     pg.line_no = line_no;
-    std::stringstream args(rhs.substr(glpar + 1, grpar - glpar - 1));
+    const std::string arg_list = rhs.substr(glpar + 1, grpar - glpar - 1);
+    const std::string arg_list_trimmed = trim(arg_list);
+    if (!arg_list_trimmed.empty() && arg_list_trimmed.back() == ',') {
+      // getline-splitting silently drops a trailing empty token.
+      fail(line_no, "empty fanin name in '" + pg.name + "'");
+    }
+    std::stringstream args(arg_list);
     std::string tok;
     while (std::getline(args, tok, ',')) {
       const std::string fanin = trim(tok);
-      if (!fanin.empty()) pg.fanin_names.push_back(fanin);
+      if (fanin.empty()) {
+        // CONST0()/CONST1() legitimately have an empty list; an empty token
+        // *between* commas (or a dangling comma) is a parse error.
+        if (trim(arg_list).empty()) continue;
+        fail(line_no, "empty fanin name in '" + pg.name + "'");
+      }
+      expect_signal_name(fanin, line_no, "fanin");
+      pg.fanin_names.push_back(fanin);
     }
     pending.push_back(std::move(pg));
   }
@@ -140,7 +186,11 @@ Netlist read_bench(std::istream& in, std::string name) {
         // Ensure some gate exists to point placeholders at.
         netlist.add_const(false);
       }
-      id = netlist.add_gate(pg.type, std::move(placeholder), pg.name);
+      try {
+        id = netlist.add_gate(pg.type, std::move(placeholder), pg.name);
+      } catch (const std::exception& e) {
+        fail(pg.line_no, e.what());  // e.g. wrong arity for the gate type
+      }
     }
     by_name[pg.name] = id;
   }

@@ -1,0 +1,23 @@
+// Cooperative cancellation for long-running jobs.
+#pragma once
+
+#include <atomic>
+
+namespace fl::runtime {
+
+// One-shot cancellation flag. The requesting side calls request(); workers
+// poll cancelled() at iteration boundaries, or hand flag() to a component
+// with its own polling loop (Solver::set_interrupt, AttackOptions::interrupt)
+// so a solve in flight is cut short too. Relaxed ordering is enough: the
+// flag carries no data, only "stop soon".
+class CancelToken {
+ public:
+  void request() { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+  const std::atomic<bool>* flag() const { return &flag_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace fl::runtime

@@ -1,0 +1,99 @@
+#include "runtime/jsonl.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace fl::runtime {
+
+namespace {
+
+void append_escaped(std::string& buf, std::string_view s) {
+  buf.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': buf += "\\\""; break;
+      case '\\': buf += "\\\\"; break;
+      case '\n': buf += "\\n"; break;
+      case '\r': buf += "\\r"; break;
+      case '\t': buf += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          buf += hex;
+        } else {
+          buf.push_back(c);
+        }
+    }
+  }
+  buf.push_back('"');
+}
+
+}  // namespace
+
+JsonObject& JsonObject::raw(std::string_view key, std::string_view value) {
+  if (!first_) buf_.push_back(',');
+  first_ = false;
+  append_escaped(buf_, key);
+  buf_.push_back(':');
+  buf_ += value;
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::string_view value) {
+  std::string escaped;
+  append_escaped(escaped, value);
+  return raw(key, escaped);
+}
+
+JsonObject& JsonObject::field(std::string_view key, bool value) {
+  return raw(key, value ? "true" : "false");
+}
+
+JsonObject& JsonObject::field(std::string_view key, double value) {
+  // Shortest round-trippable decimal; identical doubles format identically,
+  // which is all the determinism guarantee needs.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return raw(key, buf);
+}
+
+std::string JsonObject::str() {
+  buf_.push_back('}');
+  return std::move(buf_);
+}
+
+void JsonlSink::write(std::size_t index, std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.emplace(index, std::move(line));
+  while (!pending_.empty() && pending_.begin()->first == next_) {
+    out_ << pending_.begin()->second << '\n';
+    pending_.erase(pending_.begin());
+    ++next_;
+  }
+}
+
+void JsonlSink::write_unordered(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+}
+
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [index, line] : pending_) {
+    out_ << line << '\n';
+    next_ = index + 1;
+  }
+  pending_.clear();
+  out_.flush();
+}
+
+std::ofstream open_jsonl(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open JSONL output file: " + path);
+  }
+  return out;
+}
+
+}  // namespace fl::runtime

@@ -1,0 +1,81 @@
+// Thread-safe JSONL result sink for sweep drivers.
+//
+// Schema convention (documented in EXPERIMENTS.md): one JSON object per
+// line; wall-clock fields carry an `_s` suffix (`wall_s`,
+// `mean_iteration_s`) and are the only fields allowed to differ between two
+// runs of the same seed grid — everything else must be a deterministic
+// function of the grid coordinates, which is what the serial-vs-parallel
+// determinism test asserts.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace fl::runtime {
+
+// Builder for one JSONL record. Fields keep insertion order; keys are
+// assumed to be plain identifiers (not escaped), values are escaped.
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonObject& field(std::string_view key, bool value);
+  JsonObject& field(std::string_view key, double value);
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonObject& field(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return raw(key, std::to_string(static_cast<long long>(value)));
+    } else {
+      return raw(key, std::to_string(static_cast<unsigned long long>(value)));
+    }
+  }
+
+  // Closes the object. The builder is spent afterwards.
+  std::string str();
+
+ private:
+  JsonObject& raw(std::string_view key, std::string_view value);
+
+  std::string buf_ = "{";
+  bool first_ = true;
+};
+
+// Appends records to a stream in index order no matter which thread (or in
+// which order) produced them: write(i, line) buffers until every line with a
+// smaller index has been flushed. A parallel sweep therefore emits the same
+// byte stream as a serial one, give or take the wall-clock field values.
+class JsonlSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  ~JsonlSink() { flush(); }
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  // In-order append; `index` is the job's grid index, each used once.
+  void write(std::size_t index, std::string line);
+  // Immediate append for records outside any grid (e.g. a run header).
+  void write_unordered(const std::string& line);
+  // Drains records still waiting on a gap (jobs that never reported).
+  void flush();
+
+ private:
+  std::ostream& out_;
+  std::mutex mu_;
+  std::size_t next_ = 0;
+  std::map<std::size_t, std::string> pending_;
+};
+
+// Opens (truncates) a JSONL output file, throwing std::runtime_error when
+// the path is unwritable — a sweep must not silently drop its results.
+std::ofstream open_jsonl(const std::string& path);
+
+}  // namespace fl::runtime

@@ -1,0 +1,85 @@
+#include "runtime/runner.h"
+
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string_view>
+#include <thread>
+
+#include "runtime/thread_pool.h"
+
+namespace fl::runtime {
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("FL_JOBS"); env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+RunnerArgs parse_runner_args(int& argc, char** argv) {
+  int requested_jobs = 0;
+  RunnerArgs args;
+  if (const char* env = std::getenv("FL_JSONL"); env != nullptr) {
+    args.jsonl_path = env;
+  }
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto take_value = [&](std::string_view flag,
+                                std::string_view* value) {
+      if (arg.rfind(flag, 0) != 0) return false;
+      if (arg.size() > flag.size() && arg[flag.size()] == '=') {
+        *value = arg.substr(flag.size() + 1);
+        return true;
+      }
+      if (arg.size() == flag.size() && i + 1 < argc) {
+        *value = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    std::string_view value;
+    if (take_value("--jobs", &value)) {
+      requested_jobs = std::atoi(std::string(value).c_str());
+    } else if (take_value("--jsonl", &value)) {
+      args.jsonl_path = value;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  args.jobs = resolve_jobs(requested_jobs);
+  return args;
+}
+
+void run_grid(std::size_t n, int jobs,
+              const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  {
+    ThreadPool pool(static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs), n > 0 ? n : 1)));
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fl::runtime

@@ -1,0 +1,41 @@
+// Sweep-grid execution: the one entry point every bench driver and the CLI
+// use to fan (benchmark × scheme × key-width × seed) grids over workers.
+//
+//   auto args = fl::runtime::parse_runner_args(argc, argv);  // --jobs/--jsonl
+//   fl::runtime::run_grid(grid.size(), args.jobs,
+//                         [&](std::size_t i) { results[i] = run_cell(grid[i]); });
+//
+// jobs <= 1 runs the plain serial loop on the calling thread, in index
+// order — the reference behavior the parallel path must reproduce
+// field-for-field (modulo wall-clock) for identical seeds.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace fl::runtime {
+
+// Worker count resolution: `requested` if > 0, else the FL_JOBS environment
+// variable, else std::thread::hardware_concurrency() (min 1).
+int resolve_jobs(int requested = 0);
+
+// Flags every sweep driver shares. parse_runner_args strips the flags it
+// recognizes out of argv (leaving positional arguments for the driver) and
+// resolves the worker count:
+//   --jobs N | --jobs=N      worker threads (env fallback FL_JOBS)
+//   --jsonl PATH | --jsonl=PATH   JSONL result file (env fallback FL_JSONL)
+struct RunnerArgs {
+  int jobs = 1;
+  std::string jsonl_path;
+};
+RunnerArgs parse_runner_args(int& argc, char** argv);
+
+// Runs fn(0), ..., fn(n-1) on `jobs` workers (serially when jobs <= 1).
+// Blocks until the whole grid finished. If any job throws, the first
+// exception (by completion order) is rethrown after the grid drains; the
+// remaining jobs still run.
+void run_grid(std::size_t n, int jobs,
+              const std::function<void(std::size_t)>& fn);
+
+}  // namespace fl::runtime

@@ -1,0 +1,33 @@
+// Deterministic per-job seed derivation for parallel sweeps.
+//
+// Every job in a sweep grid derives its RNG seed by hashing its grid
+// coordinates into a base seed, never by drawing from a shared generator.
+// Job (i, j) therefore gets the same seed whether it runs first or last,
+// serially or on 16 workers — the property the serial/parallel determinism
+// guarantee rests on.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace fl::runtime {
+
+// SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom number
+// generators"): a bijective 64-bit mixer with full avalanche.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Folds grid coordinates into `base`. Order-sensitive: {a, b} and {b, a}
+// yield different seeds, so (topology, n) and (n, topology) don't collide.
+constexpr std::uint64_t derive_seed(
+    std::uint64_t base, std::initializer_list<std::uint64_t> coords) {
+  std::uint64_t s = splitmix64(base);
+  for (const std::uint64_t c : coords) s = splitmix64(s ^ splitmix64(c));
+  return s;
+}
+
+}  // namespace fl::runtime

@@ -1,0 +1,45 @@
+// Fixed-size thread pool with a FIFO job queue.
+//
+// The pool is deliberately minimal: submit() enqueues a closure, wait_idle()
+// blocks until the queue is empty and every worker is resting. Sweep drivers
+// should prefer run_grid() (runner.h), which adds the serial fallback and
+// exception propagation on top.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fl::runtime {
+
+class ThreadPool {
+ public:
+  // Spawns max(1, num_threads) workers immediately.
+  explicit ThreadPool(int num_threads);
+  // Drains the queue (pending jobs still run), then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> job);
+  // Blocks until the queue is empty and no job is executing.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled on submit / shutdown
+  std::condition_variable idle_cv_;   // signalled when a worker finishes a job
+  std::size_t active_ = 0;            // jobs currently executing
+  bool stop_ = false;
+};
+
+}  // namespace fl::runtime

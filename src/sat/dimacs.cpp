@@ -1,48 +1,108 @@
 #include "sat/dimacs.h"
 
 #include <algorithm>
+#include <charconv>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace fl::sat {
 
-Cnf read_dimacs(std::istream& in) {
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw std::runtime_error("dimacs line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+// Parses a whole token as a signed integer; returns false on any trailing
+// garbage (istream >> would happily read "12abc" as 12).
+bool parse_literal(const std::string& tok, long long* out) {
+  const char* begin = tok.data();
+  const char* end = begin + tok.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+Cnf read_dimacs(std::istream& in, bool lenient) {
   Cnf cnf;
   std::string line;
   Clause current;
-  int declared_vars = 0;
-  while (std::getline(in, line)) {
+  long long declared_vars = -1;  // -1 = no header seen (headerless accepted)
+  int line_no = 0;
+  bool done = false;
+  while (!done && std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == 'c') continue;
     if (line[0] == 'p') {
       std::istringstream header(line);
       std::string p, fmt;
-      int nv = 0, nc = 0;
+      long long nv = -1, nc = -1;
       header >> p >> fmt >> nv >> nc;
-      if (fmt != "cnf") throw std::runtime_error("dimacs: expected 'p cnf'");
-      declared_vars = nv;
+      if (fmt != "cnf") fail(line_no, "expected 'p cnf'");
+      if (!lenient) {
+        if (declared_vars >= 0) fail(line_no, "duplicate 'p cnf' header");
+        if (header.fail() || nv < 0 || nc < 0) {
+          fail(line_no, "malformed header counts (need 'p cnf <vars> <clauses>' "
+                        "with non-negative counts)");
+        }
+        if (std::string rest; header >> rest) {
+          fail(line_no, "trailing junk after header: '" + rest + "'");
+        }
+        if (nv == 0 && nc > 0) {
+          fail(line_no, "header declares clauses over zero variables");
+        }
+      }
+      declared_vars = std::max<long long>(nv, 0);
       continue;
     }
+    // SATLIB end-of-formula marker: a '%' line; the rest of the stream
+    // (conventionally a lone "0" line) is padding.
+    if (line[0] == '%') break;
+
     std::istringstream body(line);
-    long long v = 0;
-    while (body >> v) {
+    std::string tok;
+    while (body >> tok) {
+      if (tok == "%") {
+        done = true;
+        break;
+      }
+      long long v = 0;
+      if (!parse_literal(tok, &v)) {
+        if (lenient) break;  // skip the rest of the unparsable line
+        fail(line_no, "not a literal: '" + tok + "'");
+      }
       if (v == 0) {
         cnf.add(current);
         current.clear();
-      } else {
-        const Var var = static_cast<Var>(std::llabs(v)) - 1;
-        cnf.num_vars = std::max(cnf.num_vars, var + 1);
-        current.push_back(Lit(var, v < 0));
+        continue;
       }
+      const long long mag = v < 0 ? -v : v;
+      if (mag > std::numeric_limits<Var>::max()) {
+        fail(line_no, "literal magnitude overflows: '" + tok + "'");
+      }
+      if (!lenient && declared_vars >= 0 && mag > declared_vars) {
+        fail(line_no, "literal " + tok + " exceeds the declared " +
+                          std::to_string(declared_vars) + " variables");
+      }
+      const Var var = static_cast<Var>(mag) - 1;
+      cnf.num_vars = std::max(cnf.num_vars, var + 1);
+      current.push_back(Lit(var, v < 0));
     }
   }
   if (!current.empty()) cnf.add(current);  // tolerate missing trailing 0
-  cnf.num_vars = std::max(cnf.num_vars, declared_vars);
+  if (declared_vars > 0) {
+    cnf.num_vars =
+        std::max(cnf.num_vars, static_cast<int>(declared_vars));
+  }
   return cnf;
 }
 
-Cnf read_dimacs_string(const std::string& text) {
+Cnf read_dimacs_string(const std::string& text, bool lenient) {
   std::istringstream in(text);
-  return read_dimacs(in);
+  return read_dimacs(in, lenient);
 }
 
 void write_dimacs(const Cnf& cnf, std::ostream& out) {

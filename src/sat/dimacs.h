@@ -8,10 +8,18 @@
 
 namespace fl::sat {
 
-// Throws std::runtime_error on malformed input. Accepts missing/incorrect
-// "p cnf" headers (variable count is inferred as the max seen).
-Cnf read_dimacs(std::istream& in);
-Cnf read_dimacs_string(const std::string& text);
+// Reads DIMACS CNF. Headerless input is accepted (variable count inferred
+// as the max literal seen), and the SATLIB end-of-formula convention — a
+// '%' line followed by trailing padding — is recognized explicitly.
+//
+// Strict mode (the default) throws std::runtime_error with a line number on
+// malformed headers (negative counts, junk after 'p cnf <v> <c>'), on
+// non-numeric clause tokens, and on literals exceeding the declared
+// variable count. `lenient` restores the permissive historical behavior:
+// the variable count grows past the header and unparsable tokens end their
+// line silently ('p <fmt>' with fmt != "cnf" still throws).
+Cnf read_dimacs(std::istream& in, bool lenient = false);
+Cnf read_dimacs_string(const std::string& text, bool lenient = false);
 
 void write_dimacs(const Cnf& cnf, std::ostream& out);
 std::string write_dimacs_string(const Cnf& cnf);

@@ -33,13 +33,15 @@ double luby(double y, int x) {
   return result;
 }
 
-constexpr double kVarDecay = 0.95;
-constexpr double kClauseDecay = 0.999;
-constexpr int kRestartUnit = 128;
+// How many decisions may pass between wall-clock reads. Conflicts always
+// force a read (analysis already paid far more than a clock call), so this
+// only bounds overshoot on conflict-free decision streaks — 16 fast
+// decisions are microseconds.
+constexpr std::uint64_t kDeadlineCheckStride = 16;
 
 }  // namespace
 
-Solver::Solver() = default;
+Solver::Solver(SolverConfig config) : config_(config) {}
 Solver::~Solver() = default;
 
 Var Solver::new_var() {
@@ -128,7 +130,7 @@ void Solver::bump_var(Var v) {
   if (heap_pos_[v] >= 0) heap_up(heap_pos_[v]);
 }
 
-void Solver::decay_var_activity() { var_inc_ /= kVarDecay; }
+void Solver::decay_var_activity() { var_inc_ /= config_.var_decay; }
 
 void Solver::bump_clause(ClauseData& c) {
   c.activity += static_cast<float>(cla_inc_);
@@ -412,29 +414,34 @@ void Solver::reduce_db() {
   stats_.removed_clauses += removed;
 }
 
-bool Solver::budget_exhausted() const {
+bool Solver::budget_exhausted(bool force_deadline_check) const {
   if (budget_hit_) return true;
+  if (interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed)) {
+    budget_hit_ = true;
+    return true;
+  }
   if (conflict_budget_ != 0 &&
       stats_.conflicts - conflicts_at_solve_ >= conflict_budget_) {
     budget_hit_ = true;
     return true;
   }
   if (deadline_) {
-    if (deadline_check_countdown_ == 0) {
-      deadline_check_countdown_ = 256;
+    if (force_deadline_check || deadline_check_countdown_ == 0) {
+      deadline_check_countdown_ = kDeadlineCheckStride;
       if (std::chrono::steady_clock::now() >= *deadline_) {
         budget_hit_ = true;
         return true;
       }
+    } else {
+      --deadline_check_countdown_;
     }
-    --deadline_check_countdown_;
   }
   return false;
 }
 
 LBool Solver::search() {
   std::uint64_t restart_budget = static_cast<std::uint64_t>(
-      luby(2.0, static_cast<int>(stats_.restarts)) * kRestartUnit);
+      luby(2.0, static_cast<int>(stats_.restarts)) * config_.restart_unit);
   std::uint64_t conflicts_this_restart = 0;
   std::size_t max_learnts =
       std::max<std::size_t>(4000, num_problem_clauses_ / 3);
@@ -466,7 +473,14 @@ LBool Solver::search() {
         stats_.learned_literals += learnt.size();
       }
       decay_var_activity();
-      cla_inc_ /= kClauseDecay;
+      cla_inc_ /= config_.clause_decay;
+      // Deadline check per conflict: conflict analysis of a large learnt
+      // clause is exactly where a solve used to overshoot its deadline, and
+      // a clock read is noise next to the analysis it follows.
+      if (budget_exhausted(/*force_deadline_check=*/true)) {
+        backtrack_to(0);
+        return LBool::kUndef;
+      }
     } else {
       if (budget_exhausted()) {
         backtrack_to(0);

@@ -12,6 +12,7 @@
 //    branching, propagations, conflicts ~ backtracks).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -22,6 +23,16 @@
 #include "sat/types.h"
 
 namespace fl::sat {
+
+// Search-parameter knobs. The defaults are the classic MiniSat values; the
+// attack portfolio mode races several of these on the same instance (CDCL
+// runtimes are heavy-tailed, so diverse restart/decay schedules beat any
+// single schedule on hard miters).
+struct SolverConfig {
+  double var_decay = 0.95;     // VSIDS activity decay per conflict
+  double clause_decay = 0.999; // learnt-clause activity decay per conflict
+  int restart_unit = 128;      // Luby restart unit, in conflicts
+};
 
 struct SolverStats {
   std::uint64_t decisions = 0;
@@ -35,7 +46,7 @@ struct SolverStats {
 
 class Solver {
  public:
-  Solver();
+  explicit Solver(SolverConfig config = {});
   ~Solver();
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
@@ -59,13 +70,25 @@ class Solver {
   bool value_of(Var v) const;
   std::vector<bool> model() const;
 
-  // Budgets: 0 disables. The deadline is checked during propagation.
+  // Budgets: 0 disables. The deadline is checked after every conflict and
+  // every few decisions, so a solve overshoots it by at most a handful of
+  // fast decisions.
   void set_conflict_budget(std::uint64_t max_conflicts) {
     conflict_budget_ = max_conflicts;
   }
   void set_deadline(std::optional<std::chrono::steady_clock::time_point> t) {
     deadline_ = t;
   }
+
+  // Cooperative cancellation from another thread (portfolio racing, pool
+  // shutdown): the flag is polled at the same boundaries as the deadline and
+  // never written by the solver. nullptr disables.
+  void set_interrupt(const std::atomic<bool>* flag) { interrupt_ = flag; }
+
+  // True iff the most recent solve() returned kUndef because a conflict
+  // budget, deadline or interrupt cut the search short. Cleared at the start
+  // of every solve().
+  bool last_solve_interrupted() const { return budget_hit_; }
 
   const SolverStats& stats() const { return stats_; }
   std::size_t num_clauses() const { return num_problem_clauses_; }
@@ -88,7 +111,7 @@ class Solver {
   void detach(ClauseData* c);
   LBool value(Lit l) const;
   LBool search();
-  bool budget_exhausted() const;
+  bool budget_exhausted(bool force_deadline_check = false) const;
 
   // Assignment state.
   std::vector<LBool> assign_;
@@ -125,10 +148,12 @@ class Solver {
 
   bool ok_ = true;
   std::vector<Lit> assumptions_;
+  SolverConfig config_;
   SolverStats stats_;
   std::uint64_t conflict_budget_ = 0;
   std::uint64_t conflicts_at_solve_ = 0;
   std::optional<std::chrono::steady_clock::time_point> deadline_;
+  const std::atomic<bool>* interrupt_ = nullptr;
   mutable std::uint64_t deadline_check_countdown_ = 0;
   mutable bool budget_hit_ = false;
 };

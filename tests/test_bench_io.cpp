@@ -131,6 +131,64 @@ y = NOT(a)
   EXPECT_EQ(n.num_logic_gates(), 1u);
 }
 
+TEST(BenchIo, MalformedDeclarationsAreLineNumbered) {
+  const struct {
+    const char* text;
+    int line;
+  } cases[] = {
+      {"INPUT(a\nOUTPUT(y)\ny = NOT(a)\n", 1},       // missing ')'
+      {"INPUT(a)\nOUTPUT(y) junk\ny = NOT(a)\n", 2},  // trailing characters
+      {"INPUT(a)\nOUTPUT()\ny = NOT(a)\n", 2},        // empty name
+      {"INPUT(a)\nOUTPUT(a=b)\ny = NOT(a)\n", 2},     // structural char in name
+      {"INPUT(a)\nFROB(a)\ny = NOT(a)\n", 2},         // unknown declaration
+      {"INPUT(a)\nOUTPUT(y)\njust a bare line\n", 3},  // no '=' and no '('
+  };
+  for (const auto& c : cases) {
+    try {
+      read_bench_string(c.text);
+      FAIL() << "expected parse error for: " << c.text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what())
+                    .find("line " + std::to_string(c.line)),
+                std::string::npos)
+          << c.text << " -> " << e.what();
+    }
+  }
+}
+
+TEST(BenchIo, MalformedGateDefinitionsAreLineNumbered) {
+  const struct {
+    const char* text;
+    int line;
+  } cases[] = {
+      {"INPUT(a)\nOUTPUT(y)\ny = NOT a\n", 3},        // missing '('
+      {"INPUT(a)\nOUTPUT(y)\ny = NOT(a\n", 3},        // missing ')'
+      {"INPUT(a)\nOUTPUT(y)\ny = NOT(a) x\n", 3},     // trailing characters
+      {"INPUT(a)\nOUTPUT(y)\ny =\n", 3},              // empty right-hand side
+      {"INPUT(a)\nOUTPUT(y)\ny = AND(a,)\n", 3},      // dangling comma
+      {"INPUT(a)\nOUTPUT(y)\ny = AND(a,,a)\n", 3},    // empty fanin token
+      {"INPUT(a)\nOUTPUT(y)\n = NOT(a)\n", 3},        // empty gate name
+  };
+  for (const auto& c : cases) {
+    try {
+      read_bench_string(c.text);
+      FAIL() << "expected parse error for: " << c.text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what())
+                    .find("line " + std::to_string(c.line)),
+                std::string::npos)
+          << c.text << " -> " << e.what();
+    }
+  }
+}
+
+TEST(BenchIo, ConstGatesStillAcceptEmptyArgumentList) {
+  const Netlist n = read_bench_string("OUTPUT(y)\ny = CONST1()\n");
+  const auto out = eval_once(n, std::vector<bool>{}, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0]);
+}
+
 TEST(BenchIo, WriterEmitsKeysAsKeyinputs) {
   Netlist n;
   n.add_input("a");

@@ -44,6 +44,70 @@ TEST(Dimacs, BadFormatRejected) {
   EXPECT_THROW(read_dimacs_string("p sat 3 2\n"), std::runtime_error);
 }
 
+TEST(Dimacs, SatlibPercentTerminatorStopsParse) {
+  // SATLIB distributes uf*/uuf* files with a '%' line and a trailing "0"
+  // padding line after the last clause.
+  const Cnf cnf = read_dimacs_string("p cnf 3 2\n1 2 0\n-1 3 0\n%\n0\n");
+  EXPECT_EQ(cnf.num_vars, 3);
+  EXPECT_EQ(cnf.clauses.size(), 2u);
+}
+
+TEST(Dimacs, PercentTokenMidLineAlsoTerminates) {
+  const Cnf cnf = read_dimacs_string("p cnf 2 1\n1 -2 0 % 0\n");
+  EXPECT_EQ(cnf.clauses.size(), 1u);
+}
+
+TEST(Dimacs, MalformedHeadersAreLineNumbered) {
+  for (const char* bad : {"p cnf -3 2\n", "p cnf 3\n", "p cnf 3 2 junk\n",
+                          "p cnf x y\n", "p cnf 0 5\n"}) {
+    try {
+      read_dimacs_string(bad);
+      FAIL() << "expected header error for: " << bad;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+          << bad;
+    }
+  }
+}
+
+TEST(Dimacs, DuplicateHeaderRejected) {
+  EXPECT_THROW(read_dimacs_string("p cnf 2 1\np cnf 2 1\n1 0\n"),
+               std::runtime_error);
+}
+
+TEST(Dimacs, LiteralExceedingDeclaredCountIsLineNumbered) {
+  try {
+    read_dimacs_string("p cnf 3 2\n1 2 0\n1 7 0\n");
+    FAIL() << "expected out-of-range literal error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("7"), std::string::npos) << what;
+  }
+}
+
+TEST(Dimacs, NonNumericTokenRejectedInStrictMode) {
+  EXPECT_THROW(read_dimacs_string("p cnf 2 1\n1 2x 0\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_string("p cnf 2 1\n1 foo 0\n"), std::runtime_error);
+}
+
+TEST(Dimacs, LenientModeRestoresPermissiveBehavior) {
+  // Out-of-header literals grow the variable count; unparsable tokens end
+  // their line silently — the historical behavior attack scripts relied on.
+  const Cnf grown = read_dimacs_string("p cnf 3 2\n1 2 0\n1 7 0\n", true);
+  EXPECT_EQ(grown.num_vars, 7);
+  EXPECT_EQ(grown.clauses.size(), 2u);
+  const Cnf skipped = read_dimacs_string("p cnf 2 1\n1 foo 2 0\n", true);
+  ASSERT_EQ(skipped.clauses.size(), 1u);
+  EXPECT_EQ(skipped.clauses[0].size(), 1u);  // line abandoned at 'foo'
+}
+
+TEST(Dimacs, LiteralMagnitudeOverflowAlwaysRejected) {
+  EXPECT_THROW(read_dimacs_string("99999999999 0\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_string("99999999999 0\n", true),
+               std::runtime_error);
+}
+
 TEST(Dimacs, RatioHelper) {
   Cnf cnf;
   cnf.num_vars = 10;

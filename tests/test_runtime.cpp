@@ -1,0 +1,219 @@
+// Parallel sweep runtime: thread pool, seed derivation, cancellation, JSONL
+// sink ordering, runner arg parsing, and the serial-vs-parallel determinism
+// guarantee (run under TSan in the sanitizer CI job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <regex>
+#include <sstream>
+#include <vector>
+
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "core/full_lock.h"
+#include "netlist/generator.h"
+#include "runtime/cancel.h"
+#include "runtime/jsonl.h"
+#include "runtime/runner.h"
+#include "runtime/seed.h"
+#include "runtime/thread_pool.h"
+
+namespace fl::runtime {
+namespace {
+
+TEST(Seed, SplitMixIsDeterministicAndMixes) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+  // Full-avalanche sanity: consecutive inputs land far apart.
+  EXPECT_GT(splitmix64(1) ^ splitmix64(2), 0xFFFFFFFFull);
+}
+
+TEST(Seed, DeriveSeedIsCoordinateAndOrderSensitive) {
+  const std::uint64_t a = derive_seed(7, {1, 2});
+  EXPECT_EQ(a, derive_seed(7, {1, 2}));    // pure function of coordinates
+  EXPECT_NE(a, derive_seed(7, {2, 1}));    // order matters
+  EXPECT_NE(a, derive_seed(8, {1, 2}));    // base matters
+  EXPECT_NE(a, derive_seed(7, {1, 2, 0}));  // arity matters
+}
+
+TEST(ThreadPool, RunsEveryJobAndWaitsIdle) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  // Pool stays usable after wait_idle.
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Runner, SerialAndParallelGridsProduceIdenticalResults) {
+  const std::size_t n = 64;
+  const auto cell = [](std::size_t i) {
+    return derive_seed(3, {static_cast<std::uint64_t>(i)});
+  };
+  std::vector<std::uint64_t> serial(n, 0), parallel(n, 0);
+  run_grid(n, 1, [&](std::size_t i) { serial[i] = cell(i); });
+  run_grid(n, 4, [&](std::size_t i) { parallel[i] = cell(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Runner, FirstExceptionPropagatesAfterDrain) {
+  std::atomic<int> ran{0};
+  const auto body = [&](std::size_t i) {
+    ran.fetch_add(1);
+    if (i == 3) throw std::runtime_error("cell 3 failed");
+  };
+  EXPECT_THROW(run_grid(8, 1, body), std::runtime_error);
+  ran.store(0);
+  EXPECT_THROW(run_grid(8, 4, body), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // the grid drains; remaining cells still ran
+}
+
+TEST(Runner, ResolveJobsPrecedence) {
+  EXPECT_EQ(resolve_jobs(3), 3);  // explicit request wins
+  ::setenv("FL_JOBS", "5", 1);
+  EXPECT_EQ(resolve_jobs(0), 5);
+  EXPECT_EQ(resolve_jobs(2), 2);
+  ::unsetenv("FL_JOBS");
+  EXPECT_GE(resolve_jobs(0), 1);  // hardware fallback, always at least 1
+}
+
+TEST(Runner, ParseRunnerArgsStripsFlagsKeepsPositionals) {
+  const char* raw[] = {"prog", "attack",       "--jobs", "7", "a.bench",
+                       "--jsonl=out.jsonl", "b.bench"};
+  std::vector<char*> argv;
+  for (const char* a : raw) argv.push_back(const_cast<char*>(a));
+  int argc = static_cast<int>(argv.size());
+  const RunnerArgs args = parse_runner_args(argc, argv.data());
+  EXPECT_EQ(args.jobs, 7);
+  EXPECT_EQ(args.jsonl_path, "out.jsonl");
+  ASSERT_EQ(argc, 4);
+  EXPECT_STREQ(argv[1], "attack");
+  EXPECT_STREQ(argv[2], "a.bench");
+  EXPECT_STREQ(argv[3], "b.bench");
+}
+
+TEST(Jsonl, ObjectKeepsOrderAndEscapes) {
+  JsonObject o;
+  o.field("name", "a\"b\\c\nd").field("n", 42).field("ok", true)
+      .field("x", 0.5);
+  EXPECT_EQ(std::move(o).str(),
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"n\":42,\"ok\":true,\"x\":0.5}");
+}
+
+TEST(Jsonl, SinkReordersOutOfOrderWrites) {
+  std::ostringstream out;
+  {
+    JsonlSink sink(out);
+    sink.write(2, "{\"i\":2}");
+    sink.write(0, "{\"i\":0}");
+    EXPECT_EQ(out.str(), "{\"i\":0}\n");  // 1 still missing; 2 held back
+    sink.write(1, "{\"i\":1}");
+  }
+  EXPECT_EQ(out.str(), "{\"i\":0}\n{\"i\":1}\n{\"i\":2}\n");
+}
+
+TEST(Jsonl, FlushDrainsPastGaps) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.write(1, "{\"i\":1}");  // index 0 never reports
+  sink.flush();
+  EXPECT_EQ(out.str(), "{\"i\":1}\n");
+}
+
+TEST(Cancel, TokenInterruptsAnAttack) {
+  netlist::GeneratorConfig gen;
+  gen.num_inputs = 12;
+  gen.num_outputs = 6;
+  gen.num_gates = 80;
+  gen.seed = 31;
+  const netlist::Netlist original = netlist::generate_circuit(gen);
+  const core::LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({8}));
+  const attacks::Oracle oracle(original);
+  CancelToken token;
+  token.request();  // cancelled before the attack even starts
+  attacks::AttackOptions options;
+  options.interrupt = token.flag();
+  const attacks::AttackResult result =
+      attacks::SatAttack(options).run(locked, oracle);
+  EXPECT_EQ(result.status, attacks::AttackStatus::kTimeout);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+// The tentpole guarantee: a parallel sweep writes the same JSONL byte
+// stream as the serial reference loop, except for the `_s` wall-clock
+// fields. Runs a miniature attack grid both ways and compares.
+TEST(Determinism, SerialAndParallelSweepsMatchModuloWallClock) {
+  struct Cell {
+    int size;
+    int replica;
+  };
+  const std::vector<Cell> grid = {{4, 0}, {4, 1}, {8, 0}, {8, 1}};
+
+  const auto sweep = [&](int jobs) {
+    std::ostringstream out;
+    JsonlSink sink(out);
+    run_grid(grid.size(), jobs, [&](std::size_t i) {
+      const Cell& cell = grid[i];
+      const std::uint64_t seed =
+          derive_seed(41, {static_cast<std::uint64_t>(cell.size),
+                           static_cast<std::uint64_t>(cell.replica)});
+      netlist::GeneratorConfig gen;
+      gen.num_inputs = 12;
+      gen.num_outputs = 6;
+      gen.num_gates = 120;
+      gen.seed = seed;
+      const netlist::Netlist original = netlist::generate_circuit(gen);
+      core::FullLockConfig config =
+          core::FullLockConfig::with_plrs({cell.size});
+      config.seed = seed;
+      const core::LockedCircuit locked = core::full_lock(original, config);
+      const attacks::Oracle oracle(original);
+      const attacks::AttackResult result =
+          attacks::SatAttack().run(locked, oracle);
+      JsonObject o;
+      o.field("size", cell.size)
+          .field("replica", cell.replica)
+          .field("seed", seed)
+          .field("key_bits", locked.key_bits())
+          .field("status", attacks::to_string(result.status))
+          .field("iterations", result.iterations)
+          .field("mean_clause_var_ratio", result.mean_clause_var_ratio)
+          .field("oracle_queries", result.oracle_queries)
+          .field("conflicts", result.solver_stats.conflicts)
+          .field("mean_iteration_s", result.mean_iteration_seconds)
+          .field("wall_s", result.seconds);
+      sink.write(i, std::move(o).str());
+    });
+    sink.flush();
+    // Strip the wall-clock fields — the only part allowed to vary.
+    static const std::regex wall_clock(",\"(mean_iteration_s|wall_s)\":[^,}]+");
+    return std::regex_replace(out.str(), wall_clock, "");
+  };
+
+  const std::string serial = sweep(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, sweep(4));
+  EXPECT_EQ(serial, sweep(3));  // worker count must not matter either
+}
+
+}  // namespace
+}  // namespace fl::runtime

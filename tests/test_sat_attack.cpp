@@ -129,5 +129,72 @@ TEST(SatAttack, RatioStatTracked) {
   EXPECT_LT(result.mean_clause_var_ratio, 10.0);
 }
 
+TEST(SatAttack, MeanIterationTimesOnlyTheDipLoop) {
+  const Netlist original = netlist::make_circuit("c432", 98);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({8}));
+  const Oracle oracle(original);
+  AttackOptions options;
+  options.timeout_s = 60.0;
+  const AttackResult result = SatAttack(options).run(locked, oracle);
+  ASSERT_EQ(result.status, AttackStatus::kSuccess);
+  ASSERT_GT(result.iterations, 0u);
+  EXPECT_GT(result.mean_iteration_seconds, 0.0);
+  // The mean covers the DIP-loop body only, so iterations * mean can never
+  // exceed the total wall time (which adds miter encoding + key extraction).
+  EXPECT_LE(result.mean_iteration_seconds * result.iterations,
+            result.seconds);
+}
+
+TEST(SatAttack, MeanIterationZeroWhenNoIterations) {
+  const Netlist c17 = netlist::make_c17();
+  LockedCircuit unlocked;
+  unlocked.netlist = c17;
+  unlocked.scheme = "none";
+  const Oracle oracle(c17);
+  const AttackResult result = SatAttack().run(unlocked, oracle);
+  ASSERT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.mean_iteration_seconds, 0.0);
+}
+
+TEST(SatAttack, PortfolioBreaksLockAndReportsWinner) {
+  const Netlist original = netlist::make_circuit("c432", 99);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({4}));
+  const Oracle oracle(original);
+  AttackOptions options;
+  options.timeout_s = 60.0;
+  options.portfolio = 3;
+  const AttackResult result = SatAttack(options).run(locked, oracle);
+  ASSERT_EQ(result.status, AttackStatus::kSuccess);
+  EXPECT_GE(result.portfolio_winner, 0);
+  EXPECT_LT(result.portfolio_winner, 3);
+  EXPECT_TRUE(core::verify_unlocks(original, locked.netlist, result.key, 16,
+                                   1, /*sat=*/true));
+  // All racers share the oracle; the portfolio total covers every query.
+  EXPECT_GE(result.oracle_queries, result.iterations);
+}
+
+TEST(SatAttack, PortfolioConfigsAreDiverse) {
+  const sat::SolverConfig a = SatAttack::portfolio_config(0);
+  const sat::SolverConfig b = SatAttack::portfolio_config(1);
+  EXPECT_TRUE(a.var_decay != b.var_decay ||
+              a.restart_unit != b.restart_unit);
+  // Cycles modulo the table instead of reading out of bounds.
+  const sat::SolverConfig w = SatAttack::portfolio_config(100);
+  EXPECT_GT(w.var_decay, 0.0);
+  EXPECT_LT(w.var_decay, 1.0);
+}
+
+TEST(SatAttack, SingleRunReportsNoPortfolioWinner) {
+  const Netlist c17 = netlist::make_c17();
+  LockedCircuit unlocked;
+  unlocked.netlist = c17;
+  unlocked.scheme = "none";
+  const Oracle oracle(c17);
+  const AttackResult result = SatAttack().run(unlocked, oracle);
+  EXPECT_EQ(result.portfolio_winner, -1);
+}
+
 }  // namespace
 }  // namespace fl::attacks

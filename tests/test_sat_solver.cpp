@@ -204,6 +204,90 @@ TEST(SatSolver, DeadlineYieldsUndef) {
   EXPECT_EQ(s.solve(), LBool::kUndef);
 }
 
+TEST(SatSolver, LastSolveInterruptedDistinguishesBudgetFromAnswer) {
+  KSatConfig config;
+  config.num_vars = 150;
+  config.num_clauses = 645;
+  config.seed = 99;
+  const Cnf cnf = random_ksat(config);
+  Solver s;
+  for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+  for (const Clause& c : cnf.clauses) s.add_clause(c);
+  s.set_conflict_budget(5);
+  ASSERT_EQ(s.solve(), LBool::kUndef);
+  EXPECT_TRUE(s.last_solve_interrupted());
+  s.set_conflict_budget(0);
+  ASSERT_NE(s.solve(), LBool::kUndef);
+  EXPECT_FALSE(s.last_solve_interrupted());
+}
+
+TEST(SatSolver, InterruptFlagCutsSolveShort) {
+  KSatConfig config;
+  config.num_vars = 200;
+  config.num_clauses = 860;
+  config.seed = 17;
+  const Cnf cnf = random_ksat(config);
+  Solver s;
+  for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+  for (const Clause& c : cnf.clauses) s.add_clause(c);
+  std::atomic<bool> flag{true};  // raised before the solve starts
+  s.set_interrupt(&flag);
+  EXPECT_EQ(s.solve(), LBool::kUndef);
+  EXPECT_TRUE(s.last_solve_interrupted());
+  // Lowering the flag makes the same solver finish for real.
+  flag.store(false);
+  EXPECT_NE(s.solve(), LBool::kUndef);
+  EXPECT_FALSE(s.last_solve_interrupted());
+  // Detaching works too.
+  s.set_interrupt(nullptr);
+  EXPECT_NE(s.solve(), LBool::kUndef);
+}
+
+TEST(SatSolver, ExpiredDeadlineReturnsPromptly) {
+  KSatConfig config;
+  config.num_vars = 300;
+  config.num_clauses = 1280;
+  config.seed = 3;
+  const Cnf cnf = random_ksat(config);
+  Solver s;
+  for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+  for (const Clause& c : cnf.clauses) s.add_clause(c);
+  s.set_deadline(std::chrono::steady_clock::now());
+  const auto begin = std::chrono::steady_clock::now();
+  EXPECT_EQ(s.solve(), LBool::kUndef);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  EXPECT_TRUE(s.last_solve_interrupted());
+  // Deadline checks fire at decision boundaries and conflicts, not only
+  // every few hundred propagations, so an expired deadline returns fast.
+  EXPECT_LT(waited, 1.0);
+}
+
+TEST(SatSolver, CustomConfigStillCorrect) {
+  // Aggressive restarts and fast decays must not change answers, only
+  // search order — cross-check every portfolio-style config on random
+  // instances against brute force.
+  const SolverConfig configs[] = {
+      {0.80, 0.999, 32}, {0.99, 0.995, 512}, {0.95, 0.999, 1024}};
+  std::mt19937_64 seeds(23);
+  for (const SolverConfig& cfg : configs) {
+    for (int trial = 0; trial < 20; ++trial) {
+      KSatConfig config;
+      config.num_vars = 12;
+      config.num_clauses = 12 + static_cast<int>(seeds() % 50);
+      config.seed = seeds();
+      const Cnf cnf = random_ksat(config);
+      Solver s(cfg);
+      for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+      for (const Clause& c : cnf.clauses) s.add_clause(c);
+      const LBool got = s.solve();
+      ASSERT_EQ(got == LBool::kTrue, brute_force_sat(cnf))
+          << "trial " << trial;
+    }
+  }
+}
+
 TEST(SatSolver, StatsArePopulated) {
   KSatConfig config;
   config.num_vars = 60;
