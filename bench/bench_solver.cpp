@@ -1,0 +1,252 @@
+// Solver microbenchmark: the DIP-miter hot path (Table 2 CLN attacks) and
+// raw CDCL throughput on phase-transition random 3-SAT (m/n = 4.26).
+//
+// Emits one JSONL record per workload plus a trailing summary record to
+// BENCH_solver.json (--out PATH), so the solver's perf trajectory is
+// recorded per PR (the sanitizer CI uploads the --smoke variant as an
+// artifact). Wall-clock fields carry the usual `_s` suffix; everything
+// else is deterministic, so two runs of the same binary diff clean modulo
+// `_s` fields.
+//
+// Flags:
+//   --smoke       tiny workload set for CI (seconds, not minutes)
+//   --out PATH    output file (default BENCH_solver.json)
+//   --repeat N    timing repetitions per workload, min is reported (default 3)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "bench/bench_util.h"
+#include "core/full_lock.h"
+#include "runtime/jsonl.h"
+#include "sat/ksat.h"
+#include "sat/solver.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using fl::core::ClnTopology;
+
+struct WorkloadResult {
+  std::string suite;   // "cln_miter" | "ksat"
+  std::string name;
+  double wall_s = 0.0;  // min over repetitions
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  fl::sat::SolverStats stats;  // full stats of the timed run
+  std::string status;
+};
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// One Table 2 cell: CLN-only lock over the identity circuit, full
+// oracle-guided attack. The DIP loop is exactly the solver workload the
+// paper's tables are bounded by.
+WorkloadResult run_cln_miter(ClnTopology topo, int n, int repeat) {
+  WorkloadResult r;
+  r.suite = "cln_miter";
+  r.name = std::string(topo == ClnTopology::kShuffleBlocking ? "blocking"
+                                                             : "nonblocking") +
+           "_n" + std::to_string(n);
+  const fl::netlist::Netlist original = fl::bench::identity_circuit(n);
+  fl::core::FullLockConfig config = fl::core::FullLockConfig::with_plrs(
+      {n}, topo, fl::core::CycleMode::kAvoid,
+      /*twist_luts=*/false, /*negate_probability=*/0.5);
+  config.seed = 7;
+  const fl::core::LockedCircuit locked = fl::core::full_lock(original, config);
+  const fl::attacks::Oracle oracle(original);
+  fl::attacks::AttackOptions options;
+  options.timeout_s = fl::bench::env_double("FULLLOCK_TIMEOUT_S", 120.0);
+  r.wall_s = 1e100;
+  for (int rep = 0; rep < repeat; ++rep) {
+    const auto start = Clock::now();
+    const fl::attacks::AttackResult attack =
+        fl::attacks::SatAttack(options).run(locked, oracle);
+    const double wall = seconds_since(start);
+    if (wall < r.wall_s) {
+      r.wall_s = wall;
+      r.stats = attack.solver_stats;
+      r.conflicts = attack.solver_stats.conflicts;
+      r.decisions = attack.solver_stats.decisions;
+      r.propagations = attack.solver_stats.propagations;
+      r.status = fl::attacks::to_string(attack.status);
+    }
+  }
+  return r;
+}
+
+// Raw CDCL run on a fixed-length random 3-SAT instance at the hardness
+// peak (m/n = 4.26).
+WorkloadResult run_ksat(int num_vars, std::uint64_t seed, int repeat) {
+  WorkloadResult r;
+  r.suite = "ksat";
+  r.name = "ksat_n" + std::to_string(num_vars) + "_s" + std::to_string(seed);
+  fl::sat::KSatConfig config;
+  config.num_vars = num_vars;
+  config.num_clauses = static_cast<int>(num_vars * 4.26);
+  config.seed = seed;
+  const fl::sat::Cnf cnf = fl::sat::random_ksat(config);
+  r.wall_s = 1e100;
+  for (int rep = 0; rep < repeat; ++rep) {
+    fl::sat::Solver solver;
+    for (int v = 0; v < cnf.num_vars; ++v) solver.new_var();
+    for (const fl::sat::Clause& c : cnf.clauses) solver.add_clause(c);
+    const auto start = Clock::now();
+    const fl::sat::LBool result = solver.solve();
+    const double wall = seconds_since(start);
+    if (wall < r.wall_s) {
+      r.wall_s = wall;
+      r.stats = solver.stats();
+      r.conflicts = solver.stats().conflicts;
+      r.decisions = solver.stats().decisions;
+      r.propagations = solver.stats().propagations;
+      r.status = result == fl::sat::LBool::kTrue    ? "sat"
+                 : result == fl::sat::LBool::kFalse ? "unsat"
+                                                    : "undef";
+    }
+  }
+  return r;
+}
+
+void append_solver_stat_fields(fl::runtime::JsonObject& o,
+                               const fl::sat::SolverStats& s) {
+  o.field("decisions", s.decisions)
+      .field("propagations", s.propagations)
+      .field("binary_propagations", s.binary_propagations)
+      .field("conflicts", s.conflicts)
+      .field("restarts", s.restarts)
+      .field("learned_clauses", s.learned_clauses)
+      .field("learned_binary", s.learned_binary)
+      .field("mean_lbd", s.learned_clauses > 0
+                             ? static_cast<double>(s.lbd_sum) /
+                                   static_cast<double>(s.learned_clauses)
+                             : 0.0)
+      .field("glue_learned", s.glue_learned)
+      .field("max_lbd", s.max_lbd)
+      .field("promoted_clauses", s.promoted_clauses)
+      .field("removed_clauses", s.removed_clauses)
+      .field("db_size_after_reduce", s.db_size_after_reduce)
+      .field("simplify_removed_clauses", s.simplify_removed_clauses)
+      .field("simplify_removed_literals", s.simplify_removed_literals);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bool smoke = false;
+    std::string out_path = "BENCH_solver.json";
+    int repeat = 3;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--smoke") == 0) {
+        smoke = true;
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+        repeat = std::max(1, std::atoi(argv[++i]));
+      } else {
+        std::fprintf(stderr,
+                     "usage: bench_solver [--smoke] [--out PATH] [--repeat N]\n");
+        return 1;
+      }
+    }
+
+    std::vector<WorkloadResult> results;
+    // Table 2 CLN miters: sizes on the steep part of the hardness curve but
+    // well clear of the timeout, so wall time measures solver speed rather
+    // than the TO ceiling.
+    struct MiterCell { ClnTopology topo; int n; };
+    const std::vector<MiterCell> miters =
+        smoke ? std::vector<MiterCell>{{ClnTopology::kShuffleBlocking, 16},
+                                       {ClnTopology::kShuffleBlocking, 32},
+                                       {ClnTopology::kBanyanNonBlocking, 8},
+                                       {ClnTopology::kBanyanNonBlocking, 16}}
+              : std::vector<MiterCell>{{ClnTopology::kShuffleBlocking, 32},
+                                       {ClnTopology::kShuffleBlocking, 64},
+                                       {ClnTopology::kShuffleBlocking, 128},
+                                       {ClnTopology::kBanyanNonBlocking, 16},
+                                       {ClnTopology::kBanyanNonBlocking, 32}};
+    for (const MiterCell& m : miters) {
+      results.push_back(run_cln_miter(m.topo, m.n, smoke ? 1 : repeat));
+      std::printf("%-24s %10.4f s  %12llu conflicts\n",
+                  results.back().name.c_str(), results.back().wall_s,
+                  static_cast<unsigned long long>(results.back().conflicts));
+      std::fflush(stdout);
+    }
+    // Phase-transition 3-SAT (m/n = 4.26), mixed SAT/UNSAT outcomes.
+    struct KsatCell { int n; std::uint64_t seed; };
+    const std::vector<KsatCell> ksats =
+        smoke ? std::vector<KsatCell>{{100, 1}, {100, 2}, {125, 1}}
+              : std::vector<KsatCell>{{150, 1}, {150, 2}, {175, 1},
+                                      {175, 2}, {200, 1}, {200, 2},
+                                      {225, 1}, {225, 2}};
+    for (const KsatCell& k : ksats) {
+      results.push_back(run_ksat(k.n, k.seed, repeat));
+      std::printf("%-24s %10.4f s  %12llu conflicts  (%s)\n",
+                  results.back().name.c_str(), results.back().wall_s,
+                  static_cast<unsigned long long>(results.back().conflicts),
+                  results.back().status.c_str());
+      std::fflush(stdout);
+    }
+
+    // Summary: geomean wall time and conflict throughput across workloads.
+    double log_wall = 0.0, log_cps = 0.0, total_wall = 0.0;
+    std::size_t cps_samples = 0;
+    for (const WorkloadResult& r : results) {
+      log_wall += std::log(std::max(r.wall_s, 1e-9));
+      total_wall += r.wall_s;
+      if (r.conflicts > 0 && r.wall_s > 0.0) {
+        log_cps += std::log(static_cast<double>(r.conflicts) / r.wall_s);
+        ++cps_samples;
+      }
+    }
+    const double geomean_wall =
+        std::exp(log_wall / static_cast<double>(results.size()));
+    const double geomean_cps =
+        cps_samples > 0 ? std::exp(log_cps / static_cast<double>(cps_samples))
+                        : 0.0;
+
+    std::ofstream file = fl::runtime::open_jsonl(out_path);
+    fl::runtime::JsonlSink sink(file);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const WorkloadResult& r = results[i];
+      fl::runtime::JsonObject o;
+      o.field("bench", "bench_solver")
+          .field("suite", r.suite)
+          .field("workload", r.name)
+          .field("status", r.status);
+      append_solver_stat_fields(o, r.stats);
+      o.field("conflicts_per_s",
+              r.wall_s > 0.0 ? static_cast<double>(r.conflicts) / r.wall_s
+                             : 0.0)
+          .field("wall_s", r.wall_s);
+      sink.write(i, o.str());
+    }
+    fl::runtime::JsonObject summary;
+    summary.field("bench", "bench_solver")
+        .field("suite", "summary")
+        .field("workloads", results.size())
+        .field("smoke", smoke)
+        .field("geomean_conflicts_per_s", geomean_cps)
+        .field("geomean_wall_s", geomean_wall)
+        .field("total_wall_s", total_wall);
+    sink.write_unordered(summary.str());
+    sink.flush();
+    std::printf("\ngeomean wall %.4f s, geomean %.0f conflicts/s -> %s\n",
+                geomean_wall, geomean_cps, out_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

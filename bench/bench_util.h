@@ -53,9 +53,18 @@ inline void append_attack_fields(runtime::JsonObject& o,
       .field("banned_keys", r.banned_keys)
       .field("decisions", r.solver_stats.decisions)
       .field("propagations", r.solver_stats.propagations)
+      .field("binary_propagations", r.solver_stats.binary_propagations)
       .field("conflicts", r.solver_stats.conflicts)
       .field("restarts", r.solver_stats.restarts)
       .field("learned_clauses", r.solver_stats.learned_clauses)
+      .field("learned_binary", r.solver_stats.learned_binary)
+      .field("glue_learned", r.solver_stats.glue_learned)
+      .field("max_lbd", r.solver_stats.max_lbd)
+      .field("promoted_clauses", r.solver_stats.promoted_clauses)
+      .field("removed_clauses", r.solver_stats.removed_clauses)
+      .field("db_size_after_reduce", r.solver_stats.db_size_after_reduce)
+      .field("simplify_removed_clauses",
+             r.solver_stats.simplify_removed_clauses)
       .field("mean_iteration_s", r.mean_iteration_seconds)
       .field("wall_s", r.seconds);
 }

@@ -217,6 +217,15 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
                  results[i].attack.mean_clause_var_ratio)
           .field("oracle_queries", results[i].attack.oracle_queries)
           .field("conflicts", results[i].attack.solver_stats.conflicts)
+          .field("binary_propagations",
+                 results[i].attack.solver_stats.binary_propagations)
+          .field("learned_clauses",
+                 results[i].attack.solver_stats.learned_clauses)
+          .field("glue_learned", results[i].attack.solver_stats.glue_learned)
+          .field("promoted_clauses",
+                 results[i].attack.solver_stats.promoted_clauses)
+          .field("db_size_after_reduce",
+                 results[i].attack.solver_stats.db_size_after_reduce)
           .field("mean_iteration_s", results[i].attack.mean_iteration_seconds)
           .field("wall_s", results[i].attack.seconds);
       sink->write(i, o.str());

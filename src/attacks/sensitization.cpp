@@ -1,6 +1,7 @@
 #include "attacks/sensitization.h"
 
 #include <chrono>
+#include <random>
 
 #include "cnf/miter.h"
 
@@ -44,13 +45,8 @@ int attack_one_key(const core::LockedCircuit& locked, const Oracle& oracle,
   const cnf::EncodedCircuit a = cnf::encode(net, sink, options_a);
   cnf::EncodeOptions options_b;
   options_b.shared_key_vars = keys_b;
+  options_b.shared_input_vars = a.input_vars;  // one input vector, two copies
   const cnf::EncodedCircuit b = cnf::encode(net, sink, options_b);
-  for (std::size_t i = 0; i < a.input_vars.size(); ++i) {
-    const sat::Lit x = sat::pos(a.input_vars[i]);
-    const sat::Lit y = sat::pos(b.input_vars[i]);
-    solver.add_clause({~x, y});
-    solver.add_clause({x, ~y});
-  }
 
   // Per-output difference literals (we need to know *which* output flips).
   std::vector<cnf::NetLit> diffs(net.num_outputs());
@@ -70,7 +66,17 @@ int attack_one_key(const core::LockedCircuit& locked, const Oracle& oracle,
     solver.add_clause({sat::neg(act), any_diff.lit});
   }
 
+  // Candidate patterns are phase-randomized per attempt. Left to its own
+  // devices the solver clusters models around its phase-saving state, so a
+  // blocked candidate is re-found with a couple of bits flipped and all
+  // `attempts` tries probe the same non-golden neighbourhood. Random
+  // polarities make the tries independent draws, which is what the
+  // golden-pattern density argument behind this attack assumes.
+  std::mt19937_64 rng(0x5e5117 ^ (static_cast<std::uint64_t>(target) << 20));
   for (int attempt = 0; attempt < attempts; ++attempt) {
+    for (const sat::Var v : a.input_vars) {
+      solver.set_phase(v, (rng() & 1) != 0);
+    }
     solver.set_deadline(deadline);
     const sat::Lit find[] = {sat::pos(act)};
     if (solver.solve(find) != sat::LBool::kTrue) return -1;

@@ -21,16 +21,14 @@ AttackMiter encode_attack_miter(const Netlist& locked, sat::Solver& solver) {
   EncodeOptions options;  // inputs free, fresh keys
   const EncodedCircuit copy1 = encode(locked, sink, options);
 
-  // Second copy with its own key set; the shared primary inputs are tied
-  // together with equality clauses.
+  // Second copy with its own key set, built directly over the first copy's
+  // input variables. (An earlier version allocated a second input vector
+  // and tied the copies with 2n equality clauses; the solver then had to
+  // re-derive x1_i = x2_i by propagation in every conflict, and the extra
+  // variables diluted VSIDS onto literals that carry no information.)
   EncodeOptions options2;
+  options2.shared_input_vars = copy1.input_vars;
   const EncodedCircuit copy2 = encode(locked, sink, options2);
-  for (std::size_t i = 0; i < copy1.input_vars.size(); ++i) {
-    const Lit a = sat::pos(copy1.input_vars[i]);
-    const Lit b = sat::pos(copy2.input_vars[i]);
-    solver.add_clause({~a, b});
-    solver.add_clause({a, ~b});
-  }
 
   AttackMiter miter;
   miter.inputs = copy1.input_vars;
@@ -144,15 +142,10 @@ bool check_equivalence(const Netlist& a, const std::vector<bool>& key_a,
   }
 
   EncodeOptions options_b;
+  options_b.shared_input_vars = enc_a.input_vars;
   const EncodedCircuit enc_b = encode(b, sink, options_b);
   for (std::size_t i = 0; i < key_b.size(); ++i) {
     solver.add_clause({Lit(enc_b.key_vars[i], !key_b[i])});
-  }
-  for (std::size_t i = 0; i < enc_a.input_vars.size(); ++i) {
-    const Lit x = sat::pos(enc_a.input_vars[i]);
-    const Lit y = sat::pos(enc_b.input_vars[i]);
-    solver.add_clause({~x, y});
-    solver.add_clause({x, ~y});
   }
   const NetLit diff = encode_difference(enc_a.outputs, enc_b.outputs, sink);
   if (diff.is_const()) return !diff.const_value();

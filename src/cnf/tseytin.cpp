@@ -233,6 +233,15 @@ EncodedCircuit encode(const Netlist& netlist, ClauseSink& sink,
       options.shared_key_vars.size() != netlist.num_keys()) {
     throw std::invalid_argument("shared_key_vars size mismatch");
   }
+  if (!options.shared_input_vars.empty()) {
+    if (options.shared_input_vars.size() != netlist.num_inputs()) {
+      throw std::invalid_argument("shared_input_vars size mismatch");
+    }
+    if (!options.fixed_inputs.empty()) {
+      throw std::invalid_argument(
+          "shared_input_vars and fixed_inputs are mutually exclusive");
+    }
+  }
 
   EncodedCircuit out;
   Encoder enc(sink, out);
@@ -243,7 +252,12 @@ EncodedCircuit encode(const Netlist& netlist, ClauseSink& sink,
   // Sources first (identical for both paths).
   for (std::size_t i = 0; i < netlist.num_inputs(); ++i) {
     const GateId g = netlist.inputs()[i];
-    if (!options.fixed_inputs.empty() && !options.inputs_as_unit_clauses) {
+    if (!options.shared_input_vars.empty()) {
+      const Var v = options.shared_input_vars[i];
+      out.input_vars[i] = v;
+      out.net[g] = NetLit::of(sat::pos(v));
+    } else if (!options.fixed_inputs.empty() &&
+               !options.inputs_as_unit_clauses) {
       out.net[g] = NetLit::constant(options.fixed_inputs[i]);
     } else {
       const Var v = enc.fresh();

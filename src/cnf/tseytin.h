@@ -88,6 +88,12 @@ struct EncodeOptions {
   // If non-empty: reuse these solver variables for the key inputs instead of
   // allocating fresh ones (size must equal num_keys()).
   std::span<const sat::Var> shared_key_vars = {};
+  // If non-empty: reuse these solver variables for the primary inputs (size
+  // must equal num_inputs()). Miter constructions encode two copies of a
+  // circuit over the *same* input vector; sharing the variables directly is
+  // both smaller and propagates better than fresh variables chained with
+  // pairwise equality clauses. Mutually exclusive with fixed_inputs.
+  std::span<const sat::Var> shared_input_vars = {};
 };
 
 struct EncodedCircuit {

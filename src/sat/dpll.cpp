@@ -24,7 +24,7 @@ DpllResult Dpll::solve(const Cnf& cnf) {
     result_.satisfiable = false;
     return result_;
   }
-  const Outcome out = recurse();
+  const Outcome out = search();
   result_.satisfiable = out == Outcome::kSat;
   result_.completed = out != Outcome::kAborted;
   if (out == Outcome::kSat) {
@@ -125,60 +125,116 @@ Var Dpll::pick_branch_var() const {
   return best;
 }
 
-Dpll::Outcome Dpll::recurse() {
-  ++result_.recursive_calls;
-  if (max_calls_ != 0 && result_.recursive_calls > max_calls_) {
-    return Outcome::kAborted;
-  }
-  // "Phi is []": every clause satisfied?
-  bool all_satisfied = true;
-  for (const ClauseState& cs : clause_state_) {
-    if (cs.satisfied_by < 0) {
-      all_satisfied = false;
-      break;
-    }
-  }
-  if (all_satisfied) return Outcome::kSat;
+// The textbook procedure is recursive; this runs the identical recursion on
+// an explicit frame stack because phase-transition instances reach depths
+// (one frame per unit propagation) that overflow the machine stack. Each
+// loop iteration is either the *entry* of a recursive call (returning ==
+// false) or the delivery of a finished call's result to its parent frame.
+// The counters are incremented at exactly the same points as the recursive
+// version, so recursive_calls/unit_propagations/purifications/branches and
+// the call-budget cutoff are bit-identical.
+Dpll::Outcome Dpll::search() {
+  struct Frame {
+    std::size_t mark;           // trail size before this call's assignment
+    Var branch_var = kNullVar;  // kNullVar: unit/pure frame (no 2nd polarity)
+    bool tried_false = false;   // branch frames: second polarity in flight
+  };
+  std::vector<Frame> stack;
+  Outcome ret = Outcome::kUnsat;
+  bool returning = false;
 
-  if (const auto unit = find_unit()) {
-    ++result_.unit_propagations;
-    const std::size_t mark = trail_.size();
-    if (!assign(unit->var(), !unit->negated())) {
-      unassign_to(mark);
-      return Outcome::kUnsat;
-    }
-    const Outcome out = recurse();
-    if (out == Outcome::kUnsat) unassign_to(mark);
-    return out;
-  }
-  if (const auto pure = find_pure()) {
-    ++result_.purifications;
-    const std::size_t mark = trail_.size();
-    if (!assign(pure->var(), !pure->negated())) {
-      unassign_to(mark);
-      return Outcome::kUnsat;
-    }
-    const Outcome out = recurse();
-    if (out == Outcome::kUnsat) unassign_to(mark);
-    return out;
-  }
+  while (true) {
+    if (!returning) {
+      // Entry of a recursive call.
+      ++result_.recursive_calls;
+      if (max_calls_ != 0 && result_.recursive_calls > max_calls_) {
+        ret = Outcome::kAborted;
+        returning = true;
+        continue;
+      }
+      // "Phi is []": every clause satisfied?
+      bool all_satisfied = true;
+      for (const ClauseState& cs : clause_state_) {
+        if (cs.satisfied_by < 0) {
+          all_satisfied = false;
+          break;
+        }
+      }
+      if (all_satisfied) {
+        ret = Outcome::kSat;
+        returning = true;
+        continue;
+      }
 
-  const Var v = pick_branch_var();
-  if (v == kNullVar) {
-    // No unassigned variable left in an unsatisfied clause: with no unit and
-    // no empty clause this cannot happen, but guard anyway.
-    return Outcome::kUnsat;
-  }
-  ++result_.branches;
-  for (const bool value : {true, false}) {
-    const std::size_t mark = trail_.size();
-    if (assign(v, value)) {
-      const Outcome out = recurse();
-      if (out != Outcome::kUnsat) return out;  // kSat or kAborted
+      if (const auto unit = find_unit()) {
+        ++result_.unit_propagations;
+        const std::size_t mark = trail_.size();
+        if (!assign(unit->var(), !unit->negated())) {
+          unassign_to(mark);
+          ret = Outcome::kUnsat;
+          returning = true;
+          continue;
+        }
+        stack.push_back(Frame{mark});
+        continue;  // recurse
+      }
+      if (const auto pure = find_pure()) {
+        ++result_.purifications;
+        const std::size_t mark = trail_.size();
+        if (!assign(pure->var(), !pure->negated())) {
+          unassign_to(mark);
+          ret = Outcome::kUnsat;
+          returning = true;
+          continue;
+        }
+        stack.push_back(Frame{mark});
+        continue;  // recurse
+      }
+
+      const Var v = pick_branch_var();
+      if (v == kNullVar) {
+        // No unassigned variable left in an unsatisfied clause: with no unit
+        // and no empty clause this cannot happen, but guard anyway.
+        ret = Outcome::kUnsat;
+        returning = true;
+        continue;
+      }
+      ++result_.branches;
+      const std::size_t mark = trail_.size();
+      if (assign(v, true)) {
+        stack.push_back(Frame{mark, v, false});
+        continue;  // recurse into the first polarity
+      }
+      unassign_to(mark);
+      if (assign(v, false)) {
+        stack.push_back(Frame{mark, v, true});
+        continue;  // recurse into the second polarity
+      }
+      unassign_to(mark);
+      ret = Outcome::kUnsat;
+      returning = true;
+      continue;
     }
-    unassign_to(mark);
+
+    // A call finished with `ret`; deliver it to the parent frame.
+    if (stack.empty()) return ret;
+    Frame& f = stack.back();
+    if (ret != Outcome::kUnsat) {
+      // kSat keeps the satisfying trail; kAborted propagates unchanged.
+      stack.pop_back();
+      continue;
+    }
+    unassign_to(f.mark);
+    if (f.branch_var != kNullVar && !f.tried_false) {
+      if (assign(f.branch_var, false)) {
+        f.tried_false = true;
+        returning = false;  // recurse into the second polarity
+        continue;
+      }
+      unassign_to(f.mark);
+    }
+    stack.pop_back();  // ret stays kUnsat
   }
-  return Outcome::kUnsat;
 }
 
 }  // namespace fl::sat

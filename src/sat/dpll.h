@@ -1,9 +1,12 @@
-// Classic recursive DPLL solver (Algorithm 1 of the paper).
+// Classic DPLL solver (Algorithm 1 of the paper).
 //
 // Deliberately *not* CDCL: it implements exactly the unit-propagation /
 // pure-literal / branching recursion the paper analyzes, and counts the
 // recursive calls so Fig. 1 (hardness peak at clause/var ratio ~4.3) can be
-// regenerated.
+// regenerated. The recursion itself runs on an explicit frame stack —
+// phase-transition instances reach depths that overflow the machine stack —
+// but the accounting (recursive_calls, node budget) is exactly that of the
+// textbook recursive procedure.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +36,8 @@ class Dpll {
 
  private:
   enum class Outcome { kSat, kUnsat, kAborted };
-  Outcome recurse();
+  // The recursion, run on an explicit frame stack (see dpll.cpp).
+  Outcome search();
   bool assign(Var v, bool value);  // false on immediate empty clause
   void unassign_to(std::size_t trail_mark);
   std::optional<Lit> find_unit() const;

@@ -2,21 +2,55 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace fl::sat {
 
-struct Solver::ClauseData {
-  float activity = 0.0f;
-  bool learnt = false;
-  std::vector<Lit> lits;
-};
+// Arena clause layout (32-bit words):
+//   [0] size << 4 | learnt | core<<1 | condemned<<2 | relocated<<3
+//   [1] LBD (learnt) / GC forwarding address (after relocation)
+//   [2][3] activity as a double (learnt clauses only)
+//   [..] literals, one Lit::index() per word
+// Problem clauses use the 2-word header; learnt clauses the 4-word one.
+struct Solver::Cls {
+  std::uint32_t* p;
 
-struct Solver::Watcher {
-  ClauseData* clause;
-  Lit blocker;
+  std::uint32_t size() const { return p[0] >> 4; }
+  void shrink(std::uint32_t s) { p[0] = (s << 4) | (p[0] & 0xFu); }
+  bool learnt() const { return (p[0] & 1u) != 0; }
+  bool core() const { return (p[0] & 2u) != 0; }
+  void set_core() { p[0] |= 2u; }
+  bool condemned() const { return (p[0] & 4u) != 0; }
+  void set_condemned() { p[0] |= 4u; }
+  std::uint32_t lbd() const { return p[1]; }
+  void set_lbd(std::uint32_t l) { p[1] = l; }
+  double activity() const {
+    double a;
+    std::memcpy(&a, p + 2, sizeof(a));
+    return a;
+  }
+  void set_activity(double a) { std::memcpy(p + 2, &a, sizeof(a)); }
+
+  std::uint32_t* raw_lits() { return p + (learnt() ? 4 : 2); }
+  Lit lit(std::uint32_t i) const {
+    return Lit::from_index(
+        static_cast<std::int32_t>(p[(learnt() ? 4 : 2) + i]));
+  }
+  void set_lit(std::uint32_t i, Lit l) {
+    p[(learnt() ? 4 : 2) + i] = static_cast<std::uint32_t>(l.index());
+  }
+  std::uint32_t words() const { return (learnt() ? 4 : 2) + size(); }
 };
 
 namespace {
+
+// Learnt clauses at or below this LBD form the core tier ("glue" clauses in
+// Glucose terms): they connect decision levels so tightly that deleting
+// them is nearly always a net loss, so reduce_db never touches them.
+constexpr std::uint32_t kCoreLbd = 2;
+
+constexpr std::uint32_t kLearntFlag = 1;
+constexpr std::uint32_t kRelocatedFlag = 8;
 
 // Luby restart sequence (unit = 128 conflicts).
 double luby(double y, int x) {
@@ -35,23 +69,43 @@ double luby(double y, int x) {
 
 // How many decisions may pass between wall-clock reads. Conflicts always
 // force a read (analysis already paid far more than a clock call), so this
-// only bounds overshoot on conflict-free decision streaks — 16 fast
-// decisions are microseconds.
+// only bounds overshoot on conflict-free decision streaks.
 constexpr std::uint64_t kDeadlineCheckStride = 16;
 
 }  // namespace
 
-Solver::Solver(SolverConfig config) : config_(config) {}
+Solver::Solver(SolverConfig config) : config_(config) {
+  arena_.push_back(0);  // sentinel: real refs are nonzero, kNullRef = 0
+}
 Solver::~Solver() = default;
+
+Solver::Cls Solver::cls(ClauseRef r) { return Cls{arena_.data() + r}; }
+
+Solver::ClauseRef Solver::alloc_clause(std::span<const Lit> lits,
+                                       bool learnt) {
+  const ClauseRef r = static_cast<ClauseRef>(arena_.size());
+  const std::uint32_t header = learnt ? 4 : 2;
+  arena_.resize(arena_.size() + header + lits.size());
+  Cls c{arena_.data() + r};
+  c.p[0] = (static_cast<std::uint32_t>(lits.size()) << 4) |
+           (learnt ? kLearntFlag : 0);
+  c.p[1] = 0;
+  if (learnt) c.set_activity(0.0);
+  for (std::uint32_t i = 0; i < lits.size(); ++i) c.set_lit(i, lits[i]);
+  return r;
+}
+
+void Solver::free_clause(ClauseRef r) { wasted_words_ += cls(r).words(); }
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assign_.size());
   assign_.push_back(LBool::kUndef);
   saved_phase_.push_back(0);
   level_.push_back(0);
-  reason_.push_back(nullptr);
+  reason_.push_back(kNullRef);
   activity_.push_back(0.0);
   seen_.push_back(0);
+  level_stamp_.push_back(0);
   heap_pos_.push_back(-1);
   watches_.emplace_back();
   watches_.emplace_back();
@@ -132,27 +186,51 @@ void Solver::bump_var(Var v) {
 
 void Solver::decay_var_activity() { var_inc_ /= config_.var_decay; }
 
-void Solver::bump_clause(ClauseData& c) {
-  c.activity += static_cast<float>(cla_inc_);
-  if (c.activity > 1e20f) {
-    for (auto& cl : learnt_clauses_) cl->activity *= 1e-20f;
-    cla_inc_ *= 1e-20;
+void Solver::bump_clause(Cls c) {
+  c.set_activity(c.activity() + cla_inc_);
+  if (c.activity() > 1e100) {
+    for (const ClauseRef r : learnt_clauses_) {
+      Cls lc = cls(r);
+      lc.set_activity(lc.activity() * 1e-100);
+    }
+    cla_inc_ *= 1e-100;
   }
 }
 
 // ------------------------------------------------------------- clauses ----
 
-void Solver::attach(ClauseData* c) {
-  assert(c->lits.size() >= 2);
-  watches_[(~c->lits[0]).index()].push_back(Watcher{c, c->lits[1]});
-  watches_[(~c->lits[1]).index()].push_back(Watcher{c, c->lits[0]});
+void Solver::attach(ClauseRef r) {
+  Cls c = cls(r);
+  assert(c.size() >= 2);
+  const Lit l0 = c.lit(0), l1 = c.lit(1);
+  if (c.size() == 2) {
+    watches_[(~l0).index()].bins.push_back(BinWatch{l1, r});
+    watches_[(~l1).index()].bins.push_back(BinWatch{l0, r});
+    return;
+  }
+  watches_[(~l0).index()].longs.push_back(Watcher{r, l1});
+  watches_[(~l1).index()].longs.push_back(Watcher{r, l0});
 }
 
-void Solver::detach(ClauseData* c) {
-  for (const Lit w : {c->lits[0], c->lits[1]}) {
-    auto& list = watches_[(~w).index()];
+void Solver::detach(ClauseRef r) {
+  Cls c = cls(r);
+  if (c.size() == 2) {
+    for (const Lit w : {c.lit(0), c.lit(1)}) {
+      auto& list = watches_[(~w).index()].bins;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i].ref == r) {
+          list[i] = list.back();
+          list.pop_back();
+          break;
+        }
+      }
+    }
+    return;
+  }
+  for (const Lit w : {c.lit(0), c.lit(1)}) {
+    auto& list = watches_[(~w).index()].longs;
     for (std::size_t i = 0; i < list.size(); ++i) {
-      if (list[i].clause == c) {
+      if (list[i].ref == r) {
         list[i] = list.back();
         list.pop_back();
         break;
@@ -183,27 +261,26 @@ bool Solver::add_clause(Clause clause) {
     return false;
   }
   if (clause.size() == 1) {
-    if (!enqueue(clause[0], nullptr)) {
+    if (!enqueue(clause[0], kNullRef)) {
       ok_ = false;
       return false;
     }
-    if (propagate() != nullptr) {
+    if (propagate() != kNullRef) {
       ok_ = false;
       return false;
     }
     return true;
   }
-  auto data = std::make_unique<ClauseData>();
-  data->lits = std::move(clause);
-  attach(data.get());
-  problem_clauses_.push_back(std::move(data));
+  const ClauseRef r = alloc_clause(clause, /*learnt=*/false);
+  attach(r);
+  problem_clauses_.push_back(r);
   ++num_problem_clauses_;
   return true;
 }
 
 // --------------------------------------------------------- propagation ----
 
-bool Solver::enqueue(Lit l, ClauseData* reason) {
+bool Solver::enqueue(Lit l, ClauseRef reason) {
   const LBool v = value(l);
   if (v != LBool::kUndef) return v == LBool::kTrue;
   assign_[l.var()] = lbool_from(!l.negated());
@@ -214,56 +291,95 @@ bool Solver::enqueue(Lit l, ClauseData* reason) {
   return true;
 }
 
-Solver::ClauseData* Solver::propagate() {
+Solver::ClauseRef Solver::propagate() {
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];
     ++stats_.propagations;
-    auto& ws = watches_[p.index()];
+    WatchNode& wn = watches_[p.index()];
+
+    // Binary implications first: a flat (implied literal, reason) list, so
+    // the common case reads one assignment byte per entry and never touches
+    // clause memory.
+    for (const BinWatch& bw : wn.bins) {
+      const LBool v = value(bw.other);
+      if (v == LBool::kFalse) {
+        propagate_head_ = trail_.size();
+        return bw.ref;
+      }
+      if (v == LBool::kUndef) {
+        ++stats_.binary_propagations;
+        enqueue(bw.other, bw.ref);
+      }
+    }
+
+    auto& ws = wn.longs;
     std::size_t i = 0, j = 0;
+    const Lit false_lit = ~p;
     while (i < ws.size()) {
       const Watcher w = ws[i];
       if (value(w.blocker) == LBool::kTrue) {
         ws[j++] = ws[i++];
         continue;
       }
-      ClauseData& c = *w.clause;
-      const Lit false_lit = ~p;
-      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      assert(c.lits[1] == false_lit);
+      Cls c = cls(w.ref);
+      std::uint32_t* lits = c.raw_lits();
+      const auto lit_at = [&](std::uint32_t k) {
+        return Lit::from_index(static_cast<std::int32_t>(lits[k]));
+      };
+      if (lit_at(0) == false_lit) std::swap(lits[0], lits[1]);
+      assert(lit_at(1) == false_lit);
       ++i;
-      const Lit first = c.lits[0];
+      const Lit first = lit_at(0);
       if (first != w.blocker && value(first) == LBool::kTrue) {
-        ws[j++] = Watcher{w.clause, first};
+        ws[j++] = Watcher{w.ref, first};
         continue;
       }
       bool found_watch = false;
-      for (std::size_t k = 2; k < c.lits.size(); ++k) {
-        if (value(c.lits[k]) != LBool::kFalse) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[(~c.lits[1]).index()].push_back(Watcher{w.clause, first});
+      const std::uint32_t size = c.size();
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (value(lit_at(k)) != LBool::kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[(~lit_at(1)).index()].longs.push_back(
+              Watcher{w.ref, first});
           found_watch = true;
           break;
         }
       }
       if (found_watch) continue;
-      // Clause is unit or conflicting.
-      ws[j++] = Watcher{w.clause, first};
+      // Clause is unit or conflicting under the current assignment.
+      ws[j++] = Watcher{w.ref, first};
       if (value(first) == LBool::kFalse) {
         while (i < ws.size()) ws[j++] = ws[i++];
         ws.resize(j);
         propagate_head_ = trail_.size();
-        return w.clause;
+        return w.ref;
       }
-      enqueue(first, w.clause);
+      enqueue(first, w.ref);
     }
     ws.resize(j);
   }
-  return nullptr;
+  return kNullRef;
 }
 
 // ------------------------------------------------------------ analysis ----
 
-void Solver::analyze(ClauseData* conflict, Clause& learnt,
+// Literal block distance: number of distinct decision levels in the clause
+// (Glucose's quality measure — low LBD means the clause glues few levels
+// together and will propagate early and often).
+std::uint32_t Solver::compute_lbd(std::span<const Lit> lits) {
+  ++lbd_stamp_;
+  std::uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    const int lvl = level_[l.var()];
+    if (lvl > 0 && level_stamp_[lvl] != lbd_stamp_) {
+      level_stamp_[lvl] = lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Solver::analyze(ClauseRef conflict, Clause& learnt,
                      int& backtrack_level) {
   learnt.clear();
   learnt.push_back(kUndefLit);  // placeholder for the asserting literal
@@ -272,50 +388,82 @@ void Solver::analyze(ClauseData* conflict, Clause& learnt,
   std::size_t idx = trail_.size();
   const int current_level = static_cast<int>(trail_lim_.size());
 
-  ClauseData* c = conflict;
+  ClauseRef cr = conflict;
   do {
-    assert(c != nullptr);
-    if (c->learnt) bump_clause(*c);
-    for (const Lit q : c->lits) {
+    assert(cr != kNullRef);
+    Cls c = cls(cr);
+    // LBD refresh on re-propagation: a clause that re-appears in conflict
+    // analysis with fewer distinct levels than at learn time has proven
+    // more valuable than its recorded tier suggests; promote it to core
+    // once it reaches glue level. Fused into the literal walk below — the
+    // level_ loads are shared with the seen/path bookkeeping, so the
+    // refresh costs one stamp check per literal instead of a second pass.
+    const bool refresh = c.learnt() && c.lbd() > kCoreLbd;
+    std::uint32_t lbd = 0;
+    if (c.learnt()) bump_clause(c);
+    if (refresh) {
+      ++lbd_stamp_;
+      if (p != kUndefLit) {
+        // The resolved-on literal is always at the current level.
+        level_stamp_[current_level] = lbd_stamp_;
+        lbd = 1;
+      }
+    }
+    const std::uint32_t size = c.size();
+    const std::uint32_t* lits = c.raw_lits();
+    for (std::uint32_t li = 0; li < size; ++li) {
+      const Lit q = Lit::from_index(static_cast<std::int32_t>(lits[li]));
       if (q == p) continue;
       const Var v = q.var();
-      if (seen_[v] == 0 && level_[v] > 0) {
+      const int lvl = level_[v];
+      if (refresh && lvl > 0 && level_stamp_[lvl] != lbd_stamp_) {
+        level_stamp_[lvl] = lbd_stamp_;
+        ++lbd;
+      }
+      if (seen_[v] == 0 && lvl > 0) {
         seen_[v] = 1;
         bump_var(v);
-        if (level_[v] >= current_level) {
+        if (lvl >= current_level) {
           ++path_count;
         } else {
           learnt.push_back(q);
         }
       }
     }
+    if (refresh && lbd < c.lbd()) {
+      c.set_lbd(lbd);
+      if (lbd <= kCoreLbd && !c.core()) {
+        c.set_core();
+        assert(num_local_learnts_ > 0);
+        --num_local_learnts_;
+        ++stats_.promoted_clauses;
+      }
+    }
     while (seen_[trail_[idx - 1].var()] == 0) --idx;
     p = trail_[idx - 1];
     --idx;
-    c = reason_[p.var()];
+    cr = reason_[p.var()];
     seen_[p.var()] = 0;
     --path_count;
   } while (path_count > 0);
   learnt[0] = ~p;
 
-  // Conflict-clause minimization (local, via reason-implied redundancy).
-  analyze_toclear_.assign(learnt.begin() + 1, learnt.end());
-  for (const Lit l : learnt) {
-    if (l != kUndefLit) seen_[l.var()] = 1;
-  }
+  // Conflict-clause minimization: drop literals implied by the rest of the
+  // learnt clause through the implication graph.
+  analyze_toclear_.assign(learnt.begin(), learnt.end());
+  for (const Lit l : learnt) seen_[l.var()] = 1;
   std::uint32_t abstract_levels = 0;
   for (std::size_t i = 1; i < learnt.size(); ++i) {
     abstract_levels |= 1u << (level_[learnt[i].var()] & 31);
   }
   std::size_t out = 1;
   for (std::size_t i = 1; i < learnt.size(); ++i) {
-    if (reason_[learnt[i].var()] == nullptr ||
+    if (reason_[learnt[i].var()] == kNullRef ||
         !lit_redundant(learnt[i], abstract_levels)) {
       learnt[out++] = learnt[i];
     }
   }
   learnt.resize(out);
-  seen_[learnt[0].var()] = 0;
   for (const Lit l : analyze_toclear_) seen_[l.var()] = 0;
 
   if (learnt.size() == 1) {
@@ -337,18 +485,20 @@ bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
   while (!analyze_stack_.empty()) {
     const Lit q = analyze_stack_.back();
     analyze_stack_.pop_back();
-    const ClauseData* c = reason_[q.var()];
-    assert(c != nullptr);
-    for (const Lit r : c->lits) {
+    assert(reason_[q.var()] != kNullRef);
+    Cls c = cls(reason_[q.var()]);
+    const std::uint32_t size = c.size();
+    for (std::uint32_t li = 0; li < size; ++li) {
+      const Lit r = c.lit(li);
       const Var v = r.var();
       if (v == q.var() || seen_[v] != 0 || level_[v] == 0) continue;
-      if (reason_[v] != nullptr &&
+      if (reason_[v] != kNullRef &&
           ((1u << (level_[v] & 31)) & abstract_levels) != 0) {
         seen_[v] = 1;
         analyze_stack_.push_back(r);
         analyze_toclear_.push_back(r);
       } else {
-        // Not redundant: undo marks made during this probe.
+        // Not redundant: undo the marks made during this probe.
         for (std::size_t k = toclear_base; k < analyze_toclear_.size(); ++k) {
           seen_[analyze_toclear_[k].var()] = 0;
         }
@@ -366,7 +516,7 @@ void Solver::backtrack_to(int target_level) {
   for (std::size_t i = trail_.size(); i > bound; --i) {
     const Var v = trail_[i - 1].var();
     assign_[v] = LBool::kUndef;
-    reason_[v] = nullptr;
+    reason_[v] = kNullRef;
     heap_insert(v);
   }
   trail_.resize(bound);
@@ -377,42 +527,235 @@ void Solver::backtrack_to(int target_level) {
 Lit Solver::pick_branch_lit() {
   while (!heap_.empty()) {
     const Var v = heap_[0];
+    heap_pop();
     if (assign_[v] == LBool::kUndef) {
-      heap_pop();
       return Lit(v, saved_phase_[v] == 0);
     }
-    heap_pop();
   }
   return kUndefLit;
 }
 
+// Records a freshly learnt (non-unit) clause: tier classification, stats,
+// watch attachment, and the asserting enqueue.
+void Solver::record_learnt(const Clause& learnt, std::uint32_t lbd) {
+  const ClauseRef r = alloc_clause(learnt, /*learnt=*/true);
+  Cls c = cls(r);
+  c.set_lbd(lbd);
+  if (learnt.size() == 2 || lbd <= kCoreLbd) c.set_core();
+  attach(r);
+  bump_clause(c);
+  enqueue(learnt[0], r);
+  if (!c.core()) ++num_local_learnts_;
+  learnt_clauses_.push_back(r);
+  ++stats_.learned_clauses;
+  stats_.learned_literals += learnt.size();
+  if (learnt.size() == 2) ++stats_.learned_binary;
+  stats_.lbd_sum += lbd;
+  if (lbd <= kCoreLbd) ++stats_.glue_learned;
+  if (lbd > stats_.max_lbd) stats_.max_lbd = lbd;
+}
+
 void Solver::reduce_db() {
-  std::sort(learnt_clauses_.begin(), learnt_clauses_.end(),
-            [](const auto& a, const auto& b) {
-              if ((a->lits.size() > 2) != (b->lits.size() > 2)) {
-                return a->lits.size() > 2;  // long clauses first (victims)
-              }
-              return a->activity < b->activity;
-            });
-  auto locked = [&](const ClauseData* c) {
-    return reason_[c->lits[0].var()] == c && value(c->lits[0]) == LBool::kTrue;
+  // Only the local tier is reducible: core clauses (glue LBD, binaries,
+  // promotions) are kept forever, and clauses locked as the reason of a
+  // trail literal cannot be dropped. The halving target counts reducible
+  // clauses only, so pinned reasons don't dilute the reduction.
+  const auto locked = [&](ClauseRef r, Cls c) {
+    const Lit l0 = c.lit(0);
+    return reason_[l0.var()] == r && value(l0) == LBool::kTrue;
   };
-  const std::size_t target = learnt_clauses_.size() / 2;
-  std::vector<std::unique_ptr<ClauseData>> kept;
-  kept.reserve(learnt_clauses_.size());
-  std::size_t removed = 0;
-  for (std::size_t i = 0; i < learnt_clauses_.size(); ++i) {
-    ClauseData* c = learnt_clauses_[i].get();
-    if (removed < target && c->lits.size() > 2 && !locked(c)) {
-      detach(c);
+  std::vector<ClauseRef> reducible;
+  reducible.reserve(num_local_learnts_);
+  for (const ClauseRef r : learnt_clauses_) {
+    Cls c = cls(r);
+    if (c.core() || locked(r, c)) continue;
+    assert(c.size() > 2);
+    reducible.push_back(r);
+  }
+  const std::size_t target = reducible.size() / 2;
+  // Victims: highest LBD first, ties broken by lowest activity.
+  std::sort(reducible.begin(), reducible.end(),
+            [this](ClauseRef a, ClauseRef b) {
+              const Cls ca{arena_.data() + a}, cb{arena_.data() + b};
+              if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+              return ca.activity() < cb.activity();
+            });
+  for (std::size_t i = 0; i < target; ++i) cls(reducible[i]).set_condemned();
+
+  // Batch watcher removal: one pass over the long watch lists beats a
+  // per-clause detach (which re-searches a list per deletion) by orders of
+  // magnitude when thousands of clauses go at once. Victims all have size
+  // > 2, so the binary lists are untouched.
+  if (target > 0) filter_condemned_watchers(/*bins_too=*/false);
+
+  std::size_t out = 0, removed = 0;
+  for (const ClauseRef r : learnt_clauses_) {
+    if (cls(r).condemned()) {
+      free_clause(r);
       ++removed;
     } else {
-      kept.push_back(std::move(learnt_clauses_[i]));
+      learnt_clauses_[out++] = r;
     }
   }
-  learnt_clauses_ = std::move(kept);
+  learnt_clauses_.resize(out);
+  num_local_learnts_ -= removed;
   stats_.removed_clauses += removed;
+  stats_.db_size_after_reduce = learnt_clauses_.size();
+  max_learnts_ += max_learnts_ / 10;
+  maybe_garbage_collect();
 }
+
+void Solver::filter_condemned_watchers(bool bins_too) {
+  for (WatchNode& wn : watches_) {
+    if (bins_too) {
+      std::size_t out = 0;
+      for (const BinWatch& bw : wn.bins) {
+        if (!cls(bw.ref).condemned()) wn.bins[out++] = bw;
+      }
+      wn.bins.resize(out);
+    }
+    std::size_t out = 0;
+    for (const Watcher& w : wn.longs) {
+      if (!cls(w.ref).condemned()) wn.longs[out++] = w;
+    }
+    wn.longs.resize(out);
+  }
+}
+
+// -------------------------------------------------------------- arena GC --
+
+void Solver::relocate(ClauseRef& r, std::vector<std::uint32_t>& to) {
+  if (r == kNullRef) return;
+  std::uint32_t* p = arena_.data() + r;
+  if ((p[0] & kRelocatedFlag) != 0) {
+    r = p[1];  // already moved; header word 1 holds the forwarding address
+    return;
+  }
+  const std::uint32_t words = Cls{p}.words();
+  const ClauseRef nr = static_cast<ClauseRef>(to.size());
+  to.insert(to.end(), p, p + words);
+  p[0] |= kRelocatedFlag;
+  p[1] = nr;
+  r = nr;
+}
+
+// Mark-and-copy compaction of the clause arena. Callers must be at a safe
+// point: every live ClauseRef reachable from solver state is remapped here
+// (clause DBs, trail reasons, watch lists), so no ref may be held across
+// this call in a local variable.
+void Solver::maybe_garbage_collect() {
+  if (wasted_words_ * 5 < arena_.size()) return;  // < 20% waste: keep going
+  std::vector<std::uint32_t> to;
+  to.reserve(arena_.size() - wasted_words_);
+  to.push_back(0);  // sentinel
+  for (ClauseRef& r : problem_clauses_) relocate(r, to);
+  for (ClauseRef& r : learnt_clauses_) relocate(r, to);
+  for (const Lit l : trail_) relocate(reason_[l.var()], to);
+  for (WatchNode& wn : watches_) {
+    for (BinWatch& bw : wn.bins) relocate(bw.ref, to);
+    for (Watcher& w : wn.longs) relocate(w.ref, to);
+  }
+  arena_ = std::move(to);
+  wasted_words_ = 0;
+}
+
+// -------------------------------------------------------------- simplify --
+
+void Solver::simplify() {
+  if (!ok_) return;
+  if (!trail_lim_.empty()) backtrack_to(0);
+  if (propagate() != kNullRef) {
+    ok_ = false;
+    return;
+  }
+  if (trail_.size() == simplified_trail_) return;  // no new root facts
+  simplified_trail_ = trail_.size();
+  conflicts_at_simplify_ = stats_.conflicts;
+
+  // Root assignments are permanent; their reasons are never dereferenced
+  // again (analysis skips level 0). Null them so removing a satisfied
+  // reason clause cannot leave a dangling ref behind.
+  for (const Lit l : trail_) reason_[l.var()] = kNullRef;
+
+  // Pass 1: mark satisfied clauses. Their watchers are removed in one
+  // batch sweep below — per-clause detach would re-search a watch list per
+  // deletion, which dominates simplify on attack-sized databases.
+  std::size_t num_satisfied = 0;
+  const auto mark = [&](const std::vector<ClauseRef>& db) {
+    for (const ClauseRef r : db) {
+      Cls c = cls(r);
+      const std::uint32_t size = c.size();
+      for (std::uint32_t k = 0; k < size; ++k) {
+        if (value(c.lit(k)) == LBool::kTrue) {
+          c.set_condemned();
+          ++num_satisfied;
+          break;
+        }
+      }
+    }
+  };
+  mark(problem_clauses_);
+  mark(learnt_clauses_);
+  if (num_satisfied > 0) filter_condemned_watchers(/*bins_too=*/true);
+
+  const auto clean = [&](std::vector<ClauseRef>& db, bool problem) {
+    std::size_t out = 0;
+    for (const ClauseRef r : db) {
+      Cls c = cls(r);
+      if (c.condemned()) {
+        free_clause(r);
+        ++stats_.simplify_removed_clauses;
+        if (problem) {
+          --num_problem_clauses_;
+        } else if (!c.core()) {
+          assert(num_local_learnts_ > 0);
+          --num_local_learnts_;
+        }
+        continue;
+      }
+      const std::uint32_t size = c.size();
+      // Strip falsified literals. Only positions >= 2 can be false here:
+      // after full root propagation a false watched literal implies the
+      // clause was satisfied (removed above) or unit (enqueued, hence
+      // satisfied). A blocker-skip can leave a stale false watch; such a
+      // clause is simply left unstripped this round.
+      if (size > 2 && value(c.lit(0)) == LBool::kUndef &&
+          value(c.lit(1)) == LBool::kUndef) {
+        std::uint32_t w = 2;
+        for (std::uint32_t k = 2; k < size; ++k) {
+          if (value(c.lit(k)) != LBool::kFalse) {
+            c.set_lit(w++, c.lit(k));
+          } else {
+            ++stats_.simplify_removed_literals;
+          }
+        }
+        if (w != size) {
+          if (w == 2) {
+            detach(r);  // still registered as long: removes long watchers
+            c.shrink(w);
+            wasted_words_ += size - w;
+            attach(r);  // size 2 now: joins the binary implication lists
+            if (!problem && !c.core()) {
+              c.set_core();  // binaries are never reduced
+              assert(num_local_learnts_ > 0);
+              --num_local_learnts_;
+            }
+          } else {
+            c.shrink(w);
+            wasted_words_ += size - w;
+          }
+        }
+      }
+      db[out++] = r;
+    }
+    db.resize(out);
+  };
+  clean(problem_clauses_, /*problem=*/true);
+  clean(learnt_clauses_, /*problem=*/false);
+  maybe_garbage_collect();
+}
+
+// ---------------------------------------------------------------- search --
 
 bool Solver::budget_exhausted(bool force_deadline_check) const {
   if (budget_hit_) return true;
@@ -440,16 +783,14 @@ bool Solver::budget_exhausted(bool force_deadline_check) const {
 }
 
 LBool Solver::search() {
-  std::uint64_t restart_budget = static_cast<std::uint64_t>(
+  const std::uint64_t restart_budget = static_cast<std::uint64_t>(
       luby(2.0, static_cast<int>(stats_.restarts)) * config_.restart_unit);
   std::uint64_t conflicts_this_restart = 0;
-  std::size_t max_learnts =
-      std::max<std::size_t>(4000, num_problem_clauses_ / 3);
 
   Clause learnt;
   while (true) {
-    ClauseData* conflict = propagate();
-    if (conflict != nullptr) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNullRef) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
       if (trail_lim_.empty()) {
@@ -458,25 +799,19 @@ LBool Solver::search() {
       }
       int backtrack_level = 0;
       analyze(conflict, learnt, backtrack_level);
+      // LBD is measured before backtracking, while every learnt literal
+      // still carries its decision level.
+      const std::uint32_t lbd = compute_lbd(learnt);
       backtrack_to(backtrack_level);
       if (learnt.size() == 1) {
-        enqueue(learnt[0], nullptr);
+        enqueue(learnt[0], kNullRef);
       } else {
-        auto data = std::make_unique<ClauseData>();
-        data->learnt = true;
-        data->lits = learnt;
-        attach(data.get());
-        bump_clause(*data);
-        enqueue(learnt[0], data.get());
-        learnt_clauses_.push_back(std::move(data));
-        ++stats_.learned_clauses;
-        stats_.learned_literals += learnt.size();
+        record_learnt(learnt, lbd);
       }
       decay_var_activity();
       cla_inc_ /= config_.clause_decay;
-      // Deadline check per conflict: conflict analysis of a large learnt
-      // clause is exactly where a solve used to overshoot its deadline, and
-      // a clock read is noise next to the analysis it follows.
+      // Deadline is always checked on conflicts: conflict analysis is where
+      // a solve used to overshoot, and a clock read is noise next to it.
       if (budget_exhausted(/*force_deadline_check=*/true)) {
         backtrack_to(0);
         return LBool::kUndef;
@@ -489,9 +824,9 @@ LBool Solver::search() {
       if (conflicts_this_restart >= restart_budget) {
         ++stats_.restarts;
         backtrack_to(0);
-        return LBool::kUndef;  // caller loops; keeps restart bookkeeping simple
+        return LBool::kUndef;  // caller loops; keeps bookkeeping simple
       }
-      if (learnt_clauses_.size() >= max_learnts + trail_.size()) {
+      if (learnt_clauses_.size() >= max_learnts_ + trail_.size()) {
         reduce_db();
       }
       Lit next = kUndefLit;
@@ -512,7 +847,7 @@ LBool Solver::search() {
         ++stats_.decisions;
       }
       trail_lim_.push_back(trail_.size());
-      enqueue(next, nullptr);
+      enqueue(next, kNullRef);
     }
   }
 }
@@ -523,22 +858,34 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
   conflicts_at_solve_ = stats_.conflicts;
   budget_hit_ = false;
   deadline_check_countdown_ = 0;
+  max_learnts_ = std::max<std::size_t>(
+      {max_learnts_, 2000, num_problem_clauses_ / 3});
   backtrack_to(0);
-  if (propagate() != nullptr) {
+  if (propagate() != kNullRef) {
     ok_ = false;
+    assumptions_.clear();
+    return LBool::kFalse;
+  }
+  // Root-level cleanup of everything previous solves and the caller's
+  // incremental clauses (DIP constraints, banned keys) made redundant.
+  // Simplification is a full database scan, so the automatic call waits
+  // until enough new root facts have accumulated to pay for it (explicit
+  // simplify() calls scan whenever anything changed).
+  if ((trail_.size() - simplified_trail_) * 100 >= num_problem_clauses_) {
+    simplify();
+  }
+  if (!ok_) {
+    assumptions_.clear();
     return LBool::kFalse;
   }
   LBool result = LBool::kUndef;
   while (result == LBool::kUndef) {
     result = search();
-    if (result == LBool::kUndef) {
-      // Restart (or budget). Distinguish: budget => bail out.
-      if (budget_exhausted()) break;
-    }
     if (!ok_) {
       result = LBool::kFalse;
       break;
     }
+    if (result == LBool::kUndef && budget_exhausted()) break;
   }
   if (result != LBool::kTrue) backtrack_to(0);
   assumptions_.clear();
@@ -555,7 +902,7 @@ LBool solve_cnf(const Cnf& cnf, std::vector<bool>* model, SolverStats* stats) {
     }
   }
   const LBool result = solver.solve();
-  if (result == LBool::kTrue && model != nullptr) *model = solver.model();
+  if (result == sat::LBool::kTrue && model != nullptr) *model = solver.model();
   if (stats != nullptr) *stats = solver.stats();
   return result;
 }

@@ -1,11 +1,27 @@
 // Conflict-driven clause-learning (CDCL) SAT solver.
 //
-// MiniSat-style architecture: two-watched-literal propagation, first-UIP
+// MiniSat-style architecture — two-watched-literal propagation, first-UIP
 // conflict analysis with clause minimization, VSIDS branching with phase
-// saving, Luby restarts and activity-based learnt-clause reduction.
+// saving, Luby restarts — with Glucose-style learnt-clause management and an
+// arena clause store:
+//  * every learnt clause gets an LBD (literal block distance) at 1UIP time;
+//  * the learnt database is two-tiered: low-LBD "core" clauses (glue, and
+//    all binaries) are kept forever, high-LBD "local" clauses are reduced
+//    by LBD-then-activity;
+//  * clauses whose LBD improves when they re-appear in conflict analysis
+//    are promoted into the core tier;
+//  * binary clauses propagate through dedicated implication lists (literal
+//    pairs, no clause-memory chasing on the hot path); each literal's
+//    binary and long watch lists live in one node so propagation touches
+//    one cache line to find both;
+//  * clause literals are stored inline after a compact header in a single
+//    uint32 arena, addressed by 32-bit refs — half-size watch lists and one
+//    less pointer hop per clause visit than heap-allocated clause objects.
 //
 // Built for the oracle-guided SAT attack, so it supports
-//  * incremental clause addition between solve() calls,
+//  * incremental clause addition between solve() calls, with a root-level
+//    simplify() pass that drops satisfied clauses and falsified literals
+//    accumulated by the attack's DIP constraints,
 //  * solving under assumptions (used for the miter activation literal),
 //  * wall-clock deadlines and conflict budgets (solve returns kUndef),
 //  * the search statistics the paper reasons about (decisions ~ DPLL
@@ -15,7 +31,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -37,11 +52,32 @@ struct SolverConfig {
 struct SolverStats {
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
+  // Implications enqueued through the binary implication lists (a subset of
+  // the work `propagations` counts trail literals for).
+  std::uint64_t binary_propagations = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learned_clauses = 0;
   std::uint64_t learned_literals = 0;
+  // Learnt clauses of size 2 (these live in the binary implication lists
+  // and are never eligible for reduction).
+  std::uint64_t learned_binary = 0;
+  // LBD histogram summary over learnt clauses, measured at 1UIP time:
+  // sum (mean = lbd_sum / learned_clauses), glue count (LBD <= 2), max.
+  std::uint64_t lbd_sum = 0;
+  std::uint64_t glue_learned = 0;
+  std::uint64_t max_lbd = 0;
+  // Local-tier clauses whose LBD improved to glue level during a later
+  // conflict analysis and were moved into the kept-forever core tier.
+  std::uint64_t promoted_clauses = 0;
+  // Clauses dropped by reduce_db (local tier only).
   std::uint64_t removed_clauses = 0;
+  // Learnt-database size right after the most recent reduce_db.
+  std::uint64_t db_size_after_reduce = 0;
+  // Root-level simplification between incremental solves: satisfied
+  // problem/learnt clauses dropped, falsified literals stripped.
+  std::uint64_t simplify_removed_clauses = 0;
+  std::uint64_t simplify_removed_literals = 0;
 };
 
 class Solver {
@@ -66,9 +102,25 @@ class Solver {
   // hit. The model (for kTrue) is read with value_of/model().
   LBool solve(std::span<const Lit> assumptions = {});
 
+  // Root-level database simplification: removes clauses satisfied by
+  // root-level assignments and strips falsified literals. Runs
+  // automatically at the start of every solve() once new root facts have
+  // accumulated (the attack's DIP constraints add them continuously), so
+  // explicit calls are only needed to reclaim memory eagerly.
+  void simplify();
+
   // Model access; only valid after solve() returned kTrue.
   bool value_of(Var v) const;
   std::vector<bool> model() const;
+
+  // Phase hint: the polarity the next decision on `v` tries first.
+  // Overwritten again whenever `v` is assigned (phase saving). Callers use
+  // this to diversify the models of successive SAT calls — decisions
+  // otherwise cluster around the all-false default, so "enumerate another
+  // witness" loops re-find near-copies of the previous model.
+  void set_phase(Var v, bool phase) {
+    saved_phase_[v] = phase ? 1 : 0;
+  }
 
   // Budgets: 0 disables. The deadline is checked after every conflict and
   // every few decisions, so a solve overshoots it by at most a handful of
@@ -92,23 +144,56 @@ class Solver {
 
   const SolverStats& stats() const { return stats_; }
   std::size_t num_clauses() const { return num_problem_clauses_; }
+  std::size_t num_learnts() const { return learnt_clauses_.size(); }
 
  private:
-  struct ClauseData;
-  struct Watcher;
+  // Word offset of a clause in arena_. kNullRef doubles as "no reason"
+  // (arena_[0] is a sentinel so no real clause lives at 0).
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNullRef = 0;
+  struct Cls;  // arena clause accessor (solver.cpp)
 
-  bool enqueue(Lit l, ClauseData* reason);
-  ClauseData* propagate();
-  void analyze(ClauseData* conflict, Clause& learnt, int& backtrack_level);
+  struct Watcher {
+    ClauseRef ref;
+    Lit blocker;
+  };
+  // Binary implication: when the node's key literal becomes true, `other`
+  // is implied (or conflicting). `ref` is only touched off the hot path,
+  // as the implication's reason.
+  struct BinWatch {
+    Lit other;
+    ClauseRef ref;
+  };
+  // Both watch lists of one literal, side by side: binary implications and
+  // long-clause watchers are nearly always consulted together, so keeping
+  // the two vector headers in one node makes the second list (almost) free
+  // to find once the first has been loaded.
+  struct WatchNode {
+    std::vector<BinWatch> bins;
+    std::vector<Watcher> longs;
+  };
+
+  Cls cls(ClauseRef r);
+  ClauseRef alloc_clause(std::span<const Lit> lits, bool learnt);
+  void free_clause(ClauseRef r);  // accounting only; space reclaimed by GC
+  void maybe_garbage_collect();
+  void relocate(ClauseRef& r, std::vector<std::uint32_t>& to);
+
+  bool enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, Clause& learnt, int& backtrack_level);
   bool lit_redundant(Lit l, std::uint32_t abstract_levels);
   void backtrack_to(int level);
   Lit pick_branch_lit();
   void bump_var(Var v);
   void decay_var_activity();
-  void bump_clause(ClauseData& c);
+  void bump_clause(Cls c);
+  std::uint32_t compute_lbd(std::span<const Lit> lits);
+  void record_learnt(const Clause& learnt, std::uint32_t lbd);
   void reduce_db();
-  void attach(ClauseData* c);
-  void detach(ClauseData* c);
+  void attach(ClauseRef r);
+  void detach(ClauseRef r);
+  void filter_condemned_watchers(bool bins_too);
   LBool value(Lit l) const;
   LBool search();
   bool budget_exhausted(bool force_deadline_check = false) const;
@@ -117,16 +202,21 @@ class Solver {
   std::vector<LBool> assign_;
   std::vector<std::uint8_t> saved_phase_;
   std::vector<int> level_;
-  std::vector<ClauseData*> reason_;
+  std::vector<ClauseRef> reason_;
   std::vector<Lit> trail_;
   std::vector<int> trail_lim_;
   std::size_t propagate_head_ = 0;
 
-  // Clause storage.
-  std::vector<std::unique_ptr<ClauseData>> problem_clauses_;
-  std::vector<std::unique_ptr<ClauseData>> learnt_clauses_;
+  // Clause storage: headers + literals inline in one uint32 arena. Freed
+  // clauses only mark waste; maybe_garbage_collect() compacts when waste
+  // crosses a threshold.
+  std::vector<std::uint32_t> arena_;
+  std::size_t wasted_words_ = 0;
+  std::vector<ClauseRef> problem_clauses_;
+  std::vector<ClauseRef> learnt_clauses_;
   std::size_t num_problem_clauses_ = 0;
-  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+  std::size_t num_local_learnts_ = 0;  // reducible (non-core) learnt clauses
+  std::vector<WatchNode> watches_;  // indexed by Lit::index()
 
   // VSIDS.
   std::vector<double> activity_;
@@ -145,6 +235,16 @@ class Solver {
   std::vector<std::uint8_t> seen_;
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> analyze_toclear_;
+  // LBD scratch: per-level stamps so computing an LBD is O(|clause|) with
+  // no clearing pass.
+  std::vector<std::uint64_t> level_stamp_;
+  std::uint64_t lbd_stamp_ = 0;
+
+  // Learnt-DB size that triggers reduce_db, counting both tiers. Grows
+  // geometrically with every reduction so a large core tier (which
+  // reduce_db never shrinks) raises the ceiling instead of re-triggering
+  // reductions that have nothing left to remove.
+  std::size_t max_learnts_ = 0;
 
   bool ok_ = true;
   std::vector<Lit> assumptions_;
@@ -152,6 +252,8 @@ class Solver {
   SolverStats stats_;
   std::uint64_t conflict_budget_ = 0;
   std::uint64_t conflicts_at_solve_ = 0;
+  std::size_t simplified_trail_ = 0;  // root trail size at last simplify()
+  std::uint64_t conflicts_at_simplify_ = 0;
   std::optional<std::chrono::steady_clock::time_point> deadline_;
   const std::atomic<bool>* interrupt_ = nullptr;
   mutable std::uint64_t deadline_check_countdown_ = 0;

@@ -96,6 +96,49 @@ TEST(Dpll, CallBudgetAborts) {
   EXPECT_LE(r.recursive_calls, 4u);
 }
 
+// A long implication chain drives the search depth to one frame per unit
+// propagation. The explicit-stack implementation must handle depths that
+// would overflow the machine stack under the textbook recursion, with the
+// exact counters the recursion would have produced.
+TEST(Dpll, DeepImplicationChainDoesNotOverflowStack) {
+  constexpr int kChain = 30000;
+  Cnf cnf;
+  std::vector<Var> v;
+  v.reserve(kChain);
+  for (int i = 0; i < kChain; ++i) v.push_back(cnf.new_var());
+  cnf.add({pos(v[0])});
+  for (int i = 0; i + 1 < kChain; ++i) {
+    cnf.add({neg(v[i]), pos(v[i + 1])});
+  }
+  const DpllResult r = Dpll().solve(cnf);
+  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.satisfiable);
+  for (int i = 0; i < kChain; ++i) EXPECT_TRUE(r.model[v[i]]);
+  // Every variable is set by unit propagation (the seed unit, then the
+  // chain), one recursive call per propagation plus the final all-satisfied
+  // call; no branching, no purification.
+  EXPECT_EQ(r.unit_propagations, static_cast<std::uint64_t>(kChain));
+  EXPECT_EQ(r.recursive_calls, static_cast<std::uint64_t>(kChain) + 1);
+  EXPECT_EQ(r.branches, 0u);
+  EXPECT_EQ(r.purifications, 0u);
+}
+
+// The call budget keeps its exact recursion semantics on the explicit
+// stack: a budget of k aborts on call k+1, never later.
+TEST(Dpll, CallBudgetExactOnDeepChain) {
+  constexpr int kChain = 500;
+  Cnf cnf;
+  std::vector<Var> v;
+  for (int i = 0; i < kChain; ++i) v.push_back(cnf.new_var());
+  cnf.add({pos(v[0])});
+  for (int i = 0; i + 1 < kChain; ++i) {
+    cnf.add({neg(v[i]), pos(v[i + 1])});
+  }
+  const DpllResult r = Dpll(/*max_calls=*/100).solve(cnf);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.recursive_calls, 101u);
+}
+
 // The Fig. 1 property: median recursive calls peak near clause/var 4.3 and
 // collapse in the under-/over-constrained regimes.
 TEST(Dpll, HardnessPeaksNearPhaseTransition) {

@@ -1,6 +1,9 @@
 // Miter construction and SAT equivalence checking.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "cnf/miter.h"
 #include "netlist/generator.h"
 #include "netlist/profiles.h"
@@ -123,6 +126,70 @@ TEST(AttackMiter, SharedInputsAcrossCopies) {
   ASSERT_EQ(miter.key1.size(), 1u);
   ASSERT_EQ(miter.key2.size(), 1u);
   EXPECT_NE(miter.key1[0], miter.key2[0]);
+}
+
+TEST(AttackMiter, SharedInputsMatchDuplicatedEncoding) {
+  // The miter encodes its two copies directly over one input vector. The
+  // older construction — fresh inputs for copy 2, tied back with pairwise
+  // equality clauses — must be strictly larger yet find the same DIPs.
+  Netlist locked;
+  const GateId a = locked.add_input("a");
+  const GateId b = locked.add_input("b");
+  const GateId k0 = locked.add_key("k0");
+  const GateId k1 = locked.add_key("k1");
+  const GateId x0 = locked.add_gate(GateType::kXor, {a, k0});
+  const GateId x1 = locked.add_gate(GateType::kXor, {b, k1});
+  locked.mark_output(locked.add_gate(GateType::kNand, {x0, x1}), "y");
+
+  sat::Solver shared;
+  const AttackMiter miter = encode_attack_miter(locked, shared);
+  ASSERT_FALSE(miter.trivially_equal);
+
+  sat::Solver dup;
+  SolverSink sink(dup);
+  const EncodedCircuit copy1 = encode(locked, sink);
+  const EncodedCircuit copy2 = encode(locked, sink);
+  for (std::size_t i = 0; i < copy1.input_vars.size(); ++i) {
+    const sat::Lit p = sat::pos(copy1.input_vars[i]);
+    const sat::Lit q = sat::pos(copy2.input_vars[i]);
+    dup.add_clause({~p, q});
+    dup.add_clause({p, ~q});
+  }
+  const NetLit diff = encode_difference(copy1.outputs, copy2.outputs, sink);
+  ASSERT_FALSE(diff.is_const());
+  dup.add_clause({diff.lit});
+
+  EXPECT_LT(shared.num_vars(), dup.num_vars());
+  EXPECT_LT(shared.num_clauses(), dup.num_clauses());
+
+  // Differential DIP enumeration: both constructions expose the same set of
+  // distinguishing input patterns (one key pair suffices per pattern here).
+  const auto dips = [&](sat::Solver& solver, std::span<const sat::Var> inputs,
+                        const sat::Lit* activate) {
+    std::vector<int> patterns;
+    while (true) {
+      const sat::LBool r = activate != nullptr
+                               ? solver.solve(std::span(activate, 1))
+                               : solver.solve();
+      if (r != sat::LBool::kTrue) break;
+      int pattern = 0;
+      sat::Clause ban;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const bool v = solver.value_of(inputs[i]);
+        pattern |= static_cast<int>(v) << i;
+        ban.push_back(sat::Lit(inputs[i], v));
+      }
+      patterns.push_back(pattern);
+      if (!solver.add_clause(ban)) break;
+    }
+    std::sort(patterns.begin(), patterns.end());
+    return patterns;
+  };
+  const std::vector<int> shared_dips =
+      dips(shared, miter.inputs, &miter.activate);
+  const std::vector<int> dup_dips = dips(dup, copy1.input_vars, nullptr);
+  EXPECT_EQ(shared_dips, dup_dips);
+  EXPECT_FALSE(shared_dips.empty());
 }
 
 

@@ -199,6 +199,15 @@ TEST(Determinism, SerialAndParallelSweepsMatchModuloWallClock) {
           .field("mean_clause_var_ratio", result.mean_clause_var_ratio)
           .field("oracle_queries", result.oracle_queries)
           .field("conflicts", result.solver_stats.conflicts)
+          .field("binary_propagations", result.solver_stats.binary_propagations)
+          .field("learned_clauses", result.solver_stats.learned_clauses)
+          .field("glue_learned", result.solver_stats.glue_learned)
+          .field("max_lbd", result.solver_stats.max_lbd)
+          .field("promoted_clauses", result.solver_stats.promoted_clauses)
+          .field("db_size_after_reduce",
+                 result.solver_stats.db_size_after_reduce)
+          .field("simplify_removed_clauses",
+                 result.solver_stats.simplify_removed_clauses)
           .field("mean_iteration_s", result.mean_iteration_seconds)
           .field("wall_s", result.seconds);
       sink.write(i, std::move(o).str());

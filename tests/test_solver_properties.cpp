@@ -144,6 +144,112 @@ TEST(SolverProperties, IncrementalMatchesOneShot) {
   }
 }
 
+// Differential fuzz pinned to the hardness peak (m/n = 4.26): CDCL and DPLL
+// must agree on every instance, and every SAT model must check out. The
+// density grid above brushes 4.3; this sweep concentrates trials exactly
+// where learnt-clause management is under the most pressure.
+TEST(SolverProperties, DifferentialFuzzAtPhaseTransition) {
+  std::mt19937_64 seeds(0x426);
+  for (const int n : {20, 30, 40}) {
+    for (int trial = 0; trial < 15; ++trial) {
+      KSatConfig config;
+      config.num_vars = n;
+      config.num_clauses = static_cast<int>(n * 4.26);
+      config.seed = seeds();
+      const Cnf cnf = random_ksat(config);
+      std::vector<bool> model;
+      const LBool cdcl = solve_cnf(cnf, &model);
+      const DpllResult dpll = Dpll().solve(cnf);
+      ASSERT_TRUE(dpll.completed);
+      ASSERT_EQ(cdcl == LBool::kTrue, dpll.satisfiable)
+          << "n=" << n << " t=" << trial;
+      if (cdcl == LBool::kTrue) {
+        ASSERT_TRUE(model_satisfies(cnf, model)) << "n=" << n << " t=" << trial;
+      }
+      if (dpll.satisfiable) {
+        ASSERT_TRUE(model_satisfies(cnf, dpll.model))
+            << "n=" << n << " t=" << trial;
+      }
+    }
+  }
+}
+
+// reduce_db accounting: reductions must actually fire on a long search, the
+// halving target is based on reducible clauses only (so removal makes real
+// progress instead of stalling on locked/core clauses), and the LBD
+// statistics stay mutually consistent.
+TEST(SolverProperties, ReduceDbAccountingIsConsistent) {
+  KSatConfig config;
+  config.num_vars = 170;
+  config.num_clauses = static_cast<int>(170 * 4.26);
+  config.seed = 11;
+  const Cnf cnf = random_ksat(config);
+  Solver s;
+  for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+  for (const Clause& c : cnf.clauses) s.add_clause(c);
+  const LBool r = s.solve();
+  ASSERT_NE(r, LBool::kUndef);
+  const SolverStats& stats = s.stats();
+  ASSERT_GT(stats.removed_clauses, 0u) << "reduce_db never fired";
+  // Removal targets only the local tier, so it can never exceed what was
+  // learnt, and a reduce leaves the kept clauses behind.
+  EXPECT_LT(stats.removed_clauses, stats.learned_clauses);
+  EXPECT_GT(stats.db_size_after_reduce, 0u);
+  // LBD histogram consistency: every learnt clause contributes >= 1 to the
+  // sum, glue clauses are a subset, and the max bounds the mean.
+  EXPECT_GE(stats.lbd_sum, stats.learned_clauses);
+  EXPECT_LE(stats.glue_learned, stats.learned_clauses);
+  EXPECT_GE(stats.max_lbd, 1u);
+  EXPECT_GE(stats.max_lbd * stats.learned_clauses, stats.lbd_sum);
+  EXPECT_LE(stats.learned_binary, stats.learned_clauses);
+  // The surviving database is what was learnt minus what the two removal
+  // paths dropped (simplify_removed_clauses also counts problem clauses,
+  // hence the bracket rather than an equality).
+  EXPECT_LE(s.num_learnts(), stats.learned_clauses - stats.removed_clauses);
+  EXPECT_GE(s.num_learnts() + stats.removed_clauses +
+                stats.simplify_removed_clauses,
+            stats.learned_clauses);
+  // And the answer is still the answer: re-solving the same instance in the
+  // same (now clause-laden) solver must agree.
+  EXPECT_EQ(s.solve(), r);
+}
+
+// Incremental use with explicit simplify() between solves — the SAT-attack
+// shape: add constraint clauses, solve, simplify, repeat. Every round must
+// match a fresh solver over the accumulated formula.
+TEST(SolverProperties, SimplifyPreservesAnswersAcrossIncrementalSolves) {
+  std::mt19937_64 seeds(515);
+  for (int trial = 0; trial < 8; ++trial) {
+    KSatConfig config;
+    config.num_vars = 24;
+    config.num_clauses = 80;
+    config.seed = seeds();
+    Cnf accumulated = random_ksat(config);
+
+    Solver incremental;
+    for (int v = 0; v < accumulated.num_vars; ++v) incremental.new_var();
+    bool ok = true;
+    for (const Clause& c : accumulated.clauses) {
+      ok &= incremental.add_clause(c);
+    }
+    for (int round = 0; round < 25; ++round) {
+      const LBool inc = ok ? incremental.solve() : LBool::kFalse;
+      const LBool fresh = solve_cnf(accumulated);
+      ASSERT_EQ(inc, fresh) << "trial " << trial << " round " << round;
+      if (inc != LBool::kTrue) break;
+      // Ban the found model (over a prefix of the variables, so the bans
+      // bite quickly) and force a root-level simplification pass.
+      Clause ban;
+      for (Var v = 0; v < 6; ++v) {
+        ban.push_back(Lit(v, incremental.value_of(v)));
+      }
+      accumulated.add(ban);
+      ok &= incremental.add_clause(ban);
+      incremental.simplify();
+    }
+  }
+}
+
 // Learnt-clause reduction must not change answers (stress enough conflicts
 // to trigger reduce_db).
 TEST(SolverProperties, SolvesHardInstanceAcrossRestarts) {
@@ -156,7 +262,9 @@ TEST(SolverProperties, SolvesHardInstanceAcrossRestarts) {
   std::vector<bool> model;
   const LBool r = solve_cnf(cnf, &model, &stats);
   ASSERT_NE(r, LBool::kUndef);
-  if (r == LBool::kTrue) EXPECT_TRUE(model_satisfies(cnf, model));
+  if (r == LBool::kTrue) {
+    EXPECT_TRUE(model_satisfies(cnf, model));
+  }
   EXPECT_GT(stats.conflicts, 0u);
 }
 

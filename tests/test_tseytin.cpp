@@ -155,6 +155,41 @@ TEST(Tseytin, SharedKeyVarsReused) {
   EXPECT_EQ(first.key_vars, second.key_vars);
 }
 
+TEST(Tseytin, SharedInputVarsReused) {
+  const Netlist c17 = netlist::make_c17();
+  sat::Solver solver;
+  SolverSink sink(solver);
+  const EncodedCircuit first = encode(c17, sink);
+  EncodeOptions options;
+  options.shared_input_vars = first.input_vars;
+  const EncodedCircuit second = encode(c17, sink, options);
+  EXPECT_EQ(first.input_vars, second.input_vars);
+  // The second copy allocates no input variables of its own — that is the
+  // point of sharing over "fresh vars + 2n equality clauses".
+  EXPECT_EQ(second.vars_added + c17.num_inputs(), first.vars_added);
+  EXPECT_EQ(second.clauses_added, first.clauses_added);
+}
+
+TEST(Tseytin, SharedInputVarsValidated) {
+  const Netlist c17 = netlist::make_c17();
+  sat::Solver solver;
+  SolverSink sink(solver);
+  const EncodedCircuit first = encode(c17, sink);
+  {
+    EncodeOptions options;  // wrong width
+    const std::vector<sat::Var> short_vec(first.input_vars.begin(),
+                                          first.input_vars.begin() + 2);
+    options.shared_input_vars = short_vec;
+    EXPECT_THROW(encode(c17, sink, options), std::invalid_argument);
+  }
+  {
+    EncodeOptions options;  // cannot both share and fix the inputs
+    options.shared_input_vars = first.input_vars;
+    options.fixed_inputs = {true, false, true, false, true};
+    EXPECT_THROW(encode(c17, sink, options), std::invalid_argument);
+  }
+}
+
 TEST(Tseytin, CyclicNetlistEncodesWithoutFolding) {
   Netlist n;
   const GateId a = n.add_input("a");
