@@ -47,6 +47,7 @@ inline std::uint64_t base_seed(std::uint64_t fallback) {
 inline void append_attack_fields(runtime::JsonObject& o,
                                  const attacks::AttackResult& r) {
   o.field("status", attacks::to_string(r.status))
+      .field("stop_reason", sat::to_string(r.stop_reason))
       .field("iterations", r.iterations)
       .field("mean_clause_var_ratio", r.mean_clause_var_ratio)
       .field("oracle_queries", r.oracle_queries)

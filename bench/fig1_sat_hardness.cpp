@@ -8,12 +8,12 @@
 // The grid is one cell per (ratio, seed-index) instance, fanned out over
 // the shared worker pool (--jobs N / FL_JOBS); the table aggregates the
 // per-instance results per ratio. --jsonl PATH / FL_JSONL logs each
-// instance individually.
+// instance individually and durably; an interrupted sweep continues with
+// --resume (see EXPERIMENTS.md).
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <exception>
-#include <fstream>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +21,7 @@
 #include "runtime/jsonl.h"
 #include "runtime/runner.h"
 #include "runtime/seed.h"
+#include "runtime/sweep.h"
 #include "sat/dpll.h"
 #include "sat/ksat.h"
 
@@ -99,32 +100,43 @@ int main(int argc, char** argv) {
     }
     std::vector<CellResult> results(grid.size());
 
-    std::optional<std::ofstream> jsonl_file;
-    std::optional<fl::runtime::JsonlSink> sink;
-    if (!run_args.jsonl_path.empty()) {
-      jsonl_file.emplace(fl::runtime::open_jsonl(run_args.jsonl_path));
-      sink.emplace(*jsonl_file);
-    }
+    fl::runtime::SweepSession session("fig1", grid.size(), base, run_args);
+    const auto record_base = [&](std::size_t i) {
+      fl::runtime::JsonObject o;
+      o.field("cell", i)
+          .field("bench", "fig1")
+          .field("ratio", grid[i].ratio10 / 10.0)
+          .field("seed_index", grid[i].seed_index)
+          .field("seed", grid[i].seed)
+          .field("num_vars", num_vars());
+      return o;
+    };
 
-    std::printf("fig1: %zu instances on %d worker(s)\n", grid.size(),
-                run_args.jobs);
-    fl::runtime::run_grid(grid.size(), run_args.jobs, [&](std::size_t i) {
-      results[i] = run_cell(grid[i]);
-      if (sink) {
-        fl::runtime::JsonObject o;
-        o.field("bench", "fig1")
-            .field("ratio", grid[i].ratio10 / 10.0)
-            .field("seed_index", grid[i].seed_index)
-            .field("seed", grid[i].seed)
-            .field("num_vars", num_vars())
-            .field("recursive_calls", results[i].recursive_calls)
-            .field("satisfiable", results[i].satisfiable);
-        sink->write(i, o.str());
-      }
-    });
+    std::printf("fig1: %zu instances on %d worker(s), %zu already done\n",
+                grid.size(), run_args.jobs, session.num_resumed());
+    const fl::runtime::GridReport report = fl::runtime::run_grid(
+        grid.size(), session.grid_config(),
+        [&](const fl::runtime::CellContext& ctx) {
+          const std::size_t i = ctx.index;
+          results[i] = run_cell(grid[i]);
+          // DPLL has no interrupt hook; treat a cell that finished after
+          // the signal arrived as interrupted so no record is written and
+          // --resume re-runs it.
+          if (ctx.interrupt != nullptr &&
+              ctx.interrupt->load(std::memory_order_relaxed)) {
+            session.note_interrupted(i);
+            return;
+          }
+          if (session.sink() != nullptr) {
+            fl::runtime::JsonObject o = record_base(i);
+            o.field("recursive_calls", results[i].recursive_calls)
+                .field("satisfiable", results[i].satisfiable);
+            session.sink()->write(i, o.str());
+          }
+        });
 
     print_table(grid, results);
-    return 0;
+    return session.finish(report, record_base);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

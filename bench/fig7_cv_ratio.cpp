@@ -7,11 +7,11 @@
 //
 // The grid is one cell per (scheme, circuit) pair, fanned out over the
 // shared worker pool (--jobs N / FL_JOBS); the table averages each scheme
-// over its circuits. --jsonl PATH / FL_JSONL logs each pair.
+// over its circuits. --jsonl PATH / FL_JSONL logs each pair durably; an
+// interrupted sweep continues with --resume (see EXPERIMENTS.md).
+#include <atomic>
 #include <cstdio>
 #include <exception>
-#include <fstream>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +28,7 @@
 #include "runtime/jsonl.h"
 #include "runtime/runner.h"
 #include "runtime/seed.h"
+#include "runtime/sweep.h"
 
 namespace {
 
@@ -163,32 +164,42 @@ int main(int argc, char** argv) {
     }
     std::vector<double> ratios(grid.size(), 0.0);
 
-    std::optional<std::ofstream> jsonl_file;
-    std::optional<fl::runtime::JsonlSink> sink;
-    if (!run_args.jsonl_path.empty()) {
-      jsonl_file.emplace(fl::runtime::open_jsonl(run_args.jsonl_path));
-      sink.emplace(*jsonl_file);
-    }
+    fl::runtime::SweepSession session("fig7", grid.size(), base, run_args);
+    const auto record_base = [&](std::size_t i) {
+      fl::runtime::JsonObject o;
+      o.field("cell", i)
+          .field("bench", "fig7")
+          .field("scheme", schemes()[grid[i].scheme])
+          .field("circuit", circuit_names[grid[i].circuit])
+          .field("seed", grid[i].seed);
+      return o;
+    };
 
-    std::printf("fig7: %zu cells on %d worker(s)\n", grid.size(),
-                run_args.jobs);
-    fl::runtime::run_grid(grid.size(), run_args.jobs, [&](std::size_t i) {
-      const Cell& cell = grid[i];
-      ratios[i] = run_cell(schemes()[cell.scheme], circuit_names[cell.circuit],
-                           cell.seed);
-      if (sink) {
-        fl::runtime::JsonObject o;
-        o.field("bench", "fig7")
-            .field("scheme", schemes()[cell.scheme])
-            .field("circuit", circuit_names[cell.circuit])
-            .field("seed", cell.seed)
-            .field("clause_var_ratio", ratios[i]);
-        sink->write(i, o.str());
-      }
-    });
+    std::printf("fig7: %zu cells on %d worker(s), %zu already done\n",
+                grid.size(), run_args.jobs, session.num_resumed());
+    const fl::runtime::GridReport report = fl::runtime::run_grid(
+        grid.size(), session.grid_config(),
+        [&](const fl::runtime::CellContext& ctx) {
+          const std::size_t i = ctx.index;
+          const Cell& cell = grid[i];
+          ratios[i] = run_cell(schemes()[cell.scheme],
+                               circuit_names[cell.circuit], cell.seed);
+          // CNF-ratio cells have no interrupt hook; one that finished
+          // after the signal writes no record so --resume re-runs it.
+          if (ctx.interrupt != nullptr &&
+              ctx.interrupt->load(std::memory_order_relaxed)) {
+            session.note_interrupted(i);
+            return;
+          }
+          if (session.sink() != nullptr) {
+            fl::runtime::JsonObject o = record_base(i);
+            o.field("clause_var_ratio", ratios[i]);
+            session.sink()->write(i, o.str());
+          }
+        });
 
     print_table(schemes(), ratios);
-    return 0;
+    return session.finish(report, record_base);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -9,11 +9,12 @@
 //
 // The (topology x N) grid fans out over the shared worker pool
 // (--jobs N / FL_JOBS; --jobs 1 = the serial reference loop) and every cell
-// can be logged to a JSONL sink (--jsonl PATH / FL_JSONL).
+// can be logged to a durable JSONL sink (--jsonl PATH / FL_JSONL). An
+// interrupted or killed sweep continues where it left off with --resume;
+// see EXPERIMENTS.md for the crash-safe sweep flags (--retries,
+// --cell-timeout, --mem-mb).
 #include <cstdio>
 #include <exception>
-#include <fstream>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "runtime/jsonl.h"
 #include "runtime/runner.h"
 #include "runtime/seed.h"
+#include "runtime/sweep.h"
 
 namespace {
 
@@ -53,7 +55,8 @@ std::vector<int> sweep_sizes() {
   return sizes;
 }
 
-CellResult run_cell(const Cell& cell) {
+CellResult run_cell(const Cell& cell, const fl::runtime::CellContext& ctx,
+                    const fl::runtime::RunnerArgs& run_args) {
   CellResult result;
   const fl::netlist::Netlist original = fl::bench::identity_circuit(cell.n);
   // CLN-only lock: no LUT twisting so the instance is exactly one CLN,
@@ -67,13 +70,16 @@ CellResult run_cell(const Cell& cell) {
   result.key_bits = locked.key_bits();
   const fl::attacks::Oracle oracle(original);
   fl::attacks::AttackOptions options;
-  options.timeout_s = fl::bench::attack_timeout_s();
+  options.timeout_s = ctx.effective_timeout(fl::bench::attack_timeout_s());
+  options.interrupt = ctx.interrupt;
+  options.memory_limit_mb = run_args.memory_limit_mb;
   result.attack = fl::attacks::SatAttack(options).run(locked, oracle);
   return result;
 }
 
 void print_table(const std::vector<Cell>& grid,
-                 const std::vector<CellResult>& results) {
+                 const std::vector<CellResult>& results,
+                 const fl::runtime::GridReport& report) {
   const double timeout = fl::bench::attack_timeout_s();
   TablePrinter table("Table 2 — SAT attack on CLN-locked identity circuit "
                      "(TO = " + std::to_string(timeout) + " s)");
@@ -82,6 +88,11 @@ void print_table(const std::vector<Cell>& grid,
     table.row({"N", "key_bits", "iterations", "time_s"});
     for (std::size_t i = 0; i < grid.size(); ++i) {
       if (grid[i].topology != topo) continue;
+      if (report.cells[i].status != fl::runtime::CellOutcome::Status::kOk) {
+        table.row({std::to_string(grid[i].n), "-", "-",
+                   fl::runtime::to_string(report.cells[i].status)});
+        continue;
+      }
       const CellResult& cell = results[i];
       const bool timed_out =
           cell.attack.status == fl::attacks::AttackStatus::kTimeout;
@@ -118,31 +129,39 @@ int main(int argc, char** argv) {
     }
     std::vector<CellResult> results(grid.size());
 
-    std::optional<std::ofstream> jsonl_file;
-    std::optional<fl::runtime::JsonlSink> sink;
-    if (!run_args.jsonl_path.empty()) {
-      jsonl_file.emplace(fl::runtime::open_jsonl(run_args.jsonl_path));
-      sink.emplace(*jsonl_file);
-    }
+    fl::runtime::SweepSession session("table2", grid.size(), base, run_args);
+    const auto record_base = [&](std::size_t i) {
+      fl::runtime::JsonObject o;
+      o.field("cell", i)
+          .field("bench", "table2")
+          .field("topology", topology_name(grid[i].topology))
+          .field("n", grid[i].n)
+          .field("seed", grid[i].seed);
+      return o;
+    };
 
-    std::printf("table2: %zu cells on %d worker(s)\n", grid.size(),
-                run_args.jobs);
-    fl::runtime::run_grid(grid.size(), run_args.jobs, [&](std::size_t i) {
-      results[i] = run_cell(grid[i]);
-      if (sink) {
-        fl::runtime::JsonObject o;
-        o.field("bench", "table2")
-            .field("topology", topology_name(grid[i].topology))
-            .field("n", grid[i].n)
-            .field("seed", grid[i].seed)
-            .field("key_bits", results[i].key_bits);
-        fl::bench::append_attack_fields(o, results[i].attack);
-        sink->write(i, o.str());
-      }
-    });
+    std::printf("table2: %zu cells on %d worker(s), %zu already done\n",
+                grid.size(), run_args.jobs, session.num_resumed());
+    const fl::runtime::GridReport report = fl::runtime::run_grid(
+        grid.size(), session.grid_config(),
+        [&](const fl::runtime::CellContext& ctx) {
+          const std::size_t i = ctx.index;
+          results[i] = run_cell(grid[i], ctx, run_args);
+          if (results[i].attack.status ==
+              fl::attacks::AttackStatus::kInterrupted) {
+            session.note_interrupted(i);
+            return;
+          }
+          if (session.sink() != nullptr) {
+            fl::runtime::JsonObject o = record_base(i);
+            o.field("key_bits", results[i].key_bits);
+            fl::bench::append_attack_fields(o, results[i].attack);
+            session.sink()->write(i, o.str());
+          }
+        });
 
-    print_table(grid, results);
-    return 0;
+    print_table(grid, results, report);
+    return session.finish(report, record_base);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -8,11 +8,10 @@
 //
 // The (circuit x column) grid fans out over the shared worker pool
 // (--jobs N / FL_JOBS) with per-cell seeds derived from the grid
-// coordinates; --jsonl PATH / FL_JSONL logs every cell.
+// coordinates; --jsonl PATH / FL_JSONL logs every cell durably, and an
+// interrupted or killed sweep continues with --resume (see EXPERIMENTS.md).
 #include <cstdio>
 #include <exception>
-#include <fstream>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +23,7 @@
 #include "runtime/jsonl.h"
 #include "runtime/runner.h"
 #include "runtime/seed.h"
+#include "runtime/sweep.h"
 
 namespace {
 
@@ -73,7 +73,8 @@ struct CellResult {
 };
 
 CellResult run_cell(const std::string& circuit, const Column& column,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, const fl::runtime::CellContext& ctx,
+                    const fl::runtime::RunnerArgs& run_args) {
   CellResult cell;
   const fl::netlist::Netlist original = fl::netlist::make_circuit(circuit, 1);
   // Random insertion (paper §3.3): cycles allowed, hence CycSAT.
@@ -85,7 +86,9 @@ CellResult run_cell(const std::string& circuit, const Column& column,
   cell.cyclic = locked.netlist.is_cyclic();
   const fl::attacks::Oracle oracle(original);
   fl::attacks::AttackOptions options;
-  options.timeout_s = fl::bench::attack_timeout_s();
+  options.timeout_s = ctx.effective_timeout(fl::bench::attack_timeout_s());
+  options.interrupt = ctx.interrupt;
+  options.memory_limit_mb = run_args.memory_limit_mb;
   cell.attack = fl::attacks::CycSat(options).run(locked, oracle);
   return cell;
 }
@@ -136,33 +139,41 @@ int main(int argc, char** argv) {
     }
     std::vector<CellResult> results(grid.size());
 
-    std::optional<std::ofstream> jsonl_file;
-    std::optional<fl::runtime::JsonlSink> sink;
-    if (!run_args.jsonl_path.empty()) {
-      jsonl_file.emplace(fl::runtime::open_jsonl(run_args.jsonl_path));
-      sink.emplace(*jsonl_file);
-    }
+    fl::runtime::SweepSession session("table4", grid.size(), base, run_args);
+    const auto record_base = [&](std::size_t i) {
+      fl::runtime::JsonObject o;
+      o.field("cell", i)
+          .field("bench", "table4")
+          .field("circuit", names[grid[i].circuit])
+          .field("plr", columns()[grid[i].column].label)
+          .field("seed", grid[i].seed);
+      return o;
+    };
 
-    std::printf("table4: %zu cells on %d worker(s)\n", grid.size(),
-                run_args.jobs);
-    fl::runtime::run_grid(grid.size(), run_args.jobs, [&](std::size_t i) {
-      const Cell& cell = grid[i];
-      results[i] = run_cell(names[cell.circuit], columns()[cell.column],
-                            cell.seed);
-      if (sink) {
-        fl::runtime::JsonObject o;
-        o.field("bench", "table4")
-            .field("circuit", names[cell.circuit])
-            .field("plr", columns()[cell.column].label)
-            .field("seed", cell.seed)
-            .field("cyclic", results[i].cyclic);
-        fl::bench::append_attack_fields(o, results[i].attack);
-        sink->write(i, o.str());
-      }
-    });
+    std::printf("table4: %zu cells on %d worker(s), %zu already done\n",
+                grid.size(), run_args.jobs, session.num_resumed());
+    const fl::runtime::GridReport report = fl::runtime::run_grid(
+        grid.size(), session.grid_config(),
+        [&](const fl::runtime::CellContext& ctx) {
+          const std::size_t i = ctx.index;
+          const Cell& cell = grid[i];
+          results[i] = run_cell(names[cell.circuit], columns()[cell.column],
+                                cell.seed, ctx, run_args);
+          if (results[i].attack.status ==
+              fl::attacks::AttackStatus::kInterrupted) {
+            session.note_interrupted(i);
+            return;
+          }
+          if (session.sink() != nullptr) {
+            fl::runtime::JsonObject o = record_base(i);
+            o.field("cyclic", results[i].cyclic);
+            fl::bench::append_attack_fields(o, results[i].attack);
+            session.sink()->write(i, o.str());
+          }
+        });
 
     print_table(names, results);
-    return 0;
+    return session.finish(report, record_base);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -15,14 +15,16 @@
 //            attacks each instance, fanning the grid out over a worker
 //            pool. --jobs N / FL_JOBS sets the pool size (1 = serial
 //            reference loop); --jsonl PATH / FL_JSONL records one JSON
-//            object per cell; FULLLOCK_SEED / FULLLOCK_SWEEP_SEEDS set the
-//            base seed and per-size replica count.
+//            object per cell (durably — flushed + fsynced as written);
+//            --resume continues an interrupted sweep, skipping cells
+//            already in the file; --retries/--cell-timeout/--mem-mb bound
+//            per-cell failures (see EXPERIMENTS.md). FULLLOCK_SEED /
+//            FULLLOCK_SWEEP_SEEDS set the base seed and per-size replica
+//            count.
 //   report:  example_fulllock_cli report <netlist.bench>
 //            Prints structural statistics and the PPA estimate.
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,7 @@
 #include "runtime/jsonl.h"
 #include "runtime/runner.h"
 #include "runtime/seed.h"
+#include "runtime/sweep.h"
 
 using namespace fl;
 
@@ -140,7 +143,8 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: sweep <in.bench> [sizes...] (--jobs N, --jsonl "
-                 "PATH)\n");
+                 "PATH, --resume, --retries N, --cell-timeout S, "
+                 "--mem-mb M)\n");
     return 2;
   }
   const netlist::Netlist original = netlist::read_bench_file(argv[2]);
@@ -177,71 +181,92 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   }
   std::vector<CellResult> results(grid.size());
 
-  std::optional<std::ofstream> jsonl_file;
-  std::optional<runtime::JsonlSink> sink;
-  if (!run_args.jsonl_path.empty()) {
-    jsonl_file.emplace(runtime::open_jsonl(run_args.jsonl_path));
-    sink.emplace(*jsonl_file);
-  }
+  runtime::SweepSession session("cli_sweep", grid.size(), base, run_args);
+  const auto record_base = [&](std::size_t i) {
+    runtime::JsonObject o;
+    o.field("cell", i)
+        .field("bench", "cli_sweep")
+        .field("circuit", original.name())
+        .field("plr_size", grid[i].size)
+        .field("replica", grid[i].replica)
+        .field("seed", grid[i].seed);
+    return o;
+  };
 
-  std::printf("sweep %s: %zu cells on %d worker(s)\n", argv[2], grid.size(),
-              run_args.jobs);
-  runtime::run_grid(grid.size(), run_args.jobs, [&](std::size_t i) {
-    const Cell& cell = grid[i];
-    core::FullLockConfig config =
-        core::FullLockConfig::with_plrs({cell.size});
-    config.seed = cell.seed;
-    const core::LockedCircuit locked = core::full_lock(original, config);
-    const attacks::Oracle oracle(original);
-    attacks::AttackOptions options;
-    options.timeout_s = std::getenv("FULLLOCK_TIMEOUT_S")
-                            ? std::atof(std::getenv("FULLLOCK_TIMEOUT_S"))
-                            : 10.0;
-    const bool cyclic = locked.netlist.is_cyclic();
-    results[i].key_bits = locked.key_bits();
-    results[i].cyclic = cyclic;
-    results[i].attack = cyclic ? attacks::CycSat(options).run(locked, oracle)
-                               : attacks::SatAttack(options).run(locked, oracle);
-    if (sink) {
-      runtime::JsonObject o;
-      o.field("bench", "cli_sweep")
-          .field("circuit", original.name())
-          .field("plr_size", cell.size)
-          .field("replica", cell.replica)
-          .field("seed", cell.seed)
-          .field("key_bits", results[i].key_bits)
-          .field("cyclic", results[i].cyclic)
-          .field("status", attacks::to_string(results[i].attack.status))
-          .field("iterations", results[i].attack.iterations)
-          .field("mean_clause_var_ratio",
-                 results[i].attack.mean_clause_var_ratio)
-          .field("oracle_queries", results[i].attack.oracle_queries)
-          .field("conflicts", results[i].attack.solver_stats.conflicts)
-          .field("binary_propagations",
-                 results[i].attack.solver_stats.binary_propagations)
-          .field("learned_clauses",
-                 results[i].attack.solver_stats.learned_clauses)
-          .field("glue_learned", results[i].attack.solver_stats.glue_learned)
-          .field("promoted_clauses",
-                 results[i].attack.solver_stats.promoted_clauses)
-          .field("db_size_after_reduce",
-                 results[i].attack.solver_stats.db_size_after_reduce)
-          .field("mean_iteration_s", results[i].attack.mean_iteration_seconds)
-          .field("wall_s", results[i].attack.seconds);
-      sink->write(i, o.str());
-    }
-  });
+  std::printf("sweep %s: %zu cells on %d worker(s), %zu already done\n",
+              argv[2], grid.size(), run_args.jobs, session.num_resumed());
+  const runtime::GridReport report = runtime::run_grid(
+      grid.size(), session.grid_config(),
+      [&](const runtime::CellContext& ctx) {
+        const std::size_t i = ctx.index;
+        const Cell& cell = grid[i];
+        core::FullLockConfig config =
+            core::FullLockConfig::with_plrs({cell.size});
+        config.seed = cell.seed;
+        const core::LockedCircuit locked = core::full_lock(original, config);
+        const attacks::Oracle oracle(original);
+        attacks::AttackOptions options;
+        options.timeout_s = ctx.effective_timeout(
+            std::getenv("FULLLOCK_TIMEOUT_S")
+                ? std::atof(std::getenv("FULLLOCK_TIMEOUT_S"))
+                : 10.0);
+        options.interrupt = ctx.interrupt;
+        options.memory_limit_mb = run_args.memory_limit_mb;
+        const bool cyclic = locked.netlist.is_cyclic();
+        results[i].key_bits = locked.key_bits();
+        results[i].cyclic = cyclic;
+        results[i].attack = cyclic
+                                ? attacks::CycSat(options).run(locked, oracle)
+                                : attacks::SatAttack(options).run(locked,
+                                                                 oracle);
+        if (results[i].attack.status == attacks::AttackStatus::kInterrupted) {
+          session.note_interrupted(i);
+          return;
+        }
+        if (session.sink() != nullptr) {
+          runtime::JsonObject o = record_base(i);
+          o.field("key_bits", results[i].key_bits)
+              .field("cyclic", results[i].cyclic)
+              .field("status", attacks::to_string(results[i].attack.status))
+              .field("stop_reason",
+                     sat::to_string(results[i].attack.stop_reason))
+              .field("iterations", results[i].attack.iterations)
+              .field("mean_clause_var_ratio",
+                     results[i].attack.mean_clause_var_ratio)
+              .field("oracle_queries", results[i].attack.oracle_queries)
+              .field("conflicts", results[i].attack.solver_stats.conflicts)
+              .field("binary_propagations",
+                     results[i].attack.solver_stats.binary_propagations)
+              .field("learned_clauses",
+                     results[i].attack.solver_stats.learned_clauses)
+              .field("glue_learned",
+                     results[i].attack.solver_stats.glue_learned)
+              .field("promoted_clauses",
+                     results[i].attack.solver_stats.promoted_clauses)
+              .field("db_size_after_reduce",
+                     results[i].attack.solver_stats.db_size_after_reduce)
+              .field("mean_iteration_s",
+                     results[i].attack.mean_iteration_seconds)
+              .field("wall_s", results[i].attack.seconds);
+          session.sink()->write(i, o.str());
+        }
+      });
 
   std::printf("%-6s %-8s %-10s %-12s %-10s %s\n", "size", "replica",
               "key_bits", "status", "iters", "time_s");
   for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (report.cells[i].status != runtime::CellOutcome::Status::kOk) {
+      std::printf("%-6d %-8d %-10s %-12s\n", grid[i].size, grid[i].replica,
+                  "-", runtime::to_string(report.cells[i].status));
+      continue;
+    }
     std::printf("%-6d %-8d %-10zu %-12s %-10llu %.2f\n", grid[i].size,
                 grid[i].replica, results[i].key_bits,
                 attacks::to_string(results[i].attack.status),
                 static_cast<unsigned long long>(results[i].attack.iterations),
                 results[i].attack.seconds);
   }
-  return 0;
+  return session.finish(report, record_base);
 }
 
 int cmd_report(int argc, char** argv) {
@@ -273,8 +298,9 @@ int cmd_report(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
-    // Strips --jobs/--jsonl (and reads FL_JOBS/FL_JSONL) for subcommands
-    // that fan out; harmless for the single-shot ones.
+    // Strips the shared sweep flags (--jobs/--jsonl/--resume/--retries/
+    // --cell-timeout/--mem-mb and their FL_* envs) for subcommands that fan
+    // out; harmless for the single-shot ones.
     const runtime::RunnerArgs run_args = runtime::parse_runner_args(argc, argv);
     const std::string cmd = argc > 1 ? argv[1] : "";
     if (cmd == "lock") return cmd_lock(argc, argv);

@@ -51,6 +51,15 @@ AppSatResult AppSat::run(const core::LockedCircuit& locked,
 
   const auto finish = [&](AttackStatus status) {
     result.status = status;
+    // Keep the key sized to the key width on every exit path (best-effort
+    // solver assignment when no candidate was extracted) so consumers never
+    // index an empty vector.
+    if (result.key.empty()) {
+      result.key.resize(miter.key1.size());
+      for (std::size_t i = 0; i < miter.key1.size(); ++i) {
+        result.key[i] = solver.value_of(miter.key1[i]);
+      }
+    }
     result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
     return result;
   };

@@ -101,14 +101,28 @@ DoubleDipResult DoubleDip::run(const core::LockedCircuit& locked,
   guard(cd_key_diff, true);
   const sat::Lit activate[] = {sat::pos(act)};
 
+  // Best-effort key for early exits, sized to the key width so consumers
+  // never index an empty vector.
+  const auto best_effort_key = [&] {
+    std::vector<bool> key(a.key_vars.size());
+    for (std::size_t i = 0; i < a.key_vars.size(); ++i) {
+      key[i] = solver.value_of(a.key_vars[i]);
+    }
+    return key;
+  };
+
   while (true) {
     if (options_.max_iterations != 0 &&
         result.iterations >= options_.max_iterations) {
+      result.key = best_effort_key();
       return finish(AttackStatus::kIterationLimit);
     }
     solver.set_deadline(deadline);
     const sat::LBool found = solver.solve(activate);
-    if (found == sat::LBool::kUndef) return finish(AttackStatus::kTimeout);
+    if (found == sat::LBool::kUndef) {
+      result.key = best_effort_key();
+      return finish(AttackStatus::kTimeout);
+    }
     if (found == sat::LBool::kFalse) break;
 
     std::vector<bool> pattern(a.input_vars.size());

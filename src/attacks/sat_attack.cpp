@@ -50,6 +50,8 @@ const char* to_string(AttackStatus status) {
     case AttackStatus::kTimeout: return "timeout";
     case AttackStatus::kIterationLimit: return "iteration-limit";
     case AttackStatus::kKeySpaceEmpty: return "key-space-empty";
+    case AttackStatus::kInterrupted: return "interrupted";
+    case AttackStatus::kOutOfMemory: return "out-of-memory";
   }
   return "?";
 }
@@ -148,7 +150,11 @@ AttackResult SatAttack::run_single(const core::LockedCircuit& locked,
   AttackResult result;
   const std::uint64_t queries_before = oracle.num_queries();
 
-  sat::Solver solver(config);
+  sat::SolverConfig solver_config = config;
+  if (options_.memory_limit_mb > 0) {
+    solver_config.memory_limit_mb = options_.memory_limit_mb;
+  }
+  sat::Solver solver(solver_config);
   solver.set_interrupt(interrupt);
   const cnf::AttackMiter miter =
       cnf::encode_attack_miter(locked.netlist, solver);
@@ -188,8 +194,22 @@ AttackResult SatAttack::run_single(const core::LockedCircuit& locked,
     result.mean_clause_var_ratio =
         ratio_samples > 0 ? ratio_sum / ratio_samples : 0.0;
     result.solver_stats = solver.stats();
+    result.stop_reason = solver.last_stop_reason();
     result.oracle_queries = oracle.num_queries() - queries_before;
+    // Non-success exits keep the best-effort key sized to the key width so
+    // consumers never index an empty vector.
+    if (result.key.empty()) result.key = extract_key(miter.key1);
     return result;
+  };
+
+  // Maps the solver's kUndef back to an attack status: an external
+  // cancellation and a tripped memory budget are not the paper's "TO".
+  const auto undef_status = [&] {
+    switch (solver.last_stop_reason()) {
+      case sat::StopReason::kInterrupt: return AttackStatus::kInterrupted;
+      case sat::StopReason::kOutOfMemory: return AttackStatus::kOutOfMemory;
+      default: return AttackStatus::kTimeout;
+    }
   };
 
   if (miter.trivially_equal) {
@@ -212,7 +232,7 @@ AttackResult SatAttack::run_single(const core::LockedCircuit& locked,
     sample_ratio();
     const sat::LBool dip_found = solver.solve(activate);
     if (dip_found == sat::LBool::kUndef) {
-      return finish(AttackStatus::kTimeout);
+      return finish(undef_status());
     }
     if (dip_found == sat::LBool::kFalse) {
       // No distinguishing input remains: extract a key. On cyclic locks the
@@ -222,7 +242,7 @@ AttackResult SatAttack::run_single(const core::LockedCircuit& locked,
       solver.set_deadline(deadline);
       const sat::LBool key_found = solver.solve();
       if (key_found == sat::LBool::kUndef) {
-        return finish(AttackStatus::kTimeout);
+        return finish(undef_status());
       }
       if (key_found == sat::LBool::kFalse) {
         return finish(AttackStatus::kKeySpaceEmpty);

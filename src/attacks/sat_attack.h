@@ -25,6 +25,11 @@ enum class AttackStatus : std::uint8_t {
   kIterationLimit,  // max_iterations reached
   kKeySpaceEmpty,   // constraints became UNSAT (should not happen with a
                     // well-formed locked circuit)
+  kInterrupted,     // cooperative cancellation (AttackOptions::interrupt);
+                    // the run was cut short externally, not by its budget —
+                    // sweep runtimes must not record it as a finished cell
+  kOutOfMemory,     // the solver's memory budget tripped
+                    // (AttackOptions::memory_limit_mb)
 };
 
 const char* to_string(AttackStatus status);
@@ -34,7 +39,7 @@ struct AttackOptions {
   std::uint64_t max_iterations = 0;  // 0 = unlimited
   bool verbose = false;
   // Cooperative cancellation (e.g. fl::runtime::CancelToken::flag()).
-  // Polled inside every solve; a cancelled attack reports kTimeout. The
+  // Polled inside every solve; a cancelled attack reports kInterrupted. The
   // attack never writes the flag. nullptr disables.
   const std::atomic<bool>* interrupt = nullptr;
   // Portfolio mode: race this many solver configurations (restart cadence /
@@ -43,11 +48,18 @@ struct AttackOptions {
   // rest. 0 or 1 = single default configuration. Which racer wins is
   // timing-dependent, so leave this off when results must be reproducible.
   int portfolio = 0;
+  // Solver memory budget (sat::SolverConfig::memory_limit_mb): a solve
+  // whose accounted memory crosses it returns with kOutOfMemory instead of
+  // growing until the process is OOM-killed. 0 = unlimited.
+  std::size_t memory_limit_mb = 0;
 };
 
 struct AttackResult {
   AttackStatus status = AttackStatus::kTimeout;
-  std::vector<bool> key;  // valid for kSuccess (best-effort otherwise)
+  // Always sized to the key width: the recovered key for kSuccess, the
+  // solver's best-effort assignment otherwise — downstream consumers
+  // (AppSAT warm starts, JSONL writers) may index it unconditionally.
+  std::vector<bool> key;
   std::uint64_t iterations = 0;
   double seconds = 0.0;
   // Mean wall time of one DIP-loop iteration (DIP solve + oracle query +
@@ -58,6 +70,10 @@ struct AttackResult {
   // actually worked on (one sample per DIP-miter solve).
   double mean_clause_var_ratio = 0.0;
   sat::SolverStats solver_stats;
+  // Why the decisive solve stopped short (kNone when the attack ran to a
+  // conclusive status). Distinguishes deadline / interrupt / conflict
+  // budget / out-of-memory behind the kUndef the solver reported.
+  sat::StopReason stop_reason = sat::StopReason::kNone;
   std::uint64_t oracle_queries = 0;
   // Stateful key assignments banned after repeated DIPs (cyclic locks
   // only; BeSAT-style progress guarantee).

@@ -1,0 +1,126 @@
+#include "runtime/fault.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+namespace fl::runtime {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, std::string_view why) {
+  throw std::invalid_argument("malformed fault spec '" + std::string(spec) +
+                              "': " + std::string(why) +
+                              " (expected cell:<idx>:<kind>[:<count>])");
+}
+
+FaultSpec parse_one(std::string_view item) {
+  std::vector<std::string_view> parts;
+  std::size_t at = 0;
+  while (at <= item.size()) {
+    const std::size_t colon = item.find(':', at);
+    if (colon == std::string_view::npos) {
+      parts.push_back(item.substr(at));
+      break;
+    }
+    parts.push_back(item.substr(at, colon - at));
+    at = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 4) bad_spec(item, "wrong arity");
+  if (parts[0] != "cell") bad_spec(item, "unknown selector");
+
+  FaultSpec spec;
+  const auto parse_num = [&](std::string_view text, auto* out,
+                             std::string_view what) {
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), *out);
+    if (ec != std::errc{} || end != text.data() + text.size()) {
+      bad_spec(item, what);
+    }
+  };
+  parse_num(parts[1], &spec.cell, "bad cell index");
+
+  if (parts[2] == "throw") {
+    spec.kind = FaultKind::kThrow;
+  } else if (parts[2] == "stall") {
+    spec.kind = FaultKind::kStall;
+  } else if (parts[2] == "oom") {
+    spec.kind = FaultKind::kOom;
+  } else if (parts[2] == "exit") {
+    spec.kind = FaultKind::kExit;
+  } else {
+    bad_spec(item, "unknown fault kind");
+  }
+
+  if (parts.size() == 4) {
+    parse_num(parts[3], &spec.count, "bad count");
+    if (spec.count < 1) bad_spec(item, "count must be >= 1");
+  }
+  return spec;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kOom: return "oom";
+    case FaultKind::kExit: return "exit";
+  }
+  return "?";
+}
+
+FaultInjector FaultInjector::parse(std::string_view spec) {
+  FaultInjector injector;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    const std::size_t sep = spec.find_first_of(",;", at);
+    const std::string_view item =
+        spec.substr(at, sep == std::string_view::npos ? spec.size() - at
+                                                      : sep - at);
+    if (!item.empty()) injector.add(parse_one(item));
+    if (sep == std::string_view::npos) break;
+    at = sep + 1;
+  }
+  return injector;
+}
+
+const FaultInjector& FaultInjector::global() {
+  static const FaultInjector injector = [] {
+    const char* env = std::getenv("FL_FAULT");
+    return env != nullptr ? parse(env) : FaultInjector{};
+  }();
+  return injector;
+}
+
+void FaultInjector::inject(const CellContext& ctx) const {
+  for (const FaultSpec& spec : specs_) {
+    if (spec.cell != ctx.index || ctx.attempt >= spec.count) continue;
+    switch (spec.kind) {
+      case FaultKind::kThrow:
+        throw FaultInjected("cell " + std::to_string(ctx.index) + " attempt " +
+                            std::to_string(ctx.attempt));
+      case FaultKind::kStall:
+        // A runaway cell: burns its whole wall budget, then dies the way a
+        // real hung solve would — with an exception after the deadline. If
+        // the cell has no budget at all, degrade to an immediate throw
+        // rather than hang the sweep forever.
+        while (!ctx.expired() && ctx.timeout_s > 0.0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        throw FaultInjected("cell " + std::to_string(ctx.index) +
+                            " stalled past its budget");
+      case FaultKind::kOom:
+        throw std::bad_alloc();
+      case FaultKind::kExit:
+        // Simulates SIGKILL / the kernel OOM-killer: no unwinding, no
+        // flush. Only records already fsynced survive — exactly what the
+        // resume workflow has to cope with.
+        std::_Exit(137);
+    }
+  }
+}
+
+}  // namespace fl::runtime

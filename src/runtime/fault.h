@@ -1,0 +1,75 @@
+// Deterministic fault injection for sweep cells.
+//
+// Faults are configured either programmatically (tests build a FaultInjector
+// and hand it to GridConfig::faults) or via the FL_FAULT environment
+// variable, which the global() injector parses once at first use:
+//
+//   FL_FAULT="cell:7:throw"          cell 7 throws on its first attempt
+//   FL_FAULT="cell:3:stall"          cell 3 spins until its budget expires
+//   FL_FAULT="cell:0:oom"            cell 0 throws std::bad_alloc
+//   FL_FAULT="cell:5:exit"           cell 5 kills the whole process
+//                                    (std::_Exit(137), simulating an
+//                                    OOM-kill — the resume smoke test)
+//   FL_FAULT="cell:2:throw:3"        fires while attempt < 3 (so a --retries
+//                                    budget of >= 3 eventually succeeds)
+//   FL_FAULT="cell:1:throw,cell:4:oom"   comma/semicolon-separated list
+//
+// Injection is a pure function of (cell index, attempt number): the same
+// spec always fails the same cells, which is what lets the crash/resume
+// integration test assert byte-identical output.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/runner.h"
+
+namespace fl::runtime {
+
+enum class FaultKind : std::uint8_t {
+  kThrow,  // throw FaultInjected
+  kStall,  // busy-wait (polling CellContext::expired) then throw
+  kOom,    // throw std::bad_alloc
+  kExit,   // std::_Exit(137) — hard process death, nothing is flushed
+};
+const char* to_string(FaultKind kind);
+
+// The exception injected faults raise; distinguishable from real cell
+// failures in tests via the ".fault" marker prefix in what().
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& message)
+      : std::runtime_error("fault-injected: " + message) {}
+};
+
+struct FaultSpec {
+  std::size_t cell = 0;
+  FaultKind kind = FaultKind::kThrow;
+  int count = 1;  // fire while attempt < count
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  // Parses a spec list ("cell:7:throw,cell:3:oom:2"); throws
+  // std::invalid_argument on malformed input. Empty string = no faults.
+  static FaultInjector parse(std::string_view spec);
+  // Process-wide injector configured from FL_FAULT (parsed once, at first
+  // use). Unset/empty FL_FAULT yields an inert injector.
+  static const FaultInjector& global();
+
+  void add(FaultSpec spec) { specs_.push_back(spec); }
+  bool empty() const { return specs_.empty(); }
+
+  // Called at the top of every cell attempt; raises the configured fault
+  // for (ctx.index, ctx.attempt), or returns normally.
+  void inject(const CellContext& ctx) const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace fl::runtime

@@ -1,7 +1,15 @@
 #include "runtime/jsonl.h"
 
+#include <cerrno>
+#include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace fl::runtime {
 
@@ -27,6 +35,16 @@ void append_escaped(std::string& buf, std::string_view s) {
     }
   }
   buf.push_back('"');
+}
+
+// Position of the raw value of `"key":` in `line`, or npos. Only matches a
+// full key token, so "cell" does not match "cells".
+std::size_t value_pos(std::string_view line, std::string_view key) {
+  std::string token = "\"";
+  token += key;
+  token += "\":";
+  const std::size_t at = line.find(token);
+  return at == std::string_view::npos ? at : at + token.size();
 }
 
 }  // namespace
@@ -63,19 +81,41 @@ std::string JsonObject::str() {
   return std::move(buf_);
 }
 
+void JsonlSink::drain_ready_locked() {
+  bool emitted = false;
+  while (true) {
+    if (const auto it = pending_.find(next_); it != pending_.end()) {
+      out_ << it->second << '\n';
+      pending_.erase(it);
+      ++next_;
+      emitted = true;
+    } else if (const auto sk = skipped_.find(next_); sk != skipped_.end()) {
+      skipped_.erase(sk);
+      ++next_;
+    } else {
+      break;
+    }
+  }
+  if (emitted && sync_) sync_();
+}
+
 void JsonlSink::write(std::size_t index, std::string line) {
   std::lock_guard<std::mutex> lock(mu_);
   pending_.emplace(index, std::move(line));
-  while (!pending_.empty() && pending_.begin()->first == next_) {
-    out_ << pending_.begin()->second << '\n';
-    pending_.erase(pending_.begin());
-    ++next_;
-  }
+  drain_ready_locked();
+}
+
+void JsonlSink::skip(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < next_) return;
+  skipped_.insert(index);
+  drain_ready_locked();
 }
 
 void JsonlSink::write_unordered(const std::string& line) {
   std::lock_guard<std::mutex> lock(mu_);
   out_ << line << '\n';
+  if (sync_) sync_();
 }
 
 void JsonlSink::flush() {
@@ -85,11 +125,131 @@ void JsonlSink::flush() {
     next_ = index + 1;
   }
   pending_.clear();
+  skipped_.clear();
   out_.flush();
+  if (sync_) sync_();
 }
 
-std::ofstream open_jsonl(const std::string& path) {
-  std::ofstream out(path);
+JsonlWriter::JsonlWriter(const std::string& path, bool append) {
+  out_.open(path, append ? (std::ios::out | std::ios::app) : std::ios::out);
+  if (!out_) {
+    throw std::runtime_error("cannot open JSONL output file: " + path);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Second descriptor on the same inode, used only for fsync: flushing the
+  // ofstream moves bytes to the kernel, fsync makes them durable.
+  fd_ = ::open(path.c_str(), O_WRONLY);
+#endif
+}
+
+JsonlWriter::~JsonlWriter() {
+  sync();
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+void JsonlWriter::sync() {
+  out_.flush();
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ >= 0) ::fsync(fd_);
+#endif
+}
+
+std::optional<long long> json_int_field(std::string_view line,
+                                        std::string_view key) {
+  const std::size_t at = value_pos(line, key);
+  if (at == std::string_view::npos) return std::nullopt;
+  long long value = 0;
+  const auto [end, ec] =
+      std::from_chars(line.data() + at, line.data() + line.size(), value);
+  if (ec != std::errc{}) return std::nullopt;
+  (void)end;
+  return value;
+}
+
+std::optional<std::string> json_string_field(std::string_view line,
+                                             std::string_view key) {
+  std::size_t at = value_pos(line, key);
+  if (at == std::string_view::npos || at >= line.size() || line[at] != '"') {
+    return std::nullopt;
+  }
+  ++at;
+  std::string out;
+  while (at < line.size() && line[at] != '"') {
+    if (line[at] == '\\' && at + 1 < line.size()) {
+      const char esc = line[at + 1];
+      switch (esc) {
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        default: out.push_back(esc);
+      }
+      at += 2;
+    } else {
+      out.push_back(line[at++]);
+    }
+  }
+  if (at >= line.size()) return std::nullopt;  // unterminated string
+  return out;
+}
+
+std::string run_header_line(std::string_view bench, std::size_t grid_size,
+                            std::uint64_t base_seed) {
+  JsonObject o;
+  o.field("record", "run_header")
+      .field("bench", bench)
+      .field("grid_cells", grid_size)
+      .field("base_seed", base_seed);
+  return std::move(o).str();
+}
+
+ResumeState scan_jsonl_resume(const std::string& path, std::string_view bench,
+                              std::size_t grid_size) {
+  ResumeState state;
+  state.completed.assign(grid_size, false);
+  std::ifstream in(path);
+  if (!in) return state;  // nothing to resume — fresh run
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (const auto record = json_string_field(line, "record");
+        record && *record == "run_header") {
+      const auto header_bench = json_string_field(line, "bench");
+      const auto cells = json_int_field(line, "grid_cells");
+      if (!header_bench || *header_bench != bench || !cells ||
+          static_cast<std::size_t>(*cells) != grid_size) {
+        throw std::runtime_error(
+            path + ":" + std::to_string(line_no) +
+            ": run manifest does not match this sweep (bench '" +
+            header_bench.value_or("?") + "', " +
+            std::to_string(cells.value_or(-1)) + " cells; expected '" +
+            std::string(bench) + "', " + std::to_string(grid_size) +
+            " cells) — refusing to resume");
+      }
+      continue;
+    }
+    const auto cell = json_int_field(line, "cell");
+    if (!cell || *cell < 0 ||
+        static_cast<std::size_t>(*cell) >= grid_size) {
+      continue;  // foreign or pre-resume-era record; leave it alone
+    }
+    const std::size_t i = static_cast<std::size_t>(*cell);
+    if (!state.completed[i]) {
+      state.completed[i] = true;
+      ++state.num_completed;
+      const auto status = json_string_field(line, "status");
+      if (status && *status == "failed") ++state.num_failed;
+    }
+  }
+  return state;
+}
+
+std::ofstream open_jsonl(const std::string& path, bool append) {
+  std::ofstream out(path,
+                    append ? (std::ios::out | std::ios::app) : std::ios::out);
   if (!out) {
     throw std::runtime_error("cannot open JSONL output file: " + path);
   }

@@ -6,16 +6,26 @@
 // runs of the same seed grid — everything else must be a deterministic
 // function of the grid coordinates, which is what the serial-vs-parallel
 // determinism test asserts.
+//
+// Crash safety: JsonlWriter opens the file (optionally in append mode for
+// --resume) and exposes sync() = flush + fsync; JsonlSink calls it after
+// every committed line, so a record that reached the file survives a crash
+// or OOM-kill. scan_jsonl_resume() parses a previous run's file back into
+// a completed-cell mask keyed by each record's `cell` field.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <ostream>
+#include <set>
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <vector>
 
 namespace fl::runtime {
 
@@ -55,27 +65,94 @@ class JsonObject {
 // byte stream as a serial one, give or take the wall-clock field values.
 class JsonlSink {
  public:
-  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  // `sync` (optional) is invoked — with the sink's lock held — every time at
+  // least one buffered line was committed to the stream; a durable sink
+  // passes JsonlWriter::sync so committed records survive a crash.
+  explicit JsonlSink(std::ostream& out, std::function<void()> sync = {})
+      : out_(out), sync_(std::move(sync)) {}
   ~JsonlSink() { flush(); }
   JsonlSink(const JsonlSink&) = delete;
   JsonlSink& operator=(const JsonlSink&) = delete;
 
   // In-order append; `index` is the job's grid index, each used once.
   void write(std::size_t index, std::string line);
+  // Marks `index` as never-coming (cell skipped by --resume): later indices
+  // are not held back waiting for it. Each index is either written or
+  // skipped, never both.
+  void skip(std::size_t index);
   // Immediate append for records outside any grid (e.g. a run header).
   void write_unordered(const std::string& line);
   // Drains records still waiting on a gap (jobs that never reported).
   void flush();
 
  private:
+  void drain_ready_locked();  // emits pending lines / skips at next_
+
   std::ostream& out_;
+  std::function<void()> sync_;
   std::mutex mu_;
   std::size_t next_ = 0;
   std::map<std::size_t, std::string> pending_;
+  std::set<std::size_t> skipped_;
 };
 
-// Opens (truncates) a JSONL output file, throwing std::runtime_error when
-// the path is unwritable — a sweep must not silently drop its results.
-std::ofstream open_jsonl(const std::string& path);
+// Durable file-backed target for a JsonlSink: owns the output stream plus a
+// raw descriptor on the same file so sync() can flush user-space buffers
+// AND fsync the kernel page cache — the property the --resume workflow
+// relies on after a SIGKILL/OOM-kill.
+class JsonlWriter {
+ public:
+  // Truncates by default; append = true continues an existing file
+  // (--resume). Throws std::runtime_error when the path is unwritable —
+  // a sweep must not silently drop its results.
+  explicit JsonlWriter(const std::string& path, bool append = false);
+  ~JsonlWriter();
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  std::ostream& stream() { return out_; }
+  // Flush + fsync. Safe to call from the sink's sync hook.
+  void sync();
+
+ private:
+  std::ofstream out_;
+  int fd_ = -1;
+};
+
+// Minimal field extraction for the repo's own (flat, non-nested) JSONL
+// records; enough for resume scans and tests, not a general JSON parser.
+std::optional<long long> json_int_field(std::string_view line,
+                                        std::string_view key);
+std::optional<std::string> json_string_field(std::string_view line,
+                                             std::string_view key);
+
+// What scan_jsonl_resume() recovered from a previous (possibly interrupted)
+// run of the same sweep.
+struct ResumeState {
+  std::vector<bool> completed;     // by grid index; true = skip on resume
+  std::size_t num_completed = 0;   // popcount of `completed`
+  std::size_t num_failed = 0;      // completed cells whose record is a
+                                   // structured failure record
+};
+
+// Parses `path` and marks every grid index that already has a record (a
+// `"cell":i` field). Failure records count as completed — a cell that
+// exhausted its retries is a terminal outcome, not a hole. Validates the
+// run-manifest header when present: `bench` and `grid_cells` must match, or
+// the scan throws std::runtime_error (resuming a different sweep onto this
+// file would corrupt it). A missing file yields an empty state (fresh run).
+ResumeState scan_jsonl_resume(const std::string& path, std::string_view bench,
+                              std::size_t grid_size);
+
+// The atomic run-manifest header every logging sweep writes (and syncs)
+// before its first cell record; scan_jsonl_resume() checks it on --resume.
+std::string run_header_line(std::string_view bench, std::size_t grid_size,
+                            std::uint64_t base_seed);
+
+// Opens (truncates, or appends when `append`) a JSONL output file, throwing
+// std::runtime_error when the path is unwritable — a sweep must not
+// silently drop its results. Prefer JsonlWriter for crash-safe sweeps; this
+// remains for plain stream consumers.
+std::ofstream open_jsonl(const std::string& path, bool append = false);
 
 }  // namespace fl::runtime

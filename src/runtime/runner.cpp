@@ -1,20 +1,116 @@
 #include "runtime/runner.h"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdlib>
-#include <exception>
+#include <iostream>
 #include <mutex>
+#include <stdexcept>
 #include <string_view>
 #include <thread>
 
+#include "runtime/fault.h"
 #include "runtime/thread_pool.h"
 
 namespace fl::runtime {
 
+namespace {
+
+[[noreturn]] void bad_value(std::string_view what, std::string_view text,
+                            std::string_view expected) {
+  throw std::invalid_argument("invalid value for " + std::string(what) +
+                              ": '" + std::string(text) + "' (expected " +
+                              std::string(expected) + ")");
+}
+
+// Whole-string integer parse; junk ("", "4x", "1e3") and out-of-range values
+// are errors, unlike atoi which silently yields 0.
+long long parse_int(std::string_view what, std::string_view text,
+                    long long min_value) {
+  long long value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size() ||
+      value < min_value) {
+    bad_value(what, text, "integer >= " + std::to_string(min_value));
+  }
+  return value;
+}
+
+double parse_seconds(std::string_view what, std::string_view text) {
+  const std::string buf(text);
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (buf.empty() || end != buf.c_str() + buf.size() || value < 0.0) {
+    bad_value(what, text, "seconds >= 0");
+  }
+  return value;
+}
+
+bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return false;
+  const std::string_view v = env;
+  return !v.empty() && v != "0" && v != "false" && v != "no";
+}
+
+// Runs one cell to a terminal outcome: bounded retries with budget
+// escalation, fault injection at every attempt, cancellation taking
+// precedence over failure (an interrupted solve often surfaces as an
+// exception — it must not be recorded as a failed cell, or --resume would
+// wrongly consider it done).
+CellOutcome run_one_cell(const GridConfig& config, const FaultInjector& faults,
+                         const std::function<void(const CellContext&)>& fn,
+                         std::size_t index) {
+  CellOutcome outcome;
+  const int max_attempts = std::max(0, config.retries) + 1;
+  double budget = config.cell_timeout_s;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (config.cancel != nullptr && config.cancel->cancelled()) {
+      outcome.status = CellOutcome::Status::kCancelled;
+      return outcome;
+    }
+    CellContext ctx;
+    ctx.index = index;
+    ctx.attempt = attempt;
+    ctx.timeout_s = budget;
+    ctx.start = std::chrono::steady_clock::now();
+    ctx.interrupt = config.cancel != nullptr ? config.cancel->flag() : nullptr;
+    ++outcome.attempts;
+    try {
+      faults.inject(ctx);
+      fn(ctx);
+      outcome.status = CellOutcome::Status::kOk;
+      outcome.error.clear();
+      outcome.exception = nullptr;
+      return outcome;
+    } catch (const std::exception& e) {
+      outcome.status = CellOutcome::Status::kFailed;
+      outcome.error = e.what();
+      outcome.exception = std::current_exception();
+    } catch (...) {
+      outcome.status = CellOutcome::Status::kFailed;
+      outcome.error = "unknown exception";
+      outcome.exception = std::current_exception();
+    }
+    if (config.cancel != nullptr && config.cancel->cancelled()) {
+      outcome.status = CellOutcome::Status::kCancelled;
+      return outcome;
+    }
+    if (budget > 0.0 && config.retry_backoff > 0.0) {
+      budget *= config.retry_backoff;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
 int resolve_jobs(int requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("FL_JOBS"); env != nullptr) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
+    const long long n = parse_int("FL_JOBS", env, 1);
+    return static_cast<int>(std::min<long long>(n, 1 << 20));
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
@@ -26,6 +122,17 @@ RunnerArgs parse_runner_args(int& argc, char** argv) {
   if (const char* env = std::getenv("FL_JSONL"); env != nullptr) {
     args.jsonl_path = env;
   }
+  if (const char* env = std::getenv("FL_RETRIES"); env != nullptr) {
+    args.retries = static_cast<int>(parse_int("FL_RETRIES", env, 0));
+  }
+  if (const char* env = std::getenv("FL_CELL_TIMEOUT_S"); env != nullptr) {
+    args.cell_timeout_s = parse_seconds("FL_CELL_TIMEOUT_S", env);
+  }
+  if (const char* env = std::getenv("FL_MEM_MB"); env != nullptr) {
+    args.memory_limit_mb =
+        static_cast<std::size_t>(parse_int("FL_MEM_MB", env, 0));
+  }
+  args.resume = env_flag("FL_RESUME");
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -36,17 +143,30 @@ RunnerArgs parse_runner_args(int& argc, char** argv) {
         *value = arg.substr(flag.size() + 1);
         return true;
       }
-      if (arg.size() == flag.size() && i + 1 < argc) {
+      if (arg.size() == flag.size()) {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("missing value for " +
+                                      std::string(flag));
+        }
         *value = argv[++i];
         return true;
       }
       return false;
     };
     std::string_view value;
-    if (take_value("--jobs", &value)) {
-      requested_jobs = std::atoi(std::string(value).c_str());
+    if (arg == "--resume") {
+      args.resume = true;
+    } else if (take_value("--jobs", &value)) {
+      requested_jobs = static_cast<int>(parse_int("--jobs", value, 0));
     } else if (take_value("--jsonl", &value)) {
       args.jsonl_path = value;
+    } else if (take_value("--retries", &value)) {
+      args.retries = static_cast<int>(parse_int("--retries", value, 0));
+    } else if (take_value("--cell-timeout", &value)) {
+      args.cell_timeout_s = parse_seconds("--cell-timeout", value);
+    } else if (take_value("--mem-mb", &value)) {
+      args.memory_limit_mb =
+          static_cast<std::size_t>(parse_int("--mem-mb", value, 0));
     } else {
       argv[out++] = argv[i];
     }
@@ -54,6 +174,81 @@ RunnerArgs parse_runner_args(int& argc, char** argv) {
   argc = out;
   args.jobs = resolve_jobs(requested_jobs);
   return args;
+}
+
+bool CellContext::expired() const {
+  if (interrupt != nullptr && interrupt->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  if (timeout_s <= 0.0) return false;
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count() >= timeout_s;
+}
+
+double CellContext::effective_timeout(double fallback) const {
+  if (timeout_s <= 0.0) return fallback;
+  if (fallback <= 0.0) return timeout_s;
+  return std::min(timeout_s, fallback);
+}
+
+const char* to_string(CellOutcome::Status status) {
+  switch (status) {
+    case CellOutcome::Status::kOk: return "ok";
+    case CellOutcome::Status::kFailed: return "failed";
+    case CellOutcome::Status::kSkipped: return "skipped";
+    case CellOutcome::Status::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+GridReport run_grid(std::size_t n, const GridConfig& config,
+                    const std::function<void(const CellContext&)>& fn) {
+  GridReport report;
+  report.cells.resize(n);
+  const FaultInjector& faults =
+      config.faults != nullptr ? *config.faults : FaultInjector::global();
+
+  std::mutex mu;  // guards first_error (outcome slots are disjoint)
+  const auto record = [&](std::size_t i, CellOutcome outcome) {
+    if (outcome.status == CellOutcome::Status::kFailed &&
+        outcome.exception != nullptr) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!report.first_error) report.first_error = outcome.exception;
+    }
+    report.cells[i] = std::move(outcome);
+  };
+
+  const auto run_one = [&](std::size_t i) {
+    if (i < config.completed.size() && config.completed[i]) {
+      CellOutcome skipped;
+      skipped.status = CellOutcome::Status::kSkipped;
+      record(i, std::move(skipped));
+      return;
+    }
+    record(i, run_one_cell(config, faults, fn, i));
+  };
+
+  if (config.jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    ThreadPool pool(static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(config.jobs), n)));
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&, i] { run_one(i); });
+    }
+    pool.wait_idle();
+  }
+
+  for (const CellOutcome& cell : report.cells) {
+    switch (cell.status) {
+      case CellOutcome::Status::kOk: ++report.ok; break;
+      case CellOutcome::Status::kFailed: ++report.failed; break;
+      case CellOutcome::Status::kSkipped: ++report.skipped; break;
+      case CellOutcome::Status::kCancelled: ++report.cancelled_cells; break;
+    }
+  }
+  report.cancelled = config.cancel != nullptr && config.cancel->cancelled();
+  return report;
 }
 
 void run_grid(std::size_t n, int jobs,
@@ -64,6 +259,10 @@ void run_grid(std::size_t n, int jobs,
   }
   std::mutex error_mu;
   std::exception_ptr first_error;
+  // (index, what()) of every cell whose exception was suppressed so the
+  // grid could drain; reported before the rethrow so a sweep failure names
+  // all broken cells, not just the first.
+  std::vector<std::pair<std::size_t, std::string>> failures;
   {
     ThreadPool pool(static_cast<int>(
         std::min<std::size_t>(static_cast<std::size_t>(jobs), n > 0 ? n : 1)));
@@ -71,15 +270,26 @@ void run_grid(std::size_t n, int jobs,
       pool.submit([&, i] {
         try {
           fn(i);
+        } catch (const std::exception& e) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          failures.emplace_back(i, e.what());
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (!first_error) first_error = std::current_exception();
+          failures.emplace_back(i, "unknown exception");
         }
       });
     }
     pool.wait_idle();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    std::sort(failures.begin(), failures.end());
+    for (const auto& [index, what] : failures) {
+      std::cerr << "run_grid: cell " << index << " failed: " << what << "\n";
+    }
+    std::rethrow_exception(first_error);
+  }
 }
 
 }  // namespace fl::runtime

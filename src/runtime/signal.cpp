@@ -1,0 +1,49 @@
+#include "runtime/signal.h"
+
+#include <atomic>
+#include <csignal>
+#include <stdexcept>
+
+namespace fl::runtime {
+
+namespace {
+
+// Signal handlers may only touch lock-free atomics; the CancelToken's flag
+// qualifies (std::atomic<bool> is lock-free on every supported target).
+std::atomic<CancelToken*> g_token{nullptr};
+std::atomic<int> g_last_signal{0};
+
+void on_signal(int signo) {
+  g_last_signal.store(signo, std::memory_order_relaxed);
+  if (CancelToken* token = g_token.load(std::memory_order_relaxed)) {
+    token->request();
+  }
+  // One shot: the next signal of this kind gets the default disposition
+  // (process death), so a stuck sweep can still be killed with Ctrl-C.
+  std::signal(signo, SIG_DFL);
+}
+
+}  // namespace
+
+ScopedSignalHandler::ScopedSignalHandler(CancelToken& token) {
+  CancelToken* expected = nullptr;
+  if (!g_token.compare_exchange_strong(expected, &token)) {
+    throw std::logic_error(
+        "ScopedSignalHandler: another instance is already installed");
+  }
+  g_last_signal.store(0, std::memory_order_relaxed);
+  prev_int_ = std::signal(SIGINT, on_signal);
+  prev_term_ = std::signal(SIGTERM, on_signal);
+}
+
+ScopedSignalHandler::~ScopedSignalHandler() {
+  std::signal(SIGINT, prev_int_ == SIG_ERR ? SIG_DFL : prev_int_);
+  std::signal(SIGTERM, prev_term_ == SIG_ERR ? SIG_DFL : prev_term_);
+  g_token.store(nullptr, std::memory_order_relaxed);
+}
+
+int ScopedSignalHandler::last_signal() {
+  return g_last_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace fl::runtime

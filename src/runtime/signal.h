@@ -1,0 +1,37 @@
+// Graceful SIGINT/SIGTERM shutdown for sweep drivers.
+//
+// A ScopedSignalHandler routes the first SIGINT/SIGTERM to a CancelToken:
+// in-flight solves observe the token (AttackOptions::interrupt →
+// Solver::set_interrupt) and return kUndef/kInterrupted, the sweep stops
+// dispatching cells, the JSONL sink drains and fsyncs on destruction, and
+// the process exits with the conventional 128+signo — leaving the result
+// file resumable with --resume. The handler resets to SIG_DFL after the
+// first signal, so a second Ctrl-C kills the process immediately (the
+// escape hatch when a solve ignores the token).
+#pragma once
+
+#include "runtime/cancel.h"
+
+namespace fl::runtime {
+
+class ScopedSignalHandler {
+ public:
+  // Installs handlers for SIGINT and SIGTERM that request() `token`. Only
+  // one instance may be live at a time (signal handlers are process-global);
+  // a second concurrent instance throws std::logic_error.
+  explicit ScopedSignalHandler(CancelToken& token);
+  // Restores the previous handlers.
+  ~ScopedSignalHandler();
+  ScopedSignalHandler(const ScopedSignalHandler&) = delete;
+  ScopedSignalHandler& operator=(const ScopedSignalHandler&) = delete;
+
+  // The signal that fired, or 0. Use 128 + last_signal() as the exit code
+  // of an interrupted sweep.
+  static int last_signal();
+
+ private:
+  void (*prev_int_)(int) = nullptr;
+  void (*prev_term_)(int) = nullptr;
+};
+
+}  // namespace fl::runtime

@@ -1,0 +1,85 @@
+#include "runtime/sweep.h"
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace fl::runtime {
+
+SweepSession::SweepSession(std::string bench, std::size_t grid_size,
+                           std::uint64_t base_seed, RunnerArgs args)
+    : bench_(std::move(bench)), grid_size_(grid_size), args_(std::move(args)) {
+  resume_.completed.assign(grid_size_, false);
+  if (!args_.jsonl_path.empty()) {
+    // Resume only has meaning when there is a file to resume; a missing
+    // file degrades to a fresh run (same flags work for the first launch
+    // and every relaunch).
+    const bool have_file =
+        args_.resume && std::ifstream(args_.jsonl_path).good();
+    if (have_file) {
+      resume_ = scan_jsonl_resume(args_.jsonl_path, bench_, grid_size_);
+    }
+    writer_.emplace(args_.jsonl_path, /*append=*/have_file);
+    sink_.emplace(writer_->stream(), [w = &*writer_] { w->sync(); });
+    if (!have_file) {
+      // Manifest header first, made durable before any cell runs, so a
+      // crash at any later point leaves a resumable file.
+      sink_->write_unordered(run_header_line(bench_, grid_size_, base_seed));
+    }
+    for (std::size_t i = 0; i < resume_.completed.size(); ++i) {
+      if (resume_.completed[i]) sink_->skip(i);
+    }
+  }
+  signals_.emplace(cancel_);
+}
+
+SweepSession::~SweepSession() = default;
+
+GridConfig SweepSession::grid_config() const {
+  GridConfig config;
+  config.jobs = args_.jobs;
+  config.retries = args_.retries;
+  config.cell_timeout_s = args_.cell_timeout_s;
+  config.cancel = &cancel_;
+  config.completed = resume_.completed;
+  return config;
+}
+
+void SweepSession::note_interrupted(std::size_t index) {
+  if (sink_) sink_->skip(index);
+}
+
+int SweepSession::finish(
+    const GridReport& report,
+    const std::function<JsonObject(std::size_t)>& record_base) {
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const CellOutcome& cell = report.cells[i];
+    if (cell.status != CellOutcome::Status::kFailed) continue;
+    if (sink_) {
+      JsonObject o = record_base(i);
+      o.field("status", "failed")
+          .field("reason", cell.error)
+          .field("attempt", cell.attempts);
+      sink_->write(i, o.str());
+    }
+    std::fprintf(stderr, "%s: cell %zu failed after %d attempt(s): %s\n",
+                 bench_.c_str(), i, cell.attempts, cell.error.c_str());
+  }
+  if (sink_) sink_->flush();
+
+  std::fprintf(stderr,
+               "%s: %zu ok, %zu failed, %zu resumed, %zu cancelled of %zu "
+               "cells%s\n",
+               bench_.c_str(), report.ok, report.failed, report.skipped,
+               report.cancelled_cells, report.cells.size(),
+               report.cancelled ? " (interrupted — rerun with --resume)" : "");
+
+  if (report.cancelled) {
+    const int signo = ScopedSignalHandler::last_signal();
+    return 128 + (signo > 0 ? signo : SIGINT);
+  }
+  return report.failed > 0 ? 1 : 0;
+}
+
+}  // namespace fl::runtime

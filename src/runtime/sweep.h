@@ -1,0 +1,99 @@
+// Crash-safe sweep harness shared by the bench drivers and the CLI.
+//
+// SweepSession bundles everything a resumable sweep needs around run_grid:
+//   - a durable JSONL sink (JsonlWriter + fsync after every committed line)
+//     with an atomic run-manifest header on fresh runs,
+//   - --resume: scan the existing file, mark completed cells, skip them,
+//   - SIGINT/SIGTERM → CancelToken so in-flight solves stop and the file
+//     stays resumable,
+//   - structured failure records for cells that exhausted their retries,
+//   - the process exit code (0 / 1 on failures / 128+signo on interrupt).
+//
+// Driver shape:
+//
+//   auto args = parse_runner_args(argc, argv);
+//   SweepSession session("table2", grid.size(), base_seed, args);
+//   const auto base = [&](std::size_t i) {        // deterministic fields
+//     JsonObject o;                               // shared by result and
+//     o.field("cell", i).field("bench", "table2") // failure records
+//         .field("n", grid[i].n).field("seed", grid[i].seed);
+//     return o;
+//   };
+//   GridReport report = run_grid(grid.size(), session.grid_config(),
+//       [&](const CellContext& ctx) {
+//         results[ctx.index] = run_cell(grid[ctx.index], ctx);
+//         if (interrupted) { session.note_interrupted(ctx.index); return; }
+//         if (session.sink()) { auto o = base(ctx.index); ...;
+//                               session.sink()->write(ctx.index, o.str()); }
+//       });
+//   print_table(...);
+//   return session.finish(report, base);
+//
+// Interrupted cells write no record (note_interrupted unblocks the in-order
+// sink), so --resume re-runs them; failed cells get a failure record
+// ("status":"failed") and are NOT re-run — a terminal outcome, not a hole.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "runtime/cancel.h"
+#include "runtime/jsonl.h"
+#include "runtime/runner.h"
+#include "runtime/signal.h"
+
+namespace fl::runtime {
+
+class SweepSession {
+ public:
+  // Opens the JSONL file named by `args` (append mode when resuming onto an
+  // existing file, after validating its manifest against `bench` and
+  // `grid_size`), writes + syncs the run header on fresh runs, and installs
+  // the signal handler. Throws std::runtime_error on an unwritable path or
+  // a manifest mismatch.
+  SweepSession(std::string bench, std::size_t grid_size,
+               std::uint64_t base_seed, RunnerArgs args);
+  ~SweepSession();
+  SweepSession(const SweepSession&) = delete;
+  SweepSession& operator=(const SweepSession&) = delete;
+
+  // nullptr when the sweep runs without --jsonl.
+  JsonlSink* sink() { return sink_ ? &*sink_ : nullptr; }
+  const RunnerArgs& args() const { return args_; }
+  const CancelToken& cancel() const { return cancel_; }
+  bool cancelled() const { return cancel_.cancelled(); }
+  // Cells already completed in the resumed file (0 on fresh runs).
+  std::size_t num_resumed() const { return resume_.num_completed; }
+
+  // Grid execution config wired to this session: jobs/retries/cell budget
+  // from the runner args, the signal-backed cancel token, and the resume
+  // mask. Pass to run_grid(n, config, fn).
+  GridConfig grid_config() const;
+
+  // A cell observed cancellation and wrote no record: unblocks the in-order
+  // sink so records of later cells are not held back.
+  void note_interrupted(std::size_t index);
+
+  // Writes a structured failure record ("status":"failed", "reason",
+  // "attempt") for every kFailed cell — `record_base(i)` supplies the
+  // deterministic coordinate fields, starting with "cell" — prints a
+  // one-line outcome summary, drains + syncs the sink, and returns the
+  // process exit code: 128+signo when interrupted, 1 when any cell failed,
+  // 0 otherwise.
+  int finish(const GridReport& report,
+             const std::function<JsonObject(std::size_t)>& record_base);
+
+ private:
+  std::string bench_;
+  std::size_t grid_size_;
+  RunnerArgs args_;
+  ResumeState resume_;
+  CancelToken cancel_;
+  std::optional<JsonlWriter> writer_;
+  std::optional<JsonlSink> sink_;      // after writer_: flushed before sync fd closes
+  std::optional<ScopedSignalHandler> signals_;  // last: uninstalled first
+};
+
+}  // namespace fl::runtime

@@ -72,7 +72,25 @@ double luby(double y, int x) {
 // only bounds overshoot on conflict-free decision streaks.
 constexpr std::uint64_t kDeadlineCheckStride = 16;
 
+// How many deadline-grade checkpoints may pass between full memory-usage
+// walks (memory_bytes() visits every watch list, so it is priced like a
+// small propagation, not like a clock read). Memory grows by at most a few
+// clauses per conflict, so a 32-checkpoint-stale reading overshoots the
+// budget by kilobytes, not megabytes.
+constexpr std::uint32_t kMemoryCheckStride = 32;
+
 }  // namespace
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kConflictBudget: return "conflict-budget";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kInterrupt: return "interrupt";
+    case StopReason::kOutOfMemory: return "out-of-memory";
+  }
+  return "?";
+}
 
 Solver::Solver(SolverConfig config) : config_(config) {
   arena_.push_back(0);  // sentinel: real refs are nonzero, kNullRef = 0
@@ -757,23 +775,59 @@ void Solver::simplify() {
 
 // ---------------------------------------------------------------- search --
 
+std::size_t Solver::memory_bytes() const {
+  std::size_t bytes = arena_.capacity() * sizeof(std::uint32_t);
+  bytes += (problem_clauses_.capacity() + learnt_clauses_.capacity()) *
+           sizeof(ClauseRef);
+  bytes += watches_.capacity() * sizeof(WatchNode);
+  for (const WatchNode& node : watches_) {
+    bytes += node.bins.capacity() * sizeof(BinWatch) +
+             node.longs.capacity() * sizeof(Watcher);
+  }
+  // Per-variable state and the trail.
+  bytes += assign_.capacity() * sizeof(LBool) + saved_phase_.capacity() +
+           level_.capacity() * sizeof(int) +
+           reason_.capacity() * sizeof(ClauseRef) +
+           activity_.capacity() * sizeof(double) + seen_.capacity() +
+           level_stamp_.capacity() * sizeof(std::uint64_t) +
+           heap_.capacity() * sizeof(Var) + heap_pos_.capacity() * sizeof(int);
+  bytes += trail_.capacity() * sizeof(Lit) + trail_lim_.capacity() * sizeof(int);
+  return bytes;
+}
+
 bool Solver::budget_exhausted(bool force_deadline_check) const {
   if (budget_hit_) return true;
   if (interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed)) {
     budget_hit_ = true;
+    stop_reason_ = StopReason::kInterrupt;
     return true;
   }
   if (conflict_budget_ != 0 &&
       stats_.conflicts - conflicts_at_solve_ >= conflict_budget_) {
     budget_hit_ = true;
+    stop_reason_ = StopReason::kConflictBudget;
     return true;
   }
-  if (deadline_) {
+  if (deadline_ || config_.memory_limit_mb > 0) {
     if (force_deadline_check || deadline_check_countdown_ == 0) {
       deadline_check_countdown_ = kDeadlineCheckStride;
-      if (std::chrono::steady_clock::now() >= *deadline_) {
+      if (deadline_ && std::chrono::steady_clock::now() >= *deadline_) {
         budget_hit_ = true;
+        stop_reason_ = StopReason::kDeadline;
         return true;
+      }
+      if (config_.memory_limit_mb > 0) {
+        if (memory_check_countdown_ == 0) {
+          memory_check_countdown_ = kMemoryCheckStride;
+          last_memory_bytes_ = memory_bytes();
+        } else {
+          --memory_check_countdown_;
+        }
+        if (last_memory_bytes_ > config_.memory_limit_mb * 1024 * 1024) {
+          budget_hit_ = true;
+          stop_reason_ = StopReason::kOutOfMemory;
+          return true;
+        }
       }
     } else {
       --deadline_check_countdown_;
@@ -857,7 +911,9 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
   assumptions_.assign(assumptions.begin(), assumptions.end());
   conflicts_at_solve_ = stats_.conflicts;
   budget_hit_ = false;
+  stop_reason_ = StopReason::kNone;
   deadline_check_countdown_ = 0;
+  memory_check_countdown_ = 0;
   max_learnts_ = std::max<std::size_t>(
       {max_learnts_, 2000, num_problem_clauses_ / 3});
   backtrack_to(0);
@@ -889,6 +945,8 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
   }
   if (result != LBool::kTrue) backtrack_to(0);
   assumptions_.clear();
+  stats_.peak_memory_bytes =
+      std::max<std::uint64_t>(stats_.peak_memory_bytes, memory_bytes());
   return result;
 }
 

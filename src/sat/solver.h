@@ -39,6 +39,19 @@
 
 namespace fl::sat {
 
+// Why the most recent solve() returned kUndef — or kNone when it ran to a
+// decisive kTrue/kFalse. Lets callers (and the sweep JSONL schema) tell a
+// wall-clock timeout apart from cooperative cancellation, a conflict
+// budget, and the solver's own memory budget tripping.
+enum class StopReason : std::uint8_t {
+  kNone = 0,        // solve completed (kTrue / kFalse)
+  kConflictBudget,  // set_conflict_budget() exhausted
+  kDeadline,        // set_deadline() passed
+  kInterrupt,       // set_interrupt() flag observed
+  kOutOfMemory,     // SolverConfig::memory_limit_mb exceeded
+};
+const char* to_string(StopReason reason);
+
 // Search-parameter knobs. The defaults are the classic MiniSat values; the
 // attack portfolio mode races several of these on the same instance (CDCL
 // runtimes are heavy-tailed, so diverse restart/decay schedules beat any
@@ -47,6 +60,12 @@ struct SolverConfig {
   double var_decay = 0.95;     // VSIDS activity decay per conflict
   double clause_decay = 0.999; // learnt-clause activity decay per conflict
   int restart_unit = 128;      // Luby restart unit, in conflicts
+  // Memory budget over the solver's own allocations (clause arena, learnt
+  // DB, watch lists, trail and per-variable state; see memory_bytes()).
+  // When the accounted total crosses the budget, solve() returns kUndef
+  // with StopReason::kOutOfMemory instead of letting the process grow
+  // until the kernel OOM-kills it. 0 = unlimited.
+  std::size_t memory_limit_mb = 0;
 };
 
 struct SolverStats {
@@ -78,6 +97,8 @@ struct SolverStats {
   // problem/learnt clauses dropped, falsified literals stripped.
   std::uint64_t simplify_removed_clauses = 0;
   std::uint64_t simplify_removed_literals = 0;
+  // High-water mark of memory_bytes(), sampled at the end of every solve().
+  std::uint64_t peak_memory_bytes = 0;
 };
 
 class Solver {
@@ -138,9 +159,18 @@ class Solver {
   void set_interrupt(const std::atomic<bool>* flag) { interrupt_ = flag; }
 
   // True iff the most recent solve() returned kUndef because a conflict
-  // budget, deadline or interrupt cut the search short. Cleared at the start
-  // of every solve().
+  // budget, deadline, interrupt or memory budget cut the search short.
+  // Cleared at the start of every solve().
   bool last_solve_interrupted() const { return budget_hit_; }
+
+  // Which budget cut the most recent solve() short (kNone when it ran to a
+  // decisive answer). Cleared at the start of every solve().
+  StopReason last_stop_reason() const { return stop_reason_; }
+
+  // Bytes currently held by the solver's own data structures: the clause
+  // arena, clause databases, watch lists, trail and per-variable state.
+  // What SolverConfig::memory_limit_mb is enforced against.
+  std::size_t memory_bytes() const;
 
   const SolverStats& stats() const { return stats_; }
   std::size_t num_clauses() const { return num_problem_clauses_; }
@@ -258,6 +288,11 @@ class Solver {
   const std::atomic<bool>* interrupt_ = nullptr;
   mutable std::uint64_t deadline_check_countdown_ = 0;
   mutable bool budget_hit_ = false;
+  mutable StopReason stop_reason_ = StopReason::kNone;
+  // Memory accounting walks every watch list, so it runs on a coarser
+  // stride than the deadline check and the value is cached in between.
+  mutable std::uint32_t memory_check_countdown_ = 0;
+  mutable std::size_t last_memory_bytes_ = 0;
 };
 
 // One-shot convenience used by tests and the k-SAT experiments.

@@ -82,6 +82,9 @@ TEST(AppSat, FullLockResistsApproximation) {
   } else {
     EXPECT_EQ(result.status, AttackStatus::kTimeout);
   }
+  // Truncated or not, the key is sized to the key width for consumers that
+  // index it unconditionally.
+  EXPECT_EQ(result.key.size(), locked.netlist.num_keys());
 }
 
 }  // namespace

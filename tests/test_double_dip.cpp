@@ -81,6 +81,9 @@ TEST(DoubleDip, FullLockStillResists) {
   } else {
     EXPECT_EQ(result.status, AttackStatus::kTimeout);
   }
+  // Truncated or not, the key is sized to the key width for consumers that
+  // index it unconditionally.
+  EXPECT_EQ(result.key.size(), locked.netlist.num_keys());
 }
 
 TEST(DoubleDip, KeylessCircuitTrivial) {

@@ -1,12 +1,17 @@
 // Parallel sweep runtime: thread pool, seed derivation, cancellation, JSONL
-// sink ordering, runner arg parsing, and the serial-vs-parallel determinism
+// sink ordering, runner arg parsing and validation, fault injection, cell
+// retries, signal handling, and the serial-vs-parallel determinism
 // guarantee (run under TSan in the sanitizer CI job).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <regex>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "attacks/oracle.h"
@@ -14,9 +19,11 @@
 #include "core/full_lock.h"
 #include "netlist/generator.h"
 #include "runtime/cancel.h"
+#include "runtime/fault.h"
 #include "runtime/jsonl.h"
 #include "runtime/runner.h"
 #include "runtime/seed.h"
+#include "runtime/signal.h"
 #include "runtime/thread_pool.h"
 
 namespace fl::runtime {
@@ -110,6 +117,167 @@ TEST(Runner, ParseRunnerArgsStripsFlagsKeepsPositionals) {
   EXPECT_STREQ(argv[3], "b.bench");
 }
 
+namespace {
+
+// Builds a mutable argv from string literals for parse_runner_args tests.
+RunnerArgs parse(std::vector<const char*> raw, int* argc_out = nullptr) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (const char* a : raw) argv.push_back(const_cast<char*>(a));
+  int argc = static_cast<int>(argv.size());
+  const RunnerArgs args = parse_runner_args(argc, argv.data());
+  if (argc_out != nullptr) *argc_out = argc;
+  return args;
+}
+
+}  // namespace
+
+TEST(Runner, ParseRunnerArgsCrashSafetyFlags) {
+  const RunnerArgs args = parse({"--resume", "--retries", "2",
+                                 "--cell-timeout=1.5", "--mem-mb", "256"});
+  EXPECT_TRUE(args.resume);
+  EXPECT_EQ(args.retries, 2);
+  EXPECT_DOUBLE_EQ(args.cell_timeout_s, 1.5);
+  EXPECT_EQ(args.memory_limit_mb, 256u);
+}
+
+TEST(Runner, ParseRunnerArgsRejectsJunkValues) {
+  // atoi-style silent acceptance ("--jobs abc" == 0 workers) is exactly the
+  // bug this guards against: a sweep must fail loudly, not run misshapen.
+  EXPECT_THROW(parse({"--jobs", "abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--jobs", "-2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--jobs", "4x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--jobs="}), std::invalid_argument);
+  EXPECT_THROW(parse({"--jobs"}), std::invalid_argument);  // missing value
+  EXPECT_THROW(parse({"--retries", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--retries", "two"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--cell-timeout", "-3"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--cell-timeout", "fast"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--mem-mb", "lots"}), std::invalid_argument);
+  // "--jobs 0" is the documented auto value, not junk.
+  EXPECT_GE(parse({"--jobs", "0"}).jobs, 1);
+}
+
+TEST(Runner, ResolveJobsRejectsJunkEnv) {
+  ::setenv("FL_JOBS", "many", 1);
+  EXPECT_THROW(resolve_jobs(0), std::invalid_argument);
+  ::setenv("FL_JOBS", "-4", 1);
+  EXPECT_THROW(resolve_jobs(0), std::invalid_argument);
+  ::setenv("FL_JOBS", "0", 1);
+  EXPECT_THROW(resolve_jobs(0), std::invalid_argument);
+  ::unsetenv("FL_JOBS");
+  EXPECT_GE(resolve_jobs(0), 1);
+}
+
+TEST(Runner, SuppressedParallelFailuresAreReportedToStderr) {
+  const auto body = [&](std::size_t i) {
+    if (i == 2) throw std::runtime_error("boom-two");
+    if (i == 5) throw std::runtime_error("boom-five");
+  };
+  ::testing::internal::CaptureStderr();
+  EXPECT_THROW(run_grid(8, 4, body), std::runtime_error);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  // Every suppressed failure is named, not just the rethrown first one.
+  EXPECT_NE(err.find("cell 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("boom-two"), std::string::npos) << err;
+  EXPECT_NE(err.find("cell 5"), std::string::npos) << err;
+  EXPECT_NE(err.find("boom-five"), std::string::npos) << err;
+}
+
+TEST(Runner, GridConfigIsolatesAndRetriesFailingCells) {
+  FaultInjector faults;
+  faults.add({/*cell=*/2, FaultKind::kThrow, /*count=*/1});  // heals itself
+  faults.add({/*cell=*/4, FaultKind::kOom, /*count=*/99});   // terminal
+  GridConfig config;
+  config.jobs = 1;
+  config.retries = 1;
+  config.faults = &faults;
+  std::vector<int> runs(6, 0);
+  const GridReport report =
+      run_grid(6, config, [&](const CellContext& ctx) { ++runs[ctx.index]; });
+
+  EXPECT_EQ(report.ok, 5u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.cells[2].status, CellOutcome::Status::kOk);
+  EXPECT_EQ(report.cells[2].attempts, 2);  // first attempt absorbed the fault
+  EXPECT_EQ(runs[2], 1);                   // fn itself only ran once
+  EXPECT_EQ(report.cells[4].status, CellOutcome::Status::kFailed);
+  EXPECT_EQ(report.cells[4].attempts, 2);  // retries exhausted
+  EXPECT_EQ(runs[4], 0);
+  EXPECT_NE(report.first_error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(report.first_error), std::bad_alloc);
+}
+
+TEST(Runner, GridConfigSkipsCompletedAndCancelledCells) {
+  GridConfig config;
+  config.jobs = 1;
+  config.completed = {true, false, true, false};
+  CancelToken cancel;
+  config.cancel = &cancel;
+  std::vector<int> runs(4, 0);
+  const GridReport report = run_grid(4, config, [&](const CellContext& ctx) {
+    ++runs[ctx.index];
+    if (ctx.index == 1) cancel.request();  // signal arrives mid-sweep
+  });
+  EXPECT_EQ(report.cells[0].status, CellOutcome::Status::kSkipped);
+  EXPECT_EQ(report.cells[1].status, CellOutcome::Status::kOk);
+  EXPECT_EQ(report.cells[2].status, CellOutcome::Status::kSkipped);
+  EXPECT_EQ(report.cells[3].status, CellOutcome::Status::kCancelled);
+  EXPECT_EQ(runs[3], 0);  // never dispatched after the cancel
+  EXPECT_TRUE(report.cancelled);
+}
+
+TEST(Runner, CellContextEffectiveTimeout) {
+  CellContext ctx;
+  EXPECT_DOUBLE_EQ(ctx.effective_timeout(10.0), 10.0);  // no cell budget
+  ctx.timeout_s = 3.0;
+  EXPECT_DOUBLE_EQ(ctx.effective_timeout(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(ctx.effective_timeout(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ctx.effective_timeout(0.0), 3.0);  // unlimited fallback
+}
+
+TEST(Fault, ParseSpecGrammar) {
+  EXPECT_TRUE(FaultInjector::parse("").empty());
+  EXPECT_FALSE(FaultInjector::parse("cell:7:throw").empty());
+  EXPECT_FALSE(FaultInjector::parse("cell:1:throw,cell:2:oom:3").empty());
+  EXPECT_THROW(FaultInjector::parse("cell:7"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("cell:x:throw"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("cell:7:explode"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("cell:7:throw:0"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("gate:7:throw"), std::invalid_argument);
+}
+
+TEST(Fault, InjectIsPureFunctionOfCellAndAttempt) {
+  const FaultInjector faults = FaultInjector::parse("cell:3:throw:2");
+  CellContext ctx;
+  ctx.index = 2;
+  EXPECT_NO_THROW(faults.inject(ctx));
+  ctx.index = 3;
+  ctx.attempt = 0;
+  EXPECT_THROW(faults.inject(ctx), FaultInjected);
+  ctx.attempt = 1;
+  EXPECT_THROW(faults.inject(ctx), FaultInjected);
+  ctx.attempt = 2;  // past the count threshold: the cell heals
+  EXPECT_NO_THROW(faults.inject(ctx));
+}
+
+TEST(Signal, HandlerRoutesSignalToCancelToken) {
+  CancelToken token;
+  {
+    ScopedSignalHandler handler(token);
+    EXPECT_FALSE(token.cancelled());
+    // Only one live instance allowed: handlers are process-global state.
+    EXPECT_THROW(ScopedSignalHandler second(token), std::logic_error);
+    std::raise(SIGTERM);  // first signal: cancels, does not kill
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(ScopedSignalHandler::last_signal(), SIGTERM);
+  }
+  // Handler uninstalled: a fresh one can be installed again.
+  CancelToken token2;
+  ScopedSignalHandler handler(token2);
+  EXPECT_FALSE(token2.cancelled());
+}
+
 TEST(Jsonl, ObjectKeepsOrderAndEscapes) {
   JsonObject o;
   o.field("name", "a\"b\\c\nd").field("n", 42).field("ok", true)
@@ -138,6 +306,115 @@ TEST(Jsonl, FlushDrainsPastGaps) {
   EXPECT_EQ(out.str(), "{\"i\":1}\n");
 }
 
+TEST(Jsonl, SkipUnblocksLaterWrites) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.write(2, "{\"i\":2}");
+  EXPECT_EQ(out.str(), "");  // held back behind 0 and 1
+  sink.skip(0);              // resumed cells never report
+  sink.skip(1);
+  EXPECT_EQ(out.str(), "{\"i\":2}\n");
+  sink.write(3, "{\"i\":3}");
+  EXPECT_EQ(out.str(), "{\"i\":2}\n{\"i\":3}\n");
+  sink.skip(3);  // skipping an already-written index is a no-op
+  sink.flush();
+  EXPECT_EQ(out.str(), "{\"i\":2}\n{\"i\":3}\n");
+}
+
+TEST(Jsonl, SinkSyncHookFiresOnCommit) {
+  std::ostringstream out;
+  int syncs = 0;
+  JsonlSink sink(out, [&] { ++syncs; });
+  sink.write(1, "{\"i\":1}");
+  EXPECT_EQ(syncs, 0);  // nothing committed yet (gap at 0)
+  sink.write(0, "{\"i\":0}");
+  EXPECT_EQ(syncs, 1);  // one commit flushed both lines
+  sink.write_unordered("{\"h\":true}");
+  EXPECT_EQ(syncs, 2);
+}
+
+TEST(Jsonl, WriteUnorderedKeepsLinesIntactUnderConcurrency) {
+  std::ostringstream out;
+  {
+    JsonlSink sink(out);
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+      writers.emplace_back([&sink, t] {
+        for (int i = 0; i < 50; ++i) {
+          sink.write_unordered("{\"t\":" + std::to_string(t) +
+                               ",\"i\":" + std::to_string(i) + "}");
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+  }
+  // Every line must be a complete record — interleaved writes torn across
+  // lines would corrupt the file for resume scans.
+  std::istringstream in(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ASSERT_TRUE(json_int_field(line, "t").has_value()) << line;
+    ASSERT_TRUE(json_int_field(line, "i").has_value()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 200);
+}
+
+TEST(Jsonl, OpenJsonlThrowsOnUnwritablePath) {
+  EXPECT_THROW(open_jsonl("/nonexistent-dir/x/y/out.jsonl"),
+               std::runtime_error);
+  EXPECT_THROW(JsonlWriter("/nonexistent-dir/x/y/out.jsonl"),
+               std::runtime_error);
+}
+
+TEST(Jsonl, FieldParsersExtractFlatRecords) {
+  const std::string line =
+      "{\"cell\":12,\"bench\":\"table2\",\"status\":\"ok\",\"cells\":99}";
+  EXPECT_EQ(json_int_field(line, "cell"), 12);
+  EXPECT_EQ(json_int_field(line, "cells"), 99);  // full-token match only
+  EXPECT_EQ(json_string_field(line, "bench"), "table2");
+  EXPECT_EQ(json_string_field(line, "status"), "ok");
+  EXPECT_EQ(json_int_field(line, "missing"), std::nullopt);
+  EXPECT_EQ(json_string_field(line, "cell"), std::nullopt);  // not a string
+  EXPECT_EQ(json_string_field("{\"a\":\"unterminated", "a"), std::nullopt);
+  EXPECT_EQ(json_string_field("{\"a\":\"x\\\"y\"}", "a"), "x\"y");
+}
+
+TEST(Jsonl, ScanResumeRecoversCompletedCells) {
+  const std::string path =
+      ::testing::TempDir() + "/fl_resume_scan_test.jsonl";
+  {
+    std::ofstream out(path);
+    out << run_header_line("table2", 5, 7) << "\n";
+    out << "{\"cell\":0,\"bench\":\"table2\",\"status\":\"success\"}\n";
+    out << "{\"cell\":3,\"bench\":\"table2\",\"status\":\"failed\","
+           "\"reason\":\"boom\",\"attempt\":2}\n";
+    out << "{\"record\":\"note\",\"text\":\"no cell field\"}\n";  // foreign
+    out << "{\"cell\":99,\"bench\":\"table2\"}\n";  // out of range: ignored
+  }
+  const ResumeState state = scan_jsonl_resume(path, "table2", 5);
+  EXPECT_EQ(state.num_completed, 2u);
+  EXPECT_EQ(state.num_failed, 1u);
+  const std::vector<bool> expected = {true, false, false, true, false};
+  EXPECT_EQ(state.completed, expected);
+
+  // Mismatched manifest: resuming a different sweep onto this file would
+  // corrupt it, so the scan must refuse.
+  EXPECT_THROW(scan_jsonl_resume(path, "table4", 5), std::runtime_error);
+  EXPECT_THROW(scan_jsonl_resume(path, "table2", 6), std::runtime_error);
+
+  // Missing file: fresh run, nothing completed.
+  const ResumeState fresh =
+      scan_jsonl_resume(path + ".does-not-exist", "table2", 5);
+  EXPECT_EQ(fresh.num_completed, 0u);
+  EXPECT_EQ(fresh.completed.size(), 5u);
+  std::remove(path.c_str());
+}
+
 TEST(Cancel, TokenInterruptsAnAttack) {
   netlist::GeneratorConfig gen;
   gen.num_inputs = 12;
@@ -154,8 +431,11 @@ TEST(Cancel, TokenInterruptsAnAttack) {
   options.interrupt = token.flag();
   const attacks::AttackResult result =
       attacks::SatAttack(options).run(locked, oracle);
-  EXPECT_EQ(result.status, attacks::AttackStatus::kTimeout);
+  EXPECT_EQ(result.status, attacks::AttackStatus::kInterrupted);
+  EXPECT_EQ(result.stop_reason, sat::StopReason::kInterrupt);
   EXPECT_EQ(result.iterations, 0u);
+  // Best-effort key is still sized to the key width.
+  EXPECT_EQ(result.key.size(), locked.key_bits());
 }
 
 // The tentpole guarantee: a parallel sweep writes the same JSONL byte

@@ -91,6 +91,10 @@ TEST(SatAttack, IterationLimitHonored) {
   const AttackResult result = SatAttack(options).run(locked, oracle);
   EXPECT_EQ(result.status, AttackStatus::kIterationLimit);
   EXPECT_EQ(result.iterations, 5u);
+  // Even a truncated attack reports a best-effort key sized to the key
+  // width: consumers (AppSAT warm starts, JSONL writers) index it
+  // unconditionally.
+  EXPECT_EQ(result.key.size(), locked.key_bits());
 }
 
 TEST(SatAttack, TimeoutReported) {
@@ -102,7 +106,25 @@ TEST(SatAttack, TimeoutReported) {
   options.timeout_s = 0.05;  // far too little for a 16x16 PLR
   const AttackResult result = SatAttack(options).run(locked, oracle);
   EXPECT_EQ(result.status, AttackStatus::kTimeout);
+  EXPECT_EQ(result.stop_reason, sat::StopReason::kDeadline);
   EXPECT_LT(result.seconds, 5.0);  // deadline actually cuts the solve short
+  EXPECT_EQ(result.key.size(), locked.key_bits());  // best-effort key
+}
+
+TEST(SatAttack, MemoryBudgetSurfacesAsOutOfMemory) {
+  // A lock big enough that the solver's tracked memory crosses a 1 MB
+  // budget almost immediately: the attack must stop with kOutOfMemory
+  // instead of growing until the process is killed.
+  const Netlist original = netlist::make_circuit("c880", 97);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({16, 16}));
+  const Oracle oracle(original);
+  AttackOptions options;
+  options.memory_limit_mb = 1;
+  const AttackResult result = SatAttack(options).run(locked, oracle);
+  EXPECT_EQ(result.status, AttackStatus::kOutOfMemory);
+  EXPECT_EQ(result.stop_reason, sat::StopReason::kOutOfMemory);
+  EXPECT_EQ(result.key.size(), locked.key_bits());
 }
 
 TEST(SatAttack, KeylessCircuitTrivial) {

@@ -300,5 +300,81 @@ TEST(SatSolver, StatsArePopulated) {
   EXPECT_GT(stats.propagations, 0u);
 }
 
+TEST(SatSolver, StopReasonTracksWhyTheSolveStopped) {
+  KSatConfig config;
+  config.num_vars = 150;
+  config.num_clauses = 645;
+  config.seed = 99;
+  const Cnf cnf = random_ksat(config);
+  Solver s;
+  for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+  for (const Clause& c : cnf.clauses) s.add_clause(c);
+
+  s.set_conflict_budget(5);
+  ASSERT_EQ(s.solve(), LBool::kUndef);
+  EXPECT_EQ(s.last_stop_reason(), StopReason::kConflictBudget);
+
+  s.set_conflict_budget(0);
+  s.set_deadline(std::chrono::steady_clock::now());  // already expired
+  ASSERT_EQ(s.solve(), LBool::kUndef);
+  EXPECT_EQ(s.last_stop_reason(), StopReason::kDeadline);
+
+  s.set_deadline(std::nullopt);
+  std::atomic<bool> flag{true};
+  s.set_interrupt(&flag);
+  ASSERT_EQ(s.solve(), LBool::kUndef);
+  EXPECT_EQ(s.last_stop_reason(), StopReason::kInterrupt);
+
+  // A decisive solve resets the reason to kNone.
+  s.set_interrupt(nullptr);
+  ASSERT_NE(s.solve(), LBool::kUndef);
+  EXPECT_EQ(s.last_stop_reason(), StopReason::kNone);
+}
+
+TEST(SatSolver, MemoryBudgetStopsRunawaySolve) {
+  // An instance whose clause store alone dwarfs a 1 MB budget: the solve
+  // must stop at the first memory checkpoint instead of grinding on.
+  KSatConfig config;
+  config.num_vars = 20000;
+  config.num_clauses = 86000;
+  config.seed = 12;
+  const Cnf cnf = random_ksat(config);
+  SolverConfig solver_config;
+  solver_config.memory_limit_mb = 1;
+  Solver s(solver_config);
+  for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+  for (const Clause& c : cnf.clauses) s.add_clause(c);
+  EXPECT_GT(s.memory_bytes(), std::size_t{1} << 20);
+  EXPECT_EQ(s.solve(), LBool::kUndef);
+  EXPECT_EQ(s.last_stop_reason(), StopReason::kOutOfMemory);
+  EXPECT_TRUE(s.last_solve_interrupted());
+  EXPECT_GE(s.stats().peak_memory_bytes, s.memory_bytes());
+}
+
+TEST(SatSolver, GenerousMemoryBudgetDoesNotTrip) {
+  KSatConfig config;
+  config.num_vars = 60;
+  config.num_clauses = 258;
+  config.seed = 5;
+  const Cnf cnf = random_ksat(config);
+  SolverConfig solver_config;
+  solver_config.memory_limit_mb = 512;
+  Solver s(solver_config);
+  for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+  for (const Clause& c : cnf.clauses) s.add_clause(c);
+  EXPECT_NE(s.solve(), LBool::kUndef);
+  EXPECT_EQ(s.last_stop_reason(), StopReason::kNone);
+  EXPECT_GT(s.stats().peak_memory_bytes, 0u);
+}
+
+TEST(SatSolver, StopReasonToStringIsStable) {
+  // JSONL consumers key on these strings; changing them breaks resume files.
+  EXPECT_STREQ(to_string(StopReason::kNone), "none");
+  EXPECT_STREQ(to_string(StopReason::kConflictBudget), "conflict-budget");
+  EXPECT_STREQ(to_string(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(StopReason::kInterrupt), "interrupt");
+  EXPECT_STREQ(to_string(StopReason::kOutOfMemory), "out-of-memory");
+}
+
 }  // namespace
 }  // namespace fl::sat
