@@ -12,12 +12,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "attacks/sat_attack.h"
 #include "netlist/netlist.h"
 #include "runtime/jsonl.h"
+#include "runtime/runner.h"
 
 namespace fl::bench {
 
@@ -69,6 +72,28 @@ inline void append_attack_fields(runtime::JsonObject& o,
       .field("mean_iteration_s", r.mean_iteration_seconds)
       .field("wall_s", r.seconds);
 }
+
+// Optional per-DIP-iteration trace for a whole sweep (--trace PATH /
+// FL_TRACE): one JsonlTraceSink shared by every cell, each record stamped
+// with its grid cell index (the sink is thread-safe, so parallel cells may
+// interleave records). Construct once in main, wire() per cell.
+struct SweepTrace {
+  explicit SweepTrace(const runtime::RunnerArgs& run_args) {
+    if (!run_args.trace_path.empty()) {
+      file.emplace(runtime::open_jsonl(run_args.trace_path));
+      sink.emplace(*file);
+    }
+  }
+  void wire(attacks::AttackOptions& options, std::size_t cell) {
+    if (sink.has_value()) {
+      options.trace = &*sink;
+      options.trace_cell = static_cast<long long>(cell);
+    }
+  }
+
+  std::optional<std::ofstream> file;
+  std::optional<attacks::JsonlTraceSink> sink;
+};
 
 // N-wire identity circuit (the Table 2 harness: a CLN locked over plain
 // wires, so the oracle is the identity function).

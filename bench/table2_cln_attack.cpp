@@ -56,7 +56,8 @@ std::vector<int> sweep_sizes() {
 }
 
 CellResult run_cell(const Cell& cell, const fl::runtime::CellContext& ctx,
-                    const fl::runtime::RunnerArgs& run_args) {
+                    const fl::runtime::RunnerArgs& run_args,
+                    fl::bench::SweepTrace& trace) {
   CellResult result;
   const fl::netlist::Netlist original = fl::bench::identity_circuit(cell.n);
   // CLN-only lock: no LUT twisting so the instance is exactly one CLN,
@@ -73,6 +74,7 @@ CellResult run_cell(const Cell& cell, const fl::runtime::CellContext& ctx,
   options.timeout_s = ctx.effective_timeout(fl::bench::attack_timeout_s());
   options.interrupt = ctx.interrupt;
   options.memory_limit_mb = run_args.memory_limit_mb;
+  trace.wire(options, ctx.index);
   result.attack = fl::attacks::SatAttack(options).run(locked, oracle);
   return result;
 }
@@ -128,6 +130,7 @@ int main(int argc, char** argv) {
       }
     }
     std::vector<CellResult> results(grid.size());
+    fl::bench::SweepTrace trace(run_args);
 
     fl::runtime::SweepSession session("table2", grid.size(), base, run_args);
     const auto record_base = [&](std::size_t i) {
@@ -146,7 +149,7 @@ int main(int argc, char** argv) {
         grid.size(), session.grid_config(),
         [&](const fl::runtime::CellContext& ctx) {
           const std::size_t i = ctx.index;
-          results[i] = run_cell(grid[i], ctx, run_args);
+          results[i] = run_cell(grid[i], ctx, run_args, trace);
           if (results[i].attack.status ==
               fl::attacks::AttackStatus::kInterrupted) {
             session.note_interrupted(i);

@@ -74,7 +74,8 @@ struct CellResult {
 
 CellResult run_cell(const std::string& circuit, const Column& column,
                     std::uint64_t seed, const fl::runtime::CellContext& ctx,
-                    const fl::runtime::RunnerArgs& run_args) {
+                    const fl::runtime::RunnerArgs& run_args,
+                    fl::bench::SweepTrace& trace) {
   CellResult cell;
   const fl::netlist::Netlist original = fl::netlist::make_circuit(circuit, 1);
   // Random insertion (paper §3.3): cycles allowed, hence CycSAT.
@@ -89,6 +90,7 @@ CellResult run_cell(const std::string& circuit, const Column& column,
   options.timeout_s = ctx.effective_timeout(fl::bench::attack_timeout_s());
   options.interrupt = ctx.interrupt;
   options.memory_limit_mb = run_args.memory_limit_mb;
+  trace.wire(options, ctx.index);
   cell.attack = fl::attacks::CycSat(options).run(locked, oracle);
   return cell;
 }
@@ -138,6 +140,7 @@ int main(int argc, char** argv) {
       }
     }
     std::vector<CellResult> results(grid.size());
+    fl::bench::SweepTrace trace(run_args);
 
     fl::runtime::SweepSession session("table4", grid.size(), base, run_args);
     const auto record_base = [&](std::size_t i) {
@@ -158,7 +161,7 @@ int main(int argc, char** argv) {
           const std::size_t i = ctx.index;
           const Cell& cell = grid[i];
           results[i] = run_cell(names[cell.circuit], columns()[cell.column],
-                                cell.seed, ctx, run_args);
+                                cell.seed, ctx, run_args, trace);
           if (results[i].attack.status ==
               fl::attacks::AttackStatus::kInterrupted) {
             session.note_interrupted(i);

@@ -5,11 +5,15 @@
 //            Writes the locked netlist, the key to <out.bench>.key, and a
 //            structural Verilog view to <out.bench>.v.
 //   attack:  example_fulllock_cli attack <locked.bench> <oracle.bench>
-//                                        [timeout_s] [--portfolio K]
-//            Runs the (Cyc)SAT attack with the oracle circuit standing in
-//            for the activated chip. --portfolio K races K solver
+//                                        [timeout_s] [--attack NAME]
+//                                        [--portfolio K] [--trace FILE]
+//            Runs an oracle-guided attack with the oracle circuit standing
+//            in for the activated chip. --attack picks the algorithm (auto,
+//            sat, cycsat, appsat, double-dip; auto = cycsat on cyclic
+//            netlists, sat otherwise). --portfolio K races K solver
 //            configurations on the same miter; the first finisher cancels
-//            the rest.
+//            the rest. --trace FILE appends one JSONL record per DIP
+//            iteration (schema in EXPERIMENTS.md).
 //   sweep:   example_fulllock_cli sweep <in.bench> [plr sizes...]
 //            Locks <in.bench> once per (PLR size, seed index) cell and
 //            attacks each instance, fanning the grid out over a worker
@@ -25,10 +29,14 @@
 //            Prints structural statistics and the PPA estimate.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "attacks/appsat.h"
 #include "attacks/cycsat.h"
+#include "attacks/double_dip.h"
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
 #include "core/full_lock.h"
@@ -81,24 +89,62 @@ int cmd_lock(int argc, char** argv) {
   return 0;
 }
 
-int cmd_attack(int argc, char** argv) {
-  // Separate flags from positionals so "--portfolio K" can sit anywhere.
+// Attack names cmd_attack/cmd_sweep accept for --attack.
+constexpr const char* kKnownAttacks = "auto, sat, cycsat, appsat, double-dip";
+
+bool known_attack(const std::string& name) {
+  return name == "auto" || name == "sat" || name == "cycsat" ||
+         name == "appsat" || name == "double-dip";
+}
+
+// One --trace sink shared by every attack a command runs (thread-safe, so
+// parallel sweep cells may interleave records).
+struct TraceFile {
+  explicit TraceFile(const runtime::RunnerArgs& run_args) {
+    if (!run_args.trace_path.empty()) {
+      file.emplace(runtime::open_jsonl(run_args.trace_path));
+      sink.emplace(*file);
+    }
+  }
+  std::optional<std::ofstream> file;
+  std::optional<attacks::JsonlTraceSink> sink;
+};
+
+int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
+  // Separate flags from positionals so "--attack NAME" and "--portfolio K"
+  // can sit anywhere. (--trace was already stripped into run_args.)
   std::vector<std::string> positional;
   int portfolio = 0;
+  std::string attack = "auto";
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--portfolio" && i + 1 < argc) {
       portfolio = std::atoi(argv[++i]);
     } else if (arg.rfind("--portfolio=", 0) == 0) {
       portfolio = std::atoi(arg.c_str() + 12);
+    } else if (arg == "--attack" && i + 1 < argc) {
+      attack = argv[++i];
+    } else if (arg.rfind("--attack=", 0) == 0) {
+      attack = arg.substr(9);
     } else {
       positional.push_back(arg);
     }
   }
+  if (!known_attack(attack)) {
+    std::fprintf(stderr,
+                 "unknown attack '%s'; available attacks: %s\n"
+                 "(add --trace FILE to record one JSONL line per DIP "
+                 "iteration)\n",
+                 attack.c_str(), kKnownAttacks);
+    return 2;
+  }
   if (positional.size() < 2) {
     std::fprintf(stderr,
-                 "usage: attack <locked.bench> <oracle.bench> [timeout_s] "
-                 "[--portfolio K]\n");
+                 "usage: attack <locked.bench> <oracle.bench> [timeout_s]\n"
+                 "  --attack NAME   one of: %s (default: auto)\n"
+                 "  --portfolio K   race K solver configs (sat/cycsat only)\n"
+                 "  --trace FILE    per-DIP-iteration JSONL trace\n",
+                 kKnownAttacks);
     return 2;
   }
   core::LockedCircuit locked;
@@ -110,17 +156,57 @@ int cmd_attack(int argc, char** argv) {
   options.timeout_s =
       positional.size() > 2 ? std::atof(positional[2].c_str()) : 60.0;
   options.portfolio = portfolio;
+  options.memory_limit_mb = run_args.memory_limit_mb;
+  TraceFile trace(run_args);
+  if (trace.sink.has_value()) options.trace = &*trace.sink;
   const bool cyclic = locked.netlist.is_cyclic();
-  const attacks::AttackResult result =
-      cyclic ? attacks::CycSat(options).run(locked, oracle)
-             : attacks::SatAttack(options).run(locked, oracle);
-  std::printf("%s attack on %s (%zu key bits): %s\n",
-              cyclic ? "CycSAT" : "SAT", positional[0].c_str(),
-              locked.netlist.num_keys(), to_string(result.status));
-  std::printf("iterations %llu, %.2f s, %llu oracle queries\n",
+  if (attack == "auto") attack = cyclic ? "cycsat" : "sat";
+  if (attack == "double-dip" && cyclic) {
+    std::fprintf(stderr,
+                 "double-dip requires an acyclic netlist; use cycsat or "
+                 "appsat for cyclic locks\n");
+    return 2;
+  }
+  attacks::AttackResult result;
+  std::string extra;
+  if (attack == "sat") {
+    result = attacks::SatAttack(options).run(locked, oracle);
+  } else if (attack == "cycsat") {
+    result = attacks::CycSat(options).run(locked, oracle);
+  } else if (attack == "appsat") {
+    attacks::AppSatOptions app_options;
+    app_options.base = options;
+    const attacks::AppSatResult app =
+        attacks::AppSat(app_options).run(locked, oracle);
+    result = app;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "appsat: %s key, estimated error %.4f\n",
+                  app.approximate ? "approximate" : "exact",
+                  app.estimated_error);
+    extra = buf;
+  } else {
+    const attacks::DoubleDipResult dd =
+        attacks::DoubleDip(options).run(locked, oracle);
+    result = dd;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "double-dip: %llu 2-DIP iterations, %llu mop-up "
+                  "iterations\n",
+                  static_cast<unsigned long long>(dd.iterations),
+                  static_cast<unsigned long long>(dd.fallback_iterations));
+    extra = buf;
+  }
+  std::printf("%s attack on %s (%zu key bits): %s\n", attack.c_str(),
+              positional[0].c_str(), locked.netlist.num_keys(),
+              to_string(result.status));
+  std::printf("iterations %llu, %.2f s, %llu oracle queries, mean iteration "
+              "%.4f s, mean clause/var ratio %.2f\n",
               static_cast<unsigned long long>(result.iterations),
               result.seconds,
-              static_cast<unsigned long long>(result.oracle_queries));
+              static_cast<unsigned long long>(result.oracle_queries),
+              result.mean_iteration_seconds, result.mean_clause_var_ratio);
+  if (!extra.empty()) std::fputs(extra.c_str(), stdout);
   if (result.portfolio_winner >= 0) {
     const sat::SolverConfig cfg =
         attacks::SatAttack::portfolio_config(result.portfolio_winner);
@@ -142,14 +228,29 @@ int cmd_attack(int argc, char** argv) {
 int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: sweep <in.bench> [sizes...] (--jobs N, --jsonl "
-                 "PATH, --resume, --retries N, --cell-timeout S, "
-                 "--mem-mb M)\n");
+                 "usage: sweep <in.bench> [sizes...] (--attack NAME, "
+                 "--jobs N, --jsonl PATH, --resume, --retries N, "
+                 "--cell-timeout S, --mem-mb M, --trace PATH)\n");
     return 2;
   }
   const netlist::Netlist original = netlist::read_bench_file(argv[2]);
   std::vector<int> sizes;
-  for (int i = 3; i < argc; ++i) sizes.push_back(std::atoi(argv[i]));
+  std::string attack = "auto";
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--attack" && i + 1 < argc) {
+      attack = argv[++i];
+    } else if (arg.rfind("--attack=", 0) == 0) {
+      attack = arg.substr(9);
+    } else {
+      sizes.push_back(std::atoi(arg.c_str()));
+    }
+  }
+  if (!known_attack(attack)) {
+    std::fprintf(stderr, "unknown attack '%s'; available attacks: %s\n",
+                 attack.c_str(), kKnownAttacks);
+    return 2;
+  }
   if (sizes.empty()) sizes = {4, 8, 16};
   const int replicas =
       std::max(1, static_cast<int>(
@@ -168,6 +269,7 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   struct CellResult {
     std::size_t key_bits = 0;
     bool cyclic = false;
+    std::string attack_name;
     attacks::AttackResult attack;
   };
   std::vector<Cell> grid;
@@ -180,6 +282,7 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
     }
   }
   std::vector<CellResult> results(grid.size());
+  TraceFile trace(run_args);
 
   runtime::SweepSession session("cli_sweep", grid.size(), base, run_args);
   const auto record_base = [&](std::size_t i) {
@@ -212,13 +315,30 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
                 : 10.0);
         options.interrupt = ctx.interrupt;
         options.memory_limit_mb = run_args.memory_limit_mb;
+        if (trace.sink.has_value()) {
+          options.trace = &*trace.sink;
+          options.trace_cell = static_cast<long long>(i);
+        }
         const bool cyclic = locked.netlist.is_cyclic();
         results[i].key_bits = locked.key_bits();
         results[i].cyclic = cyclic;
-        results[i].attack = cyclic
-                                ? attacks::CycSat(options).run(locked, oracle)
-                                : attacks::SatAttack(options).run(locked,
-                                                                 oracle);
+        // Resolve the attack per cell: "auto" follows cyclicity, and
+        // double-dip (acyclic-only) degrades to cycsat on cyclic cells.
+        std::string cell_attack =
+            attack == "auto" ? (cyclic ? "cycsat" : "sat") : attack;
+        if (cell_attack == "double-dip" && cyclic) cell_attack = "cycsat";
+        results[i].attack_name = cell_attack;
+        if (cell_attack == "sat") {
+          results[i].attack = attacks::SatAttack(options).run(locked, oracle);
+        } else if (cell_attack == "cycsat") {
+          results[i].attack = attacks::CycSat(options).run(locked, oracle);
+        } else if (cell_attack == "appsat") {
+          attacks::AppSatOptions app_options;
+          app_options.base = options;
+          results[i].attack = attacks::AppSat(app_options).run(locked, oracle);
+        } else {
+          results[i].attack = attacks::DoubleDip(options).run(locked, oracle);
+        }
         if (results[i].attack.status == attacks::AttackStatus::kInterrupted) {
           session.note_interrupted(i);
           return;
@@ -227,6 +347,7 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
           runtime::JsonObject o = record_base(i);
           o.field("key_bits", results[i].key_bits)
               .field("cyclic", results[i].cyclic)
+              .field("attack", results[i].attack_name)
               .field("status", attacks::to_string(results[i].attack.status))
               .field("stop_reason",
                      sat::to_string(results[i].attack.stop_reason))
@@ -298,13 +419,13 @@ int cmd_report(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
-    // Strips the shared sweep flags (--jobs/--jsonl/--resume/--retries/
-    // --cell-timeout/--mem-mb and their FL_* envs) for subcommands that fan
-    // out; harmless for the single-shot ones.
+    // Strips the shared runner flags (--jobs/--jsonl/--resume/--retries/
+    // --cell-timeout/--mem-mb/--trace and their FL_* envs); attack and
+    // sweep consume them, the single-shot subcommands ignore them.
     const runtime::RunnerArgs run_args = runtime::parse_runner_args(argc, argv);
     const std::string cmd = argc > 1 ? argv[1] : "";
     if (cmd == "lock") return cmd_lock(argc, argv);
-    if (cmd == "attack") return cmd_attack(argc, argv);
+    if (cmd == "attack") return cmd_attack(argc, argv, run_args);
     if (cmd == "sweep") return cmd_sweep(argc, argv, run_args);
     if (cmd == "report") return cmd_report(argc, argv);
     std::fprintf(stderr, "usage: %s lock|attack|sweep|report ...\n",

@@ -1,17 +1,14 @@
 #include "attacks/appsat.h"
 
 #include <bit>
-#include <chrono>
 #include <optional>
 #include <random>
 
 #include "attacks/cycsat.h"
-#include "cnf/miter.h"
 #include "netlist/simulator.h"
 
 namespace fl::attacks {
 
-using Clock = std::chrono::steady_clock;
 using netlist::Word;
 
 namespace {
@@ -24,71 +21,86 @@ std::vector<Word> key_to_words(const std::vector<bool>& key) {
   return w;
 }
 
-}  // namespace
-
-AppSatResult AppSat::run(const core::LockedCircuit& locked,
-                         const Oracle& oracle) const {
-  const auto start = Clock::now();
-  const auto deadline =
-      options_.base.timeout_s > 0.0
-          ? std::optional(start + std::chrono::duration_cast<Clock::duration>(
-                                      std::chrono::duration<double>(
-                                          options_.base.timeout_s)))
-          : std::nullopt;
-  std::mt19937_64 rng(0xA99547ull);
-
-  AppSatResult result;
-  sat::Solver solver;
-  const cnf::AttackMiter miter =
-      cnf::encode_attack_miter(locked.netlist, solver);
-  if (locked.netlist.is_cyclic()) {
-    add_nc_conditions(locked.netlist, solver, miter.key1, miter.key2);
+// The AppSAT policy: the plain single-DIP step, interleaved with
+// settlement checks that may end the attack early on an approximate key.
+class AppSatPolicy final : public DipPolicy {
+ public:
+  AppSatPolicy(const core::LockedCircuit& locked, const Oracle& oracle,
+               const AppSatOptions& options)
+      : locked_(locked), oracle_(oracle), options_(options),
+        cyclic_(locked.netlist.is_cyclic()), rng_(0xA99547ull) {
+    if (!cyclic_) locked_sim_.emplace(locked.netlist);
   }
 
-  const bool cyclic = locked.netlist.is_cyclic();
-  std::optional<netlist::Simulator> locked_sim;
-  if (!cyclic) locked_sim.emplace(locked.netlist);
+  bool approximate() const { return approximate_; }
+  double estimated_error() const { return estimated_error_; }
 
-  const auto finish = [&](AttackStatus status) {
-    result.status = status;
-    // Keep the key sized to the key width on every exit path (best-effort
-    // solver assignment when no candidate was extracted) so consumers never
-    // index an empty vector.
-    if (result.key.empty()) {
-      result.key.resize(miter.key1.size());
-      for (std::size_t i = 0; i < miter.key1.size(); ++i) {
-        result.key[i] = solver.value_of(miter.key1[i]);
-      }
+  LoopAction on_dip(MiterContext& ctx, const BudgetGuard&,
+                    const std::vector<bool>& pattern, AttackResult&) override {
+    ctx.constrain_io(pattern, oracle_.query(pattern));
+    return LoopAction::kContinue;
+  }
+
+  LoopAction after_iteration(MiterContext& ctx, const BudgetGuard& budget,
+                             AttackResult& result) override {
+    if (result.iterations %
+            static_cast<std::uint64_t>(options_.settle_every) !=
+        0) {
+      return LoopAction::kContinue;
     }
-    result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
-    return result;
-  };
-
-  const auto extract_key = [&]() {
-    std::vector<bool> key(miter.key1.size());
-    for (std::size_t i = 0; i < miter.key1.size(); ++i) {
-      key[i] = solver.value_of(miter.key1[i]);
+    budget.arm(ctx.solver());
+    const sat::LBool settled = ctx.solver().solve();
+    if (settled == sat::LBool::kUndef) {
+      result.status = budget.undef_status(ctx.solver());
+      return LoopAction::kDone;
     }
-    return key;
-  };
+    if (settled == sat::LBool::kFalse) {
+      result.status = AttackStatus::kKeySpaceEmpty;
+      return LoopAction::kDone;
+    }
+    const std::vector<bool> candidate = ctx.extract_key();
+    const double error = estimate_error(ctx, candidate);
+    if (error <= options_.error_threshold) {
+      result.key = candidate;
+      result.status = AttackStatus::kSuccess;
+      approximate_ = true;
+      estimated_error_ = error;
+      return LoopAction::kDone;
+    }
+    return LoopAction::kContinue;
+  }
 
+  LoopAction on_no_dip(MiterContext& ctx, const BudgetGuard& budget,
+                       AttackResult& result) override {
+    const LoopAction base = DipPolicy::on_no_dip(ctx, budget, result);
+    if (base == LoopAction::kDone &&
+        result.status == AttackStatus::kSuccess) {
+      // Exact endgame: no DIP remains, the key is provably correct — the
+      // estimate only reports its (sampled) residual error.
+      approximate_ = false;
+      estimated_error_ = estimate_error(ctx, result.key);
+    }
+    return base;
+  }
+
+ private:
   // Estimates the error of `key` on random queries; feeds at most one
   // failing pattern per round back into the solver (query reinforcement).
-  const auto estimate_error = [&](const std::vector<bool>& key) {
+  double estimate_error(MiterContext& ctx, const std::vector<bool>& key) {
     const std::vector<Word> kw = key_to_words(key);
     std::uint64_t wrong_bits = 0, total_bits = 0;
     for (int round = 0; round < options_.rounds_per_check; ++round) {
-      std::vector<Word> inputs(locked.netlist.num_inputs());
-      for (Word& w : inputs) w = rng();
-      const std::vector<Word> golden = oracle.query_words(inputs);
+      std::vector<Word> inputs(locked_.netlist.num_inputs());
+      for (Word& w : inputs) w = rng_();
+      const std::vector<Word> golden = oracle_.query_words(inputs);
       std::vector<Word> got;
       Word valid = ~Word{0};
-      if (cyclic) {
-        const auto sim = netlist::simulate_cyclic(locked.netlist, inputs, kw);
+      if (cyclic_) {
+        const auto sim = netlist::simulate_cyclic(locked_.netlist, inputs, kw);
         got = sim.outputs;
         valid = sim.converged;
       } else {
-        got = locked_sim->run(inputs, kw);
+        got = locked_sim_->run(inputs, kw);
       }
       Word any_diff = 0;
       for (std::size_t o = 0; o < golden.size(); ++o) {
@@ -108,74 +120,43 @@ AppSatResult AppSat::run(const core::LockedCircuit& locked,
         for (std::size_t o = 0; o < golden.size(); ++o) {
           response[o] = ((golden[o] >> bit) & 1) != 0;
         }
-        cnf::add_io_constraint(locked.netlist, solver, miter.key1, pattern,
-                               response);
-        cnf::add_io_constraint(locked.netlist, solver, miter.key2, pattern,
-                               response);
+        ctx.constrain_io(pattern, response);
       }
     }
     return total_bits == 0 ? 0.0
                            : static_cast<double>(wrong_bits) / total_bits;
-  };
-
-  if (miter.trivially_equal) {
-    result.key.assign(locked.netlist.num_keys(), false);
-    result.estimated_error = 0.0;
-    return finish(AttackStatus::kSuccess);
   }
 
-  const sat::Lit activate[] = {miter.activate};
-  while (true) {
-    if (options_.base.max_iterations != 0 &&
-        result.iterations >= options_.base.max_iterations) {
-      return finish(AttackStatus::kIterationLimit);
-    }
-    solver.set_deadline(deadline);
-    const sat::LBool dip_found = solver.solve(activate);
-    if (dip_found == sat::LBool::kUndef) return finish(AttackStatus::kTimeout);
-    if (dip_found == sat::LBool::kFalse) {
-      solver.set_deadline(deadline);
-      const sat::LBool key_found = solver.solve();
-      if (key_found == sat::LBool::kUndef) {
-        return finish(AttackStatus::kTimeout);
-      }
-      if (key_found == sat::LBool::kFalse) {
-        return finish(AttackStatus::kKeySpaceEmpty);
-      }
-      result.key = extract_key();
-      result.approximate = false;
-      result.estimated_error = estimate_error(result.key);
-      return finish(AttackStatus::kSuccess);
-    }
+  const core::LockedCircuit& locked_;
+  const Oracle& oracle_;
+  const AppSatOptions& options_;
+  const bool cyclic_;
+  std::optional<netlist::Simulator> locked_sim_;
+  std::mt19937_64 rng_;
+  bool approximate_ = false;
+  double estimated_error_ = 1.0;
+};
 
-    std::vector<bool> pattern(miter.inputs.size());
-    for (std::size_t i = 0; i < miter.inputs.size(); ++i) {
-      pattern[i] = solver.value_of(miter.inputs[i]);
-    }
-    const std::vector<bool> response = oracle.query(pattern);
-    cnf::add_io_constraint(locked.netlist, solver, miter.key1, pattern,
-                           response);
-    cnf::add_io_constraint(locked.netlist, solver, miter.key2, pattern,
-                           response);
-    ++result.iterations;
+}  // namespace
 
-    if (result.iterations % options_.settle_every == 0) {
-      solver.set_deadline(deadline);
-      const sat::LBool settled = solver.solve();
-      if (settled == sat::LBool::kUndef) return finish(AttackStatus::kTimeout);
-      if (settled == sat::LBool::kFalse) {
-        return finish(AttackStatus::kKeySpaceEmpty);
-      }
-      const std::vector<bool> candidate = extract_key();
-      const double error = estimate_error(candidate);
-      if (error <= options_.error_threshold) {
-        result.key = candidate;
-        result.approximate = true;
-        result.estimated_error = error;
-        return finish(AttackStatus::kSuccess);
-      }
-    }
+AppSatResult AppSat::run(const core::LockedCircuit& locked,
+                         const Oracle& oracle) const {
+  const BudgetGuard budget(options_.base);
+  MiterContext ctx(locked, MiterContext::double_key(),
+                   solver_config_for(options_.base));
+  if (locked.netlist.is_cyclic()) {
+    // The paper runs AppSAT on top of CycSAT for cyclic Full-Lock.
+    add_nc_conditions(locked.netlist, ctx.solver(), ctx.key_copy(0),
+                      ctx.key_copy(1), &budget);
   }
+  AppSatPolicy policy(locked, oracle, options_);
+  AppSatResult result;
+  static_cast<AttackResult&>(result) =
+      DipLoop(oracle, options_.base, budget, "appsat").run(ctx, policy);
+  result.approximate = policy.approximate();
+  result.estimated_error = policy.estimated_error();
+  if (ctx.trivially_equal()) result.estimated_error = 0.0;
+  return result;
 }
 
 }  // namespace fl::attacks

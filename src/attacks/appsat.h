@@ -1,14 +1,15 @@
 // AppSAT (Shamsi et al., HOST'17): approximate SAT attack.
 //
-// Runs the standard DIP loop, but every `settle_every` iterations extracts
-// the current key candidate and estimates its error rate against the oracle
-// on random queries. If the error drops below `error_threshold` the attack
-// settles for the approximate key (this is what defeats point-function
-// schemes like SARLock/Anti-SAT, whose wrong keys err on ~one input).
-// Failing random queries are fed back as additional I/O constraints.
+// Runs the standard DIP loop (via the shared engine, attacks/engine.h), but
+// every `settle_every` iterations extracts the current key candidate and
+// estimates its error rate against the oracle on random queries. If the
+// error drops below `error_threshold` the attack settles for the
+// approximate key (this is what defeats point-function schemes like
+// SARLock/Anti-SAT, whose wrong keys err on ~one input). Failing random
+// queries are fed back as additional I/O constraints.
 #pragma once
 
-#include "attacks/sat_attack.h"
+#include "attacks/engine.h"
 
 namespace fl::attacks {
 
@@ -19,13 +20,11 @@ struct AppSatOptions {
   double error_threshold = 0.005;
 };
 
-struct AppSatResult {
-  AttackStatus status = AttackStatus::kTimeout;
-  std::vector<bool> key;
+// Everything AttackResult reports (iterations, budgets, per-iteration
+// means, solver stats) plus the approximation verdict.
+struct AppSatResult : AttackResult {
   bool approximate = false;      // true if settled below the threshold
   double estimated_error = 1.0;  // error rate of `key` vs the oracle
-  std::uint64_t iterations = 0;
-  double seconds = 0.0;
 };
 
 class AppSat {

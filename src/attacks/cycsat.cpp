@@ -45,8 +45,8 @@ constexpr std::size_t kNcStepBudget = 4'000'000;
 class NcBuilder {
  public:
   NcBuilder(const Netlist& netlist, cnf::ClauseSink& sink,
-            std::span<const sat::Var> key_vars)
-      : netlist_(netlist), sink_(sink), key_vars_(key_vars) {
+            std::span<const sat::Var> key_vars, const BudgetGuard* budget)
+      : netlist_(netlist), sink_(sink), key_vars_(key_vars), budget_(budget) {
     fanout_.resize(netlist.num_gates());
     for (GateId g = 0; g < netlist.num_gates(); ++g) {
       const netlist::Gate& gate = netlist.gate(g);
@@ -82,7 +82,8 @@ class NcBuilder {
   NetLit open_rec(GateId x, GateId target, int& lowlink) {
     lowlink = std::numeric_limits<int>::max();
     if (x == target) return NetLit::constant(true);
-    if (terms_emitted_ > kNcTermBudget || ++steps_ > kNcStepBudget) {
+    if (terms_emitted_ > kNcTermBudget || ++steps_ > kNcStepBudget ||
+        budget_exhausted()) {
       lowlink = 0;  // path-dependent: never memoized
       return NetLit::constant(false);
     }
@@ -124,9 +125,27 @@ class NcBuilder {
     return result;
   }
 
+  // Attack-level budget check, on a stride (exhausted() reads the clock)
+  // and sticky once tripped: like the term/step budgets, the cut degrades
+  // every remaining condition uniformly.
+  bool budget_exhausted() {
+    if (budget_cut_) return true;
+    if (budget_ != nullptr && (steps_ & 2047) == 0 &&
+        budget_->exhausted().has_value()) {
+      budget_cut_ = true;
+    }
+    return budget_cut_;
+  }
+
+ public:
+  bool budget_cut() const { return budget_cut_; }
+
+ private:
   const Netlist& netlist_;
   cnf::ClauseSink& sink_;
   std::span<const sat::Var> key_vars_;
+  const BudgetGuard* budget_ = nullptr;
+  bool budget_cut_ = false;
   std::vector<std::vector<std::pair<GateId, std::size_t>>> fanout_;
   std::map<GateId, NetLit> memo_;
   GateId memo_target_ = netlist::kNullGate;
@@ -140,7 +159,8 @@ class NcBuilder {
 
 CycSatStats add_nc_conditions(const Netlist& locked, sat::Solver& solver,
                               std::span<const sat::Var> key1,
-                              std::span<const sat::Var> key2) {
+                              std::span<const sat::Var> key2,
+                              const BudgetGuard* budget) {
   CycSatStats stats;
   const auto start = std::chrono::steady_clock::now();
   const std::vector<netlist::Edge> feedback = netlist::feedback_edges(locked);
@@ -148,7 +168,7 @@ CycSatStats add_nc_conditions(const Netlist& locked, sat::Solver& solver,
   if (!feedback.empty()) {
     cnf::SolverSink sink(solver);
     for (const std::span<const sat::Var> keys : {key1, key2}) {
-      NcBuilder builder(locked, sink, keys);
+      NcBuilder builder(locked, sink, keys, budget);
       for (const netlist::Edge& e : feedback) {
         // Cycle through e is open iff the edge itself is unblocked and an
         // open path leads from the consumer back to the source. Admissible
@@ -157,6 +177,7 @@ CycSatStats add_nc_conditions(const Netlist& locked, sat::Solver& solver,
         const NetLit open_back = builder.open_path(e.gate, e.source);
         cnf::assert_true(sink, cnf::emit_or(sink, {blk, ~open_back}));
       }
+      stats.budget_cut = stats.budget_cut || builder.budget_cut();
     }
   }
   stats.preprocess_seconds =
@@ -167,8 +188,9 @@ CycSatStats add_nc_conditions(const Netlist& locked, sat::Solver& solver,
 
 void CycSat::add_preconditions(const Netlist& locked, sat::Solver& solver,
                                std::span<const sat::Var> key1,
-                               std::span<const sat::Var> key2) const {
-  stats_ = add_nc_conditions(locked, solver, key1, key2);
+                               std::span<const sat::Var> key2,
+                               const BudgetGuard& budget) const {
+  stats_ = add_nc_conditions(locked, solver, key1, key2, &budget);
 }
 
 }  // namespace fl::attacks

@@ -15,15 +15,22 @@ namespace fl::attacks {
 struct CycSatStats {
   int feedback_edges = 0;
   double preprocess_seconds = 0.0;
+  // True when the NC builder degraded to weaker (under-approximated)
+  // conditions because the attack's wall budget or interrupt tripped
+  // mid-preprocessing. Sound: the DIP loop still bans stateful keys.
+  bool budget_cut = false;
 };
 
 // Derives and asserts the NC ("no structural cycle") key conditions for
 // both key-variable sets. No-op for acyclic netlists. Shared by CycSat and
 // AppSat (the paper runs AppSAT on top of CycSAT for cyclic Full-Lock).
+// When `budget` is given, an exhausted budget degrades the conditions
+// instead of letting preprocessing overshoot the attack's deadline.
 CycSatStats add_nc_conditions(const netlist::Netlist& locked,
                               sat::Solver& solver,
                               std::span<const sat::Var> key1,
-                              std::span<const sat::Var> key2);
+                              std::span<const sat::Var> key2,
+                              const BudgetGuard* budget = nullptr);
 
 class CycSat final : public SatAttack {
  public:
@@ -34,7 +41,10 @@ class CycSat final : public SatAttack {
  protected:
   void add_preconditions(const netlist::Netlist& locked, sat::Solver& solver,
                          std::span<const sat::Var> key1,
-                         std::span<const sat::Var> key2) const override;
+                         std::span<const sat::Var> key2,
+                         const BudgetGuard& budget) const override;
+
+  const char* name() const override { return "cycsat"; }
 
  private:
   mutable CycSatStats stats_;

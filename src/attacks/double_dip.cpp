@@ -1,12 +1,12 @@
 #include "attacks/double_dip.h"
 
-#include <chrono>
+#include <algorithm>
+#include <optional>
 
-#include "cnf/miter.h"
+#include "attacks/sat_attack.h"
+#include "cnf/tseytin.h"
 
 namespace fl::attacks {
-
-using Clock = std::chrono::steady_clock;
 
 namespace {
 
@@ -19,54 +19,21 @@ std::vector<cnf::NetLit> key_lits(const cnf::EncodedCircuit& copy) {
   return lits;
 }
 
-}  // namespace
-
-DoubleDipResult DoubleDip::run(const core::LockedCircuit& locked,
-                               const Oracle& oracle) const {
-  const auto start = Clock::now();
-  const auto deadline =
-      options_.timeout_s > 0.0
-          ? std::optional(start + std::chrono::duration_cast<Clock::duration>(
-                                      std::chrono::duration<double>(
-                                          options_.timeout_s)))
-          : std::nullopt;
-
-  DoubleDipResult result;
-  const auto finish = [&](AttackStatus status) {
-    result.status = status;
-    result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
-    return result;
-  };
-
-  if (locked.netlist.num_keys() == 0) {
-    result.key.clear();
-    return finish(AttackStatus::kSuccess);
-  }
-
-  sat::Solver solver;
+// The 2-DIP miter: four circuit copies sharing the primary inputs. A 2-DIP
+// is an input x with two *distinct* keys (k1 != k2) agreeing on one output
+// vector and two distinct keys (k3 != k4) agreeing on a different one;
+// whichever side the oracle contradicts, at least two wrong keys die per
+// query (Shen & Zhou's guarantee).
+MiterContext::Parts encode_two_dip_miter(const netlist::Netlist& net,
+                                         sat::Solver& solver) {
   cnf::SolverSink sink(solver);
-
-  // Four circuit copies sharing the primary inputs. A 2-DIP is an input x
-  // with two *distinct* keys (k1 != k2) agreeing on one output vector and
-  // two distinct keys (k3 != k4) agreeing on a different one; whichever
-  // side the oracle contradicts, at least two wrong keys die per query
-  // (Shen & Zhou's guarantee).
-  cnf::EncodeOptions free_inputs;
-  const cnf::EncodedCircuit a = cnf::encode(locked.netlist, sink, free_inputs);
-  const cnf::EncodedCircuit b = cnf::encode(locked.netlist, sink, free_inputs);
-  const cnf::EncodedCircuit c = cnf::encode(locked.netlist, sink, free_inputs);
-  const cnf::EncodedCircuit d = cnf::encode(locked.netlist, sink, free_inputs);
-  const auto tie_inputs = [&](const cnf::EncodedCircuit& other) {
-    for (std::size_t i = 0; i < a.input_vars.size(); ++i) {
-      const sat::Lit x = sat::pos(a.input_vars[i]);
-      const sat::Lit y = sat::pos(other.input_vars[i]);
-      solver.add_clause({~x, y});
-      solver.add_clause({x, ~y});
-    }
-  };
-  tie_inputs(b);
-  tie_inputs(c);
-  tie_inputs(d);
+  const cnf::EncodeOptions free_inputs;
+  const cnf::EncodedCircuit a = cnf::encode(net, sink, free_inputs);
+  cnf::EncodeOptions shared;
+  shared.shared_input_vars = a.input_vars;
+  const cnf::EncodedCircuit b = cnf::encode(net, sink, shared);
+  const cnf::EncodedCircuit c = cnf::encode(net, sink, shared);
+  const cnf::EncodedCircuit d = cnf::encode(net, sink, shared);
 
   const cnf::NetLit ab_out_diff =
       cnf::encode_difference(a.outputs, b.outputs, sink);
@@ -79,10 +46,13 @@ DoubleDipResult DoubleDip::run(const core::LockedCircuit& locked,
   const cnf::NetLit ab_key_diff = cnf::encode_difference(ka, kb, sink);
   const cnf::NetLit cd_key_diff = cnf::encode_difference(kc, kd, sink);
 
+  MiterContext::Parts parts;
+  parts.inputs = a.input_vars;
+  parts.key_copies = {a.key_vars, b.key_vars, c.key_vars, d.key_vars};
   if (ac_out_diff.is_const() && !ac_out_diff.const_value()) {
     // Output never depends on the key: any key unlocks.
-    result.key.assign(locked.netlist.num_keys(), false);
-    return finish(AttackStatus::kSuccess);
+    parts.trivially_equal = true;
+    return parts;
   }
 
   // Activation: (A==B) & (C==D) & (A!=C) & (kA!=kB) & (kC!=kD).
@@ -99,57 +69,71 @@ DoubleDipResult DoubleDip::run(const core::LockedCircuit& locked,
   guard(ac_out_diff, true);
   guard(ab_key_diff, true);
   guard(cd_key_diff, true);
-  const sat::Lit activate[] = {sat::pos(act)};
+  parts.activate = sat::pos(act);
+  return parts;
+}
 
-  // Best-effort key for early exits, sized to the key width so consumers
-  // never index an empty vector.
-  const auto best_effort_key = [&] {
-    std::vector<bool> key(a.key_vars.size());
-    for (std::size_t i = 0; i < a.key_vars.size(); ++i) {
-      key[i] = solver.value_of(a.key_vars[i]);
-    }
-    return key;
-  };
+// The 2-DIP policy: one oracle query per 2-DIP, I/O constraints on all four
+// key copies; when no 2-DIP remains, mop up with the plain SAT attack
+// (keys the weaker 2-DIP condition cannot distinguish), reusing whatever
+// budget is left.
+class DoubleDipPolicy final : public DipPolicy {
+ public:
+  DoubleDipPolicy(const core::LockedCircuit& locked, const Oracle& oracle,
+                  const AttackOptions& options)
+      : locked_(locked), oracle_(oracle), options_(options) {}
 
-  while (true) {
-    if (options_.max_iterations != 0 &&
-        result.iterations >= options_.max_iterations) {
-      result.key = best_effort_key();
-      return finish(AttackStatus::kIterationLimit);
-    }
-    solver.set_deadline(deadline);
-    const sat::LBool found = solver.solve(activate);
-    if (found == sat::LBool::kUndef) {
-      result.key = best_effort_key();
-      return finish(AttackStatus::kTimeout);
-    }
-    if (found == sat::LBool::kFalse) break;
+  const std::optional<AttackResult>& mop_up() const { return mop_up_; }
 
-    std::vector<bool> pattern(a.input_vars.size());
-    for (std::size_t i = 0; i < a.input_vars.size(); ++i) {
-      pattern[i] = solver.value_of(a.input_vars[i]);
-    }
-    const std::vector<bool> response = oracle.query(pattern);
-    for (const std::span<const sat::Var> keys :
-         {std::span<const sat::Var>(a.key_vars), std::span(b.key_vars),
-          std::span(c.key_vars), std::span(d.key_vars)}) {
-      cnf::add_io_constraint(locked.netlist, solver, keys, pattern, response);
-    }
-    ++result.iterations;
+  LoopAction on_dip(MiterContext& ctx, const BudgetGuard&,
+                    const std::vector<bool>& pattern, AttackResult&) override {
+    ctx.constrain_io(pattern, oracle_.query(pattern));
+    return LoopAction::kContinue;
   }
 
-  // No 2-DIP remains: mop up with the plain SAT attack (keys the weaker
-  // 2-DIP condition cannot distinguish), reusing whatever budget is left.
-  AttackOptions rest = options_;
-  if (options_.timeout_s > 0.0) {
-    const double used =
-        std::chrono::duration<double>(Clock::now() - start).count();
-    rest.timeout_s = std::max(0.1, options_.timeout_s - used);
+  LoopAction on_no_dip(MiterContext&, const BudgetGuard& budget,
+                       AttackResult& result) override {
+    AttackOptions rest = options_;
+    if (budget.limited()) {
+      rest.timeout_s = std::max(0.1, budget.remaining_s());
+    }
+    mop_up_ = SatAttack(rest).run(locked_, oracle_);
+    result.status = mop_up_->status;
+    result.key = mop_up_->key;
+    result.banned_keys += mop_up_->banned_keys;
+    return LoopAction::kDone;
   }
-  const AttackResult mop_up = SatAttack(rest).run(locked, oracle);
-  result.fallback_iterations = mop_up.iterations;
-  result.key = mop_up.key;
-  return finish(mop_up.status);
+
+ private:
+  const core::LockedCircuit& locked_;
+  const Oracle& oracle_;
+  const AttackOptions& options_;
+  std::optional<AttackResult> mop_up_;
+};
+
+}  // namespace
+
+DoubleDipResult DoubleDip::run(const core::LockedCircuit& locked,
+                               const Oracle& oracle) const {
+  DoubleDipResult result;
+  if (locked.netlist.num_keys() == 0) {
+    result.status = AttackStatus::kSuccess;
+    return result;
+  }
+
+  const BudgetGuard budget(options_);
+  MiterContext ctx(locked, encode_two_dip_miter, solver_config_for(options_));
+  DoubleDipPolicy policy(locked, oracle, options_);
+  static_cast<AttackResult&>(result) =
+      DipLoop(oracle, options_, budget, "double-dip").run(ctx, policy);
+  if (policy.mop_up().has_value()) {
+    // The decisive solve was the mop-up's, not the 2-DIP miter's: surface
+    // its stop reason (the engine stamped the 2-DIP solver's, i.e. kNone)
+    // and count its DIP-loop queries separately.
+    result.stop_reason = policy.mop_up()->stop_reason;
+    result.fallback_iterations = policy.mop_up()->iterations;
+  }
+  return result;
 }
 
 }  // namespace fl::attacks

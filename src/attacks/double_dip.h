@@ -5,20 +5,18 @@
 // while a third disagrees: whatever the oracle answers, at least one key is
 // eliminated, and when the oracle contradicts the consensus at least *two*
 // are — doubling the worst-case pruning rate against point-function schemes
-// (SARLock's "one key per DIP" floor). When no 2-DIP remains, the attack
-// falls back to the standard SAT attack to finish.
+// (SARLock's "one key per DIP" floor). The four-copy 2-DIP miter plugs into
+// the shared engine (attacks/engine.h) as a custom encoder; when no 2-DIP
+// remains, the attack falls back to the standard SAT attack to finish.
 #pragma once
 
-#include "attacks/sat_attack.h"
+#include "attacks/engine.h"
 
 namespace fl::attacks {
 
-struct DoubleDipResult {
-  AttackStatus status = AttackStatus::kTimeout;
-  std::vector<bool> key;
-  std::uint64_t iterations = 0;           // 2-DIP queries
+// Everything AttackResult reports; `iterations` counts 2-DIP queries.
+struct DoubleDipResult : AttackResult {
   std::uint64_t fallback_iterations = 0;  // plain-DIP mop-up queries
-  double seconds = 0.0;
 };
 
 class DoubleDip {

@@ -1,0 +1,280 @@
+#include "attacks/engine.h"
+
+#include <cstdio>
+
+#include "cnf/miter.h"
+#include "runtime/jsonl.h"
+
+namespace fl::attacks {
+
+using Clock = BudgetGuard::Clock;
+
+const char* to_string(AttackStatus status) {
+  switch (status) {
+    case AttackStatus::kSuccess: return "success";
+    case AttackStatus::kTimeout: return "timeout";
+    case AttackStatus::kIterationLimit: return "iteration-limit";
+    case AttackStatus::kKeySpaceEmpty: return "key-space-empty";
+    case AttackStatus::kInterrupted: return "interrupted";
+    case AttackStatus::kOutOfMemory: return "out-of-memory";
+  }
+  return "?";
+}
+
+void JsonlTraceSink::record(const IterationTrace& trace) {
+  runtime::JsonObject o;
+  o.field("attack", trace.attack);
+  if (trace.cell >= 0) o.field("cell", trace.cell);
+  o.field("iter", trace.iteration)
+      .field("dip", trace.dip)
+      .field("cv_ratio", trace.cv_ratio)
+      .field("decisions", trace.decisions)
+      .field("propagations", trace.propagations)
+      .field("conflicts", trace.conflicts)
+      .field("solve_s", trace.solve_s);
+  const std::string line = o.str();
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  out_.flush();  // a trace is for post-mortems; don't buffer past a crash
+}
+
+BudgetGuard::BudgetGuard(const AttackOptions& options, Clock::time_point start)
+    : start_(start), interrupt_(options.interrupt) {
+  if (options.timeout_s > 0.0) {
+    deadline_ = start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(options.timeout_s));
+  }
+}
+
+double BudgetGuard::elapsed_s() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+double BudgetGuard::remaining_s() const {
+  if (!deadline_) return 0.0;
+  return std::max(
+      0.0, std::chrono::duration<double>(*deadline_ - Clock::now()).count());
+}
+
+void BudgetGuard::arm(sat::Solver& solver) const {
+  solver.set_deadline(deadline_);
+  solver.set_interrupt(interrupt_);
+}
+
+std::optional<AttackStatus> BudgetGuard::exhausted() const {
+  if (interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed)) {
+    return AttackStatus::kInterrupted;
+  }
+  if (deadline_ && Clock::now() >= *deadline_) return AttackStatus::kTimeout;
+  return std::nullopt;
+}
+
+AttackStatus BudgetGuard::undef_status(const sat::Solver& solver) const {
+  switch (solver.last_stop_reason()) {
+    case sat::StopReason::kInterrupt: return AttackStatus::kInterrupted;
+    case sat::StopReason::kOutOfMemory: return AttackStatus::kOutOfMemory;
+    default: return AttackStatus::kTimeout;
+  }
+}
+
+sat::SolverConfig solver_config_for(const AttackOptions& options,
+                                    sat::SolverConfig base) {
+  if (options.memory_limit_mb > 0) {
+    base.memory_limit_mb = options.memory_limit_mb;
+  }
+  return base;
+}
+
+MiterContext::Encoder MiterContext::double_key() {
+  return [](const netlist::Netlist& locked, sat::Solver& solver) {
+    const cnf::AttackMiter miter = cnf::encode_attack_miter(locked, solver);
+    Parts parts;
+    parts.inputs = miter.inputs;
+    parts.key_copies = {miter.key1, miter.key2};
+    parts.activate = miter.activate;
+    parts.trivially_equal = miter.trivially_equal;
+    return parts;
+  };
+}
+
+MiterContext::MiterContext(const core::LockedCircuit& locked,
+                           const Encoder& encoder,
+                           const sat::SolverConfig& config)
+    : locked_(&locked), solver_(config) {
+  parts_ = encoder(locked.netlist, solver_);
+}
+
+void MiterContext::sample_ratio() {
+  if (solver_.num_vars() > 0) {
+    last_ratio_ = static_cast<double>(solver_.num_clauses()) /
+                  static_cast<double>(solver_.num_vars());
+    ratio_sum_ += last_ratio_;
+    ++ratio_samples_;
+  }
+}
+
+double MiterContext::mean_ratio() const {
+  return ratio_samples_ > 0 ? ratio_sum_ / static_cast<double>(ratio_samples_)
+                            : 0.0;
+}
+
+std::vector<bool> MiterContext::extract_pattern() const {
+  std::vector<bool> pattern(parts_.inputs.size());
+  for (std::size_t i = 0; i < parts_.inputs.size(); ++i) {
+    pattern[i] = solver_.value_of(parts_.inputs[i]);
+  }
+  return pattern;
+}
+
+std::vector<bool> MiterContext::extract_key(
+    std::span<const sat::Var> key_vars) const {
+  std::vector<bool> key(key_vars.size());
+  for (std::size_t i = 0; i < key_vars.size(); ++i) {
+    key[i] = solver_.value_of(key_vars[i]);
+  }
+  return key;
+}
+
+void MiterContext::constrain_io(const std::vector<bool>& pattern,
+                                const std::vector<bool>& response) {
+  for (const std::vector<sat::Var>& keys : parts_.key_copies) {
+    cnf::add_io_constraint(locked_->netlist, solver_, keys, pattern, response);
+  }
+}
+
+void MiterContext::ban_key(std::span<const sat::Var> key_vars,
+                           const std::vector<bool>& key) {
+  sat::Clause ban;
+  ban.reserve(key_vars.size());
+  for (std::size_t i = 0; i < key_vars.size(); ++i) {
+    ban.push_back(sat::Lit(key_vars[i], key[i]));
+  }
+  solver_.add_clause(std::move(ban));
+}
+
+LoopAction DipPolicy::after_iteration(MiterContext&, const BudgetGuard&,
+                                      AttackResult&) {
+  return LoopAction::kContinue;
+}
+
+LoopAction DipPolicy::on_no_dip(MiterContext& ctx, const BudgetGuard& budget,
+                                AttackResult& result) {
+  // No distinguishing input remains: any model of the surviving key space is
+  // functionally correct.
+  budget.arm(ctx.solver());
+  const sat::LBool key_found = ctx.solver().solve();
+  if (key_found == sat::LBool::kUndef) {
+    result.status = budget.undef_status(ctx.solver());
+    return LoopAction::kDone;
+  }
+  if (key_found == sat::LBool::kFalse) {
+    result.status = AttackStatus::kKeySpaceEmpty;
+    return LoopAction::kDone;
+  }
+  result.key = ctx.extract_key();
+  result.status = AttackStatus::kSuccess;
+  return LoopAction::kDone;
+}
+
+DipLoop::DipLoop(const Oracle& oracle, const AttackOptions& options,
+                 const BudgetGuard& budget, std::string name)
+    : oracle_(oracle), options_(options), budget_(budget),
+      name_(std::move(name)) {}
+
+AttackResult DipLoop::run(MiterContext& ctx, DipPolicy& policy) {
+  AttackResult result;
+  const std::uint64_t queries_before = oracle_.num_queries();
+  sat::Solver& solver = ctx.solver();
+
+  // Wall time spent inside completed DIP iterations (DIP solve + policy's
+  // oracle query + constraint encoding); the divisor for
+  // mean_iteration_seconds. Miter encoding (before this loop) and the final
+  // key extraction are excluded.
+  double dip_loop_seconds = 0.0;
+
+  const auto finish = [&]() -> AttackResult& {
+    result.seconds = budget_.elapsed_s();
+    result.mean_iteration_seconds =
+        result.iterations > 0
+            ? dip_loop_seconds / static_cast<double>(result.iterations)
+            : 0.0;
+    result.mean_clause_var_ratio = ctx.mean_ratio();
+    result.solver_stats = solver.stats();
+    result.stop_reason = solver.last_stop_reason();
+    result.oracle_queries = oracle_.num_queries() - queries_before;
+    // Non-success exits keep the best-effort key sized to the key width so
+    // consumers never index an empty vector.
+    if (result.key.empty()) result.key = ctx.extract_key();
+    return result;
+  };
+
+  if (ctx.trivially_equal()) {
+    // Output does not depend on the key at all: any key unlocks.
+    result.key.assign(ctx.locked().netlist.num_keys(), false);
+    result.status = AttackStatus::kSuccess;
+    return finish();
+  }
+
+  const sat::Lit activate[] = {ctx.activate()};
+  while (true) {
+    if (options_.max_iterations != 0 &&
+        result.iterations >= options_.max_iterations) {
+      result.status = AttackStatus::kIterationLimit;
+      return finish();
+    }
+    const auto iteration_start = Clock::now();
+    budget_.arm(solver);
+    ctx.sample_ratio();
+    const double ratio = ctx.last_ratio();
+    const sat::Solver::CounterSnapshot before = solver.counters();
+    const auto solve_start = Clock::now();
+    const sat::LBool dip_found = solver.solve(activate);
+    const double solve_s =
+        std::chrono::duration<double>(Clock::now() - solve_start).count();
+    if (dip_found == sat::LBool::kUndef) {
+      result.status = budget_.undef_status(solver);
+      return finish();
+    }
+    if (dip_found == sat::LBool::kFalse) {
+      if (policy.on_no_dip(ctx, budget_, result) == LoopAction::kRetry) {
+        continue;  // e.g. a stateful key candidate was banned
+      }
+      return finish();
+    }
+
+    const std::vector<bool> pattern = ctx.extract_pattern();
+    const LoopAction action = policy.on_dip(ctx, budget_, pattern, result);
+    if (action == LoopAction::kRetry) continue;  // uncounted (key bans)
+    if (action == LoopAction::kDone) return finish();
+
+    ++result.iterations;
+    dip_loop_seconds +=
+        std::chrono::duration<double>(Clock::now() - iteration_start).count();
+    if (options_.trace != nullptr) {
+      IterationTrace trace;
+      trace.attack = name_;
+      trace.cell = options_.trace_cell;
+      trace.iteration = result.iterations - 1;
+      trace.dip.reserve(pattern.size());
+      for (const bool bit : pattern) trace.dip.push_back(bit ? '1' : '0');
+      trace.cv_ratio = ratio;
+      const sat::Solver::CounterSnapshot after = solver.counters();
+      trace.decisions = after.decisions - before.decisions;
+      trace.propagations = after.propagations - before.propagations;
+      trace.conflicts = after.conflicts - before.conflicts;
+      trace.solve_s = solve_s;
+      options_.trace->record(trace);
+    }
+    if (options_.verbose) {
+      std::fprintf(stderr, "[%s] iter %llu, %d vars, %zu clauses\n",
+                   name_.c_str(),
+                   static_cast<unsigned long long>(result.iterations),
+                   solver.num_vars(), solver.num_clauses());
+    }
+    if (policy.after_iteration(ctx, budget_, result) == LoopAction::kDone) {
+      return finish();
+    }
+  }
+}
+
+}  // namespace fl::attacks

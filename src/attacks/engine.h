@@ -1,0 +1,325 @@
+// Shared oracle-guided attack engine.
+//
+// Every oracle-guided attack in this repo (SAT attack, CycSAT, AppSAT,
+// Double-DIP) is the same loop: encode a key-differential miter, repeatedly
+// solve for a discriminating input pattern (DIP), query the activated-chip
+// oracle, constrain the key space, and finally extract a surviving key.
+// What differs between the attacks is *policy* — which miter is encoded,
+// what happens per DIP, and how the endgame runs — not the loop itself.
+// This layer owns the loop:
+//
+//   MiterContext   owns the incremental solver and the encoded miter
+//                  (inputs, key copies, activation literal), the per-solve
+//                  clauses/variables ratio sampling (Fig. 7's metric), DIP
+//                  constraint encoding and key extraction.
+//   BudgetGuard    every attack budget in one place: wall-clock timeout,
+//                  cooperative interrupt, solver memory budget — and the
+//                  single mapping from an exhausted budget to AttackStatus,
+//                  so kTimeout / kInterrupted / kOutOfMemory mean the same
+//                  thing for every attack.
+//   DipLoop        the driver: enforces the budgets, counts and times
+//                  iterations uniformly (mean_iteration_seconds,
+//                  mean_clause_var_ratio), and calls back into a DipPolicy
+//                  at the three points where attacks differ.
+//   DipPolicy      per-attack behavior: on_dip (oracle query + key-space
+//                  pruning), after_iteration (AppSAT's settlement checks),
+//                  on_no_dip (key extraction / mop-up).
+//
+// Observability: an optional IterationTraceSink receives one record per
+// counted DIP iteration (index, the DIP, the miter-solve wall time, the
+// solver's decision/propagation/conflict deltas, and the running c/v ratio)
+// — the per-iteration data the paper's Eq. 2 hardness argument is about.
+// JsonlTraceSink emits them as JSONL in the runtime::jsonl conventions
+// (wired through `attack --trace FILE` and the sweep drivers' --trace).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attacks/oracle.h"
+#include "core/locked_circuit.h"
+#include "sat/solver.h"
+
+namespace fl::attacks {
+
+enum class AttackStatus : std::uint8_t {
+  kSuccess,         // UNSAT miter: extracted key is provably correct
+  kTimeout,         // wall-clock budget exhausted (the paper's "TO")
+  kIterationLimit,  // max_iterations reached
+  kKeySpaceEmpty,   // constraints became UNSAT (should not happen with a
+                    // well-formed locked circuit)
+  kInterrupted,     // cooperative cancellation (AttackOptions::interrupt);
+                    // the run was cut short externally, not by its budget —
+                    // sweep runtimes must not record it as a finished cell
+  kOutOfMemory,     // the solver's memory budget tripped
+                    // (AttackOptions::memory_limit_mb)
+};
+
+const char* to_string(AttackStatus status);
+
+// One completed DIP iteration, as handed to an IterationTraceSink. The
+// solver counters are deltas over the DIP-miter solve alone (policy work —
+// oracle queries, constraint encoding, AppSAT settlement solves — is
+// excluded, exactly like mean_iteration_seconds excludes the one-off miter
+// encoding).
+struct IterationTrace {
+  std::string attack;        // engine label: "sat", "cycsat", "appsat", ...
+  long long cell = -1;       // sweep grid cell, -1 outside sweeps
+  std::uint64_t iteration = 0;  // 0-based counted-iteration index
+  std::string dip;           // the DIP as a '0'/'1' string, PI order
+  double cv_ratio = 0.0;     // clauses/vars ratio the DIP solve started from
+  std::uint64_t decisions = 0;     // solver deltas over the DIP solve
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  double solve_s = 0.0;      // wall time of the DIP-miter solve
+};
+
+class IterationTraceSink {
+ public:
+  virtual ~IterationTraceSink() = default;
+  virtual void record(const IterationTrace& trace) = 0;
+};
+
+// Emits one JSONL object per iteration (schema in EXPERIMENTS.md) onto a
+// caller-owned stream. Thread-safe: one sink may serve every cell of a
+// parallel sweep (records carry their cell index) or every racer of a
+// portfolio, serialized by an internal mutex.
+class JsonlTraceSink final : public IterationTraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out) : out_(out) {}
+  void record(const IterationTrace& trace) override;
+
+ private:
+  std::ostream& out_;
+  std::mutex mu_;
+};
+
+struct AttackOptions {
+  double timeout_s = 0.0;            // 0 = unlimited
+  std::uint64_t max_iterations = 0;  // 0 = unlimited
+  bool verbose = false;
+  // Cooperative cancellation (e.g. fl::runtime::CancelToken::flag()).
+  // Polled inside every solve; a cancelled attack reports kInterrupted. The
+  // attack never writes the flag. nullptr disables.
+  const std::atomic<bool>* interrupt = nullptr;
+  // Portfolio mode: race this many solver configurations (restart cadence /
+  // VSIDS decay variants, see SatAttack::portfolio_config) on the same
+  // miter from parallel threads; the first decisive finisher cancels the
+  // rest. 0 or 1 = single default configuration. Which racer wins is
+  // timing-dependent, so leave this off when results must be reproducible.
+  int portfolio = 0;
+  // Solver memory budget (sat::SolverConfig::memory_limit_mb): a solve
+  // whose accounted memory crosses it returns with kOutOfMemory instead of
+  // growing until the process is OOM-killed. 0 = unlimited.
+  std::size_t memory_limit_mb = 0;
+  // Optional per-iteration observability (see IterationTrace). Not owned;
+  // must outlive the attack. Portfolio racers share the sink, so their
+  // records interleave (the sink is thread-safe).
+  IterationTraceSink* trace = nullptr;
+  // Grid cell index stamped into trace records by sweep drivers (-1 = not
+  // part of a sweep).
+  long long trace_cell = -1;
+};
+
+struct AttackResult {
+  AttackStatus status = AttackStatus::kTimeout;
+  // Always sized to the key width: the recovered key for kSuccess, the
+  // solver's best-effort assignment otherwise — downstream consumers
+  // (AppSAT warm starts, JSONL writers) may index it unconditionally.
+  std::vector<bool> key;
+  std::uint64_t iterations = 0;
+  double seconds = 0.0;
+  // Mean wall time of one DIP-loop iteration (DIP solve + oracle query +
+  // constraint encoding). Excludes the one-off miter encoding and the final
+  // key-extraction solve, so it matches the paper's per-iteration metric.
+  double mean_iteration_seconds = 0.0;
+  // Mean clauses/variables ratio over the CNF snapshots the DIP solver
+  // actually worked on (one sample per DIP-miter solve).
+  double mean_clause_var_ratio = 0.0;
+  sat::SolverStats solver_stats;
+  // Why the decisive solve stopped short (kNone when the attack ran to a
+  // conclusive status). Distinguishes deadline / interrupt / conflict
+  // budget / out-of-memory behind the kUndef the solver reported.
+  sat::StopReason stop_reason = sat::StopReason::kNone;
+  std::uint64_t oracle_queries = 0;
+  // Stateful key assignments banned after repeated DIPs (cyclic locks
+  // only; BeSAT-style progress guarantee).
+  std::uint64_t banned_keys = 0;
+  // Portfolio mode only: index of the solver configuration that produced
+  // this result, or -1 outside portfolio mode / when every racer timed out.
+  int portfolio_winner = -1;
+};
+
+// All attack budgets, checked in one place, so every attack maps budget
+// exhaustion to the same AttackStatus values. Constructed once at attack
+// start; the deadline is derived from timeout_s relative to `start`.
+class BudgetGuard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit BudgetGuard(const AttackOptions& options,
+                       Clock::time_point start = Clock::now());
+
+  Clock::time_point start() const { return start_; }
+  const std::optional<Clock::time_point>& deadline() const {
+    return deadline_;
+  }
+  bool limited() const { return deadline_.has_value(); }
+  double elapsed_s() const;
+  // Seconds left until the deadline (never negative); meaningless unless
+  // limited(). Used by Double-DIP to hand its remaining budget to the
+  // mop-up SAT attack.
+  double remaining_s() const;
+
+  // Arms `solver` with the deadline and interrupt flag; call before every
+  // solve so kUndef can be mapped back with undef_status().
+  void arm(sat::Solver& solver) const;
+
+  // Non-solver poll point (preprocessing loops, sensitization's per-key
+  // sweep): the status a budget-exhausted attack must report, or nullopt
+  // while budgets remain.
+  std::optional<AttackStatus> exhausted() const;
+
+  // Maps a solve() that returned kUndef back to an attack status via the
+  // solver's stop reason. An external cancellation and a tripped memory
+  // budget are not the paper's "TO".
+  AttackStatus undef_status(const sat::Solver& solver) const;
+
+ private:
+  Clock::time_point start_;
+  std::optional<Clock::time_point> deadline_;
+  const std::atomic<bool>* interrupt_ = nullptr;
+};
+
+// The attack's solver configuration: `base` (portfolio diversification)
+// with the attack-level memory budget folded in.
+sat::SolverConfig solver_config_for(const AttackOptions& options,
+                                    sat::SolverConfig base = {});
+
+// Owns the incremental solver and the encoded attack miter. The miter shape
+// is supplied by an Encoder so the standard double-key construction and
+// Double-DIP's four-copy 2-DIP construction drive the same loop.
+class MiterContext {
+ public:
+  // What an encoder must produce: the shared primary-input variables, the
+  // key-variable copies that receive per-DIP I/O constraints (copies[0] is
+  // the copy the final key is extracted from), and the activation literal
+  // assumed when searching for a DIP. `trivially_equal` short-circuits the
+  // whole attack (the output does not depend on the key).
+  struct Parts {
+    std::vector<sat::Var> inputs;
+    std::vector<std::vector<sat::Var>> key_copies;
+    sat::Lit activate = sat::kUndefLit;
+    bool trivially_equal = false;
+  };
+  using Encoder = std::function<Parts(const netlist::Netlist&, sat::Solver&)>;
+
+  // The standard double-key miter of Subramanyan et al. (two copies sharing
+  // the primary inputs, independent keys K1/K2, some output differs).
+  static Encoder double_key();
+
+  MiterContext(const core::LockedCircuit& locked, const Encoder& encoder,
+               const sat::SolverConfig& config = {});
+
+  const core::LockedCircuit& locked() const { return *locked_; }
+  sat::Solver& solver() { return solver_; }
+  const std::vector<sat::Var>& inputs() const { return parts_.inputs; }
+  std::size_t num_key_copies() const { return parts_.key_copies.size(); }
+  std::span<const sat::Var> key_copy(std::size_t i) const {
+    return parts_.key_copies[i];
+  }
+  sat::Lit activate() const { return parts_.activate; }
+  bool trivially_equal() const { return parts_.trivially_equal; }
+
+  // One clauses/variables sample per DIP-miter solve: exactly the CNF
+  // snapshots the solver worked on, each counted once (the final
+  // key-extraction solve reuses the last snapshot, so it adds no sample).
+  void sample_ratio();
+  double last_ratio() const { return last_ratio_; }
+  double mean_ratio() const;
+
+  // Model readback (valid after a kTrue solve; best-effort otherwise).
+  std::vector<bool> extract_pattern() const;
+  std::vector<bool> extract_key() const { return extract_key(key_copy(0)); }
+  std::vector<bool> extract_key(std::span<const sat::Var> key_vars) const;
+
+  // "locked(pattern, K) == response" for every key copy — the per-DIP
+  // key-space pruning constraint.
+  void constrain_io(const std::vector<bool>& pattern,
+                    const std::vector<bool>& response);
+
+  // Bans the exact assignment `key` of `key_vars` (BeSAT-style stateful-key
+  // elimination on cyclic locks).
+  void ban_key(std::span<const sat::Var> key_vars,
+               const std::vector<bool>& key);
+
+ private:
+  const core::LockedCircuit* locked_;
+  sat::Solver solver_;
+  Parts parts_;
+  double ratio_sum_ = 0.0;
+  double last_ratio_ = 0.0;
+  std::uint64_t ratio_samples_ = 0;
+};
+
+// What a DipPolicy callback tells the loop to do next.
+enum class LoopAction : std::uint8_t {
+  kContinue,  // count this iteration and keep looping
+  kRetry,     // keep looping without counting an iteration (key bans)
+  kDone,      // result.status (and key, if recovered) are set — stop
+};
+
+// The per-attack behavior plugged into DipLoop. Policies are constructed
+// per run and may hold attack state (DIP history, RNGs, oracles).
+class DipPolicy {
+ public:
+  virtual ~DipPolicy() = default;
+
+  // A DIP-miter solve returned SAT and `pattern` is its DIP. Query the
+  // oracle and prune the key space. Runs inside the timed iteration window.
+  virtual LoopAction on_dip(MiterContext& ctx, const BudgetGuard& budget,
+                            const std::vector<bool>& pattern,
+                            AttackResult& result) = 0;
+
+  // Runs after each counted iteration, outside the timed window (AppSAT's
+  // settlement checks live here). Default: keep looping.
+  virtual LoopAction after_iteration(MiterContext& ctx,
+                                     const BudgetGuard& budget,
+                                     AttackResult& result);
+
+  // The miter is UNSAT: no DIP remains. The default extracts a model of the
+  // surviving key space (kKeySpaceEmpty when none) and reports success;
+  // attacks override to validate candidates (SAT attack on cyclic locks) or
+  // mop up with a stronger loop (Double-DIP).
+  virtual LoopAction on_no_dip(MiterContext& ctx, const BudgetGuard& budget,
+                               AttackResult& result);
+};
+
+// The shared DIP loop driver. Enforces every budget (max_iterations plus
+// everything BudgetGuard owns), samples the c/v ratio once per DIP solve,
+// times iterations uniformly, emits trace records, and keeps the final key
+// sized to the key width on every exit path.
+class DipLoop {
+ public:
+  // `name` labels trace records and verbose output ("sat", "appsat", ...).
+  DipLoop(const Oracle& oracle, const AttackOptions& options,
+          const BudgetGuard& budget, std::string name);
+
+  AttackResult run(MiterContext& ctx, DipPolicy& policy);
+
+ private:
+  const Oracle& oracle_;
+  const AttackOptions& options_;
+  const BudgetGuard& budget_;
+  std::string name_;
+};
+
+}  // namespace fl::attacks

@@ -1,17 +1,13 @@
 #include "attacks/sat_attack.h"
 
-#include <chrono>
-#include <cstdio>
 #include <iterator>
 #include <set>
 #include <thread>
+#include <utility>
 
-#include "cnf/miter.h"
 #include "netlist/simulator.h"
 
 namespace fl::attacks {
-
-using Clock = std::chrono::steady_clock;
 
 namespace {
 
@@ -42,23 +38,86 @@ bool functionally_pins(const netlist::Netlist& locked,
   return true;
 }
 
-}  // namespace
+// The classic single-DIP policy: one oracle query per DIP, I/O constraints
+// on both key copies. On cyclic locks the CNF can take stateful
+// (multi-valued) assignments that dodge the constraint copies (BeSAT's
+// observation), so repeated DIPs trigger key bans and extracted candidates
+// are functionally validated against the whole DIP history.
+class SingleDipPolicy final : public DipPolicy {
+ public:
+  SingleDipPolicy(const core::LockedCircuit& locked, const Oracle& oracle)
+      : locked_(locked), oracle_(oracle),
+        cyclic_(locked.netlist.is_cyclic()) {}
 
-const char* to_string(AttackStatus status) {
-  switch (status) {
-    case AttackStatus::kSuccess: return "success";
-    case AttackStatus::kTimeout: return "timeout";
-    case AttackStatus::kIterationLimit: return "iteration-limit";
-    case AttackStatus::kKeySpaceEmpty: return "key-space-empty";
-    case AttackStatus::kInterrupted: return "interrupted";
-    case AttackStatus::kOutOfMemory: return "out-of-memory";
+  LoopAction on_dip(MiterContext& ctx, const BudgetGuard&,
+                    const std::vector<bool>& pattern,
+                    AttackResult& result) override {
+    if (!seen_dips_.insert(pattern).second) {
+      // A repeated DIP means the I/O constraints did not prune this key
+      // pair. Ban every involved key that is not functionally pinned to the
+      // oracle on this pattern; the correct key is always single-valued and
+      // oracle-consistent, so it is never banned.
+      const std::vector<bool> response = oracle_.query(pattern);
+      bool banned_any = false;
+      for (std::size_t k = 0; k < ctx.num_key_copies(); ++k) {
+        const std::vector<bool> key = ctx.extract_key(ctx.key_copy(k));
+        if (!functionally_pins(locked_.netlist, key, pattern, response)) {
+          ctx.ban_key(ctx.key_copy(k), key);
+          banned_any = true;
+          ++result.banned_keys;
+        }
+      }
+      if (!banned_any) {
+        // Should be unreachable (a repeat requires a non-functional copy);
+        // ban the second key to guarantee progress — a key that is
+        // functionally pinned here but re-selected is stateful elsewhere.
+        ctx.ban_key(ctx.key_copy(1), ctx.extract_key(ctx.key_copy(1)));
+        ++result.banned_keys;
+      }
+      return LoopAction::kRetry;
+    }
+    const std::vector<bool> response = oracle_.query(pattern);
+    dip_history_.emplace_back(pattern, response);
+    // Both key copies must reproduce the oracle on this pattern.
+    ctx.constrain_io(pattern, response);
+    return LoopAction::kContinue;
   }
-  return "?";
-}
+
+  LoopAction on_no_dip(MiterContext& ctx, const BudgetGuard& budget,
+                       AttackResult& result) override {
+    const LoopAction base = DipPolicy::on_no_dip(ctx, budget, result);
+    if (cyclic_ && base == LoopAction::kDone &&
+        result.status == AttackStatus::kSuccess) {
+      // The CNF may still admit stateful keys: validate the candidate
+      // functionally against every observed DIP; reject-and-ban until a
+      // functional key (the correct key always qualifies) survives.
+      for (const auto& [pattern, response] : dip_history_) {
+        if (!functionally_pins(locked_.netlist, result.key, pattern,
+                               response)) {
+          ctx.ban_key(ctx.key_copy(0), result.key);
+          ++result.banned_keys;
+          result.key.clear();
+          return LoopAction::kRetry;
+        }
+      }
+    }
+    return base;
+  }
+
+ private:
+  const core::LockedCircuit& locked_;
+  const Oracle& oracle_;
+  const bool cyclic_;
+  std::set<std::vector<bool>> seen_dips_;
+  std::vector<std::pair<std::vector<bool>, std::vector<bool>>> dip_history_;
+};
+
+}  // namespace
 
 void SatAttack::add_preconditions(const netlist::Netlist&, sat::Solver&,
                                   std::span<const sat::Var>,
-                                  std::span<const sat::Var>) const {}
+                                  std::span<const sat::Var>,
+                                  const BudgetGuard&) const {}
 
 AttackResult SatAttack::run(const core::LockedCircuit& locked,
                             const Oracle& oracle) const {
@@ -139,198 +198,16 @@ AttackResult SatAttack::run_single(const core::LockedCircuit& locked,
                                    const Oracle& oracle,
                                    const sat::SolverConfig& config,
                                    const std::atomic<bool>* interrupt) const {
-  const auto start = Clock::now();
-  const auto deadline =
-      options_.timeout_s > 0.0
-          ? std::optional(start + std::chrono::duration_cast<Clock::duration>(
-                                      std::chrono::duration<double>(
-                                          options_.timeout_s)))
-          : std::nullopt;
-
-  AttackResult result;
-  const std::uint64_t queries_before = oracle.num_queries();
-
-  sat::SolverConfig solver_config = config;
-  if (options_.memory_limit_mb > 0) {
-    solver_config.memory_limit_mb = options_.memory_limit_mb;
-  }
-  sat::Solver solver(solver_config);
-  solver.set_interrupt(interrupt);
-  const cnf::AttackMiter miter =
-      cnf::encode_attack_miter(locked.netlist, solver);
-  add_preconditions(locked.netlist, solver, miter.key1, miter.key2);
-
-  // One ratio sample per DIP-miter solve: exactly the CNF snapshots the
-  // solver worked on, each counted once (the final key-extraction solve
-  // reuses the last snapshot, so it adds no sample).
-  double ratio_sum = 0.0;
-  std::uint64_t ratio_samples = 0;
-  const auto sample_ratio = [&]() {
-    if (solver.num_vars() > 0) {
-      ratio_sum += static_cast<double>(solver.num_clauses()) /
-                   static_cast<double>(solver.num_vars());
-      ++ratio_samples;
-    }
-  };
-
-  // Wall time spent inside completed DIP iterations (DIP solve + oracle
-  // query + constraint encoding); the divisor for mean_iteration_seconds.
-  // Miter encoding above and the final key extraction are excluded.
-  double dip_loop_seconds = 0.0;
-
-  const auto extract_key = [&](std::span<const sat::Var> key_vars) {
-    std::vector<bool> key(key_vars.size());
-    for (std::size_t i = 0; i < key_vars.size(); ++i) {
-      key[i] = solver.value_of(key_vars[i]);
-    }
-    return key;
-  };
-
-  const auto finish = [&](AttackStatus status) {
-    result.status = status;
-    result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
-    result.mean_iteration_seconds =
-        result.iterations > 0 ? dip_loop_seconds / result.iterations : 0.0;
-    result.mean_clause_var_ratio =
-        ratio_samples > 0 ? ratio_sum / ratio_samples : 0.0;
-    result.solver_stats = solver.stats();
-    result.stop_reason = solver.last_stop_reason();
-    result.oracle_queries = oracle.num_queries() - queries_before;
-    // Non-success exits keep the best-effort key sized to the key width so
-    // consumers never index an empty vector.
-    if (result.key.empty()) result.key = extract_key(miter.key1);
-    return result;
-  };
-
-  // Maps the solver's kUndef back to an attack status: an external
-  // cancellation and a tripped memory budget are not the paper's "TO".
-  const auto undef_status = [&] {
-    switch (solver.last_stop_reason()) {
-      case sat::StopReason::kInterrupt: return AttackStatus::kInterrupted;
-      case sat::StopReason::kOutOfMemory: return AttackStatus::kOutOfMemory;
-      default: return AttackStatus::kTimeout;
-    }
-  };
-
-  if (miter.trivially_equal) {
-    // Output does not depend on the key at all: any key unlocks.
-    result.key.assign(locked.netlist.num_keys(), false);
-    return finish(AttackStatus::kSuccess);
-  }
-
-  const sat::Lit activate[] = {miter.activate};
-  std::set<std::vector<bool>> seen_dips;
-  std::vector<std::pair<std::vector<bool>, std::vector<bool>>> dip_history;
-  const bool cyclic = locked.netlist.is_cyclic();
-  while (true) {
-    if (options_.max_iterations != 0 &&
-        result.iterations >= options_.max_iterations) {
-      return finish(AttackStatus::kIterationLimit);
-    }
-    const auto iteration_start = Clock::now();
-    solver.set_deadline(deadline);
-    sample_ratio();
-    const sat::LBool dip_found = solver.solve(activate);
-    if (dip_found == sat::LBool::kUndef) {
-      return finish(undef_status());
-    }
-    if (dip_found == sat::LBool::kFalse) {
-      // No distinguishing input remains: extract a key. On cyclic locks the
-      // CNF may still admit stateful keys, so validate the candidate
-      // functionally against every observed DIP; reject-and-ban until a
-      // functional key (the correct key always qualifies) survives.
-      solver.set_deadline(deadline);
-      const sat::LBool key_found = solver.solve();
-      if (key_found == sat::LBool::kUndef) {
-        return finish(undef_status());
-      }
-      if (key_found == sat::LBool::kFalse) {
-        return finish(AttackStatus::kKeySpaceEmpty);
-      }
-      std::vector<bool> key = extract_key(miter.key1);
-      if (cyclic) {
-        bool functional = true;
-        for (const auto& [pattern, response] : dip_history) {
-          if (!functionally_pins(locked.netlist, key, pattern, response)) {
-            functional = false;
-            break;
-          }
-        }
-        if (!functional) {
-          sat::Clause ban;
-          for (std::size_t i = 0; i < miter.key1.size(); ++i) {
-            ban.push_back(sat::Lit(miter.key1[i], key[i]));
-          }
-          solver.add_clause(std::move(ban));
-          ++result.banned_keys;
-          continue;
-        }
-      }
-      result.key = std::move(key);
-      return finish(AttackStatus::kSuccess);
-    }
-
-    // Extract the DIP and query the oracle.
-    std::vector<bool> pattern(miter.inputs.size());
-    for (std::size_t i = 0; i < miter.inputs.size(); ++i) {
-      pattern[i] = solver.value_of(miter.inputs[i]);
-    }
-    if (!seen_dips.insert(pattern).second) {
-      // A repeated DIP means the I/O constraints did not prune this key
-      // pair — on cyclic netlists the CNF can take stateful (multi-valued)
-      // assignments that dodge the constraint copies (BeSAT's
-      // observation). Ban every involved key that is not functionally
-      // pinned to the oracle on this pattern; the correct key is always
-      // single-valued and oracle-consistent, so it is never banned.
-      const std::vector<bool> response = oracle.query(pattern);
-      bool banned_any = false;
-      for (const std::span<const sat::Var> key_vars :
-           {std::span<const sat::Var>(miter.key1),
-            std::span<const sat::Var>(miter.key2)}) {
-        std::vector<bool> key(key_vars.size());
-        for (std::size_t i = 0; i < key_vars.size(); ++i) {
-          key[i] = solver.value_of(key_vars[i]);
-        }
-        if (!functionally_pins(locked.netlist, key, pattern, response)) {
-          sat::Clause ban;
-          for (std::size_t i = 0; i < key_vars.size(); ++i) {
-            ban.push_back(sat::Lit(key_vars[i], key[i]));
-          }
-          solver.add_clause(std::move(ban));
-          banned_any = true;
-          ++result.banned_keys;
-        }
-      }
-      if (!banned_any) {
-        // Should be unreachable (a repeat requires a non-functional copy);
-        // ban the second key to guarantee progress — a key that is
-        // functionally pinned here but re-selected is stateful elsewhere.
-        sat::Clause ban;
-        for (const sat::Var v : miter.key2) {
-          ban.push_back(sat::Lit(v, solver.value_of(v)));
-        }
-        solver.add_clause(std::move(ban));
-        ++result.banned_keys;
-      }
-      continue;
-    }
-    const std::vector<bool> response = oracle.query(pattern);
-    dip_history.emplace_back(pattern, response);
-
-    // Both key copies must reproduce the oracle on this pattern.
-    cnf::add_io_constraint(locked.netlist, solver, miter.key1, pattern,
-                           response);
-    cnf::add_io_constraint(locked.netlist, solver, miter.key2, pattern,
-                           response);
-    ++result.iterations;
-    dip_loop_seconds +=
-        std::chrono::duration<double>(Clock::now() - iteration_start).count();
-    if (options_.verbose) {
-      std::fprintf(stderr, "[sat-attack] iter %llu, %d vars, %zu clauses\n",
-                   static_cast<unsigned long long>(result.iterations),
-                   solver.num_vars(), solver.num_clauses());
-    }
-  }
+  // Portfolio racers get the shared cancel flag instead of the caller's.
+  AttackOptions options = options_;
+  options.interrupt = interrupt;
+  const BudgetGuard budget(options);
+  MiterContext ctx(locked, MiterContext::double_key(),
+                   solver_config_for(options, config));
+  add_preconditions(locked.netlist, ctx.solver(), ctx.key_copy(0),
+                    ctx.key_copy(1), budget);
+  SingleDipPolicy policy(locked, oracle);
+  return DipLoop(oracle, options, budget, name()).run(ctx, policy);
 }
 
 }  // namespace fl::attacks

@@ -4,84 +4,18 @@
 // queries the oracle, and constrains the key space until no DIP remains;
 // any remaining key is then functionally correct.
 //
-// Reports the statistics the paper's evaluation tables are built from:
-// iteration count, wall time, per-iteration time, and the average
-// clauses-to-variables ratio of the CNF the solver worked on (Fig. 7).
+// The miter setup, DIP loop, budget handling and key extraction live in the
+// shared engine (attacks/engine.h); this class supplies the single-DIP
+// policy: one oracle query per DIP, I/O constraints on both key copies, and
+// BeSAT-style stateful-key banning on cyclic locks. Reports the statistics
+// the paper's evaluation tables are built from: iteration count, wall time,
+// per-iteration time, and the average clauses-to-variables ratio of the CNF
+// the solver worked on (Fig. 7).
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <vector>
-
-#include "attacks/oracle.h"
-#include "core/locked_circuit.h"
-#include "sat/solver.h"
+#include "attacks/engine.h"
 
 namespace fl::attacks {
-
-enum class AttackStatus : std::uint8_t {
-  kSuccess,         // UNSAT miter: extracted key is provably correct
-  kTimeout,         // wall-clock budget exhausted (the paper's "TO")
-  kIterationLimit,  // max_iterations reached
-  kKeySpaceEmpty,   // constraints became UNSAT (should not happen with a
-                    // well-formed locked circuit)
-  kInterrupted,     // cooperative cancellation (AttackOptions::interrupt);
-                    // the run was cut short externally, not by its budget —
-                    // sweep runtimes must not record it as a finished cell
-  kOutOfMemory,     // the solver's memory budget tripped
-                    // (AttackOptions::memory_limit_mb)
-};
-
-const char* to_string(AttackStatus status);
-
-struct AttackOptions {
-  double timeout_s = 0.0;            // 0 = unlimited
-  std::uint64_t max_iterations = 0;  // 0 = unlimited
-  bool verbose = false;
-  // Cooperative cancellation (e.g. fl::runtime::CancelToken::flag()).
-  // Polled inside every solve; a cancelled attack reports kInterrupted. The
-  // attack never writes the flag. nullptr disables.
-  const std::atomic<bool>* interrupt = nullptr;
-  // Portfolio mode: race this many solver configurations (restart cadence /
-  // VSIDS decay variants, see SatAttack::portfolio_config) on the same
-  // miter from parallel threads; the first decisive finisher cancels the
-  // rest. 0 or 1 = single default configuration. Which racer wins is
-  // timing-dependent, so leave this off when results must be reproducible.
-  int portfolio = 0;
-  // Solver memory budget (sat::SolverConfig::memory_limit_mb): a solve
-  // whose accounted memory crosses it returns with kOutOfMemory instead of
-  // growing until the process is OOM-killed. 0 = unlimited.
-  std::size_t memory_limit_mb = 0;
-};
-
-struct AttackResult {
-  AttackStatus status = AttackStatus::kTimeout;
-  // Always sized to the key width: the recovered key for kSuccess, the
-  // solver's best-effort assignment otherwise — downstream consumers
-  // (AppSAT warm starts, JSONL writers) may index it unconditionally.
-  std::vector<bool> key;
-  std::uint64_t iterations = 0;
-  double seconds = 0.0;
-  // Mean wall time of one DIP-loop iteration (DIP solve + oracle query +
-  // constraint encoding). Excludes the one-off miter encoding and the final
-  // key-extraction solve, so it matches the paper's per-iteration metric.
-  double mean_iteration_seconds = 0.0;
-  // Mean clauses/variables ratio over the CNF snapshots the DIP solver
-  // actually worked on (one sample per DIP-miter solve).
-  double mean_clause_var_ratio = 0.0;
-  sat::SolverStats solver_stats;
-  // Why the decisive solve stopped short (kNone when the attack ran to a
-  // conclusive status). Distinguishes deadline / interrupt / conflict
-  // budget / out-of-memory behind the kUndef the solver reported.
-  sat::StopReason stop_reason = sat::StopReason::kNone;
-  std::uint64_t oracle_queries = 0;
-  // Stateful key assignments banned after repeated DIPs (cyclic locks
-  // only; BeSAT-style progress guarantee).
-  std::uint64_t banned_keys = 0;
-  // Portfolio mode only: index of the solver configuration that produced
-  // this result, or -1 outside portfolio mode / when every racer timed out.
-  int portfolio_winner = -1;
-};
 
 class SatAttack {
  public:
@@ -97,11 +31,16 @@ class SatAttack {
 
  protected:
   // Hook for CycSAT: add pre-conditions on the two key-variable sets before
-  // the DIP loop starts.
+  // the DIP loop starts. `budget` lets long preprocessing degrade instead
+  // of blowing the attack's wall budget.
   virtual void add_preconditions(const netlist::Netlist& locked,
                                  sat::Solver& solver,
                                  std::span<const sat::Var> key1,
-                                 std::span<const sat::Var> key2) const;
+                                 std::span<const sat::Var> key2,
+                                 const BudgetGuard& budget) const;
+
+  // Engine label for trace records and verbose output.
+  virtual const char* name() const { return "sat"; }
 
  public:
   virtual ~SatAttack() = default;

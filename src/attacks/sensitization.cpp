@@ -1,13 +1,10 @@
 #include "attacks/sensitization.h"
 
-#include <chrono>
 #include <random>
 
 #include "cnf/miter.h"
 
 namespace fl::attacks {
-
-using Clock = std::chrono::steady_clock;
 
 namespace {
 
@@ -16,8 +13,7 @@ namespace {
 // -1 (unresolved) or the recovered bit.
 int attack_one_key(const core::LockedCircuit& locked, const Oracle& oracle,
                    std::size_t target, const std::vector<int>& known,
-                   int attempts,
-                   const std::optional<Clock::time_point>& deadline) {
+                   int attempts, const BudgetGuard& budget) {
   const netlist::Netlist& net = locked.netlist;
   sat::Solver solver;
   cnf::SolverSink sink(solver);
@@ -77,7 +73,7 @@ int attack_one_key(const core::LockedCircuit& locked, const Oracle& oracle,
     for (const sat::Var v : a.input_vars) {
       solver.set_phase(v, (rng() & 1) != 0);
     }
-    solver.set_deadline(deadline);
+    budget.arm(solver);
     const sat::Lit find[] = {sat::pos(act)};
     if (solver.solve(find) != sat::LBool::kTrue) return -1;
 
@@ -114,7 +110,7 @@ int attack_one_key(const core::LockedCircuit& locked, const Oracle& oracle,
       const cnf::NetLit out = copy.outputs[obs];
       if (out.is_const()) return out.const_value() == expected;
       assume.push_back(expected ? ~out.lit : out.lit);  // seek a violation
-      solver.set_deadline(deadline);
+      budget.arm(solver);
       return solver.solve(assume) == sat::LBool::kFalse;
     };
     if (constant_under(a, v0) && constant_under(b, !v0)) {
@@ -136,29 +132,28 @@ int attack_one_key(const core::LockedCircuit& locked, const Oracle& oracle,
 SensitizationResult sensitization_attack(const core::LockedCircuit& locked,
                                          const Oracle& oracle,
                                          const SensitizationOptions& options) {
-  const auto start = Clock::now();
-  const auto deadline =
-      options.timeout_s > 0.0
-          ? std::optional(start + std::chrono::duration_cast<Clock::duration>(
-                                      std::chrono::duration<double>(
-                                          options.timeout_s)))
-          : std::nullopt;
+  // Reuse the engine's budget handling so timeout/interrupt map to the same
+  // AttackStatus values as every DIP-loop attack.
+  AttackOptions budget_options;
+  budget_options.timeout_s = options.timeout_s;
+  budget_options.interrupt = options.interrupt;
+  const BudgetGuard budget(budget_options);
   const std::uint64_t queries_before = oracle.num_queries();
   SensitizationResult result;
   result.resolved.assign(locked.netlist.num_keys(), -1);
   // Peel until a fixpoint: every recovered bit may unlock further bits.
   bool progress = true;
-  while (progress) {
+  while (progress && result.status == AttackStatus::kSuccess) {
     progress = false;
     for (std::size_t i = 0; i < locked.netlist.num_keys(); ++i) {
       if (result.resolved[i] >= 0) continue;
-      if (deadline && Clock::now() >= *deadline) {
-        progress = false;
+      if (const auto cut = budget.exhausted()) {
+        result.status = *cut;
         break;
       }
       result.resolved[i] =
           attack_one_key(locked, oracle, i, result.resolved,
-                         options.attempts_per_key, deadline);
+                         options.attempts_per_key, budget);
       if (result.resolved[i] >= 0) {
         ++result.num_resolved;
         progress = true;
@@ -168,7 +163,7 @@ SensitizationResult sensitization_attack(const core::LockedCircuit& locked,
   result.complete =
       result.num_resolved == static_cast<int>(locked.netlist.num_keys());
   result.oracle_queries = oracle.num_queries() - queries_before;
-  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  result.seconds = budget.elapsed_s();
   return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "attacks/engine.h"
 #include "attacks/oracle.h"
 #include "core/locked_circuit.h"
 
@@ -21,9 +22,16 @@ namespace fl::attacks {
 struct SensitizationOptions {
   int attempts_per_key = 6;  // candidate patterns tried per key bit
   double timeout_s = 0.0;    // 0 = unlimited (whole attack)
+  // Cooperative cancellation, same contract as AttackOptions::interrupt.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 struct SensitizationResult {
+  // kSuccess when the peeling loop ran to its fixpoint (even if some bits
+  // stayed unresolved — that is the scheme resisting, not a budget);
+  // kTimeout / kInterrupted when a budget cut the sweep short, with the
+  // same mapping every engine-based attack uses.
+  AttackStatus status = AttackStatus::kSuccess;
   // Per key bit: -1 unknown, 0/1 recovered value.
   std::vector<int> resolved;
   int num_resolved = 0;

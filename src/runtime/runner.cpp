@@ -132,6 +132,9 @@ RunnerArgs parse_runner_args(int& argc, char** argv) {
     args.memory_limit_mb =
         static_cast<std::size_t>(parse_int("FL_MEM_MB", env, 0));
   }
+  if (const char* env = std::getenv("FL_TRACE"); env != nullptr) {
+    args.trace_path = env;
+  }
   args.resume = env_flag("FL_RESUME");
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -167,6 +170,8 @@ RunnerArgs parse_runner_args(int& argc, char** argv) {
     } else if (take_value("--mem-mb", &value)) {
       args.memory_limit_mb =
           static_cast<std::size_t>(parse_int("--mem-mb", value, 0));
+    } else if (take_value("--trace", &value)) {
+      args.trace_path = value;
     } else {
       argv[out++] = argv[i];
     }

@@ -51,6 +51,8 @@ int resolve_jobs(int requested = 0);
 //                                  FL_CELL_TIMEOUT_S, 0 = none)
 //   --mem-mb M | --mem-mb=M        solver memory budget per cell, MB (env
 //                                  FL_MEM_MB, 0 = unlimited)
+//   --trace PATH | --trace=PATH    per-DIP-iteration JSONL trace file (env
+//                                  FL_TRACE; see attacks::JsonlTraceSink)
 struct RunnerArgs {
   int jobs = 1;
   std::string jsonl_path;
@@ -58,6 +60,7 @@ struct RunnerArgs {
   int retries = 0;
   double cell_timeout_s = 0.0;
   std::size_t memory_limit_mb = 0;
+  std::string trace_path;
 };
 RunnerArgs parse_runner_args(int& argc, char** argv);
 

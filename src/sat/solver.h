@@ -173,6 +173,18 @@ class Solver {
   std::size_t memory_bytes() const;
 
   const SolverStats& stats() const { return stats_; }
+
+  // Cheap monotonic snapshot of the hot search counters, for callers that
+  // measure deltas around a single solve() (the attack engine's
+  // per-iteration trace) without copying the full SolverStats.
+  struct CounterSnapshot {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+  };
+  CounterSnapshot counters() const {
+    return {stats_.decisions, stats_.propagations, stats_.conflicts};
+  }
   std::size_t num_clauses() const { return num_problem_clauses_; }
   std::size_t num_learnts() const { return learnt_clauses_.size(); }
 

@@ -1,0 +1,218 @@
+// Shared DIP engine (attacks/engine.h): every oracle-guided attack recovers
+// keys through the same loop, maps exhausted budgets to the same statuses,
+// and feeds the same per-iteration trace records.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attacks/appsat.h"
+#include "attacks/double_dip.h"
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "core/full_lock.h"
+#include "core/verify.h"
+#include "netlist/profiles.h"
+#include "runtime/jsonl.h"
+
+namespace fl::attacks {
+namespace {
+
+using core::LockedCircuit;
+using netlist::Netlist;
+
+// Runs one named engine-backed attack and returns the sliced base result.
+AttackResult run_attack(const std::string& name, const AttackOptions& options,
+                        const LockedCircuit& locked, const Oracle& oracle) {
+  if (name == "sat") return SatAttack(options).run(locked, oracle);
+  if (name == "appsat") {
+    AppSatOptions app;
+    app.base = options;
+    return AppSat(app).run(locked, oracle);
+  }
+  return DoubleDip(options).run(locked, oracle);
+}
+
+const std::vector<std::string>& engine_attacks() {
+  static const std::vector<std::string> names = {"sat", "appsat",
+                                                 "double-dip"};
+  return names;
+}
+
+TEST(AttackEngine, AllAttacksRecoverVerifiedKeys) {
+  // Differential check: the same lock falls to every engine-backed attack,
+  // and every recovered key passes the SAT-based unlock verifier.
+  const Netlist original = netlist::make_circuit("c432", 41);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({4}));
+  const Oracle oracle(original);
+  for (const std::string& name : engine_attacks()) {
+    AttackOptions options;
+    options.timeout_s = 60.0;
+    const AttackResult result = run_attack(name, options, locked, oracle);
+    ASSERT_EQ(result.status, AttackStatus::kSuccess) << name;
+    EXPECT_TRUE(core::verify_unlocks(original, locked.netlist, result.key, 16,
+                                     1, /*sat=*/true))
+        << name;
+    EXPECT_EQ(result.key.size(), locked.key_bits()) << name;
+    // The engine's uniform per-iteration accounting holds for every attack.
+    EXPECT_GT(result.mean_clause_var_ratio, 1.0) << name;
+    if (result.iterations > 0) {
+      EXPECT_GT(result.mean_iteration_seconds, 0.0) << name;
+      EXPECT_LE(result.mean_iteration_seconds * result.iterations,
+                result.seconds)
+          << name;
+    }
+  }
+}
+
+TEST(AttackEngine, TimeoutStatusIdenticalAcrossAttacks) {
+  const Netlist original = netlist::make_circuit("c432", 42);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({16}));
+  const Oracle oracle(original);
+  for (const std::string& name : engine_attacks()) {
+    AttackOptions options;
+    options.timeout_s = 0.05;  // far too little for a 16x16 PLR
+    const AttackResult result = run_attack(name, options, locked, oracle);
+    EXPECT_EQ(result.status, AttackStatus::kTimeout) << name;
+    EXPECT_EQ(result.stop_reason, sat::StopReason::kDeadline) << name;
+    EXPECT_LT(result.seconds, 5.0) << name;
+    EXPECT_EQ(result.key.size(), locked.key_bits()) << name;
+  }
+}
+
+TEST(AttackEngine, InterruptStatusIdenticalAcrossAttacks) {
+  const Netlist original = netlist::make_circuit("c432", 43);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({8}));
+  const Oracle oracle(original);
+  const std::atomic<bool> interrupt{true};  // cancelled before the attack
+  for (const std::string& name : engine_attacks()) {
+    AttackOptions options;
+    options.interrupt = &interrupt;
+    const AttackResult result = run_attack(name, options, locked, oracle);
+    EXPECT_EQ(result.status, AttackStatus::kInterrupted) << name;
+    EXPECT_EQ(result.stop_reason, sat::StopReason::kInterrupt) << name;
+    EXPECT_EQ(result.key.size(), locked.key_bits()) << name;
+  }
+}
+
+TEST(AttackEngine, MemoryBudgetStatusIdenticalAcrossAttacks) {
+  const Netlist original = netlist::make_circuit("c880", 44);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({16, 16}));
+  const Oracle oracle(original);
+  for (const std::string& name : engine_attacks()) {
+    AttackOptions options;
+    options.memory_limit_mb = 1;
+    const AttackResult result = run_attack(name, options, locked, oracle);
+    EXPECT_EQ(result.status, AttackStatus::kOutOfMemory) << name;
+    EXPECT_EQ(result.stop_reason, sat::StopReason::kOutOfMemory) << name;
+    EXPECT_EQ(result.key.size(), locked.key_bits()) << name;
+  }
+}
+
+TEST(AttackEngine, TraceSinkRecordsEveryIteration) {
+  const Netlist original = netlist::make_circuit("c432", 45);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({4}));
+  const Oracle oracle(original);
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  AttackOptions options;
+  options.timeout_s = 60.0;
+  options.trace = &sink;
+  const AttackResult result = SatAttack(options).run(locked, oracle);
+  ASSERT_EQ(result.status, AttackStatus::kSuccess);
+  ASSERT_GT(result.iterations, 0u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::uint64_t records = 0;
+  while (std::getline(lines, line)) {
+    const auto attack = runtime::json_string_field(line, "attack");
+    ASSERT_TRUE(attack.has_value()) << line;
+    EXPECT_EQ(*attack, "sat");
+    // One record per counted iteration, in order.
+    const auto iter = runtime::json_int_field(line, "iter");
+    ASSERT_TRUE(iter.has_value()) << line;
+    EXPECT_EQ(static_cast<std::uint64_t>(*iter), records);
+    const auto dip = runtime::json_string_field(line, "dip");
+    ASSERT_TRUE(dip.has_value()) << line;
+    EXPECT_EQ(dip->size(), locked.netlist.num_inputs());
+    for (const char c : *dip) EXPECT_TRUE(c == '0' || c == '1') << line;
+    // The numeric solve fields are always present (values vary per run).
+    for (const char* key : {"cv_ratio", "decisions", "propagations",
+                            "conflicts", "solve_s"}) {
+      EXPECT_NE(line.find('"' + std::string(key) + "\":"), std::string::npos)
+          << key << " missing from " << line;
+    }
+    // No sweep driver involved: records carry no cell stamp.
+    EXPECT_FALSE(runtime::json_int_field(line, "cell").has_value()) << line;
+    ++records;
+  }
+  EXPECT_EQ(records, result.iterations);
+}
+
+TEST(AttackEngine, TraceCellStampedAndAttackLabeled) {
+  const Netlist original = netlist::make_circuit("c432", 46);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({4}));
+  const Oracle oracle(original);
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  AttackOptions options;
+  options.timeout_s = 60.0;
+  options.trace = &sink;
+  options.trace_cell = 7;
+  const DoubleDipResult result = DoubleDip(options).run(locked, oracle);
+  ASSERT_EQ(result.status, AttackStatus::kSuccess);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::uint64_t two_dip_records = 0;
+  std::uint64_t mop_up_records = 0;
+  while (std::getline(lines, line)) {
+    const auto cell = runtime::json_int_field(line, "cell");
+    ASSERT_TRUE(cell.has_value()) << line;
+    EXPECT_EQ(*cell, 7);
+    const auto attack = runtime::json_string_field(line, "attack");
+    ASSERT_TRUE(attack.has_value()) << line;
+    // The 2-DIP loop and its SAT-attack mop-up share the sink; each labels
+    // its own records.
+    if (*attack == "double-dip") {
+      ++two_dip_records;
+    } else {
+      EXPECT_EQ(*attack, "sat") << line;
+      ++mop_up_records;
+    }
+  }
+  EXPECT_EQ(two_dip_records, result.iterations);
+  EXPECT_EQ(mop_up_records, result.fallback_iterations);
+}
+
+TEST(AttackEngine, BudgetGuardMapsEachBudgetToItsStatus) {
+  AttackOptions unlimited;
+  EXPECT_FALSE(BudgetGuard(unlimited).limited());
+  EXPECT_FALSE(BudgetGuard(unlimited).exhausted().has_value());
+
+  AttackOptions timed;
+  timed.timeout_s = 1e-9;
+  const BudgetGuard expired(timed);
+  ASSERT_TRUE(expired.exhausted().has_value());
+  EXPECT_EQ(*expired.exhausted(), AttackStatus::kTimeout);
+
+  const std::atomic<bool> interrupt{true};
+  AttackOptions cancelled;
+  cancelled.interrupt = &interrupt;
+  const BudgetGuard stopped(cancelled);
+  ASSERT_TRUE(stopped.exhausted().has_value());
+  // Cancellation wins over any other budget: it is not the paper's "TO".
+  EXPECT_EQ(*stopped.exhausted(), AttackStatus::kInterrupted);
+}
+
+}  // namespace
+}  // namespace fl::attacks
