@@ -6,14 +6,17 @@
 //            structural Verilog view to <out.bench>.v.
 //   attack:  example_fulllock_cli attack <locked.bench> <oracle.bench>
 //                                        [timeout_s] [--attack NAME]
-//                                        [--portfolio K] [--trace FILE]
+//                                        [--portfolio K] [--par-mode M]
+//                                        [--trace FILE]
 //            Runs an oracle-guided attack with the oracle circuit standing
 //            in for the activated chip. --attack picks the algorithm (auto,
 //            sat, cycsat, appsat, double-dip; auto = cycsat on cyclic
-//            netlists, sat otherwise). --portfolio K races K solver
-//            configurations on the same miter; the first finisher cancels
-//            the rest. --trace FILE appends one JSONL record per DIP
-//            iteration (schema in EXPERIMENTS.md).
+//            netlists, sat otherwise). --portfolio K uses K solver threads;
+//            --par-mode picks how they cooperate: race (independent attacks,
+//            first finisher cancels the rest), share (one attack, K
+//            clause-sharing CDCL workers), or cubes (cube-and-conquer over
+//            the swap-key variables). --trace FILE appends one JSONL record
+//            per DIP iteration (schema in EXPERIMENTS.md).
 //   sweep:   example_fulllock_cli sweep <in.bench> [plr sizes...]
 //            Locks <in.bench> once per (PLR size, seed index) cell and
 //            attacks each instance, fanning the grid out over a worker
@@ -116,12 +119,17 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   std::vector<std::string> positional;
   int portfolio = 0;
   std::string attack = "auto";
+  std::string par_mode = "race";
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--portfolio" && i + 1 < argc) {
       portfolio = std::atoi(argv[++i]);
     } else if (arg.rfind("--portfolio=", 0) == 0) {
       portfolio = std::atoi(arg.c_str() + 12);
+    } else if (arg == "--par-mode" && i + 1 < argc) {
+      par_mode = argv[++i];
+    } else if (arg.rfind("--par-mode=", 0) == 0) {
+      par_mode = arg.substr(11);
     } else if (arg == "--attack" && i + 1 < argc) {
       attack = argv[++i];
     } else if (arg.rfind("--attack=", 0) == 0) {
@@ -129,6 +137,14 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
     } else {
       positional.push_back(arg);
     }
+  }
+  const std::optional<sat::ParMode> mode = sat::parse_par_mode(par_mode);
+  if (!mode.has_value()) {
+    std::fprintf(stderr,
+                 "unknown --par-mode '%s'; available modes: race, share, "
+                 "cubes\n",
+                 par_mode.c_str());
+    return 2;
   }
   if (!known_attack(attack)) {
     std::fprintf(stderr,
@@ -142,7 +158,9 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
     std::fprintf(stderr,
                  "usage: attack <locked.bench> <oracle.bench> [timeout_s]\n"
                  "  --attack NAME   one of: %s (default: auto)\n"
-                 "  --portfolio K   race K solver configs (sat/cycsat only)\n"
+                 "  --portfolio K   use K solver threads (sat/cycsat only)\n"
+                 "  --par-mode M    race (independent attacks), share "
+                 "(clause-sharing workers), or cubes (cube-and-conquer)\n"
                  "  --trace FILE    per-DIP-iteration JSONL trace\n",
                  kKnownAttacks);
     return 2;
@@ -156,6 +174,7 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   options.timeout_s =
       positional.size() > 2 ? std::atof(positional[2].c_str()) : 60.0;
   options.portfolio = portfolio;
+  options.par_mode = *mode;
   options.memory_limit_mb = run_args.memory_limit_mb;
   TraceFile trace(run_args);
   if (trace.sink.has_value()) options.trace = &*trace.sink;
@@ -215,6 +234,15 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
                 result.portfolio_winner, cfg.var_decay, cfg.clause_decay,
                 cfg.restart_unit);
   }
+  if (portfolio > 1 && *mode != sat::ParMode::kRace) {
+    std::printf("parallel: %d %s workers, %llu clauses exported, %llu "
+                "imported\n",
+                portfolio, sat::to_string(*mode),
+                static_cast<unsigned long long>(
+                    result.solver_stats.exported_clauses),
+                static_cast<unsigned long long>(
+                    result.solver_stats.imported_clauses));
+  }
   if (result.status == attacks::AttackStatus::kSuccess) {
     const bool good = core::verify_unlocks(oracle_netlist, locked.netlist,
                                            result.key, 16, 1);
@@ -229,6 +257,7 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: sweep <in.bench> [sizes...] (--attack NAME, "
+                 "--portfolio K, --par-mode race|share|cubes, "
                  "--jobs N, --jsonl PATH, --resume, --retries N, "
                  "--cell-timeout S, --mem-mb M, --trace PATH)\n");
     return 2;
@@ -236,12 +265,22 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   const netlist::Netlist original = netlist::read_bench_file(argv[2]);
   std::vector<int> sizes;
   std::string attack = "auto";
+  int portfolio = 0;
+  std::string par_mode = "race";
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--attack" && i + 1 < argc) {
       attack = argv[++i];
     } else if (arg.rfind("--attack=", 0) == 0) {
       attack = arg.substr(9);
+    } else if (arg == "--portfolio" && i + 1 < argc) {
+      portfolio = std::atoi(argv[++i]);
+    } else if (arg.rfind("--portfolio=", 0) == 0) {
+      portfolio = std::atoi(arg.c_str() + 12);
+    } else if (arg == "--par-mode" && i + 1 < argc) {
+      par_mode = argv[++i];
+    } else if (arg.rfind("--par-mode=", 0) == 0) {
+      par_mode = arg.substr(11);
     } else {
       sizes.push_back(std::atoi(arg.c_str()));
     }
@@ -249,6 +288,14 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   if (!known_attack(attack)) {
     std::fprintf(stderr, "unknown attack '%s'; available attacks: %s\n",
                  attack.c_str(), kKnownAttacks);
+    return 2;
+  }
+  const std::optional<sat::ParMode> mode = sat::parse_par_mode(par_mode);
+  if (!mode.has_value()) {
+    std::fprintf(stderr,
+                 "unknown --par-mode '%s'; available modes: race, share, "
+                 "cubes\n",
+                 par_mode.c_str());
     return 2;
   }
   if (sizes.empty()) sizes = {4, 8, 16};
@@ -314,6 +361,8 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
                 ? std::atof(std::getenv("FULLLOCK_TIMEOUT_S"))
                 : 10.0);
         options.interrupt = ctx.interrupt;
+        options.portfolio = portfolio;
+        options.par_mode = *mode;
         options.memory_limit_mb = run_args.memory_limit_mb;
         if (trace.sink.has_value()) {
           options.trace = &*trace.sink;
@@ -366,9 +415,22 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
                      results[i].attack.solver_stats.promoted_clauses)
               .field("db_size_after_reduce",
                      results[i].attack.solver_stats.db_size_after_reduce)
+              // mean_iteration_s reflects only the winning racer in race
+              // mode; solver counters above aggregate every racer/worker
+              // (see EXPERIMENTS.md before comparing across par modes).
               .field("mean_iteration_s",
                      results[i].attack.mean_iteration_seconds)
               .field("wall_s", results[i].attack.seconds);
+          if (portfolio > 1) {
+            o.field("portfolio", portfolio)
+                .field("par_mode", sat::to_string(*mode))
+                .field("portfolio_winner",
+                       results[i].attack.portfolio_winner)
+                .field("exported_clauses",
+                       results[i].attack.solver_stats.exported_clauses)
+                .field("imported_clauses",
+                       results[i].attack.solver_stats.imported_clauses);
+          }
           session.sink()->write(i, o.str());
         }
       });

@@ -142,8 +142,7 @@ class AppSatPolicy final : public DipPolicy {
 AppSatResult AppSat::run(const core::LockedCircuit& locked,
                          const Oracle& oracle) const {
   const BudgetGuard budget(options_.base);
-  MiterContext ctx(locked, MiterContext::double_key(),
-                   solver_config_for(options_.base));
+  MiterContext ctx(locked, MiterContext::double_key(), options_.base);
   if (locked.netlist.is_cyclic()) {
     // The paper runs AppSAT on top of CycSAT for cyclic Full-Lock.
     add_nc_conditions(locked.netlist, ctx.solver(), ctx.key_copy(0),

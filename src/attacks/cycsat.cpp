@@ -157,7 +157,8 @@ class NcBuilder {
 
 }  // namespace
 
-CycSatStats add_nc_conditions(const Netlist& locked, sat::Solver& solver,
+CycSatStats add_nc_conditions(const Netlist& locked,
+                              sat::SolverIface& solver,
                               std::span<const sat::Var> key1,
                               std::span<const sat::Var> key2,
                               const BudgetGuard* budget) {
@@ -186,7 +187,8 @@ CycSatStats add_nc_conditions(const Netlist& locked, sat::Solver& solver,
   return stats;
 }
 
-void CycSat::add_preconditions(const Netlist& locked, sat::Solver& solver,
+void CycSat::add_preconditions(const Netlist& locked,
+                               sat::SolverIface& solver,
                                std::span<const sat::Var> key1,
                                std::span<const sat::Var> key2,
                                const BudgetGuard& budget) const {

@@ -27,7 +27,7 @@ struct CycSatStats {
 // When `budget` is given, an exhausted budget degrades the conditions
 // instead of letting preprocessing overshoot the attack's deadline.
 CycSatStats add_nc_conditions(const netlist::Netlist& locked,
-                              sat::Solver& solver,
+                              sat::SolverIface& solver,
                               std::span<const sat::Var> key1,
                               std::span<const sat::Var> key2,
                               const BudgetGuard* budget = nullptr);
@@ -39,7 +39,8 @@ class CycSat final : public SatAttack {
   const CycSatStats& preprocess_stats() const { return stats_; }
 
  protected:
-  void add_preconditions(const netlist::Netlist& locked, sat::Solver& solver,
+  void add_preconditions(const netlist::Netlist& locked,
+                         sat::SolverIface& solver,
                          std::span<const sat::Var> key1,
                          std::span<const sat::Var> key2,
                          const BudgetGuard& budget) const override;

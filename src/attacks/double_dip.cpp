@@ -25,7 +25,7 @@ std::vector<cnf::NetLit> key_lits(const cnf::EncodedCircuit& copy) {
 // whichever side the oracle contradicts, at least two wrong keys die per
 // query (Shen & Zhou's guarantee).
 MiterContext::Parts encode_two_dip_miter(const netlist::Netlist& net,
-                                         sat::Solver& solver) {
+                                         sat::SolverIface& solver) {
   cnf::SolverSink sink(solver);
   const cnf::EncodeOptions free_inputs;
   const cnf::EncodedCircuit a = cnf::encode(net, sink, free_inputs);
@@ -122,7 +122,7 @@ DoubleDipResult DoubleDip::run(const core::LockedCircuit& locked,
   }
 
   const BudgetGuard budget(options_);
-  MiterContext ctx(locked, encode_two_dip_miter, solver_config_for(options_));
+  MiterContext ctx(locked, encode_two_dip_miter, options_);
   DoubleDipPolicy policy(locked, oracle, options_);
   static_cast<AttackResult&>(result) =
       DipLoop(oracle, options_, budget, "double-dip").run(ctx, policy);

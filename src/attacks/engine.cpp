@@ -39,7 +39,8 @@ void JsonlTraceSink::record(const IterationTrace& trace) {
 }
 
 BudgetGuard::BudgetGuard(const AttackOptions& options, Clock::time_point start)
-    : start_(start), interrupt_(options.interrupt) {
+    : start_(start), interrupt_(options.interrupt),
+      race_cancel_(options.race_cancel) {
   if (options.timeout_s > 0.0) {
     deadline_ = start + std::chrono::duration_cast<Clock::duration>(
                             std::chrono::duration<double>(options.timeout_s));
@@ -56,20 +57,22 @@ double BudgetGuard::remaining_s() const {
       0.0, std::chrono::duration<double>(*deadline_ - Clock::now()).count());
 }
 
-void BudgetGuard::arm(sat::Solver& solver) const {
+void BudgetGuard::arm(sat::SolverIface& solver) const {
   solver.set_deadline(deadline_);
-  solver.set_interrupt(interrupt_);
+  solver.set_interrupts(interrupt_, race_cancel_);
 }
 
 std::optional<AttackStatus> BudgetGuard::exhausted() const {
-  if (interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed)) {
-    return AttackStatus::kInterrupted;
+  for (const std::atomic<bool>* flag : {interrupt_, race_cancel_}) {
+    if (flag != nullptr && flag->load(std::memory_order_relaxed)) {
+      return AttackStatus::kInterrupted;
+    }
   }
   if (deadline_ && Clock::now() >= *deadline_) return AttackStatus::kTimeout;
   return std::nullopt;
 }
 
-AttackStatus BudgetGuard::undef_status(const sat::Solver& solver) const {
+AttackStatus BudgetGuard::undef_status(const sat::SolverIface& solver) const {
   switch (solver.last_stop_reason()) {
     case sat::StopReason::kInterrupt: return AttackStatus::kInterrupted;
     case sat::StopReason::kOutOfMemory: return AttackStatus::kOutOfMemory;
@@ -86,7 +89,7 @@ sat::SolverConfig solver_config_for(const AttackOptions& options,
 }
 
 MiterContext::Encoder MiterContext::double_key() {
-  return [](const netlist::Netlist& locked, sat::Solver& solver) {
+  return [](const netlist::Netlist& locked, sat::SolverIface& solver) {
     const cnf::AttackMiter miter = cnf::encode_attack_miter(locked, solver);
     Parts parts;
     parts.inputs = miter.inputs;
@@ -100,14 +103,43 @@ MiterContext::Encoder MiterContext::double_key() {
 MiterContext::MiterContext(const core::LockedCircuit& locked,
                            const Encoder& encoder,
                            const sat::SolverConfig& config)
-    : locked_(&locked), solver_(config) {
-  parts_ = encoder(locked.netlist, solver_);
+    : locked_(&locked), solver_(std::make_unique<sat::Solver>(config)) {
+  parts_ = encoder(locked.netlist, *solver_);
+}
+
+MiterContext::MiterContext(const core::LockedCircuit& locked,
+                           const Encoder& encoder,
+                           const AttackOptions& options,
+                           const sat::SolverConfig& config)
+    : locked_(&locked) {
+  const sat::SolverConfig base = solver_config_for(options, config);
+  if (options.portfolio > 1 && options.par_mode != sat::ParMode::kRace) {
+    sat::ParallelConfig pc;
+    pc.num_workers = options.portfolio;
+    pc.mode = options.par_mode;
+    pc.base = base;
+    pc.cube_depth = options.cube_depth;
+    solver_ = std::make_unique<sat::ParallelSolver>(pc);
+  } else {
+    solver_ = std::make_unique<sat::Solver>(base);
+  }
+  parts_ = encoder(locked.netlist, *solver_);
+  if (auto* parallel = dynamic_cast<sat::ParallelSolver*>(solver_.get())) {
+    // Cube-and-conquer splits on the CLN swap-key variables: hand the
+    // splitter every key copy's variables; it ranks them by VSIDS activity
+    // (or occurrence counts before any search history exists).
+    std::vector<sat::Var> keys;
+    for (const std::vector<sat::Var>& copy : parts_.key_copies) {
+      keys.insert(keys.end(), copy.begin(), copy.end());
+    }
+    parallel->set_split_candidates(std::move(keys));
+  }
 }
 
 void MiterContext::sample_ratio() {
-  if (solver_.num_vars() > 0) {
-    last_ratio_ = static_cast<double>(solver_.num_clauses()) /
-                  static_cast<double>(solver_.num_vars());
+  if (solver_->num_vars() > 0) {
+    last_ratio_ = static_cast<double>(solver_->num_clauses()) /
+                  static_cast<double>(solver_->num_vars());
     ratio_sum_ += last_ratio_;
     ++ratio_samples_;
   }
@@ -121,7 +153,7 @@ double MiterContext::mean_ratio() const {
 std::vector<bool> MiterContext::extract_pattern() const {
   std::vector<bool> pattern(parts_.inputs.size());
   for (std::size_t i = 0; i < parts_.inputs.size(); ++i) {
-    pattern[i] = solver_.value_of(parts_.inputs[i]);
+    pattern[i] = solver_->value_of(parts_.inputs[i]);
   }
   return pattern;
 }
@@ -130,7 +162,7 @@ std::vector<bool> MiterContext::extract_key(
     std::span<const sat::Var> key_vars) const {
   std::vector<bool> key(key_vars.size());
   for (std::size_t i = 0; i < key_vars.size(); ++i) {
-    key[i] = solver_.value_of(key_vars[i]);
+    key[i] = solver_->value_of(key_vars[i]);
   }
   return key;
 }
@@ -138,7 +170,8 @@ std::vector<bool> MiterContext::extract_key(
 void MiterContext::constrain_io(const std::vector<bool>& pattern,
                                 const std::vector<bool>& response) {
   for (const std::vector<sat::Var>& keys : parts_.key_copies) {
-    cnf::add_io_constraint(locked_->netlist, solver_, keys, pattern, response);
+    cnf::add_io_constraint(locked_->netlist, *solver_, keys, pattern,
+                           response);
   }
 }
 
@@ -149,7 +182,7 @@ void MiterContext::ban_key(std::span<const sat::Var> key_vars,
   for (std::size_t i = 0; i < key_vars.size(); ++i) {
     ban.push_back(sat::Lit(key_vars[i], key[i]));
   }
-  solver_.add_clause(std::move(ban));
+  solver_->add_clause(std::move(ban));
 }
 
 LoopAction DipPolicy::after_iteration(MiterContext&, const BudgetGuard&,
@@ -184,7 +217,7 @@ DipLoop::DipLoop(const Oracle& oracle, const AttackOptions& options,
 AttackResult DipLoop::run(MiterContext& ctx, DipPolicy& policy) {
   AttackResult result;
   const std::uint64_t queries_before = oracle_.num_queries();
-  sat::Solver& solver = ctx.solver();
+  sat::SolverIface& solver = ctx.solver();
 
   // Wall time spent inside completed DIP iterations (DIP solve + policy's
   // oracle query + constraint encoding); the divisor for
@@ -226,7 +259,7 @@ AttackResult DipLoop::run(MiterContext& ctx, DipPolicy& policy) {
     budget_.arm(solver);
     ctx.sample_ratio();
     const double ratio = ctx.last_ratio();
-    const sat::Solver::CounterSnapshot before = solver.counters();
+    const sat::CounterSnapshot before = solver.counters();
     const auto solve_start = Clock::now();
     const sat::LBool dip_found = solver.solve(activate);
     const double solve_s =
@@ -258,7 +291,7 @@ AttackResult DipLoop::run(MiterContext& ctx, DipPolicy& policy) {
       trace.dip.reserve(pattern.size());
       for (const bool bit : pattern) trace.dip.push_back(bit ? '1' : '0');
       trace.cv_ratio = ratio;
-      const sat::Solver::CounterSnapshot after = solver.counters();
+      const sat::CounterSnapshot after = solver.counters();
       trace.decisions = after.decisions - before.decisions;
       trace.propagations = after.propagations - before.propagations;
       trace.conflicts = after.conflicts - before.conflicts;

@@ -37,6 +37,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <ostream>
@@ -46,6 +47,7 @@
 
 #include "attacks/oracle.h"
 #include "core/locked_circuit.h"
+#include "sat/parallel.h"
 #include "sat/solver.h"
 
 namespace fl::attacks {
@@ -110,12 +112,29 @@ struct AttackOptions {
   // Polled inside every solve; a cancelled attack reports kInterrupted. The
   // attack never writes the flag. nullptr disables.
   const std::atomic<bool>* interrupt = nullptr;
-  // Portfolio mode: race this many solver configurations (restart cadence /
-  // VSIDS decay variants, see SatAttack::portfolio_config) on the same
-  // miter from parallel threads; the first decisive finisher cancels the
-  // rest. 0 or 1 = single default configuration. Which racer wins is
-  // timing-dependent, so leave this off when results must be reproducible.
+  // Parallel width: how many solver workers/racers to run. 0 or 1 = single
+  // default configuration. What the width is spent on is par_mode's choice.
+  // Winners and cube interleavings are timing-dependent, so leave this off
+  // when results must be reproducible.
   int portfolio = 0;
+  // How portfolio width > 1 is spent:
+  //  * kRace  — independent attack racers with diversified solver configs
+  //             (each runs its own DIP loop); first decisive finisher wins
+  //             and cancels the rest. No cooperation: losers' DIP work is
+  //             discarded (their search counters are aggregated).
+  //  * kShare — one DIP loop over an in-process clause-sharing portfolio
+  //             (sat::ParallelSolver): K workers on the identical miter
+  //             exchanging core-tier learnt clauses.
+  //  * kCubes — one DIP loop; each miter solve is cube-and-conquer split
+  //             over the CLN swap-key variables.
+  sat::ParMode par_mode = sat::ParMode::kRace;
+  // Cube split depth for kCubes (2^d cubes per solve); 0 derives it from
+  // the width (sat::ParallelConfig::cube_depth).
+  int cube_depth = 0;
+  // Internal (set by SatAttack::run_portfolio for race mode): the winner's
+  // cancel signal, kept separate from `interrupt` so an external
+  // cancellation and a lost race stay distinguishable in the result.
+  const std::atomic<bool>* race_cancel = nullptr;
   // Solver memory budget (sat::SolverConfig::memory_limit_mb): a solve
   // whose accounted memory crosses it returns with kOutOfMemory instead of
   // growing until the process is OOM-killed. 0 = unlimited.
@@ -140,6 +159,10 @@ struct AttackResult {
   // Mean wall time of one DIP-loop iteration (DIP solve + oracle query +
   // constraint encoding). Excludes the one-off miter encoding and the final
   // key-extraction solve, so it matches the paper's per-iteration metric.
+  // In race-mode portfolios this is the *winning racer's* loop only —
+  // losers run their own loops whose timings are dropped — while
+  // solver_stats and oracle_queries aggregate over every racer; see
+  // EXPERIMENTS.md before comparing against single-solver timings.
   double mean_iteration_seconds = 0.0;
   // Mean clauses/variables ratio over the CNF snapshots the DIP solver
   // actually worked on (one sample per DIP-miter solve).
@@ -179,9 +202,13 @@ class BudgetGuard {
   // mop-up SAT attack.
   double remaining_s() const;
 
-  // Arms `solver` with the deadline and interrupt flag; call before every
-  // solve so kUndef can be mapped back with undef_status().
-  void arm(sat::Solver& solver) const;
+  // Arms `solver` with the deadline and both interrupt flags (the caller's
+  // cancel token and, for portfolio racers, the winner's cancel signal);
+  // call before every solve so kUndef can be mapped back with
+  // undef_status(). Folding the race signal into the solver's own poll
+  // points replaced the old watcher thread that busy-polled the external
+  // flag every 2 ms.
+  void arm(sat::SolverIface& solver) const;
 
   // Non-solver poll point (preprocessing loops, sensitization's per-key
   // sweep): the status a budget-exhausted attack must report, or nullopt
@@ -191,12 +218,13 @@ class BudgetGuard {
   // Maps a solve() that returned kUndef back to an attack status via the
   // solver's stop reason. An external cancellation and a tripped memory
   // budget are not the paper's "TO".
-  AttackStatus undef_status(const sat::Solver& solver) const;
+  AttackStatus undef_status(const sat::SolverIface& solver) const;
 
  private:
   Clock::time_point start_;
   std::optional<Clock::time_point> deadline_;
   const std::atomic<bool>* interrupt_ = nullptr;
+  const std::atomic<bool>* race_cancel_ = nullptr;
 };
 
 // The attack's solver configuration: `base` (portfolio diversification)
@@ -220,7 +248,8 @@ class MiterContext {
     sat::Lit activate = sat::kUndefLit;
     bool trivially_equal = false;
   };
-  using Encoder = std::function<Parts(const netlist::Netlist&, sat::Solver&)>;
+  using Encoder =
+      std::function<Parts(const netlist::Netlist&, sat::SolverIface&)>;
 
   // The standard double-key miter of Subramanyan et al. (two copies sharing
   // the primary inputs, independent keys K1/K2, some output differs).
@@ -228,9 +257,19 @@ class MiterContext {
 
   MiterContext(const core::LockedCircuit& locked, const Encoder& encoder,
                const sat::SolverConfig& config = {});
+  // Routes the attack's parallel width through the solver: with
+  // options.portfolio > 1 and par_mode kShare/kCubes the context owns a
+  // sat::ParallelSolver (cube mode is seeded with every key copy's
+  // variables as split candidates); otherwise a plain sequential solver.
+  // `config` is the base solver configuration before the attack-level
+  // memory budget is folded in (solver_config_for).
+  MiterContext(const core::LockedCircuit& locked, const Encoder& encoder,
+               const AttackOptions& options,
+               const sat::SolverConfig& config = {});
 
   const core::LockedCircuit& locked() const { return *locked_; }
-  sat::Solver& solver() { return solver_; }
+  sat::SolverIface& solver() { return *solver_; }
+  const sat::SolverIface& solver() const { return *solver_; }
   const std::vector<sat::Var>& inputs() const { return parts_.inputs; }
   std::size_t num_key_copies() const { return parts_.key_copies.size(); }
   std::span<const sat::Var> key_copy(std::size_t i) const {
@@ -263,7 +302,7 @@ class MiterContext {
 
  private:
   const core::LockedCircuit* locked_;
-  sat::Solver solver_;
+  std::unique_ptr<sat::SolverIface> solver_;
   Parts parts_;
   double ratio_sum_ = 0.0;
   double last_ratio_ = 0.0;

@@ -114,35 +114,21 @@ class SingleDipPolicy final : public DipPolicy {
 
 }  // namespace
 
-void SatAttack::add_preconditions(const netlist::Netlist&, sat::Solver&,
+void SatAttack::add_preconditions(const netlist::Netlist&, sat::SolverIface&,
                                   std::span<const sat::Var>,
                                   std::span<const sat::Var>,
                                   const BudgetGuard&) const {}
 
 AttackResult SatAttack::run(const core::LockedCircuit& locked,
                             const Oracle& oracle) const {
-  if (options_.portfolio > 1) return run_portfolio(locked, oracle);
-  return run_single(locked, oracle, sat::SolverConfig{}, options_.interrupt);
-}
-
-sat::SolverConfig SatAttack::portfolio_config(int k) {
-  // Diversity along the two axes CDCL portfolios classically race: VSIDS
-  // agility (decay) and restart cadence. Entry 0 keeps the MiniSat defaults.
-  static constexpr struct {
-    double var_decay;
-    double clause_decay;
-    int restart_unit;
-  } kConfigs[] = {
-      {0.95, 0.999, 128},   // MiniSat defaults
-      {0.80, 0.999, 32},    // agile: fast decay, rapid restarts
-      {0.99, 0.995, 512},   // sluggish: long-horizon activity, rare restarts
-      {0.90, 0.9995, 64},   // moderately agile
-      {0.95, 0.999, 1024},  // default decay, near-monolithic runs
-      {0.85, 0.99, 256},
-  };
-  constexpr int n = static_cast<int>(std::size(kConfigs));
-  const auto& c = kConfigs[((k % n) + n) % n];
-  return {c.var_decay, c.clause_decay, c.restart_unit};
+  // Race mode spawns independent attacks; share/cubes cooperate inside one
+  // attack through a ParallelSolver (built by the MiterContext), so they go
+  // down the single-attack path.
+  if (options_.portfolio > 1 && options_.par_mode == sat::ParMode::kRace) {
+    return run_portfolio(locked, oracle);
+  }
+  return run_single(locked, oracle, sat::SolverConfig{}, options_.interrupt,
+                    nullptr);
 }
 
 AttackResult SatAttack::run_portfolio(const core::LockedCircuit& locked,
@@ -156,7 +142,11 @@ AttackResult SatAttack::run_portfolio(const core::LockedCircuit& locked,
   racers.reserve(static_cast<std::size_t>(width));
   for (int k = 0; k < width; ++k) {
     racers.emplace_back([&, k] {
-      results[k] = run_single(locked, oracle, portfolio_config(k), &cancel);
+      // Each racer watches both the caller's interrupt and the shared race
+      // cancel token directly inside its solver's interrupt chain; no
+      // forwarding thread is needed to relay external cancellation.
+      results[k] = run_single(locked, oracle, portfolio_config(k),
+                              options_.interrupt, &cancel);
       const bool decisive = results[k].status == AttackStatus::kSuccess ||
                             results[k].status == AttackStatus::kKeySpaceEmpty;
       if (decisive) {
@@ -167,27 +157,41 @@ AttackResult SatAttack::run_portfolio(const core::LockedCircuit& locked,
       }
     });
   }
-  // Forward external cancellation into the race while the racers run.
-  std::atomic<bool> race_done{false};
-  std::thread watcher;
-  if (options_.interrupt != nullptr) {
-    watcher = std::thread([&] {
-      while (!race_done.load(std::memory_order_relaxed)) {
-        if (options_.interrupt->load(std::memory_order_relaxed)) {
-          cancel.store(true, std::memory_order_relaxed);
-          return;
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(2));
-      }
-    });
-  }
   for (std::thread& t : racers) t.join();
-  race_done.store(true, std::memory_order_relaxed);
-  if (watcher.joinable()) watcher.join();
+
+  // Aggregate every racer's solver counters before moving anything out: the
+  // losers' work (conflicts, propagations, learnt clauses) is real attack
+  // cost and must not vanish from sweep records.
+  sat::SolverStats aggregate;
+  for (const AttackResult& r : results) {
+    sat::aggregate_stats(aggregate, r.solver_stats);
+  }
 
   const int w = winner.load();
-  AttackResult result = w >= 0 ? std::move(results[w]) : std::move(results[0]);
+  AttackResult result;
+  if (w >= 0) {
+    result = std::move(results[w]);
+  } else if (options_.interrupt != nullptr &&
+             options_.interrupt->load(std::memory_order_relaxed)) {
+    // Genuinely interrupted from outside: any racer's kInterrupted stands.
+    result = std::move(results[0]);
+    result.status = AttackStatus::kInterrupted;
+  } else {
+    // No winner and no external interrupt: every kInterrupted here is a
+    // loser cancelled by a racer that then failed to finish decisively
+    // (can't happen today, but don't let it leak). Prefer a result that
+    // carries a real terminal status (timeout, iteration limit, OOM).
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].status != AttackStatus::kInterrupted) {
+        pick = i;
+        break;
+      }
+    }
+    result = std::move(results[pick]);
+  }
   result.portfolio_winner = w;
+  result.solver_stats = aggregate;
   // The racers share one oracle, so per-racer query deltas interleave;
   // report the total the whole portfolio consumed instead.
   result.oracle_queries = oracle.num_queries() - queries_before;
@@ -197,13 +201,13 @@ AttackResult SatAttack::run_portfolio(const core::LockedCircuit& locked,
 AttackResult SatAttack::run_single(const core::LockedCircuit& locked,
                                    const Oracle& oracle,
                                    const sat::SolverConfig& config,
-                                   const std::atomic<bool>* interrupt) const {
-  // Portfolio racers get the shared cancel flag instead of the caller's.
+                                   const std::atomic<bool>* interrupt,
+                                   const std::atomic<bool>* race_cancel) const {
   AttackOptions options = options_;
   options.interrupt = interrupt;
+  options.race_cancel = race_cancel;
   const BudgetGuard budget(options);
-  MiterContext ctx(locked, MiterContext::double_key(),
-                   solver_config_for(options, config));
+  MiterContext ctx(locked, MiterContext::double_key(), options, config);
   add_preconditions(locked.netlist, ctx.solver(), ctx.key_copy(0),
                     ctx.key_copy(1), budget);
   SingleDipPolicy policy(locked, oracle);

@@ -24,17 +24,21 @@ class SatAttack {
   AttackResult run(const core::LockedCircuit& locked,
                    const Oracle& oracle) const;
 
-  // The solver configuration racer `k` uses in portfolio mode. Config 0 is
-  // the default SolverConfig, so a 1-wide portfolio degenerates to the
-  // plain attack; further entries diversify restart cadence and decay.
-  static sat::SolverConfig portfolio_config(int k);
+  // The solver configuration racer `k` uses in race mode. Config 0 is the
+  // default SolverConfig, so a 1-wide portfolio degenerates to the plain
+  // attack; further entries diversify restart cadence and decay, with
+  // deterministic jitter past the hand-picked table so arbitrarily wide
+  // portfolios never duplicate a schedule (sat::diversified_config).
+  static sat::SolverConfig portfolio_config(int k) {
+    return sat::diversified_config(k);
+  }
 
  protected:
   // Hook for CycSAT: add pre-conditions on the two key-variable sets before
   // the DIP loop starts. `budget` lets long preprocessing degrade instead
   // of blowing the attack's wall budget.
   virtual void add_preconditions(const netlist::Netlist& locked,
-                                 sat::Solver& solver,
+                                 sat::SolverIface& solver,
                                  std::span<const sat::Var> key1,
                                  std::span<const sat::Var> key2,
                                  const BudgetGuard& budget) const;
@@ -49,7 +53,8 @@ class SatAttack {
   AttackResult run_single(const core::LockedCircuit& locked,
                           const Oracle& oracle,
                           const sat::SolverConfig& config,
-                          const std::atomic<bool>* interrupt) const;
+                          const std::atomic<bool>* interrupt,
+                          const std::atomic<bool>* race_cancel) const;
   AttackResult run_portfolio(const core::LockedCircuit& locked,
                              const Oracle& oracle) const;
 

@@ -9,7 +9,8 @@ using netlist::Netlist;
 using sat::Lit;
 using sat::Var;
 
-AttackMiter encode_attack_miter(const Netlist& locked, sat::Solver& solver) {
+AttackMiter encode_attack_miter(const Netlist& locked,
+                                sat::SolverIface& solver) {
   SolverSink sink(solver);
   if (locked.num_keys() == 0) {
     // No key inputs: both copies are identical functions by construction.
@@ -56,7 +57,7 @@ AttackMiter encode_attack_miter(const Netlist& locked, sat::Solver& solver) {
   return miter;
 }
 
-void add_io_constraint(const Netlist& locked, sat::Solver& solver,
+void add_io_constraint(const Netlist& locked, sat::SolverIface& solver,
                        std::span<const sat::Var> key_vars,
                        const std::vector<bool>& pattern,
                        const std::vector<bool>& response) {

@@ -23,12 +23,13 @@ struct AttackMiter {
 };
 
 AttackMiter encode_attack_miter(const netlist::Netlist& locked,
-                                sat::Solver& solver);
+                                sat::SolverIface& solver);
 
 // Adds the constraint "locked(pattern, K) == response" for the key variables
 // `key_vars` (one circuit copy with inputs fixed; constants are folded when
 // the netlist is acyclic).
-void add_io_constraint(const netlist::Netlist& locked, sat::Solver& solver,
+void add_io_constraint(const netlist::Netlist& locked,
+                       sat::SolverIface& solver,
                        std::span<const sat::Var> key_vars,
                        const std::vector<bool>& pattern,
                        const std::vector<bool>& response);

@@ -29,14 +29,14 @@ class ClauseSink {
 
 class SolverSink final : public ClauseSink {
  public:
-  explicit SolverSink(sat::Solver& solver) : solver_(solver) {}
+  explicit SolverSink(sat::SolverIface& solver) : solver_(solver) {}
   sat::Var new_var() override { return solver_.new_var(); }
   void add_clause(sat::Clause clause) override {
     solver_.add_clause(std::move(clause));
   }
 
  private:
-  sat::Solver& solver_;
+  sat::SolverIface& solver_;
 };
 
 class CnfSink final : public ClauseSink {

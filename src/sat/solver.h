@@ -28,29 +28,19 @@
 //    branching, propagations, conflicts ~ backtracks).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "sat/solver_iface.h"
 #include "sat/types.h"
 
 namespace fl::sat {
-
-// Why the most recent solve() returned kUndef — or kNone when it ran to a
-// decisive kTrue/kFalse. Lets callers (and the sweep JSONL schema) tell a
-// wall-clock timeout apart from cooperative cancellation, a conflict
-// budget, and the solver's own memory budget tripping.
-enum class StopReason : std::uint8_t {
-  kNone = 0,        // solve completed (kTrue / kFalse)
-  kConflictBudget,  // set_conflict_budget() exhausted
-  kDeadline,        // set_deadline() passed
-  kInterrupt,       // set_interrupt() flag observed
-  kOutOfMemory,     // SolverConfig::memory_limit_mb exceeded
-};
-const char* to_string(StopReason reason);
 
 // Search-parameter knobs. The defaults are the classic MiniSat values; the
 // attack portfolio mode races several of these on the same instance (CDCL
@@ -68,60 +58,25 @@ struct SolverConfig {
   std::size_t memory_limit_mb = 0;
 };
 
-struct SolverStats {
-  std::uint64_t decisions = 0;
-  std::uint64_t propagations = 0;
-  // Implications enqueued through the binary implication lists (a subset of
-  // the work `propagations` counts trail literals for).
-  std::uint64_t binary_propagations = 0;
-  std::uint64_t conflicts = 0;
-  std::uint64_t restarts = 0;
-  std::uint64_t learned_clauses = 0;
-  std::uint64_t learned_literals = 0;
-  // Learnt clauses of size 2 (these live in the binary implication lists
-  // and are never eligible for reduction).
-  std::uint64_t learned_binary = 0;
-  // LBD histogram summary over learnt clauses, measured at 1UIP time:
-  // sum (mean = lbd_sum / learned_clauses), glue count (LBD <= 2), max.
-  std::uint64_t lbd_sum = 0;
-  std::uint64_t glue_learned = 0;
-  std::uint64_t max_lbd = 0;
-  // Local-tier clauses whose LBD improved to glue level during a later
-  // conflict analysis and were moved into the kept-forever core tier.
-  std::uint64_t promoted_clauses = 0;
-  // Clauses dropped by reduce_db (local tier only).
-  std::uint64_t removed_clauses = 0;
-  // Learnt-database size right after the most recent reduce_db.
-  std::uint64_t db_size_after_reduce = 0;
-  // Root-level simplification between incremental solves: satisfied
-  // problem/learnt clauses dropped, falsified literals stripped.
-  std::uint64_t simplify_removed_clauses = 0;
-  std::uint64_t simplify_removed_literals = 0;
-  // High-water mark of memory_bytes(), sampled at the end of every solve().
-  std::uint64_t peak_memory_bytes = 0;
-};
-
-class Solver {
+class Solver final : public SolverIface {
  public:
   explicit Solver(SolverConfig config = {});
-  ~Solver();
+  ~Solver() override;
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
 
-  Var new_var();
-  int num_vars() const { return static_cast<int>(assign_.size()); }
+  Var new_var() override;
+  int num_vars() const override { return static_cast<int>(assign_.size()); }
 
   // Returns false if the clause makes the formula trivially UNSAT (empty
   // clause after root-level simplification). The solver stays usable but
   // will report UNSAT from then on.
-  bool add_clause(Clause clause);
-  bool add_clause(std::initializer_list<Lit> lits) {
-    return add_clause(Clause(lits));
-  }
+  bool add_clause(Clause clause) override;
+  using SolverIface::add_clause;
 
   // Solves under the given assumptions. kUndef means a budget/deadline was
   // hit. The model (for kTrue) is read with value_of/model().
-  LBool solve(std::span<const Lit> assumptions = {});
+  LBool solve(std::span<const Lit> assumptions = {}) override;
 
   // Root-level database simplification: removes clauses satisfied by
   // root-level assignments and strips falsified literals. Runs
@@ -131,62 +86,99 @@ class Solver {
   void simplify();
 
   // Model access; only valid after solve() returned kTrue.
-  bool value_of(Var v) const;
-  std::vector<bool> model() const;
+  bool value_of(Var v) const override;
+  std::vector<bool> model() const override;
 
   // Phase hint: the polarity the next decision on `v` tries first.
   // Overwritten again whenever `v` is assigned (phase saving). Callers use
   // this to diversify the models of successive SAT calls — decisions
   // otherwise cluster around the all-false default, so "enumerate another
   // witness" loops re-find near-copies of the previous model.
-  void set_phase(Var v, bool phase) {
+  void set_phase(Var v, bool phase) override {
     saved_phase_[v] = phase ? 1 : 0;
   }
 
   // Budgets: 0 disables. The deadline is checked after every conflict and
   // every few decisions, so a solve overshoots it by at most a handful of
   // fast decisions.
-  void set_conflict_budget(std::uint64_t max_conflicts) {
+  void set_conflict_budget(std::uint64_t max_conflicts) override {
     conflict_budget_ = max_conflicts;
   }
-  void set_deadline(std::optional<std::chrono::steady_clock::time_point> t) {
+  void set_deadline(
+      std::optional<std::chrono::steady_clock::time_point> t) override {
     deadline_ = t;
   }
 
-  // Cooperative cancellation from another thread (portfolio racing, pool
-  // shutdown): the flag is polled at the same boundaries as the deadline and
-  // never written by the solver. nullptr disables.
-  void set_interrupt(const std::atomic<bool>* flag) { interrupt_ = flag; }
+  // Cooperative cancellation from other threads (portfolio racing, pool
+  // shutdown): the flags are polled at the same boundaries as the deadline
+  // and never written by the solver. nullptr disables a slot. The third
+  // slot exists for the parallel solver, which chains its own stop signal
+  // behind the two caller-owned flags.
+  void set_interrupts(const std::atomic<bool>* primary,
+                      const std::atomic<bool>* secondary) override {
+    interrupts_[0] = primary;
+    interrupts_[1] = secondary;
+  }
+  using SolverIface::set_interrupt;
+  void set_interrupt_chain(const std::atomic<bool>* primary,
+                           const std::atomic<bool>* secondary,
+                           const std::atomic<bool>* tertiary) {
+    interrupts_[0] = primary;
+    interrupts_[1] = secondary;
+    interrupts_[2] = tertiary;
+  }
 
   // True iff the most recent solve() returned kUndef because a conflict
   // budget, deadline, interrupt or memory budget cut the search short.
   // Cleared at the start of every solve().
-  bool last_solve_interrupted() const { return budget_hit_; }
+  bool last_solve_interrupted() const override { return budget_hit_; }
 
   // Which budget cut the most recent solve() short (kNone when it ran to a
   // decisive answer). Cleared at the start of every solve().
-  StopReason last_stop_reason() const { return stop_reason_; }
+  StopReason last_stop_reason() const override { return stop_reason_; }
 
   // Bytes currently held by the solver's own data structures: the clause
   // arena, clause databases, watch lists, trail and per-variable state.
   // What SolverConfig::memory_limit_mb is enforced against.
-  std::size_t memory_bytes() const;
+  std::size_t memory_bytes() const override;
 
-  const SolverStats& stats() const { return stats_; }
+  const SolverStats& stats() const override { return stats_; }
 
-  // Cheap monotonic snapshot of the hot search counters, for callers that
-  // measure deltas around a single solve() (the attack engine's
-  // per-iteration trace) without copying the full SolverStats.
-  struct CounterSnapshot {
-    std::uint64_t decisions = 0;
-    std::uint64_t propagations = 0;
-    std::uint64_t conflicts = 0;
-  };
-  CounterSnapshot counters() const {
+  CounterSnapshot counters() const override {
     return {stats_.decisions, stats_.propagations, stats_.conflicts};
   }
-  std::size_t num_clauses() const { return num_problem_clauses_; }
-  std::size_t num_learnts() const { return learnt_clauses_.size(); }
+  std::size_t num_clauses() const override { return num_problem_clauses_; }
+  std::size_t num_learnts() const override { return learnt_clauses_.size(); }
+
+  // ---- Clause sharing (parallel portfolio) ------------------------------
+  //
+  // The export hook fires for every core-tier learnt — glue clauses
+  // (LBD <= 2), binaries, and learnt units — exactly the tier the learnt DB
+  // already keeps forever, so sharing adds no new quality judgement. It runs
+  // on the solver's own thread mid-search; implementations must be
+  // thread-safe against other solvers' hooks but get `lits` only for the
+  // duration of the call.
+  using ExportHook =
+      std::function<void(std::span<const Lit> lits, std::uint32_t lbd)>;
+  void set_export_hook(ExportHook hook) { export_hook_ = std::move(hook); }
+
+  // The import hook runs at decision level 0, once before the first restart
+  // of every solve() and then at every restart boundary — the only points
+  // where foreign clauses can be attached without repair work. It should
+  // call import_clause() for each clause it wants to hand over.
+  using ImportHook = std::function<void(Solver&)>;
+  void set_import_hook(ImportHook hook) { import_hook_ = std::move(hook); }
+
+  // Adds a clause learnt by another solver over the *same* formula. Must be
+  // called at decision level 0 (i.e. from an import hook). Root-satisfied
+  // clauses are skipped, root-falsified literals stripped; units are
+  // enqueued and propagated. Returns false iff the import made the formula
+  // UNSAT (the foreign clause was a consequence, so the formula really is).
+  bool import_clause(std::span<const Lit> lits, std::uint32_t lbd);
+
+  // VSIDS activity of `v` — the cube-and-conquer splitter ranks swap-key
+  // variables by it once a worker has search history.
+  double activity_of(Var v) const { return activity_[v]; }
 
  private:
   // Word offset of a clause in arena_. kNullRef doubles as "no reason"
@@ -297,7 +289,13 @@ class Solver {
   std::size_t simplified_trail_ = 0;  // root trail size at last simplify()
   std::uint64_t conflicts_at_simplify_ = 0;
   std::optional<std::chrono::steady_clock::time_point> deadline_;
-  const std::atomic<bool>* interrupt_ = nullptr;
+  // Interrupt flags, all polled at the same boundaries: [0] the caller's
+  // cancel token, [1] a race/portfolio winner signal, [2] the parallel
+  // solver's internal stop flag.
+  std::array<const std::atomic<bool>*, 3> interrupts_{};
+  ExportHook export_hook_;
+  ImportHook import_hook_;
+  std::vector<Lit> import_scratch_;
   mutable std::uint64_t deadline_check_countdown_ = 0;
   mutable bool budget_hit_ = false;
   mutable StopReason stop_reason_ = StopReason::kNone;
