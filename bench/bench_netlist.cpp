@@ -1,0 +1,307 @@
+// Netlist-substrate benchmark: proves the arena/SIMD stack at production
+// scale (Table-5-shaped synthetic circuits scaled to 64K–1M gates).
+//
+// Per profile the bench runs the full substrate path end-to-end:
+//   generate -> graph caches (topo/fanout/levels) -> structural hashing
+//   (optimize) -> oracle simulation throughput, legacy 64-bit run() vs the
+//   wide run_batch() engine -> Full-Lock PLR lock -> iteration-bounded SAT
+//   attack -> verify_unlocks with the correct key.
+//
+// Emits one JSONL record per profile plus a trailing summary record to
+// BENCH_netlist.json (--out PATH). Wall-clock and throughput fields carry
+// the `_s` suffix (the only fields allowed to differ between runs);
+// `speedup` follows the bench_solver precedent. The oracle accounting
+// check (`accounting_ok`) asserts num_queries() == patterns evaluated.
+//
+// Flags:
+//   --smoke       synth64k only, small pattern counts (CI sanitizers)
+//   --out PATH    output file (default BENCH_netlist.json)
+//   --repeat N    timing repetitions for the throughput suite, min is
+//                 reported (default 3)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "bench/bench_util.h"
+#include "core/full_lock.h"
+#include "core/verify.h"
+#include "netlist/optimize.h"
+#include "netlist/profiles.h"
+#include "netlist/simd.h"
+#include "runtime/jsonl.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using fl::netlist::GateId;
+using fl::netlist::Word;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ProfileResult {
+  std::string name;
+  std::size_t gates = 0;
+  std::size_t gates_after_opt = 0;
+  std::size_t key_bits = 0;
+  double gen_s = 0.0;
+  double graph_build_s = 0.0;
+  double graph_requery_s = 0.0;
+  double optimize_s = 0.0;
+  fl::netlist::OptimizeStats opt_stats;
+  // Throughput suite (min wall over --repeat runs).
+  std::size_t patterns = 0;
+  double base_wall_s = 0.0;
+  double wide_wall_s = 0.0;
+  double base_patterns_per_s = 0.0;
+  double wide_patterns_per_s = 0.0;
+  double speedup = 0.0;
+  bool match_ok = false;       // wide outputs == legacy outputs
+  bool accounting_ok = false;  // oracle charged exactly the patterns run
+  // Lock + bounded attack + verify.
+  double lock_s = 0.0;
+  std::string attack_status;
+  std::uint64_t attack_iterations = 0;
+  std::uint64_t attack_queries = 0;
+  double attack_wall_s = 0.0;
+  bool verify_ok = false;
+  double verify_s = 0.0;
+  double total_wall_s = 0.0;
+};
+
+// Legacy-vs-wide oracle simulation throughput over the same random pattern
+// matrix. The legacy path is the pre-arena behavior: one 64-pattern run()
+// per word with a fresh value vector each call.
+void run_throughput(const fl::netlist::Netlist& original, std::size_t n_words,
+                    int repeat, ProfileResult& r) {
+  const std::size_t n_in = original.num_inputs();
+  const std::size_t n_out = original.num_outputs();
+  std::mt19937_64 rng(0xBE7C4ull);
+  std::vector<Word> inputs(n_in * n_words);
+  for (Word& w : inputs) w = rng();
+
+  const fl::attacks::Oracle oracle(original);
+  std::vector<Word> base_out(n_out * n_words);
+  std::vector<Word> wide_out(n_out * n_words);
+  r.patterns = n_words * 64;
+  r.base_wall_s = 1e100;
+  r.wide_wall_s = 1e100;
+  for (int rep = 0; rep < repeat; ++rep) {
+    const auto base_start = Clock::now();
+    std::vector<Word> in_w(n_in);
+    for (std::size_t w = 0; w < n_words; ++w) {
+      for (std::size_t i = 0; i < n_in; ++i) in_w[i] = inputs[i * n_words + w];
+      const std::vector<Word> out = oracle.query_words(in_w, 64);
+      for (std::size_t o = 0; o < n_out; ++o) base_out[o * n_words + w] = out[o];
+    }
+    r.base_wall_s = std::min(r.base_wall_s, seconds_since(base_start));
+
+    const auto wide_start = Clock::now();
+    oracle.query_batch(inputs, n_words, n_words * 64, wide_out);
+    r.wide_wall_s = std::min(r.wide_wall_s, seconds_since(wide_start));
+  }
+  r.base_patterns_per_s =
+      r.base_wall_s > 0.0 ? static_cast<double>(r.patterns) / r.base_wall_s : 0.0;
+  r.wide_patterns_per_s =
+      r.wide_wall_s > 0.0 ? static_cast<double>(r.patterns) / r.wide_wall_s : 0.0;
+  r.speedup = r.base_wall_s > 0.0 && r.wide_wall_s > 0.0
+                  ? r.base_wall_s / r.wide_wall_s
+                  : 0.0;
+  r.match_ok = (base_out == wide_out);
+  // Every repetition charged n_words*64 on each path; nothing more, nothing
+  // less — partial or double charging shows up here immediately.
+  const std::uint64_t expected =
+      2ull * static_cast<std::uint64_t>(repeat) * n_words * 64;
+  r.accounting_ok = (oracle.num_queries() == expected);
+}
+
+ProfileResult run_profile(const fl::netlist::BenchmarkProfile& profile,
+                          std::size_t n_words, int repeat) {
+  ProfileResult r;
+  r.name = profile.name;
+  const auto total_start = Clock::now();
+
+  auto start = Clock::now();
+  const fl::netlist::Netlist original = fl::netlist::make_circuit(profile, 1);
+  r.gen_s = seconds_since(start);
+  r.gates = original.num_gates();
+
+  // Cold graph-cache build (one Kahn + fanout CSR + levels), then the
+  // cached re-query cost.
+  start = Clock::now();
+  (void)original.topo_span();
+  (void)original.levels_span();
+  (void)original.fanout(0);
+  r.graph_build_s = seconds_since(start);
+  start = Clock::now();
+  for (int i = 0; i < 1000; ++i) (void)original.topo_span();
+  r.graph_requery_s = seconds_since(start) / 1000.0;
+
+  start = Clock::now();
+  const fl::netlist::Netlist optimized =
+      fl::netlist::optimize(original, &r.opt_stats);
+  r.optimize_s = seconds_since(start);
+  r.gates_after_opt = optimized.num_gates();
+
+  run_throughput(original, n_words, repeat, r);
+
+  start = Clock::now();
+  fl::core::FullLockConfig config = fl::core::FullLockConfig::with_plrs(
+      {16}, fl::core::ClnTopology::kShuffleBlocking,
+      fl::core::CycleMode::kAvoid,
+      /*twist_luts=*/false, /*negate_probability=*/0.5);
+  config.seed = 7;
+  const fl::core::LockedCircuit locked = fl::core::full_lock(original, config);
+  r.lock_s = seconds_since(start);
+  r.key_bits = locked.correct_key.size();
+
+  // Iteration-bounded attack: enough to prove the DIP loop (miter CNF,
+  // oracle queries, key extraction) runs at this scale, deterministic
+  // because the bound — not the clock — ends it.
+  const fl::attacks::Oracle oracle(original);
+  fl::attacks::AttackOptions options;
+  options.timeout_s = fl::bench::env_double("FULLLOCK_TIMEOUT_S", 600.0);
+  options.max_iterations = 2;
+  start = Clock::now();
+  const fl::attacks::AttackResult attack =
+      fl::attacks::SatAttack(options).run(locked, oracle);
+  r.attack_wall_s = seconds_since(start);
+  r.attack_status = fl::attacks::to_string(attack.status);
+  r.attack_iterations = attack.iterations;
+  r.attack_queries = attack.oracle_queries;
+
+  start = Clock::now();
+  r.verify_ok = fl::core::verify_unlocks(original, locked.netlist,
+                                         locked.correct_key, /*rounds=*/4,
+                                         /*seed=*/11, /*also_sat_check=*/false);
+  r.verify_s = seconds_since(start);
+  r.total_wall_s = seconds_since(total_start);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bool smoke = false;
+    std::string out_path = "BENCH_netlist.json";
+    int repeat = 3;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--smoke") == 0) {
+        smoke = true;
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+        repeat = std::max(1, std::atoi(argv[++i]));
+      } else {
+        std::fprintf(stderr,
+                     "usage: bench_netlist [--smoke] [--out PATH] [--repeat N]\n");
+        return 1;
+      }
+    }
+
+    std::vector<std::string> profile_names;
+    if (smoke) {
+      profile_names = {"synth64k"};
+    } else {
+      for (const auto& p : fl::netlist::scaled_profiles()) {
+        profile_names.push_back(p.name);
+      }
+    }
+    const std::size_t n_words = smoke ? 16 : 64;
+    if (smoke) repeat = 1;
+
+    std::vector<ProfileResult> results;
+    for (const std::string& name : profile_names) {
+      const auto profile = fl::netlist::find_profile(name);
+      results.push_back(run_profile(*profile, n_words, repeat));
+      const ProfileResult& r = results.back();
+      std::printf(
+          "%-10s %8zu gates  gen %.2fs  graph %.2fs  opt %.2fs  "
+          "sim %.2fx (%.0f -> %.0f pat/s)  attack %s/%llu  verify %s\n",
+          r.name.c_str(), r.gates, r.gen_s, r.graph_build_s, r.optimize_s,
+          r.speedup, r.base_patterns_per_s, r.wide_patterns_per_s,
+          r.attack_status.c_str(),
+          static_cast<unsigned long long>(r.attack_iterations),
+          r.verify_ok ? "ok" : "FAIL");
+      std::fflush(stdout);
+    }
+
+    double log_speedup = 0.0, min_speedup = 1e100;
+    bool all_ok = true;
+    for (const ProfileResult& r : results) {
+      log_speedup += std::log(std::max(r.speedup, 1e-9));
+      min_speedup = std::min(min_speedup, r.speedup);
+      all_ok = all_ok && r.match_ok && r.accounting_ok && r.verify_ok;
+    }
+    const double geomean_speedup =
+        results.empty()
+            ? 0.0
+            : std::exp(log_speedup / static_cast<double>(results.size()));
+
+    std::ofstream file = fl::runtime::open_jsonl(out_path);
+    fl::runtime::JsonlSink sink(file);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ProfileResult& r = results[i];
+      fl::runtime::JsonObject o;
+      o.field("bench", "bench_netlist")
+          .field("suite", "substrate")
+          .field("workload", r.name)
+          .field("simd_level", fl::netlist::simd::kSimdLevel)
+          .field("gates", r.gates)
+          .field("gates_after_opt", r.gates_after_opt)
+          .field("strash_merged", r.opt_stats.subexpressions_merged)
+          .field("strash_absorptions", r.opt_stats.absorptions_applied)
+          .field("strash_xor_cancelled", r.opt_stats.xor_pairs_cancelled)
+          .field("patterns", r.patterns)
+          .field("match_ok", r.match_ok)
+          .field("accounting_ok", r.accounting_ok)
+          .field("key_bits", r.key_bits)
+          .field("attack_status", r.attack_status)
+          .field("attack_iterations", r.attack_iterations)
+          .field("attack_queries", r.attack_queries)
+          .field("verify_ok", r.verify_ok)
+          .field("speedup", r.speedup)
+          .field("gen_s", r.gen_s)
+          .field("graph_build_s", r.graph_build_s)
+          .field("graph_requery_s", r.graph_requery_s)
+          .field("optimize_s", r.optimize_s)
+          .field("base_wall_s", r.base_wall_s)
+          .field("wide_wall_s", r.wide_wall_s)
+          .field("base_patterns_per_s", r.base_patterns_per_s)
+          .field("wide_patterns_per_s", r.wide_patterns_per_s)
+          .field("lock_s", r.lock_s)
+          .field("attack_wall_s", r.attack_wall_s)
+          .field("verify_s", r.verify_s)
+          .field("total_wall_s", r.total_wall_s);
+      sink.write(i, o.str());
+    }
+    fl::runtime::JsonObject summary;
+    summary.field("bench", "bench_netlist")
+        .field("suite", "summary")
+        .field("profiles", results.size())
+        .field("smoke", smoke)
+        .field("simd_level", fl::netlist::simd::kSimdLevel)
+        .field("all_checks_ok", all_ok)
+        .field("min_speedup", min_speedup)
+        .field("geomean_speedup", geomean_speedup);
+    sink.write_unordered(summary.str());
+    sink.flush();
+    std::printf("\nsimd level %d, geomean sim speedup %.2fx (min %.2fx) -> %s\n",
+                fl::netlist::simd::kSimdLevel, geomean_speedup, min_speedup,
+                out_path.c_str());
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -86,22 +86,19 @@ class AppSatPolicy final : public DipPolicy {
  private:
   // Estimates the error of `key` on random queries; feeds at most one
   // failing pattern per round back into the solver (query reinforcement).
+  // Acyclic circuits settle all rounds in one oracle/simulator batch; cyclic
+  // ones fall back to per-round relaxation. Both draw the same RNG stream.
   double estimate_error(MiterContext& ctx, const std::vector<bool>& key) {
     const std::vector<Word> kw = key_to_words(key);
+    if (!cyclic_) return estimate_error_batch(ctx, kw);
     std::uint64_t wrong_bits = 0, total_bits = 0;
     for (int round = 0; round < options_.rounds_per_check; ++round) {
       std::vector<Word> inputs(locked_.netlist.num_inputs());
       for (Word& w : inputs) w = rng_();
-      const std::vector<Word> golden = oracle_.query_words(inputs);
-      std::vector<Word> got;
-      Word valid = ~Word{0};
-      if (cyclic_) {
-        const auto sim = netlist::simulate_cyclic(locked_.netlist, inputs, kw);
-        got = sim.outputs;
-        valid = sim.converged;
-      } else {
-        got = locked_sim_->run(inputs, kw);
-      }
+      const std::vector<Word> golden = oracle_.query_words(inputs, 64);
+      const auto sim = netlist::simulate_cyclic(locked_.netlist, inputs, kw);
+      const std::vector<Word>& got = sim.outputs;
+      const Word valid = sim.converged;
       Word any_diff = 0;
       for (std::size_t o = 0; o < golden.size(); ++o) {
         const Word diff = (golden[o] ^ got[o]) | ~valid;
@@ -110,21 +107,63 @@ class AppSatPolicy final : public DipPolicy {
         total_bits += 64;
       }
       if (any_diff != 0) {
-        // Reinforce with the first failing pattern of this round.
-        const int bit = std::countr_zero(any_diff);
-        std::vector<bool> pattern(inputs.size());
-        for (std::size_t i = 0; i < inputs.size(); ++i) {
-          pattern[i] = ((inputs[i] >> bit) & 1) != 0;
-        }
-        std::vector<bool> response(golden.size());
-        for (std::size_t o = 0; o < golden.size(); ++o) {
-          response[o] = ((golden[o] >> bit) & 1) != 0;
-        }
-        ctx.constrain_io(pattern, response);
+        reinforce(ctx, inputs, 1, golden, 1, 0, std::countr_zero(any_diff));
       }
     }
     return total_bits == 0 ? 0.0
                            : static_cast<double>(wrong_bits) / total_bits;
+  }
+
+  double estimate_error_batch(MiterContext& ctx, const std::vector<Word>& kw) {
+    const std::size_t n_in = locked_.netlist.num_inputs();
+    const std::size_t n_out = locked_.netlist.num_outputs();
+    const std::size_t rounds =
+        static_cast<std::size_t>(options_.rounds_per_check);
+    if (rounds == 0) return 0.0;
+    // Net-major matrix, one word (column) per round. Filled round-by-round
+    // so the RNG stream matches the per-round path exactly.
+    std::vector<Word> inputs(n_in * rounds);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < n_in; ++i) inputs[i * rounds + r] = rng_();
+    }
+    std::vector<Word> golden(n_out * rounds);
+    oracle_.query_batch(inputs, rounds, rounds * 64, golden);
+    std::vector<Word> got(n_out * rounds);
+    locked_sim_->run_batch(inputs, kw, rounds, sim_scratch_, got);
+    std::uint64_t wrong_bits = 0, total_bits = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      Word any_diff = 0;
+      for (std::size_t o = 0; o < n_out; ++o) {
+        const Word diff = golden[o * rounds + r] ^ got[o * rounds + r];
+        any_diff |= diff;
+        wrong_bits += std::popcount(diff);
+        total_bits += 64;
+      }
+      if (any_diff != 0) {
+        reinforce(ctx, inputs, rounds, golden, rounds, r,
+                  std::countr_zero(any_diff));
+      }
+    }
+    return total_bits == 0 ? 0.0
+                           : static_cast<double>(wrong_bits) / total_bits;
+  }
+
+  // Constrains the solver with pattern `bit` of word-column `word` taken
+  // from net-major matrices with the given strides.
+  void reinforce(MiterContext& ctx, std::span<const Word> inputs,
+                 std::size_t in_stride, std::span<const Word> golden,
+                 std::size_t out_stride, std::size_t word, int bit) {
+    const std::size_t n_in = inputs.size() / in_stride;
+    const std::size_t n_out = golden.size() / out_stride;
+    std::vector<bool> pattern(n_in);
+    for (std::size_t i = 0; i < n_in; ++i) {
+      pattern[i] = ((inputs[i * in_stride + word] >> bit) & 1) != 0;
+    }
+    std::vector<bool> response(n_out);
+    for (std::size_t o = 0; o < n_out; ++o) {
+      response[o] = ((golden[o * out_stride + word] >> bit) & 1) != 0;
+    }
+    ctx.constrain_io(pattern, response);
   }
 
   const core::LockedCircuit& locked_;
@@ -132,6 +171,7 @@ class AppSatPolicy final : public DipPolicy {
   const AppSatOptions& options_;
   const bool cyclic_;
   std::optional<netlist::Simulator> locked_sim_;
+  netlist::Simulator::Scratch sim_scratch_;
   std::mt19937_64 rng_;
   bool approximate_ = false;
   double estimated_error_ = 1.0;

@@ -28,9 +28,27 @@ std::vector<bool> Oracle::query(const std::vector<bool>& input) const {
   return result;
 }
 
-std::vector<Word> Oracle::query_words(std::span<const Word> inputs) const {
-  queries_.fetch_add(64, std::memory_order_relaxed);
+std::vector<Word> Oracle::query_words(std::span<const Word> inputs,
+                                      std::size_t n_patterns) const {
+  if (n_patterns == 0 || n_patterns > 64) {
+    throw std::invalid_argument("query_words: n_patterns must be in 1..64");
+  }
+  queries_.fetch_add(n_patterns, std::memory_order_relaxed);
   return simulator_.run(inputs, {});
+}
+
+void Oracle::query_batch(std::span<const Word> inputs, std::size_t n_words,
+                         std::size_t n_patterns,
+                         std::span<Word> outputs) const {
+  if (n_patterns == 0 || n_patterns > n_words * 64) {
+    throw std::invalid_argument(
+        "query_batch: n_patterns must be in 1..n_words*64");
+  }
+  queries_.fetch_add(n_patterns, std::memory_order_relaxed);
+  // One scratch per thread: the Oracle is shared const across attack
+  // threads, so per-object scratch would race.
+  thread_local netlist::Simulator::Scratch scratch;
+  simulator_.run_batch(inputs, {}, n_words, scratch, outputs);
 }
 
 }  // namespace fl::attacks

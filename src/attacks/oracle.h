@@ -21,9 +21,20 @@ class Oracle {
   // Single-pattern query. Counts as 1 query.
   std::vector<bool> query(const std::vector<bool>& input) const;
 
-  // Bit-parallel batch (64 patterns per word). Counts as 64 queries.
-  std::vector<netlist::Word> query_words(
-      std::span<const netlist::Word> inputs) const;
+  // Bit-parallel batch (one word per input net, up to 64 patterns packed).
+  // `n_patterns` (1..64) is how many bit lanes actually carry patterns;
+  // exactly that many queries are charged.
+  std::vector<netlist::Word> query_words(std::span<const netlist::Word> inputs,
+                                         std::size_t n_patterns) const;
+
+  // Wide batch over net-major matrices: inputs[i * n_words + w] is word w of
+  // input i (inputs.size() == num_inputs * n_words) and outputs is written
+  // likewise (num_outputs * n_words). Charges `n_patterns` queries
+  // (n_patterns <= n_words * 64). Runs through the SIMD simulator with a
+  // thread_local scratch, so repeated large batches do not allocate.
+  void query_batch(std::span<const netlist::Word> inputs, std::size_t n_words,
+                   std::size_t n_patterns,
+                   std::span<netlist::Word> outputs) const;
 
   std::uint64_t num_queries() const {
     return queries_.load(std::memory_order_relaxed);

@@ -227,7 +227,7 @@ PlrInsertion insert_plr(Netlist& netlist, const PlrConfig& config,
         netlist.set_output_gate(r.slot, cln.outputs[j]);
       } else {
         // Replace only this pin.
-        std::vector<GateId> fanin = netlist.gate(r.gate).fanin;
+        std::vector<GateId> fanin = netlist.gate(r.gate).fanin_vector();
         fanin[r.slot] = cln.outputs[j];
         netlist.set_fanin(r.gate, std::move(fanin));
       }

@@ -26,28 +26,46 @@ std::vector<Word> key_words(const std::vector<bool>& key) {
   return w;
 }
 
-// Returns (#differing bits, #total bits) for one 64-pattern round.
-std::pair<std::uint64_t, std::uint64_t> diff_round(
-    const netlist::Simulator& gold, const Netlist& locked, bool locked_cyclic,
-    const netlist::Simulator* locked_sim, const std::vector<bool>& key,
-    std::mt19937_64& rng) {
+// Returns (#differing bits, #total bits) for one 64-pattern round against a
+// cyclic locked netlist.
+std::pair<std::uint64_t, std::uint64_t> diff_round_cyclic(
+    const netlist::Simulator& gold, const Netlist& locked,
+    const std::vector<bool>& key, std::mt19937_64& rng) {
   const std::vector<Word> inputs = random_words(locked.num_inputs(), rng);
   const std::vector<Word> kw = key_words(key);
   const std::vector<Word> expected = gold.run(inputs, {});
-  std::vector<Word> got;
-  Word valid_mask = ~Word{0};
-  if (locked_cyclic) {
-    const netlist::CyclicSimResult r =
-        netlist::simulate_cyclic(locked, inputs, kw);
-    got = r.outputs;
-    valid_mask = r.converged;
-  } else {
-    got = locked_sim->run(inputs, kw);
-  }
+  const netlist::CyclicSimResult r =
+      netlist::simulate_cyclic(locked, inputs, kw);
   std::uint64_t diff = 0;
   for (std::size_t o = 0; o < expected.size(); ++o) {
     // Non-converged patterns count as wrong on every output.
-    diff += std::popcount((expected[o] ^ got[o]) | ~valid_mask);
+    diff += std::popcount((expected[o] ^ r.outputs[o]) | ~r.converged);
+  }
+  return {diff, expected.size() * 64};
+}
+
+// All rounds at once through the wide simulator (acyclic locked netlists).
+// Draws the RNG in the same round-major order as the per-round path, so
+// results are bit-identical for a given seed.
+std::pair<std::uint64_t, std::uint64_t> diff_batch(
+    const netlist::Simulator& gold, const netlist::Simulator& locked_sim,
+    const std::vector<bool>& key, int rounds, std::mt19937_64& rng) {
+  const std::size_t n_in = gold.netlist().num_inputs();
+  const std::size_t n_out = gold.netlist().num_outputs();
+  const std::size_t n_words = static_cast<std::size_t>(rounds < 0 ? 0 : rounds);
+  std::vector<Word> inputs(n_in * n_words);
+  for (std::size_t r = 0; r < n_words; ++r) {
+    for (std::size_t i = 0; i < n_in; ++i) inputs[i * n_words + r] = rng();
+  }
+  const std::vector<Word> kw = key_words(key);
+  netlist::Simulator::Scratch scratch;
+  std::vector<Word> expected(n_out * n_words);
+  std::vector<Word> got(n_out * n_words);
+  gold.run_batch(inputs, {}, n_words, scratch, expected);
+  locked_sim.run_batch(inputs, kw, n_words, scratch, got);
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    diff += std::popcount(expected[i] ^ got[i]);
   }
   return {diff, expected.size() * 64};
 }
@@ -64,11 +82,14 @@ bool verify_unlocks(const Netlist& original, const Netlist& locked,
   std::mt19937_64 rng(seed);
   const netlist::Simulator gold(original);
   const bool cyclic = locked.is_cyclic();
-  std::optional<netlist::Simulator> locked_sim;
-  if (!cyclic) locked_sim.emplace(locked);
-  for (int r = 0; r < rounds; ++r) {
-    const auto [diff, total] = diff_round(
-        gold, locked, cyclic, cyclic ? nullptr : &*locked_sim, key, rng);
+  if (cyclic) {
+    for (int r = 0; r < rounds; ++r) {
+      const auto [diff, total] = diff_round_cyclic(gold, locked, key, rng);
+      if (diff != 0) return false;
+    }
+  } else {
+    const netlist::Simulator locked_sim(locked);
+    const auto [diff, total] = diff_batch(gold, locked_sim, key, rounds, rng);
     if (diff != 0) return false;
   }
   if (also_sat_check && !cyclic) {
@@ -82,12 +103,14 @@ double error_rate(const Netlist& original, const Netlist& locked,
   std::mt19937_64 rng(seed);
   const netlist::Simulator gold(original);
   const bool cyclic = locked.is_cyclic();
-  std::optional<netlist::Simulator> locked_sim;
-  if (!cyclic) locked_sim.emplace(locked);
+  if (!cyclic) {
+    const netlist::Simulator locked_sim(locked);
+    const auto [diff, total] = diff_batch(gold, locked_sim, key, rounds, rng);
+    return total == 0 ? 0.0 : static_cast<double>(diff) / total;
+  }
   std::uint64_t diff = 0, total = 0;
   for (int r = 0; r < rounds; ++r) {
-    const auto [d, t] = diff_round(gold, locked, cyclic,
-                                   cyclic ? nullptr : &*locked_sim, key, rng);
+    const auto [d, t] = diff_round_cyclic(gold, locked, key, rng);
     diff += d;
     total += t;
   }

@@ -129,7 +129,7 @@ core::LockedCircuit crosslock_lock(const netlist::Netlist& original,
     if (pins[d].gate == netlist::kNullGate) {
       net.set_output_gate(pins[d].slot, out);
     } else {
-      std::vector<GateId> fanin = net.gate(pins[d].gate).fanin;
+      std::vector<GateId> fanin = net.gate(pins[d].gate).fanin_vector();
       fanin[pins[d].slot] = out;
       net.set_fanin(pins[d].gate, std::move(fanin));
     }

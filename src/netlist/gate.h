@@ -3,9 +3,16 @@
 // A netlist is a flat array of single-output gates; the output net of a gate
 // is identified by the gate's id, so "net" and "gate" are interchangeable.
 // Primary inputs and key inputs are modelled as source gates with no fanin.
+//
+// Gates are stored structure-of-arrays inside Netlist (see netlist.h); the
+// per-gate accessor returns a non-owning GateView whose fanin span points
+// into the netlist's fanin arena. A view is invalidated by any structural
+// edit or gate append, exactly like iterators into a std::vector. `Gate` is
+// the owning snapshot for callers that must hold gate data across edits.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,10 +65,31 @@ constexpr int fixed_arity(GateType type) {
   }
 }
 
+// Non-owning per-gate view into the netlist's arena storage.
+struct GateView {
+  GateType type;
+  std::span<const GateId> fanin;
+  const std::string& name;
+
+  std::vector<GateId> fanin_vector() const {
+    return std::vector<GateId>(fanin.begin(), fanin.end());
+  }
+};
+
+// Owning snapshot of a gate; implicitly constructible from a GateView so
+// `netlist::Gate snapshot = netlist.gate(g);` copies before edits.
 struct Gate {
   GateType type = GateType::kBuf;
   std::vector<GateId> fanin;
   std::string name;  // optional; required for inputs/keys/outputs on IO
+
+  Gate() = default;
+  Gate(GateType t, std::vector<GateId> f, std::string n)
+      : type(t), fanin(std::move(f)), name(std::move(n)) {}
+  Gate(const GateView& view)  // NOLINT(google-explicit-constructor)
+      : type(view.type),
+        fanin(view.fanin.begin(), view.fanin.end()),
+        name(view.name) {}
 };
 
 }  // namespace fl::netlist

@@ -1,8 +1,10 @@
 #include "netlist/optimize.h"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "netlist/structure.h"
 
@@ -19,6 +21,24 @@ struct SigLit {
   SigLit operator~() const { return SigLit{gate, !neg}; }
   bool operator==(const SigLit&) const = default;
   auto operator<=>(const SigLit&) const = default;
+};
+
+// Hash-consing key: canonical (type, sorted operand list).
+using StrashKey = std::pair<GateType, std::vector<SigLit>>;
+
+struct StrashKeyHash {
+  std::size_t operator()(const StrashKey& k) const {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(k.first));
+    for (const SigLit s : k.second) {
+      mix((static_cast<std::uint64_t>(s.gate) << 1) | (s.neg ? 1u : 0u));
+    }
+    return static_cast<std::size_t>(h);
+  }
 };
 
 class Optimizer {
@@ -39,16 +59,17 @@ class Optimizer {
       map_[g] = SigLit{out_.add_key(in_.gate(g).name)};
     }
     for (const GateId g : *order) {
-      const Gate& gate = in_.gate(g);
-      if (is_source(gate.type)) {
-        if (gate.type == GateType::kConst0) map_[g] = constant(false);
-        if (gate.type == GateType::kConst1) map_[g] = constant(true);
+      const GateType type = in_.gate_type(g);
+      if (is_source(type)) {
+        if (type == GateType::kConst0) map_[g] = constant(false);
+        if (type == GateType::kConst1) map_[g] = constant(true);
         continue;
       }
+      const std::span<const GateId> fanin = in_.fanin(g);
       std::vector<SigLit> fan;
-      fan.reserve(gate.fanin.size());
-      for (const GateId f : gate.fanin) fan.push_back(map_[f]);
-      map_[g] = build(gate.type, std::move(fan));
+      fan.reserve(fanin.size());
+      for (const GateId f : fanin) fan.push_back(map_[f]);
+      map_[g] = build(type, std::move(fan));
     }
     for (const OutputPort& o : in_.outputs()) {
       out_.mark_output(materialize(map_[o.gate]), o.name);
@@ -82,13 +103,20 @@ class Optimizer {
     if (s.gate == const1_ && const1_ != kNullGate) {
       return constant(false).gate;
     }
-    const auto key = std::make_pair(GateType::kNot,
-                                    std::vector<SigLit>{SigLit{s.gate}});
+    const StrashKey key{GateType::kNot, std::vector<SigLit>{SigLit{s.gate}}};
     const auto hit = hash_.find(key);
     if (hit != hash_.end()) return hit->second;
     const GateId inv = out_.add_gate(GateType::kNot, {s.gate});
     hash_.emplace(key, inv);
     return inv;
+  }
+
+  // Canonical definition of an emitted gate, for one-level rewrites.
+  const std::vector<SigLit>* leaves_of(SigLit s, GateType type) const {
+    if (s.neg) return nullptr;
+    const auto d = def_.find(s.gate);
+    if (d == def_.end() || d->second.first != type) return nullptr;
+    return &d->second.second;
   }
 
   SigLit emit(GateType type, std::vector<SigLit> fan) {
@@ -97,17 +125,18 @@ class Optimizer {
         type == GateType::kXor) {
       std::sort(fan.begin(), fan.end());
     }
-    const auto key = std::make_pair(type, fan);
+    StrashKey key{type, std::move(fan)};
     const auto hit = hash_.find(key);
     if (hit != hash_.end()) {
       ++stats_.subexpressions_merged;
       return SigLit{hit->second};
     }
     std::vector<GateId> fanin;
-    fanin.reserve(fan.size());
-    for (const SigLit s : fan) fanin.push_back(materialize(s));
+    fanin.reserve(key.second.size());
+    for (const SigLit s : key.second) fanin.push_back(materialize(s));
     const GateId g = out_.add_gate(type, std::move(fanin));
     hash_.emplace(key, g);
+    def_.emplace(g, std::move(key));
     return SigLit{g};
   }
 
@@ -131,6 +160,35 @@ class Optimizer {
         ++stats_.identities_applied;
         return constant(negate_out);
       }
+    }
+    // One-level absorption against operands that are already-hashed AND
+    // gates: if t is a leaf of s then AND(s, t) = s, and if ~t is a leaf of
+    // s then s implies ~t, so AND(s, t) = 0. (OR absorption arrives here
+    // too, through build_or's De Morgan mapping.)
+    if (lits.size() >= 2) {
+      std::vector<bool> drop(lits.size(), false);
+      for (std::size_t i = 0; i < lits.size(); ++i) {
+        if (drop[i]) continue;
+        const std::vector<SigLit>* leaves = leaves_of(lits[i], GateType::kAnd);
+        if (leaves == nullptr) continue;
+        for (std::size_t j = 0; j < lits.size(); ++j) {
+          if (j == i || drop[j]) continue;
+          if (std::find(leaves->begin(), leaves->end(), lits[j]) !=
+              leaves->end()) {
+            drop[j] = true;
+            ++stats_.absorptions_applied;
+          } else if (std::find(leaves->begin(), leaves->end(), ~lits[j]) !=
+                     leaves->end()) {
+            ++stats_.absorptions_applied;
+            return constant(negate_out);
+          }
+        }
+      }
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < lits.size(); ++i) {
+        if (!drop[i]) lits[keep++] = lits[i];
+      }
+      lits.resize(keep);
     }
     if (lits.empty()) return constant(!negate_out);
     if (lits.size() == 1) {
@@ -159,21 +217,56 @@ class Optimizer {
       lits.push_back(SigLit{s.gate});
     }
     // x ^ x cancels pairwise.
+    std::vector<SigLit> reduced = cancel_pairs(std::move(lits), false);
+    // One-level flatten: an operand that is itself a hashed XOR gate whose
+    // leaves overlap another operand is replaced by its leaves, so the
+    // shared nets cancel (XOR(XOR(a,b), b) = a). Newly exposed leaves are
+    // not flattened further.
+    if (reduced.size() >= 2) {
+      std::vector<SigLit> flat;
+      bool flattened = false;
+      for (std::size_t i = 0; i < reduced.size(); ++i) {
+        const std::vector<SigLit>* leaves =
+            leaves_of(reduced[i], GateType::kXor);
+        bool overlap = false;
+        if (leaves != nullptr) {
+          for (std::size_t j = 0; j < reduced.size() && !overlap; ++j) {
+            if (j == i) continue;
+            overlap = std::find(leaves->begin(), leaves->end(), reduced[j]) !=
+                      leaves->end();
+          }
+        }
+        if (overlap) {
+          flat.insert(flat.end(), leaves->begin(), leaves->end());
+          flattened = true;
+        } else {
+          flat.push_back(reduced[i]);
+        }
+      }
+      if (flattened) reduced = cancel_pairs(std::move(flat), true);
+    }
+    if (reduced.empty()) return constant(parity);
+    if (reduced.size() == 1) return parity ? ~reduced[0] : reduced[0];
+    const SigLit g = emit(GateType::kXor, std::move(reduced));
+    return parity ? ~g : g;
+  }
+
+  // Sorts and removes equal pairs (x ^ x = 0) from a XOR operand list.
+  std::vector<SigLit> cancel_pairs(std::vector<SigLit> lits,
+                                   bool from_flatten) {
     std::sort(lits.begin(), lits.end());
     std::vector<SigLit> reduced;
     for (std::size_t i = 0; i < lits.size();) {
       if (i + 1 < lits.size() && lits[i] == lits[i + 1]) {
-        ++stats_.identities_applied;
+        ++(from_flatten ? stats_.xor_pairs_cancelled
+                        : stats_.identities_applied);
         i += 2;
       } else {
         reduced.push_back(lits[i]);
         ++i;
       }
     }
-    if (reduced.empty()) return constant(parity);
-    if (reduced.size() == 1) return parity ? ~reduced[0] : reduced[0];
-    const SigLit g = emit(GateType::kXor, std::move(reduced));
-    return parity ? ~g : g;
+    return reduced;
   }
 
   SigLit build_mux(SigLit sel, SigLit a, SigLit b) {
@@ -229,7 +322,10 @@ class Optimizer {
   std::vector<SigLit> map_;
   GateId const0_ = kNullGate;
   GateId const1_ = kNullGate;
-  std::map<std::pair<GateType, std::vector<SigLit>>, GateId> hash_;
+  std::unordered_map<StrashKey, GateId, StrashKeyHash> hash_;
+  // Reverse map: emitted gate -> its canonical definition, for one-level
+  // absorption / flattening rewrites.
+  std::unordered_map<GateId, StrashKey> def_;
 };
 
 }  // namespace

@@ -20,6 +20,9 @@ struct OptimizeStats {
   std::size_t constants_folded = 0;
   std::size_t identities_applied = 0;  // x&x, x^x, double negation, ...
   std::size_t subexpressions_merged = 0;
+  // One-level rewrites against already-hashed structure:
+  std::size_t absorptions_applied = 0;   // AND(s,t)=s / AND(s,~t)=0, t leaf of s
+  std::size_t xor_pairs_cancelled = 0;   // pairs cancelled by XOR flattening
 };
 
 // Returns a functionally equivalent, usually smaller netlist. Throws

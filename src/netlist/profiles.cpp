@@ -31,12 +31,29 @@ const std::array<BenchmarkProfile, kNumProfiles>& profile_table() {
   return table;
 }
 
+// Production-scale synthetic shapes for the million-gate substrate
+// benchmarks (bench_netlist). IO widths follow the larger Table-5 circuits.
+constexpr std::size_t kNumScaled = 3;
+const std::array<BenchmarkProfile, kNumScaled>& scaled_table() {
+  static const std::array<BenchmarkProfile, kNumScaled> table = {{
+      {"synth64k", 65536, 256, 128},
+      {"synth256k", 262144, 256, 128},
+      {"synth1m", 1048576, 256, 128},
+  }};
+  return table;
+}
+
 }  // namespace
 
 std::span<const BenchmarkProfile> table5_profiles() { return profile_table(); }
 
+std::span<const BenchmarkProfile> scaled_profiles() { return scaled_table(); }
+
 std::optional<BenchmarkProfile> find_profile(std::string_view name) {
   for (const BenchmarkProfile& p : profile_table()) {
+    if (p.name == name) return p;
+  }
+  for (const BenchmarkProfile& p : scaled_table()) {
     if (p.name == name) return p;
   }
   return std::nullopt;

@@ -23,6 +23,10 @@ struct BenchmarkProfile {
 // The 13 circuits of Table 5 (ISCAS-85 c432..c7552, MCNC apex2/apex4/i4/i7).
 std::span<const BenchmarkProfile> table5_profiles();
 
+// Synthetic production-scale profiles (synth64k / synth256k / synth1m) for
+// substrate benchmarks: Table-5-like IO widths scaled to 64K–1M gates.
+std::span<const BenchmarkProfile> scaled_profiles();
+
 std::optional<BenchmarkProfile> find_profile(std::string_view name);
 
 // Deterministic synthetic circuit with the profile's shape. Same (name,seed)

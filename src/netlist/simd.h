@@ -1,0 +1,157 @@
+// Wide bitwise lanes for the bit-parallel simulator.
+//
+// The simulator's batch engine sweeps gates over blocks of kSimdWords
+// 64-bit words (512 patterns per block). The block kernels below dispatch
+// at compile time:
+//   * AVX-512F  — one 512-bit vector per block        (FL_SIMD_LEVEL 512)
+//   * AVX2      — two 256-bit vectors per block       (FL_SIMD_LEVEL 256)
+//   * portable  — plain uint64_t[8] loops the compiler is free to
+//                 auto-vectorize for whatever ISA it targets (FL_SIMD_LEVEL 64)
+//
+// Build with the `native` CMake option (default ON, -march=native) to light
+// up the intrinsic paths on the build host.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#define FL_SIMD_LEVEL 512
+#elif defined(__AVX2__)
+#include <immintrin.h>
+#define FL_SIMD_LEVEL 256
+#else
+#define FL_SIMD_LEVEL 64
+#endif
+
+namespace fl::netlist::simd {
+
+// Words per block. Fixed at 8 (512 bits) for every dispatch level so batch
+// layouts and scratch sizing are ISA-independent.
+inline constexpr std::size_t kSimdWords = 8;
+
+// Bits (patterns) per block.
+inline constexpr std::size_t kSimdBits = kSimdWords * 64;
+
+// Reported by benchmarks / BENCH_netlist.json.
+inline constexpr int kSimdLevel = FL_SIMD_LEVEL;
+
+#if FL_SIMD_LEVEL == 512
+
+struct Vec {
+  __m512i v;
+};
+
+inline Vec load(const std::uint64_t* p) {
+  return {_mm512_loadu_si512(reinterpret_cast<const void*>(p))};
+}
+inline void store(std::uint64_t* p, Vec a) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), a.v);
+}
+inline Vec ones() { return {_mm512_set1_epi64(-1)}; }
+inline Vec zeros() { return {_mm512_setzero_si512()}; }
+inline Vec v_and(Vec a, Vec b) { return {_mm512_and_si512(a.v, b.v)}; }
+inline Vec v_or(Vec a, Vec b) { return {_mm512_or_si512(a.v, b.v)}; }
+inline Vec v_xor(Vec a, Vec b) { return {_mm512_xor_si512(a.v, b.v)}; }
+inline Vec v_not(Vec a) { return {_mm512_xor_si512(a.v, ones().v)}; }
+// ~a & b
+inline Vec v_andnot(Vec a, Vec b) { return {_mm512_andnot_si512(a.v, b.v)}; }
+
+#elif FL_SIMD_LEVEL == 256
+
+struct Vec {
+  __m256i lo, hi;
+};
+
+inline Vec load(const std::uint64_t* p) {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4))};
+}
+inline void store(std::uint64_t* p, Vec a) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a.lo);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + 4), a.hi);
+}
+inline Vec ones() {
+  const __m256i o = _mm256_set1_epi64x(-1);
+  return {o, o};
+}
+inline Vec zeros() {
+  const __m256i z = _mm256_setzero_si256();
+  return {z, z};
+}
+inline Vec v_and(Vec a, Vec b) {
+  return {_mm256_and_si256(a.lo, b.lo), _mm256_and_si256(a.hi, b.hi)};
+}
+inline Vec v_or(Vec a, Vec b) {
+  return {_mm256_or_si256(a.lo, b.lo), _mm256_or_si256(a.hi, b.hi)};
+}
+inline Vec v_xor(Vec a, Vec b) {
+  return {_mm256_xor_si256(a.lo, b.lo), _mm256_xor_si256(a.hi, b.hi)};
+}
+inline Vec v_not(Vec a) {
+  const __m256i o = _mm256_set1_epi64x(-1);
+  return {_mm256_xor_si256(a.lo, o), _mm256_xor_si256(a.hi, o)};
+}
+inline Vec v_andnot(Vec a, Vec b) {
+  return {_mm256_andnot_si256(a.lo, b.lo), _mm256_andnot_si256(a.hi, b.hi)};
+}
+
+#else  // portable fallback
+
+struct Vec {
+  std::uint64_t w[kSimdWords];
+};
+
+inline Vec load(const std::uint64_t* p) {
+  Vec a;
+  for (std::size_t i = 0; i < kSimdWords; ++i) a.w[i] = p[i];
+  return a;
+}
+inline void store(std::uint64_t* p, Vec a) {
+  for (std::size_t i = 0; i < kSimdWords; ++i) p[i] = a.w[i];
+}
+inline Vec ones() {
+  Vec a;
+  for (std::size_t i = 0; i < kSimdWords; ++i) a.w[i] = ~std::uint64_t{0};
+  return a;
+}
+inline Vec zeros() {
+  Vec a;
+  for (std::size_t i = 0; i < kSimdWords; ++i) a.w[i] = 0;
+  return a;
+}
+inline Vec v_and(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t i = 0; i < kSimdWords; ++i) r.w[i] = a.w[i] & b.w[i];
+  return r;
+}
+inline Vec v_or(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t i = 0; i < kSimdWords; ++i) r.w[i] = a.w[i] | b.w[i];
+  return r;
+}
+inline Vec v_xor(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t i = 0; i < kSimdWords; ++i) r.w[i] = a.w[i] ^ b.w[i];
+  return r;
+}
+inline Vec v_not(Vec a) {
+  Vec r;
+  for (std::size_t i = 0; i < kSimdWords; ++i) r.w[i] = ~a.w[i];
+  return r;
+}
+inline Vec v_andnot(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t i = 0; i < kSimdWords; ++i) r.w[i] = ~a.w[i] & b.w[i];
+  return r;
+}
+
+#endif
+
+// out = sel ? b : a, bitwise.
+inline Vec v_mux(Vec sel, Vec a, Vec b) {
+  return v_or(v_and(sel, b), v_andnot(sel, a));
+}
+
+}  // namespace fl::netlist::simd

@@ -1,5 +1,7 @@
 #include "netlist/simulator.h"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace fl::netlist {
@@ -67,45 +69,98 @@ void sweep_sources(const Netlist& netlist, std::span<const Word> inputs,
   }
 }
 
+// `big` is caller-held scratch reused across gates so wide fanins (arity > 8)
+// do not heap-allocate per gate.
 Word eval_gate_at(const Netlist& netlist, GateId g,
-                  const std::vector<Word>& value) {
-  const Gate& gate = netlist.gate(g);
+                  const std::vector<Word>& value, std::vector<Word>& big) {
+  const std::span<const GateId> fanin = netlist.fanin(g);
+  const GateType type = netlist.gate_type(g);
   Word buf[8];
-  std::span<const Word> fan;
-  if (gate.fanin.size() <= 8) {
-    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
-      buf[i] = value[gate.fanin[i]];
+  if (fanin.size() <= 8) {
+    for (std::size_t i = 0; i < fanin.size(); ++i) buf[i] = value[fanin[i]];
+    return eval_gate(type, std::span<const Word>(buf, fanin.size()));
+  }
+  big.resize(fanin.size());
+  for (std::size_t i = 0; i < fanin.size(); ++i) big[i] = value[fanin[i]];
+  return eval_gate(type, big);
+}
+
+// Evaluates one gate over kSimdWords-word blocks stored gate-major in `val`
+// (block of gate g at val + g * kSimdWords).
+simd::Vec eval_block(GateType type, const Word* val,
+                     std::span<const GateId> fanin) {
+  using namespace simd;
+  const auto in = [&](std::size_t i) {
+    return load(val + static_cast<std::size_t>(fanin[i]) * kSimdWords);
+  };
+  switch (type) {
+    case GateType::kConst0: return zeros();
+    case GateType::kConst1: return ones();
+    case GateType::kInput:
+    case GateType::kKey:
+      throw std::logic_error("source gate evaluated without stimulus");
+    case GateType::kBuf: return in(0);
+    case GateType::kNot: return v_not(in(0));
+    case GateType::kAnd: {
+      Vec v = in(0);
+      for (std::size_t i = 1; i < fanin.size(); ++i) v = v_and(v, in(i));
+      return v;
     }
-    fan = std::span<const Word>(buf, gate.fanin.size());
-    return eval_gate(gate.type, fan);
+    case GateType::kNand: {
+      Vec v = in(0);
+      for (std::size_t i = 1; i < fanin.size(); ++i) v = v_and(v, in(i));
+      return v_not(v);
+    }
+    case GateType::kOr: {
+      Vec v = in(0);
+      for (std::size_t i = 1; i < fanin.size(); ++i) v = v_or(v, in(i));
+      return v;
+    }
+    case GateType::kNor: {
+      Vec v = in(0);
+      for (std::size_t i = 1; i < fanin.size(); ++i) v = v_or(v, in(i));
+      return v_not(v);
+    }
+    case GateType::kXor: {
+      Vec v = in(0);
+      for (std::size_t i = 1; i < fanin.size(); ++i) v = v_xor(v, in(i));
+      return v;
+    }
+    case GateType::kXnor: {
+      Vec v = in(0);
+      for (std::size_t i = 1; i < fanin.size(); ++i) v = v_xor(v, in(i));
+      return v_not(v);
+    }
+    case GateType::kMux: return v_mux(in(0), in(1), in(2));
   }
-  std::vector<Word> big(gate.fanin.size());
-  for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
-    big[i] = value[gate.fanin[i]];
-  }
-  return eval_gate(gate.type, big);
+  throw std::logic_error("unknown gate type");
 }
 
 }  // namespace
 
 Simulator::Simulator(const Netlist& netlist) : netlist_(netlist) {
-  auto order = netlist.topological_order();
-  if (!order) throw std::invalid_argument("Simulator requires acyclic netlist");
-  order_ = std::move(*order);
+  // topo_span() hits the netlist's cached order: constructing a Simulator
+  // right after an is_cyclic() check costs one Kahn pass total, not two.
+  if (netlist.is_cyclic()) {
+    throw std::invalid_argument("Simulator requires acyclic netlist");
+  }
+  const std::span<const GateId> order = netlist.topo_span();
+  order_.assign(order.begin(), order.end());
 }
 
 std::vector<Word> Simulator::run_full(std::span<const Word> inputs,
                                       std::span<const Word> keys) const {
   std::vector<Word> value(netlist_.num_gates(), 0);
+  std::vector<Word> big;
   sweep_sources(netlist_, inputs, keys, value);
   for (const GateId g : order_) {
-    const Gate& gate = netlist_.gate(g);
-    if (is_source(gate.type)) {
-      if (gate.type == GateType::kConst1) value[g] = ~Word{0};
-      if (gate.type == GateType::kConst0) value[g] = 0;
+    const GateType type = netlist_.gate_type(g);
+    if (is_source(type)) {
+      if (type == GateType::kConst1) value[g] = ~Word{0};
+      if (type == GateType::kConst0) value[g] = 0;
       continue;
     }
-    value[g] = eval_gate_at(netlist_, g, value);
+    value[g] = eval_gate_at(netlist_, g, value, big);
   }
   return value;
 }
@@ -121,27 +176,87 @@ std::vector<Word> Simulator::run(std::span<const Word> inputs,
   return out;
 }
 
+void Simulator::run_batch(std::span<const Word> inputs,
+                          std::span<const Word> keys, std::size_t n_words,
+                          Scratch& scratch, std::span<Word> outputs) const {
+  constexpr std::size_t kW = simd::kSimdWords;
+  const std::size_t n_in = netlist_.num_inputs();
+  const std::size_t n_key = netlist_.num_keys();
+  const std::size_t n_out = netlist_.num_outputs();
+  if (inputs.size() != n_in * n_words) {
+    throw std::invalid_argument("run_batch: input size mismatch");
+  }
+  // Keys may be given per-word (num_keys * n_words, net-major like inputs)
+  // or as one word per key broadcast across the whole batch.
+  const bool key_broadcast = (keys.size() == n_key);
+  if (!key_broadcast && keys.size() != n_key * n_words) {
+    throw std::invalid_argument("run_batch: key size mismatch");
+  }
+  if (outputs.size() != n_out * n_words) {
+    throw std::invalid_argument("run_batch: output size mismatch");
+  }
+  if (n_words == 0) return;
+
+  scratch.value.resize(netlist_.num_gates() * kW);
+  Word* const val = scratch.value.data();
+  const std::size_t n_blocks = (n_words + kW - 1) / kW;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    const std::size_t w0 = b * kW;
+    const std::size_t wn = std::min(kW, n_words - w0);
+    for (std::size_t i = 0; i < n_in; ++i) {
+      Word* dst = val + static_cast<std::size_t>(netlist_.inputs()[i]) * kW;
+      const Word* src = inputs.data() + i * n_words + w0;
+      std::memcpy(dst, src, wn * sizeof(Word));
+      std::fill(dst + wn, dst + kW, Word{0});
+    }
+    for (std::size_t k = 0; k < n_key; ++k) {
+      Word* dst = val + static_cast<std::size_t>(netlist_.keys()[k]) * kW;
+      if (key_broadcast) {
+        std::fill(dst, dst + kW, keys[k]);
+      } else {
+        const Word* src = keys.data() + k * n_words + w0;
+        std::memcpy(dst, src, wn * sizeof(Word));
+        std::fill(dst + wn, dst + kW, Word{0});
+      }
+    }
+    for (const GateId g : order_) {
+      const GateType type = netlist_.gate_type(g);
+      if (type == GateType::kInput || type == GateType::kKey) continue;
+      simd::store(val + static_cast<std::size_t>(g) * kW,
+                  eval_block(type, val, netlist_.fanin(g)));
+    }
+    for (std::size_t o = 0; o < n_out; ++o) {
+      const Word* src =
+          val + static_cast<std::size_t>(netlist_.outputs()[o].gate) * kW;
+      std::memcpy(outputs.data() + o * n_words + w0, src, wn * sizeof(Word));
+    }
+  }
+}
+
 CyclicSimResult simulate_cyclic(const Netlist& netlist,
                                 std::span<const Word> inputs,
-                                std::span<const Word> keys, int max_sweeps,
-                                bool init_ones) {
+                                std::span<const Word> keys,
+                                long long max_sweeps, bool init_ones) {
   if (max_sweeps <= 0) {
-    max_sweeps = static_cast<int>(netlist.num_gates()) + 8;
+    // 64-bit arithmetic: at a million-plus gates the old int expression
+    // could overflow.
+    max_sweeps = static_cast<long long>(netlist.num_gates()) + 8;
   }
   std::vector<Word> value(netlist.num_gates(), init_ones ? ~Word{0} : Word{0});
+  std::vector<Word> big;
   sweep_sources(netlist, inputs, keys, value);
   for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
-    const GateType t = netlist.gate(static_cast<GateId>(g)).type;
+    const GateType t = netlist.gate_type(static_cast<GateId>(g));
     if (t == GateType::kConst1) value[g] = ~Word{0};
     if (t == GateType::kConst0) value[g] = 0;
   }
   Word changed = ~Word{0};
-  for (int sweep = 0; sweep < max_sweeps && changed != 0; ++sweep) {
+  for (long long sweep = 0; sweep < max_sweeps && changed != 0; ++sweep) {
     changed = 0;
     for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
-      const Gate& gate = netlist.gate(static_cast<GateId>(g));
-      if (is_source(gate.type)) continue;
-      const Word next = eval_gate_at(netlist, static_cast<GateId>(g), value);
+      const GateId id = static_cast<GateId>(g);
+      if (is_source(netlist.gate_type(id))) continue;
+      const Word next = eval_gate_at(netlist, id, value, big);
       changed |= next ^ value[g];
       value[g] = next;
     }
@@ -167,6 +282,8 @@ std::vector<bool> eval_once(const Netlist& netlist,
     key_words[i] = keys[i] ? ~Word{0} : 0;
   }
   std::vector<Word> out_words;
+  // is_cyclic() fills the netlist's graph cache; the Simulator constructor
+  // below reuses it, so the acyclic path runs a single Kahn pass.
   if (netlist.is_cyclic()) {
     out_words = simulate_cyclic(netlist, in_words, key_words).outputs;
   } else {

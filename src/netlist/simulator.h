@@ -1,7 +1,12 @@
-// Bit-parallel (64 patterns per word) logic simulation.
+// Bit-parallel logic simulation: 64 patterns per word, and a wide batch
+// engine sweeping simd::kSimdBits (512) patterns per pass.
 //
-// Two engines:
-//  * Simulator      — acyclic netlists, single topological sweep;
+// Engines:
+//  * Simulator       — acyclic netlists, single topological sweep. run()/
+//    run_full() are the legacy 64-pattern entry points; run_batch() sweeps
+//    arbitrarily many words per net through SIMD block kernels (AVX2 /
+//    AVX-512 / portable, see simd.h) and a caller-held Scratch, so large
+//    oracle batches do not allocate a fresh value vector per call.
 //  * simulate_cyclic — structurally cyclic netlists (Full-Lock's cyclic PLR
 //    insertion), Gauss-Seidel relaxation to a fixpoint with oscillation
 //    detection. Patterns that fail to converge are flagged; callers treat
@@ -13,6 +18,7 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "netlist/simd.h"
 
 namespace fl::netlist {
 
@@ -21,12 +27,19 @@ using Word = std::uint64_t;
 // Evaluates one gate over bit-parallel fanin words.
 Word eval_gate(GateType type, std::span<const Word> fanin);
 
-// Acyclic simulator. Construction pre-computes the topological order; call
-// run() many times with different stimuli. Throws std::invalid_argument if
-// the netlist is cyclic.
+// Acyclic simulator. Construction captures the (cached) topological order;
+// call run()/run_batch() many times with different stimuli. Throws
+// std::invalid_argument if the netlist is cyclic.
 class Simulator {
  public:
   explicit Simulator(const Netlist& netlist);
+
+  // Reusable per-caller storage for run_batch()/run_full(). One Scratch per
+  // thread: the same object may be passed to any Simulator (it resizes to
+  // the largest netlist it has served).
+  struct Scratch {
+    std::vector<Word> value;  // gate-major block values
+  };
 
   // inputs.size() == num_inputs(), keys.size() == num_keys().
   // Returns one word per output port.
@@ -36,6 +49,17 @@ class Simulator {
   // As run(), but also exposes every internal net value (indexed by GateId).
   std::vector<Word> run_full(std::span<const Word> inputs,
                              std::span<const Word> keys) const;
+
+  // Batch run over n_words words (64 patterns each) per net, laid out
+  // net-major: inputs[i * n_words + w] is word w of primary input i, and
+  // outputs[o * n_words + w] is written likewise (outputs.size() must be
+  // num_outputs() * n_words). Sweeps the netlist once per simd block of
+  // simd::kSimdWords words; all intermediate values live in `scratch`.
+  void run_batch(std::span<const Word> inputs, std::span<const Word> keys,
+                 std::size_t n_words, Scratch& scratch,
+                 std::span<Word> outputs) const;
+
+  const Netlist& netlist() const { return netlist_; }
 
  private:
   const Netlist& netlist_;
@@ -54,7 +78,7 @@ struct CyclicSimResult {
 CyclicSimResult simulate_cyclic(const Netlist& netlist,
                                 std::span<const Word> inputs,
                                 std::span<const Word> keys,
-                                int max_sweeps = 0 /* 0 = #gates + 8 */,
+                                long long max_sweeps = 0 /* 0 = #gates + 8 */,
                                 bool init_ones = false);
 
 // Convenience single-pattern evaluation (bools in input order).

@@ -24,8 +24,26 @@ TEST(Oracle, CountsQueries) {
   oracle.query(std::vector<bool>(5, true));
   EXPECT_EQ(oracle.num_queries(), 2u);
   const std::vector<netlist::Word> words(5, 0x1234);
-  oracle.query_words(words);
+  oracle.query_words(words, 64);
   EXPECT_EQ(oracle.num_queries(), 66u);
+  // Partially packed words charge only the patterns actually present.
+  oracle.query_words(words, 13);
+  EXPECT_EQ(oracle.num_queries(), 79u);
+  EXPECT_THROW(oracle.query_words(words, 0), std::invalid_argument);
+  EXPECT_THROW(oracle.query_words(words, 65), std::invalid_argument);
+  EXPECT_EQ(oracle.num_queries(), 79u);  // rejected calls charge nothing
+}
+
+TEST(Oracle, BatchChargesExactPatternCount) {
+  const Oracle oracle(netlist::make_c17());
+  const std::size_t n_words = 3;
+  std::vector<netlist::Word> inputs(5 * n_words, 0xDEADBEEFCAFEF00Dull);
+  std::vector<netlist::Word> outputs(2 * n_words);
+  oracle.query_batch(inputs, n_words, 170, outputs);
+  EXPECT_EQ(oracle.num_queries(), 170u);
+  EXPECT_THROW(oracle.query_batch(inputs, n_words, 193, outputs),
+               std::invalid_argument);
+  EXPECT_EQ(oracle.num_queries(), 170u);
 }
 
 TEST(Oracle, RejectsKeyedCircuit) {

@@ -55,7 +55,7 @@ TEST(FeedbackEdges, BreakingThemRestoresAcyclicity) {
   Netlist cut = n;
   for (const Edge& e : fb) {
     // Redirect the feedback pin to a primary input to break the loop.
-    std::vector<GateId> fanin = cut.gate(e.gate).fanin;
+    std::vector<GateId> fanin = cut.gate(e.gate).fanin_vector();
     fanin[e.pin] = a;
     cut.set_fanin(e.gate, std::move(fanin));
   }
