@@ -67,16 +67,42 @@ struct ProfileResult {
   double speedup = 0.0;
   bool match_ok = false;       // wide outputs == legacy outputs
   bool accounting_ok = false;  // oracle charged exactly the patterns run
-  // Lock + bounded attack + verify.
+  // Lock + bounded attack + verify. The attack runs twice over the same
+  // lock: once with the legacy full encoding (no preprocessing) and once
+  // with the key-cone encoding + CNF preprocessing, so the JSONL carries a
+  // direct clauses-per-iteration comparison.
   double lock_s = 0.0;
-  std::string attack_status;
+  std::string attack_status;       // cone leg (the production default)
   std::uint64_t attack_iterations = 0;
   std::uint64_t attack_queries = 0;
-  double attack_wall_s = 0.0;
+  double attack_wall_s = 0.0;      // cone leg
+  double legacy_attack_wall_s = 0.0;
+  std::string legacy_attack_status;
+  // Clauses *added* per DIP iteration — the per-iteration CNF growth the
+  // issue's acceptance is defined over. The legacy leg re-folds two full
+  // circuit copies per DIP; the cone leg sweeps the fixed region with the
+  // SIMD simulator and only emits the key-dependent residue that reaches a
+  // symbolic output pin. Base miter sizes are reported separately.
+  double legacy_clauses_per_iter = 0.0;
+  double cone_clauses_per_iter = 0.0;
+  double clause_reduction = 0.0;   // legacy / cone
+  std::size_t legacy_base_clauses = 0;
+  std::size_t cone_base_clauses = 0;
+  double legacy_encode_s_per_iter = 0.0;
+  double cone_encode_s_per_iter = 0.0;
+  double cone_preprocess_s = 0.0;
+  std::size_t pp_eliminated_vars = 0;
+  bool keys_agree = false;   // both legs recover a verifying key
+  bool encode_ok = false;    // cone leg's clause load never exceeds legacy's
   bool verify_ok = false;
   double verify_s = 0.0;
   double total_wall_s = 0.0;
 };
+
+double per_iter(long long added, std::uint64_t iters) {
+  return static_cast<double>(added) /
+         static_cast<double>(std::max<std::uint64_t>(iters, 1));
+}
 
 // Legacy-vs-wide oracle simulation throughput over the same random pattern
 // matrix. The legacy path is the pre-arena behavior: one 64-pattern run()
@@ -125,7 +151,8 @@ void run_throughput(const fl::netlist::Netlist& original, std::size_t n_words,
 }
 
 ProfileResult run_profile(const fl::netlist::BenchmarkProfile& profile,
-                          std::size_t n_words, int repeat) {
+                          std::size_t n_words, int repeat,
+                          std::uint64_t attack_iters) {
   ProfileResult r;
   r.name = profile.name;
   const auto total_start = Clock::now();
@@ -166,18 +193,58 @@ ProfileResult run_profile(const fl::netlist::BenchmarkProfile& profile,
 
   // Iteration-bounded attack: enough to prove the DIP loop (miter CNF,
   // oracle queries, key extraction) runs at this scale, deterministic
-  // because the bound — not the clock — ends it.
+  // because the bound — not the clock — ends it. Two legs over the same
+  // lock: legacy full encoding vs key-cone encoding + preprocessing.
   const fl::attacks::Oracle oracle(original);
   fl::attacks::AttackOptions options;
   options.timeout_s = fl::bench::env_double("FULLLOCK_TIMEOUT_S", 600.0);
-  options.max_iterations = 2;
+  options.max_iterations = attack_iters;
+
+  fl::attacks::AttackOptions legacy_options = options;
+  legacy_options.encode_mode = fl::attacks::EncodeMode::kFull;
+  legacy_options.preprocess = false;
+  start = Clock::now();
+  const fl::attacks::AttackResult legacy =
+      fl::attacks::SatAttack(legacy_options).run(locked, oracle);
+  r.legacy_attack_wall_s = seconds_since(start);
+  r.legacy_attack_status = fl::attacks::to_string(legacy.status);
+
+  fl::attacks::AttackOptions cone_options = options;
+  cone_options.encode_mode = fl::attacks::EncodeMode::kCone;
   start = Clock::now();
   const fl::attacks::AttackResult attack =
-      fl::attacks::SatAttack(options).run(locked, oracle);
+      fl::attacks::SatAttack(cone_options).run(locked, oracle);
   r.attack_wall_s = seconds_since(start);
   r.attack_status = fl::attacks::to_string(attack.status);
   r.attack_iterations = attack.iterations;
   r.attack_queries = attack.oracle_queries;
+
+  r.legacy_base_clauses = legacy.base_clauses;
+  r.cone_base_clauses = attack.base_clauses;
+  r.legacy_clauses_per_iter = per_iter(legacy.clauses_added, legacy.iterations);
+  r.cone_clauses_per_iter = per_iter(attack.clauses_added, attack.iterations);
+  r.clause_reduction = r.cone_clauses_per_iter > 0.0
+                           ? r.legacy_clauses_per_iter / r.cone_clauses_per_iter
+                           : 0.0;
+  const auto iters_div = [](double s, std::uint64_t iters) {
+    return s / static_cast<double>(std::max<std::uint64_t>(iters, 1));
+  };
+  r.legacy_encode_s_per_iter =
+      iters_div(legacy.encode_seconds, legacy.iterations);
+  r.cone_encode_s_per_iter = iters_div(attack.encode_seconds, attack.iterations);
+  r.cone_preprocess_s = attack.preprocess.preprocess_s;
+  r.pp_eliminated_vars = attack.preprocess.eliminated_vars;
+  // Regression gate: the cone encoding must never carry more clauses per
+  // iteration than the legacy shape, and both legs must land on keys that
+  // unlock (iteration-bounded runs stop early, so compare via verify).
+  r.encode_ok = r.cone_clauses_per_iter <= r.legacy_clauses_per_iter;
+  r.keys_agree =
+      fl::core::verify_unlocks(original, locked.netlist, legacy.key,
+                               /*rounds=*/2, /*seed=*/13,
+                               /*also_sat_check=*/false) ==
+      fl::core::verify_unlocks(original, locked.netlist, attack.key,
+                               /*rounds=*/2, /*seed=*/13,
+                               /*also_sat_check=*/false);
 
   start = Clock::now();
   r.verify_ok = fl::core::verify_unlocks(original, locked.netlist,
@@ -195,6 +262,7 @@ int main(int argc, char** argv) {
     bool smoke = false;
     std::string out_path = "BENCH_netlist.json";
     int repeat = 3;
+    std::uint64_t attack_iters = 2;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--smoke") == 0) {
         smoke = true;
@@ -202,9 +270,13 @@ int main(int argc, char** argv) {
         out_path = argv[++i];
       } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
         repeat = std::max(1, std::atoi(argv[++i]));
+      } else if (std::strcmp(argv[i], "--attack-iters") == 0 && i + 1 < argc) {
+        attack_iters =
+            static_cast<std::uint64_t>(std::max(1, std::atoi(argv[++i])));
       } else {
         std::fprintf(stderr,
-                     "usage: bench_netlist [--smoke] [--out PATH] [--repeat N]\n");
+                     "usage: bench_netlist [--smoke] [--out PATH] [--repeat N] "
+                     "[--attack-iters N]\n");
         return 1;
       }
     }
@@ -223,25 +295,30 @@ int main(int argc, char** argv) {
     std::vector<ProfileResult> results;
     for (const std::string& name : profile_names) {
       const auto profile = fl::netlist::find_profile(name);
-      results.push_back(run_profile(*profile, n_words, repeat));
+      results.push_back(run_profile(*profile, n_words, repeat, attack_iters));
       const ProfileResult& r = results.back();
       std::printf(
           "%-10s %8zu gates  gen %.2fs  graph %.2fs  opt %.2fs  "
-          "sim %.2fx (%.0f -> %.0f pat/s)  attack %s/%llu  verify %s\n",
+          "sim %.2fx (%.0f -> %.0f pat/s)  attack %s/%llu  "
+          "clauses/iter %.0f -> %.0f (%.1fx)  verify %s\n",
           r.name.c_str(), r.gates, r.gen_s, r.graph_build_s, r.optimize_s,
           r.speedup, r.base_patterns_per_s, r.wide_patterns_per_s,
           r.attack_status.c_str(),
           static_cast<unsigned long long>(r.attack_iterations),
-          r.verify_ok ? "ok" : "FAIL");
+          r.legacy_clauses_per_iter, r.cone_clauses_per_iter,
+          r.clause_reduction, r.verify_ok ? "ok" : "FAIL");
       std::fflush(stdout);
     }
 
     double log_speedup = 0.0, min_speedup = 1e100;
+    double min_clause_reduction = 1e100;
     bool all_ok = true;
     for (const ProfileResult& r : results) {
       log_speedup += std::log(std::max(r.speedup, 1e-9));
       min_speedup = std::min(min_speedup, r.speedup);
-      all_ok = all_ok && r.match_ok && r.accounting_ok && r.verify_ok;
+      min_clause_reduction = std::min(min_clause_reduction, r.clause_reduction);
+      all_ok = all_ok && r.match_ok && r.accounting_ok && r.verify_ok &&
+               r.encode_ok && r.keys_agree;
     }
     const double geomean_speedup =
         results.empty()
@@ -267,8 +344,17 @@ int main(int argc, char** argv) {
           .field("accounting_ok", r.accounting_ok)
           .field("key_bits", r.key_bits)
           .field("attack_status", r.attack_status)
+          .field("legacy_attack_status", r.legacy_attack_status)
           .field("attack_iterations", r.attack_iterations)
           .field("attack_queries", r.attack_queries)
+          .field("legacy_base_clauses", r.legacy_base_clauses)
+          .field("cone_base_clauses", r.cone_base_clauses)
+          .field("legacy_clauses_per_iter", r.legacy_clauses_per_iter)
+          .field("cone_clauses_per_iter", r.cone_clauses_per_iter)
+          .field("clause_reduction", r.clause_reduction)
+          .field("pp_eliminated_vars", r.pp_eliminated_vars)
+          .field("encode_ok", r.encode_ok)
+          .field("keys_agree", r.keys_agree)
           .field("verify_ok", r.verify_ok)
           .field("speedup", r.speedup)
           .field("gen_s", r.gen_s)
@@ -281,6 +367,10 @@ int main(int argc, char** argv) {
           .field("wide_patterns_per_s", r.wide_patterns_per_s)
           .field("lock_s", r.lock_s)
           .field("attack_wall_s", r.attack_wall_s)
+          .field("legacy_attack_wall_s", r.legacy_attack_wall_s)
+          .field("legacy_encode_per_iter_s", r.legacy_encode_s_per_iter)
+          .field("cone_encode_per_iter_s", r.cone_encode_s_per_iter)
+          .field("cone_preprocess_s", r.cone_preprocess_s)
           .field("verify_s", r.verify_s)
           .field("total_wall_s", r.total_wall_s);
       sink.write(i, o.str());
@@ -293,12 +383,16 @@ int main(int argc, char** argv) {
         .field("simd_level", fl::netlist::simd::kSimdLevel)
         .field("all_checks_ok", all_ok)
         .field("min_speedup", min_speedup)
-        .field("geomean_speedup", geomean_speedup);
+        .field("geomean_speedup", geomean_speedup)
+        .field("min_clause_reduction", min_clause_reduction)
+        .field("attack_iters", attack_iters);
     sink.write_unordered(summary.str());
     sink.flush();
-    std::printf("\nsimd level %d, geomean sim speedup %.2fx (min %.2fx) -> %s\n",
-                fl::netlist::simd::kSimdLevel, geomean_speedup, min_speedup,
-                out_path.c_str());
+    std::printf(
+        "\nsimd level %d, geomean sim speedup %.2fx (min %.2fx), "
+        "min clause reduction %.1fx -> %s\n",
+        fl::netlist::simd::kSimdLevel, geomean_speedup, min_speedup,
+        min_clause_reduction, out_path.c_str());
     return all_ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -69,7 +69,21 @@ inline void append_attack_fields(runtime::JsonObject& o,
       .field("db_size_after_reduce", r.solver_stats.db_size_after_reduce)
       .field("simplify_removed_clauses",
              r.solver_stats.simplify_removed_clauses)
+      .field("cone_encoding", r.cone_encoding)
+      .field("base_clauses", r.base_clauses)
+      .field("base_vars", r.base_vars)
+      .field("clauses_added", r.clauses_added)
+      .field("vars_added", r.vars_added)
+      .field("pp_ran", r.preprocess.ran)
+      .field("pp_input_clauses", r.preprocess.input_clauses)
+      .field("pp_output_clauses", r.preprocess.output_clauses)
+      .field("pp_fixed_vars", r.preprocess.fixed_vars)
+      .field("pp_eliminated_vars", r.preprocess.eliminated_vars)
+      .field("pp_subsumed_clauses", r.preprocess.subsumed_clauses)
+      .field("pp_strengthened_literals", r.preprocess.strengthened_literals)
       .field("mean_iteration_s", r.mean_iteration_seconds)
+      .field("encode_s", r.encode_seconds)
+      .field("preprocess_s", r.preprocess.preprocess_s)
       .field("wall_s", r.seconds);
 }
 

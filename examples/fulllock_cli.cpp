@@ -7,6 +7,7 @@
 //   attack:  example_fulllock_cli attack <locked.bench> <oracle.bench>
 //                                        [timeout_s] [--attack NAME]
 //                                        [--portfolio K] [--par-mode M]
+//                                        [--encode M] [--no-preprocess]
 //                                        [--trace FILE]
 //            Runs an oracle-guided attack with the oracle circuit standing
 //            in for the activated chip. --attack picks the algorithm (auto,
@@ -15,8 +16,11 @@
 //            --par-mode picks how they cooperate: race (independent attacks,
 //            first finisher cancels the rest), share (one attack, K
 //            clause-sharing CDCL workers), or cubes (cube-and-conquer over
-//            the swap-key variables). --trace FILE appends one JSONL record
-//            per DIP iteration (schema in EXPERIMENTS.md).
+//            the swap-key variables). --encode selects the miter encoding
+//            (auto = key-cone on acyclic locks, cone, full) and
+//            --no-preprocess disables base-miter CNF preprocessing — both
+//            mostly useful for A/B measurements. --trace FILE appends one
+//            JSONL record per DIP iteration (schema in EXPERIMENTS.md).
 //   sweep:   example_fulllock_cli sweep <in.bench> [plr sizes...]
 //            Locks <in.bench> once per (PLR size, seed index) cell and
 //            attacks each instance, fanning the grid out over a worker
@@ -100,6 +104,14 @@ bool known_attack(const std::string& name) {
          name == "appsat" || name == "double-dip";
 }
 
+// --encode values cmd_attack/cmd_sweep accept (attacks::EncodeMode).
+std::optional<attacks::EncodeMode> parse_encode_mode(const std::string& name) {
+  if (name == "auto") return attacks::EncodeMode::kAuto;
+  if (name == "cone") return attacks::EncodeMode::kCone;
+  if (name == "full") return attacks::EncodeMode::kFull;
+  return std::nullopt;
+}
+
 // One --trace sink shared by every attack a command runs (thread-safe, so
 // parallel sweep cells may interleave records).
 struct TraceFile {
@@ -120,6 +132,8 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   int portfolio = 0;
   std::string attack = "auto";
   std::string par_mode = "race";
+  std::string encode = "auto";
+  bool preprocess = true;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--portfolio" && i + 1 < argc) {
@@ -134,6 +148,12 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
       attack = argv[++i];
     } else if (arg.rfind("--attack=", 0) == 0) {
       attack = arg.substr(9);
+    } else if (arg == "--encode" && i + 1 < argc) {
+      encode = argv[++i];
+    } else if (arg.rfind("--encode=", 0) == 0) {
+      encode = arg.substr(9);
+    } else if (arg == "--no-preprocess") {
+      preprocess = false;
     } else {
       positional.push_back(arg);
     }
@@ -154,6 +174,14 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
                  attack.c_str(), kKnownAttacks);
     return 2;
   }
+  const std::optional<attacks::EncodeMode> encode_mode =
+      parse_encode_mode(encode);
+  if (!encode_mode.has_value()) {
+    std::fprintf(stderr,
+                 "unknown --encode '%s'; available modes: auto, cone, full\n",
+                 encode.c_str());
+    return 2;
+  }
   if (positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: attack <locked.bench> <oracle.bench> [timeout_s]\n"
@@ -161,6 +189,10 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
                  "  --portfolio K   use K solver threads (sat/cycsat only)\n"
                  "  --par-mode M    race (independent attacks), share "
                  "(clause-sharing workers), or cubes (cube-and-conquer)\n"
+                 "  --encode M      miter encoding: auto (cone when acyclic), "
+                 "cone, or full\n"
+                 "  --no-preprocess disable CNF preprocessing of the base "
+                 "miter\n"
                  "  --trace FILE    per-DIP-iteration JSONL trace\n",
                  kKnownAttacks);
     return 2;
@@ -175,6 +207,8 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
       positional.size() > 2 ? std::atof(positional[2].c_str()) : 60.0;
   options.portfolio = portfolio;
   options.par_mode = *mode;
+  options.encode_mode = *encode_mode;
+  options.preprocess = preprocess;
   options.memory_limit_mb = run_args.memory_limit_mb;
   TraceFile trace(run_args);
   if (trace.sink.has_value()) options.trace = &*trace.sink;
@@ -258,6 +292,7 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
     std::fprintf(stderr,
                  "usage: sweep <in.bench> [sizes...] (--attack NAME, "
                  "--portfolio K, --par-mode race|share|cubes, "
+                 "--encode auto|cone|full, --no-preprocess, "
                  "--jobs N, --jsonl PATH, --resume, --retries N, "
                  "--cell-timeout S, --mem-mb M, --trace PATH)\n");
     return 2;
@@ -267,6 +302,8 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   std::string attack = "auto";
   int portfolio = 0;
   std::string par_mode = "race";
+  std::string encode = "auto";
+  bool preprocess = true;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--attack" && i + 1 < argc) {
@@ -281,6 +318,12 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
       par_mode = argv[++i];
     } else if (arg.rfind("--par-mode=", 0) == 0) {
       par_mode = arg.substr(11);
+    } else if (arg == "--encode" && i + 1 < argc) {
+      encode = argv[++i];
+    } else if (arg.rfind("--encode=", 0) == 0) {
+      encode = arg.substr(9);
+    } else if (arg == "--no-preprocess") {
+      preprocess = false;
     } else {
       sizes.push_back(std::atoi(arg.c_str()));
     }
@@ -288,6 +331,14 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   if (!known_attack(attack)) {
     std::fprintf(stderr, "unknown attack '%s'; available attacks: %s\n",
                  attack.c_str(), kKnownAttacks);
+    return 2;
+  }
+  const std::optional<attacks::EncodeMode> encode_mode =
+      parse_encode_mode(encode);
+  if (!encode_mode.has_value()) {
+    std::fprintf(stderr,
+                 "unknown --encode '%s'; available modes: auto, cone, full\n",
+                 encode.c_str());
     return 2;
   }
   const std::optional<sat::ParMode> mode = sat::parse_par_mode(par_mode);
@@ -363,6 +414,8 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
         options.interrupt = ctx.interrupt;
         options.portfolio = portfolio;
         options.par_mode = *mode;
+        options.encode_mode = *encode_mode;
+        options.preprocess = preprocess;
         options.memory_limit_mb = run_args.memory_limit_mb;
         if (trace.sink.has_value()) {
           options.trace = &*trace.sink;

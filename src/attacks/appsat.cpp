@@ -131,6 +131,10 @@ class AppSatPolicy final : public DipPolicy {
     std::vector<Word> got(n_out * rounds);
     locked_sim_->run_batch(inputs, kw, rounds, sim_scratch_, got);
     std::uint64_t wrong_bits = 0, total_bits = 0;
+    // Failing rounds are reinforced in one batch so cone-mode encoding can
+    // sweep the key-free region for all of them in a single bit-parallel
+    // simulator pass.
+    std::vector<std::vector<bool>> patterns, responses;
     for (std::size_t r = 0; r < rounds; ++r) {
       Word any_diff = 0;
       for (std::size_t o = 0; o < n_out; ++o) {
@@ -140,10 +144,20 @@ class AppSatPolicy final : public DipPolicy {
         total_bits += 64;
       }
       if (any_diff != 0) {
-        reinforce(ctx, inputs, rounds, golden, rounds, r,
-                  std::countr_zero(any_diff));
+        const int bit = std::countr_zero(any_diff);
+        std::vector<bool> pattern(n_in);
+        for (std::size_t i = 0; i < n_in; ++i) {
+          pattern[i] = ((inputs[i * rounds + r] >> bit) & 1) != 0;
+        }
+        std::vector<bool> response(n_out);
+        for (std::size_t o = 0; o < n_out; ++o) {
+          response[o] = ((golden[o * rounds + r] >> bit) & 1) != 0;
+        }
+        patterns.push_back(std::move(pattern));
+        responses.push_back(std::move(response));
       }
     }
+    ctx.constrain_io_batch(patterns, responses);
     return total_bits == 0 ? 0.0
                            : static_cast<double>(wrong_bits) / total_bits;
   }

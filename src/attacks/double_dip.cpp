@@ -25,12 +25,23 @@ std::vector<cnf::NetLit> key_lits(const cnf::EncodedCircuit& copy) {
 // whichever side the oracle contradicts, at least two wrong keys die per
 // query (Shen & Zhou's guarantee).
 MiterContext::Parts encode_two_dip_miter(const netlist::Netlist& net,
-                                         sat::SolverIface& solver) {
+                                         sat::SolverIface& solver,
+                                         netlist::KeyConePartition* cone) {
   cnf::SolverSink sink(solver);
-  const cnf::EncodeOptions free_inputs;
-  const cnf::EncodedCircuit a = cnf::encode(net, sink, free_inputs);
+  // With a partition, copy A is restricted to the fanin support of the
+  // key-dependent outputs and copies B/C/D re-encode only the key cone over
+  // A's nets — the shared key-free region is encoded once instead of four
+  // times. Output differences over key-independent ports fold away.
+  cnf::EncodeOptions first;
+  if (cone != nullptr) first.restrict_topo = cone->support_topo();
+  const cnf::EncodedCircuit a = cnf::encode(net, sink, first);
   cnf::EncodeOptions shared;
-  shared.shared_input_vars = a.input_vars;
+  if (cone != nullptr) {
+    shared.cone_topo = cone->cone_topo();
+    shared.frontier_lits = a.net;
+  } else {
+    shared.shared_input_vars = a.input_vars;
+  }
   const cnf::EncodedCircuit b = cnf::encode(net, sink, shared);
   const cnf::EncodedCircuit c = cnf::encode(net, sink, shared);
   const cnf::EncodedCircuit d = cnf::encode(net, sink, shared);

@@ -1,6 +1,7 @@
 #include "attacks/engine.h"
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "cnf/miter.h"
 #include "runtime/jsonl.h"
@@ -21,6 +22,15 @@ const char* to_string(AttackStatus status) {
   return "?";
 }
 
+const char* to_string(EncodeMode mode) {
+  switch (mode) {
+    case EncodeMode::kAuto: return "auto";
+    case EncodeMode::kCone: return "cone";
+    case EncodeMode::kFull: return "full";
+  }
+  return "?";
+}
+
 void JsonlTraceSink::record(const IterationTrace& trace) {
   runtime::JsonObject o;
   o.field("attack", trace.attack);
@@ -31,7 +41,10 @@ void JsonlTraceSink::record(const IterationTrace& trace) {
       .field("decisions", trace.decisions)
       .field("propagations", trace.propagations)
       .field("conflicts", trace.conflicts)
-      .field("solve_s", trace.solve_s);
+      .field("solve_s", trace.solve_s)
+      .field("clauses_added", trace.clauses_added)
+      .field("vars_added", trace.vars_added)
+      .field("encode_s", trace.encode_s);
   const std::string line = o.str();
   const std::lock_guard<std::mutex> lock(mu_);
   out_ << line << '\n';
@@ -89,8 +102,10 @@ sat::SolverConfig solver_config_for(const AttackOptions& options,
 }
 
 MiterContext::Encoder MiterContext::double_key() {
-  return [](const netlist::Netlist& locked, sat::SolverIface& solver) {
-    const cnf::AttackMiter miter = cnf::encode_attack_miter(locked, solver);
+  return [](const netlist::Netlist& locked, sat::SolverIface& solver,
+            netlist::KeyConePartition* cone) {
+    const cnf::AttackMiter miter =
+        cnf::encode_attack_miter(locked, solver, cone);
     Parts parts;
     parts.inputs = miter.inputs;
     parts.key_copies = {miter.key1, miter.key2};
@@ -104,7 +119,9 @@ MiterContext::MiterContext(const core::LockedCircuit& locked,
                            const Encoder& encoder,
                            const sat::SolverConfig& config)
     : locked_(&locked), solver_(std::make_unique<sat::Solver>(config)) {
-  parts_ = encoder(locked.netlist, *solver_);
+  const auto t0 = Clock::now();
+  parts_ = encoder(locked.netlist, *solver_, nullptr);
+  encode_seconds_ += std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
 MiterContext::MiterContext(const core::LockedCircuit& locked,
@@ -113,18 +130,35 @@ MiterContext::MiterContext(const core::LockedCircuit& locked,
                            const sat::SolverConfig& config)
     : locked_(&locked) {
   const sat::SolverConfig base = solver_config_for(options, config);
+  std::unique_ptr<sat::SolverIface> engine;
   if (options.portfolio > 1 && options.par_mode != sat::ParMode::kRace) {
     sat::ParallelConfig pc;
     pc.num_workers = options.portfolio;
     pc.mode = options.par_mode;
     pc.base = base;
     pc.cube_depth = options.cube_depth;
-    solver_ = std::make_unique<sat::ParallelSolver>(pc);
+    engine = std::make_unique<sat::ParallelSolver>(pc);
   } else {
-    solver_ = std::make_unique<sat::Solver>(base);
+    engine = std::make_unique<sat::Solver>(base);
   }
-  parts_ = encoder(locked.netlist, *solver_);
-  if (auto* parallel = dynamic_cast<sat::ParallelSolver*>(solver_.get())) {
+  parallel_ = dynamic_cast<sat::ParallelSolver*>(engine.get());
+  if (options.preprocess) {
+    // The wrapper never renumbers, so variable ids handed out below (split
+    // candidates, assumption literals) stay valid across the flush.
+    inner_solver_ = std::move(engine);
+    auto pre = std::make_unique<sat::PreprocessSolver>(
+        *inner_solver_, options.preprocess_config);
+    pre_ = pre.get();
+    solver_ = std::move(pre);
+  } else {
+    solver_ = std::move(engine);
+  }
+  init_cone(options.encode_mode);
+  const auto t0 = Clock::now();
+  parts_ = encoder(locked.netlist, *solver_, cone_.get());
+  encode_seconds_ += std::chrono::duration<double>(Clock::now() - t0).count();
+  freeze_interface();
+  if (parallel_ != nullptr) {
     // Cube-and-conquer splits on the CLN swap-key variables: hand the
     // splitter every key copy's variables; it ranks them by VSIDS activity
     // (or occurrence counts before any search history exists).
@@ -132,8 +166,59 @@ MiterContext::MiterContext(const core::LockedCircuit& locked,
     for (const std::vector<sat::Var>& copy : parts_.key_copies) {
       keys.insert(keys.end(), copy.begin(), copy.end());
     }
-    parallel->set_split_candidates(std::move(keys));
+    parallel_->set_split_candidates(std::move(keys));
   }
+}
+
+void MiterContext::init_cone(EncodeMode mode) {
+  const netlist::Netlist& net = locked_->netlist;
+  bool want = false;
+  switch (mode) {
+    case EncodeMode::kFull:
+      return;
+    case EncodeMode::kCone:
+      if (net.is_cyclic()) {
+        throw std::invalid_argument(
+            "MiterContext: cone encoding needs an acyclic lock (cyclic locks "
+            "fall back to full encoding under kAuto)");
+      }
+      want = net.num_keys() > 0;
+      break;
+    case EncodeMode::kAuto:
+      want = !net.is_cyclic() && net.num_keys() > 0;
+      break;
+  }
+  if (!want) return;
+  cone_ = std::make_unique<netlist::KeyConePartition>(net);
+  fixed_sim_ = std::make_unique<netlist::Simulator>(cone_->fixed_region());
+  // Only tap entries are ever read by the cone encoder; the const-0 default
+  // covers the rest of the GateId space.
+  frontier_.assign(net.num_gates(), cnf::NetLit::constant(false));
+}
+
+void MiterContext::freeze_interface() {
+  if (pre_ == nullptr) return;
+  for (const sat::Var v : parts_.inputs) {
+    if (v != sat::kNullVar) pre_->freeze(v);
+  }
+  for (const std::vector<sat::Var>& copy : parts_.key_copies) {
+    for (const sat::Var v : copy) {
+      if (v != sat::kNullVar) pre_->freeze(v);
+    }
+  }
+  if (parts_.activate.var() >= 0) pre_->freeze(parts_.activate.var());
+}
+
+void MiterContext::finalize_encoding() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (pre_ != nullptr) pre_->flush();
+  base_clauses_ = solver_->num_clauses();
+  base_vars_ = static_cast<std::size_t>(solver_->num_vars());
+}
+
+sat::PreprocessStats MiterContext::preprocess_stats() const {
+  return pre_ != nullptr ? pre_->preprocess_stats() : sat::PreprocessStats{};
 }
 
 void MiterContext::sample_ratio() {
@@ -169,10 +254,60 @@ std::vector<bool> MiterContext::extract_key(
 
 void MiterContext::constrain_io(const std::vector<bool>& pattern,
                                 const std::vector<bool>& response) {
-  for (const std::vector<sat::Var>& keys : parts_.key_copies) {
-    cnf::add_io_constraint(locked_->netlist, *solver_, keys, pattern,
-                           response);
+  constrain_io_batch({&pattern, 1}, {&response, 1});
+}
+
+void MiterContext::constrain_io_batch(
+    std::span<const std::vector<bool>> patterns,
+    std::span<const std::vector<bool>> responses) {
+  if (patterns.size() != responses.size()) {
+    throw std::invalid_argument(
+        "MiterContext::constrain_io_batch: pattern/response count mismatch");
   }
+  if (patterns.empty()) return;
+  const auto t0 = Clock::now();
+  if (cone_ == nullptr) {
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      for (const std::vector<sat::Var>& keys : parts_.key_copies) {
+        cnf::add_io_constraint(locked_->netlist, *solver_, keys, patterns[p],
+                               responses[p]);
+      }
+    }
+  } else {
+    // One bit-parallel sweep of the key-free region for the whole batch
+    // (pattern p lives in bit p%64 of word p/64), then a cone-only Tseytin
+    // encode per pattern and key copy against the swept constants.
+    const std::size_t n = patterns.size();
+    const std::size_t n_words = (n + 63) / 64;
+    const std::size_t n_in = locked_->netlist.num_inputs();
+    std::vector<netlist::Word> in(n_in * n_words, 0);
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::vector<bool>& pat = patterns[p];
+      if (pat.size() != n_in) {
+        throw std::invalid_argument(
+            "MiterContext::constrain_io_batch: pattern size mismatch");
+      }
+      for (std::size_t i = 0; i < n_in; ++i) {
+        if (pat[i]) in[i * n_words + p / 64] |= netlist::Word{1} << (p % 64);
+      }
+    }
+    const std::span<const netlist::GateId> taps = cone_->taps();
+    std::vector<netlist::Word> out(taps.size() * n_words);
+    fixed_sim_->run_batch(in, {}, n_words, fixed_scratch_, out);
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t t = 0; t < taps.size(); ++t) {
+        const bool v = ((out[t * n_words + p / 64] >> (p % 64)) & 1) != 0;
+        frontier_[static_cast<std::size_t>(taps[t])] =
+            cnf::NetLit::constant(v);
+      }
+      for (const std::vector<sat::Var>& keys : parts_.key_copies) {
+        cnf::add_io_constraint_cone(locked_->netlist, *solver_, keys,
+                                    cone_->cone_topo(), frontier_,
+                                    responses[p]);
+      }
+    }
+  }
+  encode_seconds_ += std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
 void MiterContext::ban_key(std::span<const sat::Var> key_vars,
@@ -219,6 +354,10 @@ AttackResult DipLoop::run(MiterContext& ctx, DipPolicy& policy) {
   const std::uint64_t queries_before = oracle_.num_queries();
   sat::SolverIface& solver = ctx.solver();
 
+  // Commit the staged base encoding (preprocessing runs here, over the
+  // miter plus whatever preconditions the attack added before this loop).
+  ctx.finalize_encoding();
+
   // Wall time spent inside completed DIP iterations (DIP solve + policy's
   // oracle query + constraint encoding); the divisor for
   // mean_iteration_seconds. Miter encoding (before this loop) and the final
@@ -235,6 +374,15 @@ AttackResult DipLoop::run(MiterContext& ctx, DipPolicy& policy) {
     result.solver_stats = solver.stats();
     result.stop_reason = solver.last_stop_reason();
     result.oracle_queries = oracle_.num_queries() - queries_before;
+    result.base_clauses = ctx.base_clauses();
+    result.base_vars = ctx.base_vars();
+    result.clauses_added = static_cast<long long>(solver.num_clauses()) -
+                           static_cast<long long>(ctx.base_clauses());
+    result.vars_added = static_cast<long long>(solver.num_vars()) -
+                        static_cast<long long>(ctx.base_vars());
+    result.encode_seconds = ctx.encode_seconds();
+    result.cone_encoding = ctx.cone_encoding();
+    result.preprocess = ctx.preprocess_stats();
     // Non-success exits keep the best-effort key sized to the key width so
     // consumers never index an empty vector.
     if (result.key.empty()) result.key = ctx.extract_key();
@@ -256,6 +404,9 @@ AttackResult DipLoop::run(MiterContext& ctx, DipPolicy& policy) {
       return finish();
     }
     const auto iteration_start = Clock::now();
+    const auto iter_clauses = static_cast<long long>(solver.num_clauses());
+    const auto iter_vars = static_cast<long long>(solver.num_vars());
+    const double iter_encode_s = ctx.encode_seconds();
     budget_.arm(solver);
     ctx.sample_ratio();
     const double ratio = ctx.last_ratio();
@@ -296,6 +447,10 @@ AttackResult DipLoop::run(MiterContext& ctx, DipPolicy& policy) {
       trace.propagations = after.propagations - before.propagations;
       trace.conflicts = after.conflicts - before.conflicts;
       trace.solve_s = solve_s;
+      trace.clauses_added =
+          static_cast<long long>(solver.num_clauses()) - iter_clauses;
+      trace.vars_added = static_cast<long long>(solver.num_vars()) - iter_vars;
+      trace.encode_s = ctx.encode_seconds() - iter_encode_s;
       options_.trace->record(trace);
     }
     if (options_.verbose) {

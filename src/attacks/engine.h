@@ -46,8 +46,12 @@
 #include <vector>
 
 #include "attacks/oracle.h"
+#include "cnf/tseytin.h"
 #include "core/locked_circuit.h"
+#include "netlist/simulator.h"
+#include "netlist/structure.h"
 #include "sat/parallel.h"
+#include "sat/preprocess.h"
 #include "sat/solver.h"
 
 namespace fl::attacks {
@@ -67,6 +71,22 @@ enum class AttackStatus : std::uint8_t {
 
 const char* to_string(AttackStatus status);
 
+// How MiterContext encodes the miter and the per-DIP constraints.
+//
+//  * kFull — the legacy shape: every circuit copy encodes the whole netlist
+//    (constant folding still shrinks fixed-input copies).
+//  * kCone — key-cone encoding: the base miter is restricted to the fanin
+//    support of the key-dependent outputs (cnf::encode_attack_miter with a
+//    KeyConePartition), and each DIP constraint simulates the key-free
+//    region bit-parallel (netlist::Simulator) and Tseytin-encodes only the
+//    key cone against the swept constants. Requires an acyclic lock;
+//    requesting it on a cyclic one throws std::invalid_argument.
+//  * kAuto — kCone whenever the lock is acyclic and has keys (CycSAT's
+//    cyclic locks fall back to kFull, which its relaxation oracle needs).
+enum class EncodeMode : std::uint8_t { kAuto, kCone, kFull };
+
+const char* to_string(EncodeMode mode);
+
 // One completed DIP iteration, as handed to an IterationTraceSink. The
 // solver counters are deltas over the DIP-miter solve alone (policy work —
 // oracle queries, constraint encoding, AppSAT settlement solves — is
@@ -82,6 +102,15 @@ struct IterationTrace {
   std::uint64_t propagations = 0;
   std::uint64_t conflicts = 0;
   double solve_s = 0.0;      // wall time of the DIP-miter solve
+  // Problem-clause / variable growth across the whole iteration (the DIP
+  // solve plus the policy's constraint encoding). Signed: the solver's
+  // root-level simplification may shrink the database between solves.
+  long long clauses_added = 0;
+  long long vars_added = 0;
+  // Wall time the policy spent encoding constraints this iteration
+  // (MiterContext::constrain_io / constrain_io_batch, including the
+  // fixed-region constant sweep in cone mode).
+  double encode_s = 0.0;
 };
 
 class IterationTraceSink {
@@ -139,6 +168,15 @@ struct AttackOptions {
   // whose accounted memory crosses it returns with kOutOfMemory instead of
   // growing until the process is OOM-killed. 0 = unlimited.
   std::size_t memory_limit_mb = 0;
+  // Miter/constraint encoding shape; see EncodeMode. kAuto picks the cone
+  // encoding whenever the lock admits it.
+  EncodeMode encode_mode = EncodeMode::kAuto;
+  // Run SatELite-style preprocessing (sat::PreprocessSolver) over the base
+  // miter before the DIP loop: bounded variable elimination, subsumption,
+  // self-subsuming resolution. Inputs, key copies and the activation
+  // literal are frozen; everything the loop adds later is incremental.
+  bool preprocess = true;
+  sat::PreprocessConfig preprocess_config;
   // Optional per-iteration observability (see IterationTrace). Not owned;
   // must outlive the attack. Portfolio racers share the sink, so their
   // records interleave (the sink is thread-safe).
@@ -179,6 +217,19 @@ struct AttackResult {
   // Portfolio mode only: index of the solver configuration that produced
   // this result, or -1 outside portfolio mode / when every racer timed out.
   int portfolio_winner = -1;
+  // Encoding-pipeline observability (filled by DipLoop::run). base_clauses /
+  // base_vars snapshot the solver right after the miter (and any policy
+  // preconditions) were committed — i.e. after preprocessing — and the
+  // *_added totals are the growth across the whole DIP loop (signed: root
+  // simplification can shrink the database).
+  std::size_t base_clauses = 0;
+  std::size_t base_vars = 0;
+  long long clauses_added = 0;
+  long long vars_added = 0;
+  // Total wall time spent encoding DIP constraints (cone sweep included).
+  double encode_seconds = 0.0;
+  bool cone_encoding = false;
+  sat::PreprocessStats preprocess;
 };
 
 // All attack budgets, checked in one place, so every attack maps budget
@@ -248,8 +299,10 @@ class MiterContext {
     sat::Lit activate = sat::kUndefLit;
     bool trivially_equal = false;
   };
-  using Encoder =
-      std::function<Parts(const netlist::Netlist&, sat::SolverIface&)>;
+  // The partition pointer is non-null iff the context chose the cone
+  // encoding (EncodeMode); encoders that cannot exploit it may ignore it.
+  using Encoder = std::function<Parts(
+      const netlist::Netlist&, sat::SolverIface&, netlist::KeyConePartition*)>;
 
   // The standard double-key miter of Subramanyan et al. (two copies sharing
   // the primary inputs, independent keys K1/K2, some output differs).
@@ -291,9 +344,28 @@ class MiterContext {
   std::vector<bool> extract_key(std::span<const sat::Var> key_vars) const;
 
   // "locked(pattern, K) == response" for every key copy — the per-DIP
-  // key-space pruning constraint.
+  // key-space pruning constraint. In cone mode the key-free region is
+  // evaluated by simulation and only the key cone is re-encoded; patterns
+  // handed to constrain_io_batch share one bit-parallel sweep (64+ patterns
+  // per simulator pass — AppSAT's reinforcement batches go through here).
   void constrain_io(const std::vector<bool>& pattern,
                     const std::vector<bool>& response);
+  void constrain_io_batch(std::span<const std::vector<bool>> patterns,
+                          std::span<const std::vector<bool>> responses);
+
+  // Commits the staged base encoding: flushes the preprocessor (if any) and
+  // snapshots base_clauses()/base_vars(). Called by DipLoop::run before the
+  // first solve, after policies had their chance to add preconditions (so
+  // CycSAT's cycle-breaking clauses get preprocessed with the miter);
+  // idempotent.
+  void finalize_encoding();
+  std::size_t base_clauses() const { return base_clauses_; }
+  std::size_t base_vars() const { return base_vars_; }
+  bool cone_encoding() const { return cone_ != nullptr; }
+  // Cumulative wall time spent in constrain_io/constrain_io_batch (cone
+  // sweep + Tseytin encode; the legacy full encode is timed too).
+  double encode_seconds() const { return encode_seconds_; }
+  sat::PreprocessStats preprocess_stats() const;
 
   // Bans the exact assignment `key` of `key_vars` (BeSAT-style stateful-key
   // elimination on cyclic locks).
@@ -301,9 +373,26 @@ class MiterContext {
                const std::vector<bool>& key);
 
  private:
+  void init_cone(EncodeMode mode);
+  void freeze_interface();
+
   const core::LockedCircuit* locked_;
+  // When preprocessing: inner_solver_ is the real engine and solver_ the
+  // PreprocessSolver staging wrapper (declared after inner_solver_ so it is
+  // destroyed first). Otherwise solver_ owns the engine directly.
+  std::unique_ptr<sat::SolverIface> inner_solver_;
   std::unique_ptr<sat::SolverIface> solver_;
+  sat::PreprocessSolver* pre_ = nullptr;      // view into solver_, or null
+  sat::ParallelSolver* parallel_ = nullptr;   // view into the engine, or null
+  std::unique_ptr<netlist::KeyConePartition> cone_;  // null = full encoding
+  std::unique_ptr<netlist::Simulator> fixed_sim_;    // over fixed_region()
+  netlist::Simulator::Scratch fixed_scratch_;
+  std::vector<cnf::NetLit> frontier_;  // per-DIP tap constants, GateId-indexed
   Parts parts_;
+  bool finalized_ = false;
+  std::size_t base_clauses_ = 0;
+  std::size_t base_vars_ = 0;
+  double encode_seconds_ = 0.0;
   double ratio_sum_ = 0.0;
   double last_ratio_ = 0.0;
   std::uint64_t ratio_samples_ = 0;

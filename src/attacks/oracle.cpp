@@ -46,9 +46,13 @@ void Oracle::query_batch(std::span<const Word> inputs, std::size_t n_words,
   }
   queries_.fetch_add(n_patterns, std::memory_order_relaxed);
   // One scratch per thread: the Oracle is shared const across attack
-  // threads, so per-object scratch would race.
+  // threads, so per-object scratch would race. The cache is capped: a
+  // sweep thread that served one million-gate cell would otherwise pin that
+  // cell's scratch (dozens of MB) for the rest of its life.
+  static constexpr std::size_t kScratchRetainBytes = std::size_t{16} << 20;
   thread_local netlist::Simulator::Scratch scratch;
   simulator_.run_batch(inputs, {}, n_words, scratch, outputs);
+  scratch.trim(kScratchRetainBytes);
 }
 
 }  // namespace fl::attacks

@@ -10,7 +10,8 @@ using sat::Lit;
 using sat::Var;
 
 AttackMiter encode_attack_miter(const Netlist& locked,
-                                sat::SolverIface& solver) {
+                                sat::SolverIface& solver,
+                                netlist::KeyConePartition* cone) {
   SolverSink sink(solver);
   if (locked.num_keys() == 0) {
     // No key inputs: both copies are identical functions by construction.
@@ -20,6 +21,12 @@ AttackMiter encode_attack_miter(const Netlist& locked,
     return miter;
   }
   EncodeOptions options;  // inputs free, fresh keys
+  if (cone != nullptr) {
+    // Key-independent outputs are equal in both copies whatever the keys
+    // are, so the miter only needs the fanin cone of the key-dependent
+    // outputs from the full copy.
+    options.restrict_topo = cone->support_topo();
+  }
   const EncodedCircuit copy1 = encode(locked, sink, options);
 
   // Second copy with its own key set, built directly over the first copy's
@@ -28,7 +35,16 @@ AttackMiter encode_attack_miter(const Netlist& locked,
   // re-derive x1_i = x2_i by propagation in every conflict, and the extra
   // variables diluted VSIDS onto literals that carry no information.)
   EncodeOptions options2;
-  options2.shared_input_vars = copy1.input_vars;
+  if (cone != nullptr) {
+    // Cone-restricted second copy: everything outside the key cone is the
+    // same function of the same inputs in both copies, so it is *shared*
+    // (via copy1's nets) rather than re-encoded, and the output difference
+    // below folds the key-independent ports away structurally.
+    options2.cone_topo = cone->cone_topo();
+    options2.frontier_lits = copy1.net;
+  } else {
+    options2.shared_input_vars = copy1.input_vars;
+  }
   const EncodedCircuit copy2 = encode(locked, sink, options2);
 
   AttackMiter miter;
@@ -57,6 +73,27 @@ AttackMiter encode_attack_miter(const Netlist& locked,
   return miter;
 }
 
+namespace {
+
+// Pins every encoded output to the oracle response; a constant output that
+// contradicts the response empties the key space (matches what folding the
+// mismatch through a unit clause would do).
+void pin_outputs(sat::SolverIface& solver, const EncodedCircuit& copy,
+                 const std::vector<bool>& response) {
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    const NetLit o = copy.outputs[i];
+    if (o.is_const()) {
+      if (o.const_value() != response[i]) {
+        solver.add_clause({});  // contradiction: key space empty
+      }
+      continue;
+    }
+    solver.add_clause({response[i] ? o.lit : ~o.lit});
+  }
+}
+
+}  // namespace
+
 void add_io_constraint(const Netlist& locked, sat::SolverIface& solver,
                        std::span<const sat::Var> key_vars,
                        const std::vector<bool>& pattern,
@@ -69,16 +106,30 @@ void add_io_constraint(const Netlist& locked, sat::SolverIface& solver,
   options.fixed_inputs = pattern;
   options.shared_key_vars = key_vars;
   const EncodedCircuit copy = encode(locked, sink, options);
-  for (std::size_t i = 0; i < response.size(); ++i) {
-    const NetLit o = copy.outputs[i];
-    if (o.is_const()) {
-      if (o.const_value() != response[i]) {
-        solver.add_clause({});  // contradiction: key space empty
-      }
-      continue;
-    }
-    solver.add_clause({response[i] ? o.lit : ~o.lit});
+  pin_outputs(solver, copy, response);
+}
+
+void add_io_constraint_cone(const Netlist& locked, sat::SolverIface& solver,
+                            std::span<const sat::Var> key_vars,
+                            std::span<const netlist::GateId> cone_topo,
+                            std::span<const NetLit> frontier_lits,
+                            const std::vector<bool>& response) {
+  if (response.size() != locked.num_outputs()) {
+    throw std::invalid_argument(
+        "add_io_constraint_cone: response size mismatch");
   }
+  SolverSink sink(solver);
+  EncodeOptions options;
+  options.cone_topo = cone_topo;
+  options.frontier_lits = frontier_lits;
+  options.shared_key_vars = key_vars;
+  // With the frontier swept to constants, most of the key cone folds off the
+  // pinned outputs (a masked fanin kills the key dependence long before an
+  // output port); only the residue that still reaches a symbolic output pin
+  // carries information about the key.
+  options.prune_dead_logic = true;
+  const EncodedCircuit copy = encode(locked, sink, options);
+  pin_outputs(solver, copy, response);
 }
 
 double deobfuscation_cnf_ratio(const Netlist& locked, int num_dips,

@@ -7,6 +7,7 @@
 
 #include "cnf/tseytin.h"
 #include "netlist/netlist.h"
+#include "netlist/structure.h"
 #include "sat/solver.h"
 
 namespace fl::cnf {
@@ -22,8 +23,14 @@ struct AttackMiter {
   bool trivially_equal = false;  // outputs identical for all keys (no DIP)
 };
 
+// With `cone` non-null (acyclic locks), the first copy is restricted to the
+// partition's miter support and the second copy re-encodes only the key
+// cone against the first copy's nets — the key-independent outputs cancel
+// structurally instead of clause-by-clause. With cone == nullptr both
+// copies encode the full circuit (the legacy shape).
 AttackMiter encode_attack_miter(const netlist::Netlist& locked,
-                                sat::SolverIface& solver);
+                                sat::SolverIface& solver,
+                                netlist::KeyConePartition* cone = nullptr);
 
 // Adds the constraint "locked(pattern, K) == response" for the key variables
 // `key_vars` (one circuit copy with inputs fixed; constants are folded when
@@ -33,6 +40,19 @@ void add_io_constraint(const netlist::Netlist& locked,
                        std::span<const sat::Var> key_vars,
                        const std::vector<bool>& pattern,
                        const std::vector<bool>& response);
+
+// Cone-restricted form of add_io_constraint: `frontier_lits` (indexed by
+// GateId, size num_gates) carries the fixed-region net values already
+// evaluated under the DIP — at minimum at every KeyConePartition tap — so
+// only the gates in `cone_topo` are re-encoded. Key-independent outputs are
+// still checked against `response` (a mismatch empties the key space,
+// matching the full encode).
+void add_io_constraint_cone(const netlist::Netlist& locked,
+                            sat::SolverIface& solver,
+                            std::span<const sat::Var> key_vars,
+                            std::span<const netlist::GateId> cone_topo,
+                            std::span<const NetLit> frontier_lits,
+                            const std::vector<bool>& response);
 
 // Clauses-to-variables ratio of the deobfuscation CNF as a naive
 // MiniSAT-frontend (the paper's tooling, Fig. 7) sees it: a double-key

@@ -1,5 +1,6 @@
 #include "cnf/tseytin.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace fl::cnf {
@@ -221,10 +222,28 @@ class Encoder {
   EncodedCircuit& out_;
 };
 
+// Variable source for the shadow pass of prune_dead_logic: hands out fresh
+// ids above every real variable the options can inject, drops all clauses.
+class ShadowSink final : public ClauseSink {
+ public:
+  explicit ShadowSink(Var first) : next_(first) {}
+  Var new_var() override { return next_++; }
+  void add_clause(sat::Clause) override {}
+
+ private:
+  Var next_;
+};
+
+EncodedCircuit encode_impl(const Netlist& netlist, ClauseSink& sink,
+                           const EncodeOptions& options,
+                           const std::vector<char>* needed,
+                           const EncodedCircuit* shadow);
+
 }  // namespace
 
 EncodedCircuit encode(const Netlist& netlist, ClauseSink& sink,
                       const EncodeOptions& options) {
+  const bool cone_mode = !options.frontier_lits.empty();
   if (!options.fixed_inputs.empty() &&
       options.fixed_inputs.size() != netlist.num_inputs()) {
     throw std::invalid_argument("fixed_inputs size mismatch");
@@ -242,29 +261,109 @@ EncodedCircuit encode(const Netlist& netlist, ClauseSink& sink,
           "shared_input_vars and fixed_inputs are mutually exclusive");
     }
   }
+  if (cone_mode) {
+    if (options.frontier_lits.size() != netlist.num_gates()) {
+      throw std::invalid_argument("frontier_lits size mismatch");
+    }
+    if (!options.fixed_inputs.empty() || options.inputs_as_unit_clauses ||
+        !options.shared_input_vars.empty() || !options.restrict_topo.empty() ||
+        !options.fold_constants) {
+      throw std::invalid_argument(
+          "cone-restricted encode is incompatible with input fixing/sharing, "
+          "restrict_topo and unfolded encoding");
+    }
+  }
+  if (!options.restrict_topo.empty() &&
+      (!options.fold_constants || netlist.is_cyclic())) {
+    throw std::invalid_argument(
+        "restrict_topo needs fold_constants and an acyclic netlist");
+  }
+  if (options.prune_dead_logic) {
+    if (!options.fold_constants || netlist.is_cyclic()) {
+      throw std::invalid_argument(
+          "prune_dead_logic needs fold_constants and an acyclic netlist");
+    }
+    // Shadow pass: same fold walk, clauses discarded, fresh variables drawn
+    // from above every injected real variable so literal-identity folding
+    // (XOR cancellation, MUX collapse) behaves exactly as the real pass
+    // will. The walks are isomorphic up to an injective variable renaming,
+    // so a gate folds to a constant in the shadow pass iff it does in the
+    // emitting pass.
+    Var max_var = 0;
+    for (const Var v : options.shared_key_vars) max_var = std::max(max_var, v);
+    for (const Var v : options.shared_input_vars) {
+      max_var = std::max(max_var, v);
+    }
+    for (const NetLit& n : options.frontier_lits) {
+      if (!n.is_const()) max_var = std::max(max_var, n.lit.var());
+    }
+    ShadowSink shadow_sink(max_var + 1);
+    const EncodedCircuit shadow =
+        encode_impl(netlist, shadow_sink, options, nullptr, nullptr);
+    // Fanin cone of every output that stayed symbolic; everything else is
+    // either constant (its value survives into the real pass) or feeds only
+    // constant-valued outputs and is dropped.
+    std::vector<char> needed(netlist.num_gates(), 0);
+    std::vector<GateId> stack;
+    for (const netlist::OutputPort& o : netlist.outputs()) {
+      if (!shadow.net[o.gate].is_const() && !needed[o.gate]) {
+        needed[o.gate] = 1;
+        stack.push_back(o.gate);
+      }
+    }
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      for (const GateId f : netlist.fanin(g)) {
+        if (!needed[f] && !shadow.net[f].is_const()) {
+          needed[f] = 1;
+          stack.push_back(f);
+        }
+      }
+    }
+    return encode_impl(netlist, sink, options, &needed, &shadow);
+  }
+  return encode_impl(netlist, sink, options, nullptr, nullptr);
+}
 
+namespace {
+
+EncodedCircuit encode_impl(const Netlist& netlist, ClauseSink& sink,
+                           const EncodeOptions& options,
+                           const std::vector<char>* needed,
+                           const EncodedCircuit* shadow) {
+  const bool cone_mode = !options.frontier_lits.empty();
   EncodedCircuit out;
   Encoder enc(sink, out);
-  out.net.assign(netlist.num_gates(), NetLit::constant(false));
+  if (cone_mode) {
+    // Every net starts at its frontier value; the cone walk below overwrites
+    // exactly the key gates and the cone gates.
+    out.net.assign(options.frontier_lits.begin(), options.frontier_lits.end());
+  } else {
+    out.net.assign(netlist.num_gates(), NetLit::constant(false));
+  }
   out.input_vars.assign(netlist.num_inputs(), sat::kNullVar);
   out.key_vars.assign(netlist.num_keys(), sat::kNullVar);
 
-  // Sources first (identical for both paths).
-  for (std::size_t i = 0; i < netlist.num_inputs(); ++i) {
-    const GateId g = netlist.inputs()[i];
-    if (!options.shared_input_vars.empty()) {
-      const Var v = options.shared_input_vars[i];
-      out.input_vars[i] = v;
-      out.net[g] = NetLit::of(sat::pos(v));
-    } else if (!options.fixed_inputs.empty() &&
-               !options.inputs_as_unit_clauses) {
-      out.net[g] = NetLit::constant(options.fixed_inputs[i]);
-    } else {
-      const Var v = enc.fresh();
-      out.input_vars[i] = v;
-      out.net[g] = NetLit::of(sat::pos(v));
-      if (!options.fixed_inputs.empty()) {
-        enc.emit({NetLit::of(sat::Lit(v, !options.fixed_inputs[i]))});
+  // Sources first (identical for every path; cone mode reads its inputs out
+  // of frontier_lits and allocates no input variables).
+  if (!cone_mode) {
+    for (std::size_t i = 0; i < netlist.num_inputs(); ++i) {
+      const GateId g = netlist.inputs()[i];
+      if (!options.shared_input_vars.empty()) {
+        const Var v = options.shared_input_vars[i];
+        out.input_vars[i] = v;
+        out.net[g] = NetLit::of(sat::pos(v));
+      } else if (!options.fixed_inputs.empty() &&
+                 !options.inputs_as_unit_clauses) {
+        out.net[g] = NetLit::constant(options.fixed_inputs[i]);
+      } else {
+        const Var v = enc.fresh();
+        out.input_vars[i] = v;
+        out.net[g] = NetLit::of(sat::pos(v));
+        if (!options.fixed_inputs.empty()) {
+          enc.emit({NetLit::of(sat::Lit(v, !options.fixed_inputs[i]))});
+        }
       }
     }
   }
@@ -275,22 +374,38 @@ EncodedCircuit encode(const Netlist& netlist, ClauseSink& sink,
     out.key_vars[i] = v;
     out.net[g] = NetLit::of(sat::pos(v));
   }
-  for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
-    const GateType t = netlist.gate(static_cast<GateId>(g)).type;
-    if (t == GateType::kConst0) out.net[g] = NetLit::constant(false);
-    if (t == GateType::kConst1) out.net[g] = NetLit::constant(true);
+  if (!cone_mode) {
+    for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+      const GateType t = netlist.gate(static_cast<GateId>(g)).type;
+      if (t == GateType::kConst0) out.net[g] = NetLit::constant(false);
+      if (t == GateType::kConst1) out.net[g] = NetLit::constant(true);
+    }
   }
 
-  const auto order = netlist.topological_order();
-  if (order && options.fold_constants) {
-    for (const GateId g : *order) {
+  const auto fold_walk = [&](std::span<const GateId> walk) {
+    for (const GateId g : walk) {
       const Gate& gate = netlist.gate(g);
       if (netlist::is_source(gate.type)) continue;
+      if (needed != nullptr && !(*needed)[g]) {
+        // Pruned gate: constants survive (an emitted consumer may read
+        // them); symbolic values are read only by other pruned gates.
+        if (shadow->net[g].is_const()) out.net[g] = shadow->net[g];
+        continue;
+      }
       std::vector<NetLit> fan;
       fan.reserve(gate.fanin.size());
       for (const GateId f : gate.fanin) fan.push_back(out.net[f]);
       out.net[g] = enc.fold_gate(gate, std::move(fan));
     }
+  };
+
+  const auto order = netlist.topological_order();
+  if (cone_mode) {
+    fold_walk(options.cone_topo);
+  } else if (!options.restrict_topo.empty()) {
+    fold_walk(options.restrict_topo);
+  } else if (order && options.fold_constants) {
+    fold_walk(*order);
   } else {
     // Gate-per-variable encoding (works for cyclic netlists).
     for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
@@ -314,6 +429,8 @@ EncodedCircuit encode(const Netlist& netlist, ClauseSink& sink,
   }
   return out;
 }
+
+}  // namespace
 
 sat::Cnf to_cnf(const Netlist& netlist) {
   sat::Cnf cnf;

@@ -94,6 +94,37 @@ struct EncodeOptions {
   // both smaller and propagates better than fresh variables chained with
   // pairwise equality clauses. Mutually exclusive with fixed_inputs.
   std::span<const sat::Var> shared_input_vars = {};
+  // Cone-restricted encode (netlist::KeyConePartition): `frontier_lits`
+  // non-empty selects the mode. Only the gates in `cone_topo` (topologically
+  // ordered, sources excluded) are encoded; every other net — primary
+  // inputs included — takes its value from `frontier_lits`, indexed by
+  // GateId: a literal of a previously encoded copy (miter copies), or a
+  // constant swept out of the fixed region by simulation (DIP constraints).
+  // Key variables are allocated (or shared) as usual and overwrite the key
+  // gates' frontier entries. frontier_lits.size() must equal num_gates();
+  // input_vars stays all-kNullVar. Mutually exclusive with fixed_inputs /
+  // inputs_as_unit_clauses / shared_input_vars / restrict_topo, and
+  // requires fold_constants.
+  std::span<const netlist::GateId> cone_topo = {};
+  std::span<const NetLit> frontier_lits = {};
+  // Support-restricted full encode: inputs and keys get variables as usual,
+  // but only the gates in `restrict_topo` (topologically ordered, sources
+  // excluded) are walked; unlisted nets keep const-0. Sound when the listed
+  // set is fanin-closed and unlisted nets are read only by unlisted gates
+  // and don't-care output ports (KeyConePartition::support_topo()).
+  // Requires fold_constants and an acyclic netlist.
+  std::span<const netlist::GateId> restrict_topo = {};
+  // Drop logic that cannot reach a non-constant output. The encoder runs a
+  // shadow fold pass first (no clauses emitted), marks the fanin cone of
+  // every output whose folded value stayed symbolic, and only emits
+  // variables/clauses for marked gates. Tseytin definitions outside that
+  // cone are a pure definitional extension — they never constrain the
+  // inputs/keys — so satisfiability and the model projection onto
+  // input/key/output variables are unchanged. Used for DIP constraint
+  // copies, where constant inputs mask almost all key-dependent logic off
+  // the pinned outputs. `net` entries of pruned gates are unspecified.
+  // Requires fold_constants and an acyclic netlist.
+  bool prune_dead_logic = false;
 };
 
 struct EncodedCircuit {

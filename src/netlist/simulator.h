@@ -39,6 +39,20 @@ class Simulator {
   // the largest netlist it has served).
   struct Scratch {
     std::vector<Word> value;  // gate-major block values
+
+    std::size_t capacity_bytes() const {
+      return value.capacity() * sizeof(Word);
+    }
+    // Releases the backing storage if it exceeds `retain_bytes`. Long-lived
+    // scratches (thread_local caches) grow to the largest netlist they ever
+    // served; callers that only occasionally touch a huge netlist call this
+    // after the batch so the worker thread does not pin that high-water
+    // allocation forever.
+    void trim(std::size_t retain_bytes) {
+      if (capacity_bytes() <= retain_bytes) return;
+      value.clear();
+      value.shrink_to_fit();
+    }
   };
 
   // inputs.size() == num_inputs(), keys.size() == num_keys().

@@ -54,6 +54,150 @@ std::vector<bool> live_gates(const Netlist& netlist) {
   return live;
 }
 
+KeyConePartition::KeyConePartition(const Netlist& netlist)
+    : netlist_(netlist), built_generation_(~std::uint64_t{0}) {}
+
+void KeyConePartition::ensure() {
+  if (built_generation_ == netlist_.generation()) return;
+
+  const std::size_t n = netlist_.num_gates();
+  in_cone_.assign(n, false);
+  cone_topo_.clear();
+  taps_.clear();
+  support_topo_.clear();
+  fixed_region_ = Netlist(netlist_.name() + ".fixed");
+
+  // Cone mask: transitive fanout of the key inputs (keys included). BFS over
+  // the cached fanout CSR; works for cyclic netlists too.
+  std::vector<GateId> stack;
+  for (const GateId k : netlist_.keys()) {
+    in_cone_[k] = true;
+    stack.push_back(k);
+  }
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (const GateId reader : netlist_.fanout(g)) {
+      if (!in_cone_[reader]) {
+        in_cone_[reader] = true;
+        stack.push_back(reader);
+      }
+    }
+  }
+  // Stamp the generation only after the mask: the topological views below
+  // stay empty for cyclic netlists and their accessors throw.
+  built_generation_ = netlist_.generation();
+  if (netlist_.is_cyclic()) return;
+
+  const std::vector<bool> live = live_gates(netlist_);
+
+  // Taps: non-cone nets read by live cone gates, plus non-cone output ports.
+  // (Both are live by construction: a live reader's fanins are live.)
+  std::vector<bool> is_tap(n, false);
+  for (GateId g = 0; g < n; ++g) {
+    if (!in_cone_[g] || !live[g]) continue;
+    for (const GateId f : netlist_.fanin(g)) {
+      if (!in_cone_[f]) is_tap[f] = true;
+    }
+  }
+  for (const OutputPort& o : netlist_.outputs()) {
+    if (!in_cone_[o.gate]) is_tap[o.gate] = true;
+  }
+  for (GateId g = 0; g < n; ++g) {
+    if (is_tap[g]) taps_.push_back(g);
+  }
+
+  // Support: transitive fanin of the key-dependent output ports. The
+  // key-independent ports cancel in any miter, so a full copy only needs
+  // these gates.
+  std::vector<bool> in_support(n, false);
+  for (const OutputPort& o : netlist_.outputs()) {
+    if (in_cone_[o.gate] && !in_support[o.gate]) {
+      in_support[o.gate] = true;
+      stack.push_back(o.gate);
+    }
+  }
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (const GateId f : netlist_.fanin(g)) {
+      if (!in_support[f]) {
+        in_support[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+
+  for (const GateId g : netlist_.topo_span()) {
+    if (is_source(netlist_.gate_type(g))) continue;
+    if (in_cone_[g] && live[g]) cone_topo_.push_back(g);
+    if (in_support[g]) support_topo_.push_back(g);
+  }
+
+  // Fixed region: live non-cone gates over the full primary-input interface,
+  // with the taps as outputs. Fanins of live non-cone gates are live and
+  // non-cone themselves, so the remap below never sees a hole.
+  std::vector<GateId> remap(n, kNullGate);
+  for (const GateId g : netlist_.inputs()) {
+    remap[g] = fixed_region_.add_input(netlist_.gate_name(g));
+  }
+  for (const GateId g : netlist_.topo_span()) {
+    if (remap[g] != kNullGate || in_cone_[g] || !live[g]) continue;
+    const GateType t = netlist_.gate_type(g);
+    if (t == GateType::kConst0 || t == GateType::kConst1) {
+      remap[g] = fixed_region_.add_const(t == GateType::kConst1);
+      continue;
+    }
+    if (is_source(t)) continue;  // keys are in the cone; inputs done above
+    std::vector<GateId> fanin;
+    const auto fan = netlist_.fanin(g);
+    fanin.reserve(fan.size());
+    for (const GateId f : fan) fanin.push_back(remap[f]);
+    remap[g] = fixed_region_.add_gate(t, std::move(fanin));
+  }
+  for (const GateId g : taps_) {
+    fixed_region_.mark_output(remap[g]);
+  }
+}
+
+bool KeyConePartition::in_cone(GateId g) {
+  ensure();
+  return in_cone_[g];
+}
+
+namespace {
+void require_acyclic(const Netlist& netlist, const char* what) {
+  if (netlist.is_cyclic()) {
+    throw std::invalid_argument(std::string("KeyConePartition::") + what +
+                                ": needs an acyclic netlist");
+  }
+}
+}  // namespace
+
+std::span<const GateId> KeyConePartition::cone_topo() {
+  ensure();
+  require_acyclic(netlist_, "cone_topo");
+  return cone_topo_;
+}
+
+std::span<const GateId> KeyConePartition::taps() {
+  ensure();
+  require_acyclic(netlist_, "taps");
+  return taps_;
+}
+
+std::span<const GateId> KeyConePartition::support_topo() {
+  ensure();
+  require_acyclic(netlist_, "support_topo");
+  return support_topo_;
+}
+
+const Netlist& KeyConePartition::fixed_region() {
+  ensure();
+  require_acyclic(netlist_, "fixed_region");
+  return fixed_region_;
+}
+
 std::vector<Edge> feedback_edges(const Netlist& netlist) {
   // Iterative DFS over the fanin graph; a back edge (to a gate currently on
   // the DFS stack) is a feedback edge.

@@ -26,6 +26,61 @@ class Reachability {
 // Gates that feed at least one primary output (dead logic excluded).
 std::vector<bool> live_gates(const Netlist& netlist);
 
+// Key-cone partition of a locked netlist, the basis of cone-restricted miter
+// encoding (cnf/tseytin.h) and per-DIP constant sweeps (attacks/engine.h).
+//
+// The *key cone* is the key inputs plus their transitive fanout — the only
+// nets whose values can depend on the key. Everything else is the *fixed
+// region*: a pure function of the primary inputs that a SAT attack can
+// evaluate by simulation instead of re-encoding into CNF for every DIP.
+// The regions meet at the *taps*: the fixed-region nets the cone reads
+// (non-cone fanins of live cone gates) plus the non-cone output ports.
+//
+// All views are rebuilt lazily when the netlist's structural generation
+// changes (Netlist::generation()), alongside the netlist's own topo/fanout
+// caches; a rebuild invalidates previously returned spans and the
+// fixed-region reference. Not thread-safe per object (one partition per
+// attack context, like Reachability). Topological views and fixed_region()
+// require an acyclic netlist and throw std::invalid_argument otherwise;
+// in_cone() works on any netlist.
+class KeyConePartition {
+ public:
+  explicit KeyConePartition(const Netlist& netlist);
+
+  // True iff net `g` can depend on a key input.
+  bool in_cone(GateId g);
+  // Cone gates that feed at least one primary output, topologically
+  // ordered, sources excluded — exactly the gates a cone-restricted circuit
+  // copy encodes. Dead cone gates are dropped (their readers are all dead).
+  std::span<const GateId> cone_topo();
+  // Fixed-region nets whose values a cone-restricted copy consumes,
+  // ascending by id: non-cone fanins of live cone gates plus every non-cone
+  // output port (the latter so DIP constraints can still check the
+  // key-independent outputs against the oracle response).
+  std::span<const GateId> taps();
+  // Gates a *full* miter copy actually needs once the key-independent
+  // outputs are known to cancel: the transitive fanin of the key-dependent
+  // output ports, topologically ordered, sources excluded. A fanin-closed
+  // superset of cone_topo() and of the taps' support, and usually a strict
+  // subset of the whole circuit.
+  std::span<const GateId> support_topo();
+  // Key-free sub-netlist computing the fixed region: primary inputs are the
+  // original inputs (same order), outputs are taps() (same order). Dead
+  // fixed-region logic is dropped. Invalidated by a rebuild.
+  const Netlist& fixed_region();
+
+ private:
+  void ensure();
+
+  const Netlist& netlist_;
+  std::uint64_t built_generation_;
+  std::vector<bool> in_cone_;
+  std::vector<GateId> cone_topo_;
+  std::vector<GateId> taps_;
+  std::vector<GateId> support_topo_;
+  Netlist fixed_region_;
+};
+
 // Minimal feedback-arc set heuristic for cyclic netlists: returns a set of
 // (gate, fanin_index) edges whose removal makes the netlist acyclic.
 // DFS-based; the netlist itself is not modified.

@@ -9,9 +9,11 @@
 #include <vector>
 
 #include "attacks/appsat.h"
+#include "attacks/cycsat.h"
 #include "attacks/double_dip.h"
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
+#include "cnf/miter.h"
 #include "core/full_lock.h"
 #include "core/verify.h"
 #include "netlist/profiles.h"
@@ -27,16 +29,23 @@ using netlist::Netlist;
 AttackResult run_attack(const std::string& name, const AttackOptions& options,
                         const LockedCircuit& locked, const Oracle& oracle) {
   if (name == "sat") return SatAttack(options).run(locked, oracle);
+  if (name == "cycsat") return CycSat(options).run(locked, oracle);
   if (name == "appsat") {
     AppSatOptions app;
     app.base = options;
+    // Exact mode: settlement may legitimately stop on an approximate key
+    // within error_threshold, which the strict SAT verification these
+    // differential tests apply rejects by design. Settlement behavior has
+    // its own coverage in test_appsat.cpp.
+    app.settle_every = 1 << 20;
+    app.error_threshold = 0.0;
     return AppSat(app).run(locked, oracle);
   }
   return DoubleDip(options).run(locked, oracle);
 }
 
 const std::vector<std::string>& engine_attacks() {
-  static const std::vector<std::string> names = {"sat", "appsat",
+  static const std::vector<std::string> names = {"sat", "cycsat", "appsat",
                                                  "double-dip"};
   return names;
 }
@@ -192,6 +201,76 @@ TEST(AttackEngine, TraceCellStampedAndAttackLabeled) {
   }
   EXPECT_EQ(two_dip_records, result.iterations);
   EXPECT_EQ(mop_up_records, result.fallback_iterations);
+}
+
+TEST(AttackEngine, EncodeModesAndPreprocessingRecoverEquivalentKeys) {
+  // The perf machinery must not change what any attack computes: every
+  // combination of encoding shape (full re-encode vs key-cone) and CNF
+  // preprocessing (on/off) succeeds and recovers a verified key, for every
+  // engine-backed attack.
+  const Netlist original = netlist::make_circuit("c432", 47);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({4}));
+  const Oracle oracle(original);
+  struct Config {
+    EncodeMode mode;
+    bool preprocess;
+  };
+  const Config configs[] = {{EncodeMode::kFull, false},
+                            {EncodeMode::kCone, false},
+                            {EncodeMode::kFull, true},
+                            {EncodeMode::kCone, true}};
+  for (const std::string& name : engine_attacks()) {
+    for (const Config& config : configs) {
+      AttackOptions options;
+      options.timeout_s = 60.0;
+      options.encode_mode = config.mode;
+      options.preprocess = config.preprocess;
+      const AttackResult result = run_attack(name, options, locked, oracle);
+      const std::string label = name + " mode=" + to_string(config.mode) +
+                                " preprocess=" +
+                                (config.preprocess ? "on" : "off");
+      ASSERT_EQ(result.status, AttackStatus::kSuccess) << label;
+      EXPECT_TRUE(core::verify_unlocks(original, locked.netlist, result.key,
+                                       16, 1, /*sat=*/true))
+          << label;
+      EXPECT_GT(result.iterations, 0u) << label;
+      EXPECT_EQ(result.preprocess.ran, config.preprocess) << label;
+    }
+  }
+}
+
+TEST(AttackEngine, EncodeModesEnumerateConsistentDipCounts) {
+  // Lockstep sanity on the DIP loop itself: with a deterministic solver,
+  // the cone and full encodings of the *same* lock both converge, and each
+  // DIP either encoding learns is consistent with the other's final key
+  // (both keys unlock, so both CNFs ended with equivalent key spaces).
+  const Netlist original = netlist::make_circuit("c880", 48);
+  const LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({4, 4}));
+  const Oracle oracle(original);
+
+  AttackOptions full_options;
+  full_options.timeout_s = 120.0;
+  full_options.encode_mode = EncodeMode::kFull;
+  full_options.preprocess = false;
+  const AttackResult full = SatAttack(full_options).run(locked, oracle);
+
+  AttackOptions cone_options;
+  cone_options.timeout_s = 120.0;
+  cone_options.encode_mode = EncodeMode::kCone;
+  const AttackResult cone = SatAttack(cone_options).run(locked, oracle);
+
+  ASSERT_EQ(full.status, AttackStatus::kSuccess);
+  ASSERT_EQ(cone.status, AttackStatus::kSuccess);
+  EXPECT_TRUE(core::verify_unlocks(original, locked.netlist, full.key, 16, 1,
+                                   /*sat=*/true));
+  EXPECT_TRUE(core::verify_unlocks(original, locked.netlist, cone.key, 16, 1,
+                                   /*sat=*/true));
+  // Equivalent constraint encodings: the recovered keys make the locked
+  // circuit the same function, so they unlock each other's view.
+  EXPECT_TRUE(cnf::check_equivalence(locked.netlist, full.key, locked.netlist,
+                                     cone.key));
 }
 
 TEST(AttackEngine, BudgetGuardMapsEachBudgetToItsStatus) {

@@ -2,12 +2,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <random>
 #include <span>
 
+#include "attacks/oracle.h"
 #include "cnf/miter.h"
+#include "core/full_lock.h"
 #include "netlist/generator.h"
 #include "netlist/profiles.h"
 #include "netlist/simulator.h"
+#include "netlist/structure.h"
+#include "sat/solver.h"
 
 namespace fl::cnf {
 namespace {
@@ -249,6 +254,75 @@ TEST(DeobfuscationRatio, MoreDipsDiluteFreeKeyVariables) {
   const double few = deobfuscation_cnf_ratio(locked, 2, 9);
   const double many = deobfuscation_cnf_ratio(locked, 48, 9);
   EXPECT_GT(many, few);
+}
+
+TEST(IoConstraintCone, MatchesLegacyKeySpace) {
+  // The soundness claim behind cone-restricted DIP constraints: after the
+  // same sequence of (pattern, response) pairs, the legacy full re-encode
+  // and the cone encode (fixed region swept by simulation, dead residue
+  // pruned) admit exactly the same keys. Fuzzed by key-membership queries.
+  using netlist::Word;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Netlist original = netlist::make_circuit("c432", 40 + seed);
+    core::FullLockConfig config = core::FullLockConfig::with_plrs({4});
+    config.seed = seed;
+    const core::LockedCircuit locked = core::full_lock(original, config);
+    const Netlist& net = locked.netlist;
+    if (net.is_cyclic()) continue;
+    netlist::KeyConePartition partition(net);
+    const attacks::Oracle oracle(original);
+    std::mt19937_64 rng(seed * 1234567);
+
+    sat::Solver legacy_solver, cone_solver;
+    std::vector<sat::Var> legacy_keys(net.num_keys()), cone_keys(net.num_keys());
+    for (auto& v : legacy_keys) v = legacy_solver.new_var();
+    for (auto& v : cone_keys) v = cone_solver.new_var();
+    netlist::Simulator fixed_sim(partition.fixed_region());
+    const std::span<const GateId> taps = partition.taps();
+
+    for (int d = 0; d < 5; ++d) {
+      std::vector<bool> pattern(net.num_inputs());
+      for (std::size_t i = 0; i < pattern.size(); ++i) pattern[i] = rng() & 1;
+      const std::vector<bool> response = oracle.query(pattern);
+      add_io_constraint(net, legacy_solver, legacy_keys, pattern, response);
+
+      // Cone path: sweep the fixed region once, hand the tap values to the
+      // encoder as frontier constants.
+      std::vector<Word> words(net.num_inputs());
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        words[i] = pattern[i] ? ~Word{0} : Word{0};
+      }
+      const std::vector<Word> tap_values = fixed_sim.run(words, {});
+      std::vector<NetLit> frontier(net.num_gates(), NetLit::constant(false));
+      for (std::size_t t = 0; t < taps.size(); ++t) {
+        frontier[taps[t]] = NetLit::constant((tap_values[t] & 1) != 0);
+      }
+      add_io_constraint_cone(net, cone_solver, cone_keys,
+                             partition.cone_topo(), frontier, response);
+    }
+
+    // The correct key plus random probes must be admitted or rejected
+    // identically by both encodings.
+    for (int trial = 0; trial < 120; ++trial) {
+      std::vector<bool> key(net.num_keys());
+      if (trial == 0) {
+        key = locked.correct_key;
+      } else {
+        for (std::size_t i = 0; i < key.size(); ++i) key[i] = rng() & 1;
+      }
+      std::vector<sat::Lit> legacy_assume, cone_assume;
+      for (std::size_t i = 0; i < key.size(); ++i) {
+        legacy_assume.push_back(sat::Lit(legacy_keys[i], !key[i]));
+        cone_assume.push_back(sat::Lit(cone_keys[i], !key[i]));
+      }
+      const sat::LBool expected = legacy_solver.solve(legacy_assume);
+      EXPECT_EQ(cone_solver.solve(cone_assume), expected)
+          << "seed " << seed << " trial " << trial;
+      if (trial == 0) {
+        EXPECT_EQ(expected, sat::LBool::kTrue);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // Oracle: query semantics and accounting.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "attacks/oracle.h"
 #include "netlist/profiles.h"
 
@@ -58,6 +60,35 @@ TEST(Oracle, RejectsWrongQueryWidth) {
   const Oracle oracle(netlist::make_c17());
   EXPECT_THROW(oracle.query(std::vector<bool>(3, false)),
                std::invalid_argument);
+}
+
+TEST(Oracle, WideBatchMatchesSingleQueries) {
+  // query_batch runs the SIMD path with thread_local scratch; every packed
+  // lane must agree with the one-pattern reference query.
+  const netlist::Netlist c432 = netlist::make_circuit("c432", 5);
+  const Oracle oracle(c432);
+  const std::size_t n_words = 3;
+  const std::size_t n_patterns = 150;  // partially filled last word
+  std::mt19937_64 rng(11);
+  std::vector<netlist::Word> inputs(c432.num_inputs() * n_words);
+  for (auto& w : inputs) w = rng();
+  std::vector<netlist::Word> outputs(c432.num_outputs() * n_words);
+  oracle.query_batch(inputs, n_words, n_patterns, outputs);
+
+  for (const std::size_t p : {std::size_t{0}, std::size_t{63},
+                              std::size_t{64}, std::size_t{149}}) {
+    const std::size_t w = p / 64;
+    const int bit = static_cast<int>(p % 64);
+    std::vector<bool> pattern(c432.num_inputs());
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = ((inputs[i * n_words + w] >> bit) & 1) != 0;
+    }
+    const std::vector<bool> expected = oracle.query(pattern);
+    for (std::size_t o = 0; o < expected.size(); ++o) {
+      EXPECT_EQ(((outputs[o * n_words + w] >> bit) & 1) != 0, expected[o])
+          << "pattern " << p << " output " << o;
+    }
+  }
 }
 
 }  // namespace

@@ -144,5 +144,19 @@ TEST(EvalOnce, SinglePatternMatchesBitParallel) {
   }
 }
 
+TEST(SimulatorScratch, TrimReleasesOnlyAboveRetainBudget) {
+  // Long-lived (thread_local) scratches grow to the largest batch they ever
+  // served; trim() frees the block only when it exceeds the retain budget.
+  Simulator::Scratch scratch;
+  scratch.value.resize(1 << 16);
+  const std::size_t grown = scratch.capacity_bytes();
+  ASSERT_GE(grown, (std::size_t{1} << 16) * sizeof(Word));
+  scratch.trim(grown);  // within budget: storage kept
+  EXPECT_GE(scratch.capacity_bytes(), grown);
+  scratch.trim(grown - 1);  // over budget: released
+  EXPECT_LT(scratch.capacity_bytes(), grown);
+  EXPECT_TRUE(scratch.value.empty());
+}
+
 }  // namespace
 }  // namespace fl::netlist

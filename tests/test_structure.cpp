@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <unordered_set>
 
+#include "core/full_lock.h"
 #include "netlist/generator.h"
 #include "netlist/profiles.h"
 #include "netlist/simulator.h"
@@ -212,6 +214,140 @@ TEST(SignalProbabilities, CyclicRelaxationStaysInRange) {
   const auto p = signal_probabilities(n);
   EXPECT_GE(p[g1], 0.0);
   EXPECT_LE(p[g1], 1.0);
+}
+
+TEST(KeyConePartition, PartitionInvariantsOnLockedCircuit) {
+  const Netlist original = make_circuit("c432", 21);
+  const core::LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({4}));
+  const Netlist& net = locked.netlist;
+  ASSERT_FALSE(net.is_cyclic());
+  KeyConePartition partition(net);
+
+  // Key inputs are in the cone, and cone membership is fanout-closed: a
+  // gate with a cone fanin is itself in the cone.
+  for (const GateId k : net.keys()) EXPECT_TRUE(partition.in_cone(k));
+  for (GateId g = 0; g < static_cast<GateId>(net.num_gates()); ++g) {
+    if (is_source(net.gate_type(g))) continue;
+    bool cone_fanin = false;
+    for (const GateId f : net.fanin(g)) cone_fanin |= partition.in_cone(f);
+    if (cone_fanin) {
+      EXPECT_TRUE(partition.in_cone(g)) << g;
+    }
+  }
+
+  std::unordered_set<GateId> cone(partition.cone_topo().begin(),
+                                  partition.cone_topo().end());
+  std::unordered_set<GateId> support(partition.support_topo().begin(),
+                                     partition.support_topo().end());
+  EXPECT_FALSE(cone.empty());
+  // Every encoded cone gate is a cone member; taps never are. support_topo
+  // covers the cone and is fanin-closed up to sources and other support
+  // gates (exactly what a restricted full copy needs).
+  for (const GateId g : partition.cone_topo()) {
+    EXPECT_TRUE(partition.in_cone(g)) << g;
+    EXPECT_TRUE(support.count(g)) << g;
+  }
+  for (const GateId t : partition.taps()) {
+    EXPECT_FALSE(partition.in_cone(t)) << t;
+  }
+  for (const GateId g : partition.support_topo()) {
+    for (const GateId f : net.fanin(g)) {
+      EXPECT_TRUE(support.count(f) || is_source(net.gate_type(f)))
+          << "support gate " << g << " reads unencoded net " << f;
+    }
+  }
+
+  // Cone gates a cone copy reads but does not encode must be taps, so a
+  // frontier sweep covers every external value the copy consumes.
+  std::unordered_set<GateId> taps(partition.taps().begin(),
+                                  partition.taps().end());
+  for (const GateId g : partition.cone_topo()) {
+    for (const GateId f : net.fanin(g)) {
+      if (cone.count(f) || is_source(net.gate_type(f))) continue;
+      EXPECT_TRUE(taps.count(f)) << "cone gate " << g << " reads net " << f
+                                 << " that is neither cone nor tap";
+    }
+  }
+}
+
+TEST(KeyConePartition, FixedRegionMatchesFullSimulationAtTaps) {
+  // The fixed region is key-free by construction: simulating it on the
+  // primary inputs reproduces the full netlist's tap values under *any*
+  // key, which is what lets the DIP loop sweep it once per pattern.
+  const Netlist original = make_circuit("c880", 22);
+  const core::LockedCircuit locked =
+      core::full_lock(original, core::FullLockConfig::with_plrs({4, 4}));
+  const Netlist& net = locked.netlist;
+  ASSERT_FALSE(net.is_cyclic());
+  KeyConePartition partition(net);
+  const Netlist& fixed = partition.fixed_region();
+  EXPECT_EQ(fixed.num_keys(), 0u);
+  EXPECT_EQ(fixed.num_inputs(), net.num_inputs());
+  EXPECT_EQ(fixed.num_outputs(), partition.taps().size());
+
+  std::mt19937_64 rng(77);
+  std::vector<Word> inputs(net.num_inputs());
+  for (auto& w : inputs) w = rng();
+  std::vector<Word> keys(net.num_keys());
+  for (auto& w : keys) w = rng();
+
+  const Simulator full_sim(net);
+  const std::vector<Word> all_nets = full_sim.run_full(inputs, keys);
+  const Simulator fixed_sim(fixed);
+  const std::vector<Word> tap_values = fixed_sim.run(inputs, {});
+  const std::span<const GateId> taps = partition.taps();
+  ASSERT_EQ(tap_values.size(), taps.size());
+  for (std::size_t t = 0; t < taps.size(); ++t) {
+    EXPECT_EQ(tap_values[t], all_nets[taps[t]]) << "tap " << t;
+  }
+}
+
+TEST(KeyConePartition, KeylessCircuitHasEmptyCone) {
+  const Netlist n = make_circuit("c432", 23);
+  KeyConePartition partition(n);
+  EXPECT_TRUE(partition.cone_topo().empty());
+  EXPECT_TRUE(partition.support_topo().empty());
+  // Every output port is key-independent, so it must surface as a tap.
+  std::unordered_set<GateId> taps(partition.taps().begin(),
+                                  partition.taps().end());
+  for (const auto& port : n.outputs()) EXPECT_TRUE(taps.count(port.gate));
+}
+
+TEST(KeyConePartition, RebuildsWhenNetlistChanges) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId g = n.add_gate(GateType::kAnd, {a, b});
+  n.mark_output(g, "y");
+  KeyConePartition partition(n);
+  EXPECT_TRUE(partition.cone_topo().empty());
+  EXPECT_FALSE(partition.in_cone(g));
+
+  // Structural edit: the partition tracks the netlist generation and
+  // rebuilds lazily on the next query.
+  const GateId k = n.add_key("k");
+  const GateId x = n.add_gate(GateType::kXor, {g, k});
+  n.mark_output(x, "z");
+  EXPECT_TRUE(partition.in_cone(k));
+  EXPECT_TRUE(partition.in_cone(x));
+  EXPECT_FALSE(partition.in_cone(g));
+  ASSERT_EQ(partition.cone_topo().size(), 1u);
+  EXPECT_EQ(partition.cone_topo()[0], x);
+}
+
+TEST(KeyConePartition, CyclicTopoViewsThrow) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId k = n.add_key("k");
+  const GateId g1 = n.add_gate(GateType::kOr, {a, k});
+  n.set_fanin(g1, {g1, k});
+  n.mark_output(g1, "y");
+  ASSERT_TRUE(n.is_cyclic());
+  KeyConePartition partition(n);
+  EXPECT_TRUE(partition.in_cone(g1));  // membership works on any netlist
+  EXPECT_THROW(partition.cone_topo(), std::invalid_argument);
+  EXPECT_THROW(partition.fixed_region(), std::invalid_argument);
 }
 
 }  // namespace

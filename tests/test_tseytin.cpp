@@ -5,6 +5,7 @@
 #include <random>
 
 #include "cnf/tseytin.h"
+#include "core/full_lock.h"
 #include "netlist/generator.h"
 #include "netlist/profiles.h"
 #include "netlist/simulator.h"
@@ -265,6 +266,147 @@ TEST(EmitHelpers, AndOrAssert) {
   assert_true(sink, f);  // empty clause = UNSAT marker
   ASSERT_EQ(cnf.clauses.size(), 1u);
   EXPECT_TRUE(cnf.clauses[0].empty());
+}
+
+TEST(Tseytin, PruneDeadLogicDropsUnreachableClauses) {
+  // A symbolic chain whose only reader is masked by a constant never
+  // reaches an output pin; pruning must skip its clauses without touching
+  // the live key-to-output path.
+  Netlist n;
+  const GateId x = n.add_input("x");
+  const GateId k = n.add_key("k");
+  const GateId y = n.add_gate(GateType::kXor, {x, k});
+  n.mark_output(y, "y");
+  const GateId zero = n.add_const(false);
+  GateId chain = x;
+  for (int i = 0; i < 8; ++i) {
+    chain = n.add_gate(GateType::kNand, {chain, k});
+  }
+  const GateId dead = n.add_gate(GateType::kAnd, {chain, zero});
+  n.mark_output(dead, "z");
+
+  EncodeOptions options;
+  options.fixed_inputs = {true};
+
+  sat::Cnf plain_cnf;
+  CnfSink plain_sink(plain_cnf);
+  const EncodedCircuit plain = encode(n, plain_sink, options);
+
+  options.prune_dead_logic = true;
+  sat::Cnf pruned_cnf;
+  CnfSink pruned_sink(pruned_cnf);
+  const EncodedCircuit pruned = encode(n, pruned_sink, options);
+
+  // The chain NANDs emit clauses without pruning and vanish with it; the
+  // live output is x ^ k = ~k either way (pure folding, zero clauses).
+  EXPECT_GT(plain_cnf.clauses.size(), pruned_cnf.clauses.size());
+  EXPECT_TRUE(pruned_cnf.clauses.empty());
+  ASSERT_FALSE(pruned.outputs[0].is_const());
+  EXPECT_EQ(pruned.outputs[0].lit, ~sat::pos(pruned.key_vars[0]));
+  // Output constness and constant values are identical across modes.
+  ASSERT_EQ(plain.outputs.size(), pruned.outputs.size());
+  for (std::size_t o = 0; o < plain.outputs.size(); ++o) {
+    ASSERT_EQ(plain.outputs[o].is_const(), pruned.outputs[o].is_const());
+    if (plain.outputs[o].is_const()) {
+      EXPECT_EQ(plain.outputs[o].const_value(), pruned.outputs[o].const_value());
+    }
+  }
+  ASSERT_TRUE(pruned.outputs[1].is_const());
+  EXPECT_FALSE(pruned.outputs[1].const_value());
+}
+
+TEST(Tseytin, PruneDeadLogicMatchesUnprunedOnLockedCircuits) {
+  // Differential fuzz over locked circuits with fixed inputs (the per-DIP
+  // constraint shape): with and without pruning, the encoded outputs are
+  // the same function of the key — checked against direct simulation for
+  // sampled keys.
+  std::mt19937_64 rng(4242);
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    netlist::GeneratorConfig config;
+    config.num_inputs = 8;
+    config.num_outputs = 4;
+    config.num_gates = 60;
+    config.seed = 100 + trial;
+    const Netlist base = netlist::generate_circuit(config);
+    core::FullLockConfig lock_config = core::FullLockConfig::with_plrs({4});
+    lock_config.seed = trial + 1;
+    const core::LockedCircuit locked = core::full_lock(base, lock_config);
+    const Netlist& net = locked.netlist;
+    if (net.is_cyclic()) continue;
+
+    std::vector<bool> pattern(net.num_inputs());
+    for (std::size_t i = 0; i < pattern.size(); ++i) pattern[i] = rng() & 1;
+    EncodeOptions options;
+    options.fixed_inputs = pattern;
+
+    sat::Solver plain_solver;
+    SolverSink plain_sink(plain_solver);
+    const EncodedCircuit plain = encode(net, plain_sink, options);
+
+    options.prune_dead_logic = true;
+    sat::Solver pruned_solver;
+    SolverSink pruned_sink(pruned_solver);
+    const EncodedCircuit pruned = encode(net, pruned_sink, options);
+
+    // Folding decisions are identical, so constness matches per output.
+    for (std::size_t o = 0; o < plain.outputs.size(); ++o) {
+      ASSERT_EQ(plain.outputs[o].is_const(), pruned.outputs[o].is_const());
+      if (plain.outputs[o].is_const()) {
+        EXPECT_EQ(plain.outputs[o].const_value(),
+                  pruned.outputs[o].const_value());
+      }
+    }
+
+    for (int sample = 0; sample < 12; ++sample) {
+      std::vector<bool> key(net.num_keys());
+      if (sample == 0) {
+        key = locked.correct_key;
+      } else {
+        for (std::size_t i = 0; i < key.size(); ++i) key[i] = rng() & 1;
+      }
+      const std::vector<bool> expected = netlist::eval_once(net, pattern, key);
+      std::vector<sat::Lit> plain_assume, pruned_assume;
+      for (std::size_t i = 0; i < key.size(); ++i) {
+        plain_assume.push_back(sat::Lit(plain.key_vars[i], !key[i]));
+        pruned_assume.push_back(sat::Lit(pruned.key_vars[i], !key[i]));
+      }
+      ASSERT_EQ(plain_solver.solve(plain_assume), sat::LBool::kTrue);
+      ASSERT_EQ(pruned_solver.solve(pruned_assume), sat::LBool::kTrue);
+      for (std::size_t o = 0; o < expected.size(); ++o) {
+        const bool got_plain =
+            plain.outputs[o].is_const()
+                ? plain.outputs[o].const_value()
+                : plain_solver.value_of(plain.outputs[o].lit.var()) !=
+                      plain.outputs[o].lit.negated();
+        const bool got_pruned =
+            pruned.outputs[o].is_const()
+                ? pruned.outputs[o].const_value()
+                : pruned_solver.value_of(pruned.outputs[o].lit.var()) !=
+                      pruned.outputs[o].lit.negated();
+        EXPECT_EQ(got_plain, expected[o]) << "trial " << trial;
+        EXPECT_EQ(got_pruned, expected[o]) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Tseytin, PruneDeadLogicPreconditionsChecked) {
+  const Netlist c17 = netlist::make_c17();
+  sat::Cnf cnf;
+  CnfSink sink(cnf);
+  EncodeOptions options;
+  options.prune_dead_logic = true;
+  options.fold_constants = false;  // shadow pass needs folding
+  EXPECT_THROW(encode(c17, sink, options), std::invalid_argument);
+
+  Netlist cyclic;
+  const GateId a = cyclic.add_input("a");
+  const GateId g1 = cyclic.add_gate(GateType::kOr, {a, a});
+  cyclic.set_fanin(g1, {a, g1});
+  cyclic.mark_output(g1, "y");
+  EncodeOptions cyclic_options;
+  cyclic_options.prune_dead_logic = true;
+  EXPECT_THROW(encode(cyclic, sink, cyclic_options), std::invalid_argument);
 }
 
 }  // namespace
