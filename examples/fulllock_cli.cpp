@@ -34,9 +34,28 @@
 //            count.
 //   report:  example_fulllock_cli report <netlist.bench>
 //            Prints structural statistics and the PPA estimate.
+//   serve:   example_fulllock_cli serve <socket> [--state FILE] [--workers N]
+//                                       [--max-queue N] [--job-timeout S]
+//                                       [--retries N] [--backoff S]
+//                                       [--stall-grace S]
+//            Runs the attack-service daemon on an AF_UNIX socket: clients
+//            submit lock/attack/sweep jobs over a line-JSON protocol,
+//            --state FILE makes accepted jobs crash-recoverable (a restarted
+//            daemon replays unfinished jobs, sweeps resume from their JSONL
+//            checkpoint). SIGINT/SIGTERM drains gracefully and exits
+//            128+signo.
+//   submit:  example_fulllock_cli submit <socket> lock|attack|sweep ... |
+//                                        status [ID] | cancel <ID> | shutdown
+//            Client for a running daemon. Streams the job's event records
+//            (accepted/started/trace/cell/retry/terminal) to stdout and maps
+//            the outcome to an exit code: 0 done, 1 failed, 2 usage, 3
+//            rejected (overloaded/draining), 4 cancelled/interrupted, 5
+//            connection lost.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,6 +74,8 @@
 #include "runtime/runner.h"
 #include "runtime/seed.h"
 #include "runtime/sweep.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
 
 using namespace fl;
 
@@ -530,20 +551,174 @@ int cmd_report(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  serve::ServeArgs args;
+  try {
+    args = serve::parse_serve_args(argc, argv, 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "serve: %s\nusage: serve <socket> [--state FILE] "
+                 "[--workers N] [--max-queue N] [--job-timeout S] "
+                 "[--retries N] [--backoff S] [--stall-grace S]\n",
+                 e.what());
+    return 2;
+  }
+  serve::Daemon daemon(std::move(args));
+  return daemon.serve_forever();
+}
+
+int cmd_submit(int argc, char** argv) {
+  const auto usage = [] {
+    std::fprintf(
+        stderr,
+        "usage: submit <socket> <op> ...\n"
+        "  lock <in.bench> <out.bench> [sizes...] [--seed S]\n"
+        "  attack <locked.bench> <oracle.bench> [--attack NAME]\n"
+        "         [--attack-timeout S] [--trace]\n"
+        "  sweep <in.bench> --jsonl PATH [sizes...] [--replicas N]\n"
+        "        [--seed S] [--resume] [--attack NAME] [--attack-timeout S]\n"
+        "  status [ID] | cancel <ID> | shutdown\n"
+        "job flags (lock/attack/sweep): --priority P, --job-timeout S,\n"
+        "  --retries N, --mem-mb M, --detach\n"
+        "exit codes: 0 done, 1 failed, 2 usage, 3 rejected, "
+        "4 cancelled/interrupted, 5 connection lost\n");
+    return 2;
+  };
+  if (argc < 4) return usage();
+  const std::string socket_path = argv[2];
+  const std::string op = argv[3];
+  try {
+    serve::ServeClient client(socket_path);
+    if (op == "status") {
+      std::optional<std::uint64_t> id;
+      if (argc > 4) {
+        id = static_cast<std::uint64_t>(
+            runtime::parse_int_flag("status id", argv[4], 1));
+      }
+      return client.status(id, std::cout);
+    }
+    if (op == "cancel") {
+      if (argc < 5) return usage();
+      return client.cancel(static_cast<std::uint64_t>(runtime::parse_int_flag(
+                               "cancel id", argv[4], 1)),
+                           std::cout);
+    }
+    if (op == "shutdown") return client.shutdown(std::cout);
+
+    serve::JobSpec spec;
+    if (op == "lock") {
+      spec.kind = serve::JobKind::kLock;
+    } else if (op == "attack") {
+      spec.kind = serve::JobKind::kAttack;
+    } else if (op == "sweep") {
+      spec.kind = serve::JobKind::kSweep;
+    } else {
+      return usage();
+    }
+    std::vector<std::string> positional;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("flag " + arg + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--priority") {
+        spec.priority = static_cast<int>(
+            runtime::parse_int_flag("--priority", value(), -1000, 1000));
+      } else if (arg == "--job-timeout") {
+        spec.timeout_s = runtime::parse_seconds_flag("--job-timeout", value());
+      } else if (arg == "--retries") {
+        spec.retries = static_cast<int>(
+            runtime::parse_int_flag("--retries", value(), 0, 1000000));
+      } else if (arg == "--mem-mb") {
+        spec.memory_limit_mb = static_cast<std::size_t>(
+            runtime::parse_int_flag("--mem-mb", value(), 0, 1LL << 40));
+      } else if (arg == "--attack") {
+        spec.attack = value();
+      } else if (arg == "--attack-timeout") {
+        spec.attack_timeout_s =
+            runtime::parse_seconds_flag("--attack-timeout", value());
+      } else if (arg == "--jsonl") {
+        spec.jsonl_path = value();
+      } else if (arg == "--replicas") {
+        spec.replicas = static_cast<int>(
+            runtime::parse_int_flag("--replicas", value(), 1, 1000000));
+      } else if (arg == "--seed") {
+        spec.seed = static_cast<std::uint64_t>(
+            runtime::parse_int_flag("--seed", value(), 0));
+      } else if (arg == "--resume") {
+        spec.resume = true;
+      } else if (arg == "--detach") {
+        spec.detach = true;
+      } else if (arg == "--trace") {
+        spec.trace = true;
+      } else if (!arg.empty() && arg[0] != '-') {
+        positional.push_back(arg);
+      } else {
+        std::fprintf(stderr, "submit: unknown flag '%s'\n", arg.c_str());
+        return usage();
+      }
+    }
+    if (!known_attack(spec.attack)) {
+      std::fprintf(stderr, "unknown attack '%s'; available attacks: %s\n",
+                   spec.attack.c_str(), kKnownAttacks);
+      return 2;
+    }
+    std::size_t sizes_from = 0;
+    if (spec.kind == serve::JobKind::kLock) {
+      if (positional.size() < 2) return usage();
+      spec.bench_path = positional[0];
+      spec.out_path = positional[1];
+      sizes_from = 2;
+    } else if (spec.kind == serve::JobKind::kAttack) {
+      if (positional.size() < 2) return usage();
+      spec.locked_path = positional[0];
+      spec.oracle_path = positional[1];
+      sizes_from = positional.size();
+    } else {
+      if (positional.empty()) return usage();
+      spec.bench_path = positional[0];
+      sizes_from = 1;
+    }
+    for (std::size_t i = sizes_from; i < positional.size(); ++i) {
+      spec.sizes.push_back(static_cast<int>(
+          runtime::parse_int_flag("size", positional[i], 2, 4096)));
+    }
+    serve::validate_spec(spec);
+    return client.submit_and_stream(spec, std::cout);
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "submit: %s\n", e.what());
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "submit: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "submit: %s\n", e.what());
+    return serve::ClientExit::kConnectionLost;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    // serve/submit own their flag namespace (--jsonl names the job's
+    // checkpoint, --retries the job budget, ...): stripping the shared
+    // runner flags here would eat them before the subcommand parses them.
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "submit") return cmd_submit(argc, argv);
     // Strips the shared runner flags (--jobs/--jsonl/--resume/--retries/
     // --cell-timeout/--mem-mb/--trace and their FL_* envs); attack and
     // sweep consume them, the single-shot subcommands ignore them.
     const runtime::RunnerArgs run_args = runtime::parse_runner_args(argc, argv);
-    const std::string cmd = argc > 1 ? argv[1] : "";
     if (cmd == "lock") return cmd_lock(argc, argv);
     if (cmd == "attack") return cmd_attack(argc, argv, run_args);
     if (cmd == "sweep") return cmd_sweep(argc, argv, run_args);
     if (cmd == "report") return cmd_report(argc, argv);
-    std::fprintf(stderr, "usage: %s lock|attack|sweep|report ...\n",
+    std::fprintf(stderr, "usage: %s lock|attack|sweep|report|serve|submit ...\n",
                  argc > 0 ? argv[0] : "fulllock_cli");
     return 2;
   } catch (const std::exception& e) {

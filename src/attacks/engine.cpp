@@ -58,6 +58,11 @@ BudgetGuard::BudgetGuard(const AttackOptions& options, Clock::time_point start)
     deadline_ = start + std::chrono::duration_cast<Clock::duration>(
                             std::chrono::duration<double>(options.timeout_s));
   }
+  // An enclosing job budget caps the attack's own timeout, never extends it.
+  if (options.deadline.has_value() &&
+      (!deadline_ || *options.deadline < *deadline_)) {
+    deadline_ = *options.deadline;
+  }
 }
 
 double BudgetGuard::elapsed_s() const {

@@ -136,6 +136,13 @@ class JsonlTraceSink final : public IterationTraceSink {
 struct AttackOptions {
   double timeout_s = 0.0;            // 0 = unlimited
   std::uint64_t max_iterations = 0;  // 0 = unlimited
+  // Absolute wall deadline imposed by an enclosing job budget (the serve
+  // daemon's per-job watchdog): BudgetGuard stops the attack with kTimeout
+  // when it passes, whichever of it and timeout_s comes first. Unlike
+  // timeout_s — which restarts from Clock::now() on every attempt — this is
+  // a fixed point in time, so retries of a failed job share one budget
+  // instead of resetting it.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
   bool verbose = false;
   // Cooperative cancellation (e.g. fl::runtime::CancelToken::flag()).
   // Polled inside every solve; a cancelled attack reports kInterrupted. The

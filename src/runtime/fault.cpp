@@ -1,6 +1,7 @@
 #include "runtime/fault.h"
 
 #include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <new>
 #include <thread>
@@ -10,9 +11,9 @@ namespace fl::runtime {
 namespace {
 
 [[noreturn]] void bad_spec(std::string_view spec, std::string_view why) {
-  throw std::invalid_argument("malformed fault spec '" + std::string(spec) +
-                              "': " + std::string(why) +
-                              " (expected cell:<idx>:<kind>[:<count>])");
+  throw std::invalid_argument(
+      "malformed fault spec '" + std::string(spec) + "': " + std::string(why) +
+      " (expected cell:<idx>|write:<seq>|site:<name>, then :<kind>[:<count>])");
 }
 
 FaultSpec parse_one(std::string_view item) {
@@ -28,7 +29,6 @@ FaultSpec parse_one(std::string_view item) {
     at = colon + 1;
   }
   if (parts.size() < 3 || parts.size() > 4) bad_spec(item, "wrong arity");
-  if (parts[0] != "cell") bad_spec(item, "unknown selector");
 
   FaultSpec spec;
   const auto parse_num = [&](std::string_view text, auto* out,
@@ -39,7 +39,21 @@ FaultSpec parse_one(std::string_view item) {
       bad_spec(item, what);
     }
   };
-  parse_num(parts[1], &spec.cell, "bad cell index");
+
+  if (parts[0] == "cell") {
+    spec.selector = FaultSpec::Selector::kCell;
+    parse_num(parts[1], &spec.index, "bad cell index");
+  } else if (parts[0] == "write") {
+    spec.selector = FaultSpec::Selector::kWrite;
+    parse_num(parts[1], &spec.index, "bad sync sequence number");
+  } else if (parts[0] == "site") {
+    spec.selector = FaultSpec::Selector::kSite;
+    if (parts[1].empty()) bad_spec(item, "empty site name");
+    spec.site = std::string(parts[1]);
+    spec.index = 0;  // sites fire from their first hit; count bounds them
+  } else {
+    bad_spec(item, "unknown selector");
+  }
 
   if (parts[2] == "throw") {
     spec.kind = FaultKind::kThrow;
@@ -49,6 +63,10 @@ FaultSpec parse_one(std::string_view item) {
     spec.kind = FaultKind::kOom;
   } else if (parts[2] == "exit") {
     spec.kind = FaultKind::kExit;
+  } else if (parts[2] == "ewrite") {
+    spec.kind = FaultKind::kEWrite;
+  } else if (parts[2] == "drop") {
+    spec.kind = FaultKind::kDrop;
   } else {
     bad_spec(item, "unknown fault kind");
   }
@@ -68,6 +86,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kStall: return "stall";
     case FaultKind::kOom: return "oom";
     case FaultKind::kExit: return "exit";
+    case FaultKind::kEWrite: return "ewrite";
+    case FaultKind::kDrop: return "drop";
   }
   return "?";
 }
@@ -95,32 +115,81 @@ const FaultInjector& FaultInjector::global() {
   return injector;
 }
 
+void FaultInjector::raise(const FaultSpec& spec, const std::string& where,
+                          const std::function<bool()>& expired) const {
+  switch (spec.kind) {
+    case FaultKind::kThrow:
+      throw FaultInjected(where);
+    case FaultKind::kStall: {
+      // A runaway task: burns its budget (polling `expired`), then dies the
+      // way a real hung solve would — with an exception after the deadline.
+      // Without a predicate, degrade to a short bounded stall rather than
+      // hang the process forever.
+      const auto hard_stop =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+      while (expired ? !expired()
+                     : std::chrono::steady_clock::now() < hard_stop) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      throw FaultInjected(where + " stalled past its budget");
+    }
+    case FaultKind::kOom:
+      throw std::bad_alloc();
+    case FaultKind::kExit:
+      // Simulates SIGKILL / the kernel OOM-killer: no unwinding, no flush.
+      // Only records already fsynced survive — exactly what the resume
+      // workflow has to cope with.
+      std::_Exit(137);
+    case FaultKind::kEWrite:
+      throw WriteFault("fault-injected: ewrite (simulated ENOSPC) at " +
+                       where);
+    case FaultKind::kDrop:
+      throw ConnectionDropped("fault-injected: peer dropped at " + where);
+  }
+}
+
 void FaultInjector::inject(const CellContext& ctx) const {
   for (const FaultSpec& spec : specs_) {
-    if (spec.cell != ctx.index || ctx.attempt >= spec.count) continue;
-    switch (spec.kind) {
-      case FaultKind::kThrow:
-        throw FaultInjected("cell " + std::to_string(ctx.index) + " attempt " +
-                            std::to_string(ctx.attempt));
-      case FaultKind::kStall:
-        // A runaway cell: burns its whole wall budget, then dies the way a
-        // real hung solve would — with an exception after the deadline. If
-        // the cell has no budget at all, degrade to an immediate throw
-        // rather than hang the sweep forever.
-        while (!ctx.expired() && ctx.timeout_s > 0.0) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        }
-        throw FaultInjected("cell " + std::to_string(ctx.index) +
-                            " stalled past its budget");
-      case FaultKind::kOom:
-        throw std::bad_alloc();
-      case FaultKind::kExit:
-        // Simulates SIGKILL / the kernel OOM-killer: no unwinding, no
-        // flush. Only records already fsynced survive — exactly what the
-        // resume workflow has to cope with.
-        std::_Exit(137);
+    if (spec.selector != FaultSpec::Selector::kCell) continue;
+    if (spec.index != ctx.index || ctx.attempt >= spec.count) continue;
+    raise(spec,
+          "cell " + std::to_string(ctx.index) + " attempt " +
+              std::to_string(ctx.attempt),
+          // kStall burns the cell's own wall budget; a cell with no budget
+          // at all throws immediately instead of hanging the sweep.
+          [&ctx] { return ctx.expired() || ctx.timeout_s <= 0.0; });
+  }
+}
+
+void FaultInjector::inject_write(std::uint64_t seq) const {
+  for (const FaultSpec& spec : specs_) {
+    if (spec.selector != FaultSpec::Selector::kWrite) continue;
+    if (seq < spec.index ||
+        seq >= spec.index + static_cast<std::uint64_t>(spec.count)) {
+      continue;
+    }
+    raise(spec, "jsonl sync #" + std::to_string(seq), nullptr);
+  }
+}
+
+void FaultInjector::inject_site(std::string_view site,
+                                const std::function<bool()>& expired) const {
+  const FaultSpec* match = nullptr;
+  for (const FaultSpec& spec : specs_) {
+    if (spec.selector == FaultSpec::Selector::kSite && spec.site == site) {
+      match = &spec;
+      break;
     }
   }
+  if (match == nullptr) return;  // hit counters only exist for armed sites
+  std::uint64_t hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(site_state_->mu);
+    hit = site_state_->hits[std::string(site)]++;
+  }
+  if (hit >= static_cast<std::uint64_t>(match->count)) return;
+  raise(*match, "site " + std::string(site) + " hit " + std::to_string(hit),
+        expired);
 }
 
 }  // namespace fl::runtime

@@ -1,10 +1,13 @@
 #include "runtime/jsonl.h"
 
+#include <atomic>
 #include <cerrno>
 #include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
+
+#include "runtime/fault.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -12,6 +15,12 @@
 #endif
 
 namespace fl::runtime {
+
+namespace {
+// write:<seq> fault specs select on this process-wide counter; serial runs
+// make it deterministic.
+std::atomic<std::uint64_t> g_sync_seq{0};
+}  // namespace
 
 namespace {
 
@@ -76,6 +85,25 @@ JsonObject& JsonObject::field(std::string_view key, double value) {
   return raw(key, buf);
 }
 
+JsonObject& JsonObject::field(std::string_view key,
+                              std::span<const int> values) {
+  std::string buf = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) buf.push_back(',');
+    buf += std::to_string(values[i]);
+  }
+  buf.push_back(']');
+  return raw(key, buf);
+}
+
+JsonObject& JsonObject::merge(const JsonObject& other) {
+  if (other.first_) return *this;  // nothing to merge
+  if (!first_) buf_.push_back(',');
+  buf_.append(other.buf_, 1, std::string::npos);  // skip the opening '{'
+  first_ = false;
+  return *this;
+}
+
 std::string JsonObject::str() {
   buf_.push_back('}');
   return std::move(buf_);
@@ -130,7 +158,9 @@ void JsonlSink::flush() {
   if (sync_) sync_();
 }
 
-JsonlWriter::JsonlWriter(const std::string& path, bool append) {
+JsonlWriter::JsonlWriter(const std::string& path, bool append,
+                         const FaultInjector* faults)
+    : path_(path), faults_(faults) {
   out_.open(path, append ? (std::ios::out | std::ios::app) : std::ios::out);
   if (!out_) {
     throw std::runtime_error("cannot open JSONL output file: " + path);
@@ -143,17 +173,49 @@ JsonlWriter::JsonlWriter(const std::string& path, bool append) {
 }
 
 JsonlWriter::~JsonlWriter() {
-  sync();
+  try {
+    sync();
+  } catch (const std::exception& e) {
+    // Destructors must not throw; by this point every committed record was
+    // already synced (or its producer already failed), so losing the final
+    // no-op sync only costs this diagnostic.
+    std::fprintf(stderr, "JsonlWriter: final sync of %s failed: %s\n",
+                 path_.c_str(), e.what());
+  }
 #if defined(__unix__) || defined(__APPLE__)
   if (fd_ >= 0) ::close(fd_);
 #endif
 }
 
 void JsonlWriter::sync() {
+  const std::uint64_t seq =
+      g_sync_seq.fetch_add(1, std::memory_order_relaxed);
+  // Injected ENOSPC fires before the real flush, and poisons the stream the
+  // way a real one would (badbit persists): every later record is a no-op
+  // instead of silently going durable at close. The one record already
+  // handed to the stream buffer may still land when the filebuf closes —
+  // harmless, since a fully written record is exactly what resume scans for.
+  try {
+    (faults_ != nullptr ? *faults_ : FaultInjector::global()).inject_write(seq);
+  } catch (...) {
+    out_.setstate(std::ios::badbit);
+    throw;
+  }
   out_.flush();
+  if (!out_) {
+    throw WriteFault("JSONL flush of " + path_ +
+                     " failed (disk full or I/O error?)");
+  }
 #if defined(__unix__) || defined(__APPLE__)
-  if (fd_ >= 0) ::fsync(fd_);
+  if (fd_ >= 0 && ::fsync(fd_) < 0) {
+    throw WriteFault("fsync of " + path_ + " failed: " +
+                     std::strerror(errno));
+  }
 #endif
+}
+
+std::uint64_t JsonlWriter::sync_sequence() {
+  return g_sync_seq.load(std::memory_order_relaxed);
 }
 
 std::optional<long long> json_int_field(std::string_view line,
@@ -192,6 +254,48 @@ std::optional<std::string> json_string_field(std::string_view line,
   }
   if (at >= line.size()) return std::nullopt;  // unterminated string
   return out;
+}
+
+std::optional<double> json_double_field(std::string_view line,
+                                        std::string_view key) {
+  const std::size_t at = value_pos(line, key);
+  if (at == std::string_view::npos) return std::nullopt;
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(line.data() + at, line.data() + line.size(), value);
+  if (ec != std::errc{}) return std::nullopt;
+  (void)end;
+  return value;
+}
+
+std::optional<std::vector<int>> json_int_array_field(std::string_view line,
+                                                     std::string_view key) {
+  std::size_t at = value_pos(line, key);
+  if (at == std::string_view::npos || at >= line.size() || line[at] != '[') {
+    return std::nullopt;
+  }
+  ++at;
+  std::vector<int> values;
+  while (at < line.size() && line[at] != ']') {
+    int value = 0;
+    const auto [end, ec] =
+        std::from_chars(line.data() + at, line.data() + line.size(), value);
+    if (ec != std::errc{}) return std::nullopt;
+    values.push_back(value);
+    at = static_cast<std::size_t>(end - line.data());
+    if (at < line.size() && line[at] == ',') ++at;
+  }
+  if (at >= line.size()) return std::nullopt;  // unterminated array
+  return values;
+}
+
+std::optional<bool> json_bool_field(std::string_view line,
+                                    std::string_view key) {
+  const std::size_t at = value_pos(line, key);
+  if (at == std::string_view::npos) return std::nullopt;
+  if (line.substr(at, 4) == "true") return true;
+  if (line.substr(at, 5) == "false") return false;
+  return std::nullopt;
 }
 
 std::string run_header_line(std::string_view bench, std::size_t grid_size,

@@ -12,6 +12,13 @@
 // every committed line, so a record that reached the file survives a crash
 // or OOM-kill. scan_jsonl_resume() parses a previous run's file back into
 // a completed-cell mask keyed by each record's `cell` field.
+//
+// Failure surfacing: a checkpoint that silently stops being durable is worse
+// than a crash, so JsonlWriter::sync() throws WriteFault (fault.h) when the
+// stream flush or the fsync reports an error (ENOSPC, EIO) — and consults
+// the fault injector first (FL_FAULT="write:<seq>:ewrite") so the disk-full
+// path is deterministically testable. Callers let the exception fail the
+// producing cell/job; SweepSession::finish turns it into a nonzero exit.
 #pragma once
 
 #include <cstdint>
@@ -22,12 +29,15 @@
 #include <optional>
 #include <ostream>
 #include <set>
+#include <span>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <vector>
 
 namespace fl::runtime {
+
+class FaultInjector;
 
 // Builder for one JSONL record. Fields keep insertion order; keys are
 // assumed to be plain identifiers (not escaped), values are escaped.
@@ -48,6 +58,18 @@ class JsonObject {
       return raw(key, std::to_string(static_cast<unsigned long long>(value)));
     }
   }
+
+  // Flat integer array value ("[4,8,16]") — the only non-scalar shape the
+  // repo's JSONL records use (job specs in the serve journal).
+  JsonObject& field(std::string_view key, std::span<const int> values);
+
+  // Appends every field of `other` (a still-open builder — str() not yet
+  // called). Lets a component merge fields produced elsewhere, e.g. the
+  // serve scheduler folding runner-supplied fields into a terminal record.
+  JsonObject& merge(const JsonObject& other);
+
+  // True while no field has been added.
+  bool empty() const { return first_; }
 
   // Closes the object. The builder is spent afterwards.
   std::string str();
@@ -70,7 +92,16 @@ class JsonlSink {
   // passes JsonlWriter::sync so committed records survive a crash.
   explicit JsonlSink(std::ostream& out, std::function<void()> sync = {})
       : out_(out), sync_(std::move(sync)) {}
-  ~JsonlSink() { flush(); }
+  // Best-effort drain: a sync failure during destruction (e.g. the disk
+  // filled while a failure record was being appended) cannot be surfaced as
+  // an exception — callers that need the error must call flush() themselves
+  // first (SweepSession::finish does).
+  ~JsonlSink() {
+    try {
+      flush();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
   JsonlSink(const JsonlSink&) = delete;
   JsonlSink& operator=(const JsonlSink&) = delete;
 
@@ -104,19 +135,32 @@ class JsonlWriter {
  public:
   // Truncates by default; append = true continues an existing file
   // (--resume). Throws std::runtime_error when the path is unwritable —
-  // a sweep must not silently drop its results.
-  explicit JsonlWriter(const std::string& path, bool append = false);
+  // a sweep must not silently drop its results. `faults` overrides the
+  // global FL_FAULT injector for the write-failure site (tests); nullptr
+  // uses FaultInjector::global().
+  explicit JsonlWriter(const std::string& path, bool append = false,
+                       const FaultInjector* faults = nullptr);
   ~JsonlWriter();
   JsonlWriter(const JsonlWriter&) = delete;
   JsonlWriter& operator=(const JsonlWriter&) = delete;
 
   std::ostream& stream() { return out_; }
-  // Flush + fsync. Safe to call from the sink's sync hook.
+  // Flush + fsync. Throws WriteFault when either fails (a record that never
+  // became durable must not look committed) or when a write:<seq>:ewrite
+  // fault covers this sync. Safe to call from the sink's sync hook; the
+  // destructor calls it too but demotes failures to stderr (destructors
+  // must not throw).
   void sync();
+  // Global 0-based counter of sync() calls across every JsonlWriter in the
+  // process — the sequence number write-fault specs select on. Exposed so
+  // tests can compute which sync a spec will hit.
+  static std::uint64_t sync_sequence();
 
  private:
   std::ofstream out_;
+  std::string path_;
   int fd_ = -1;
+  const FaultInjector* faults_ = nullptr;
 };
 
 // Minimal field extraction for the repo's own (flat, non-nested) JSONL
@@ -125,6 +169,14 @@ std::optional<long long> json_int_field(std::string_view line,
                                         std::string_view key);
 std::optional<std::string> json_string_field(std::string_view line,
                                              std::string_view key);
+std::optional<double> json_double_field(std::string_view line,
+                                        std::string_view key);
+// Parses a flat integer array value ("[4,8,16]"; "[]" yields an empty
+// vector). Anything else under the key yields nullopt.
+std::optional<std::vector<int>> json_int_array_field(std::string_view line,
+                                                     std::string_view key);
+std::optional<bool> json_bool_field(std::string_view line,
+                                    std::string_view key);
 
 // What scan_jsonl_resume() recovered from a previous (possibly interrupted)
 // run of the same sweep.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -21,30 +22,6 @@ namespace {
   throw std::invalid_argument("invalid value for " + std::string(what) +
                               ": '" + std::string(text) + "' (expected " +
                               std::string(expected) + ")");
-}
-
-// Whole-string integer parse; junk ("", "4x", "1e3") and out-of-range values
-// are errors, unlike atoi which silently yields 0.
-long long parse_int(std::string_view what, std::string_view text,
-                    long long min_value) {
-  long long value = 0;
-  const auto [end, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), value);
-  if (ec != std::errc{} || end != text.data() + text.size() ||
-      value < min_value) {
-    bad_value(what, text, "integer >= " + std::to_string(min_value));
-  }
-  return value;
-}
-
-double parse_seconds(std::string_view what, std::string_view text) {
-  const std::string buf(text);
-  char* end = nullptr;
-  const double value = std::strtod(buf.c_str(), &end);
-  if (buf.empty() || end != buf.c_str() + buf.size() || value < 0.0) {
-    bad_value(what, text, "seconds >= 0");
-  }
-  return value;
 }
 
 bool env_flag(const char* name) {
@@ -106,10 +83,36 @@ CellOutcome run_one_cell(const GridConfig& config, const FaultInjector& faults,
 
 }  // namespace
 
+long long parse_int_flag(std::string_view what, std::string_view text,
+                         long long min_value, long long max_value) {
+  long long value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size() ||
+      value < min_value || value > max_value) {
+    bad_value(what, text,
+              "integer in [" + std::to_string(min_value) + ", " +
+                  std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+double parse_seconds_flag(std::string_view what, std::string_view text) {
+  const std::string buf(text);
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  // NB: !(value >= 0.0) also rejects NaN, which `value < 0.0` would accept.
+  if (buf.empty() || end != buf.c_str() + buf.size() || !(value >= 0.0) ||
+      !std::isfinite(value)) {
+    bad_value(what, text, "finite seconds >= 0");
+  }
+  return value;
+}
+
 int resolve_jobs(int requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("FL_JOBS"); env != nullptr) {
-    const long long n = parse_int("FL_JOBS", env, 1);
+    const long long n = parse_int_flag("FL_JOBS", env, 1);
     return static_cast<int>(std::min<long long>(n, 1 << 20));
   }
   const unsigned hw = std::thread::hardware_concurrency();
@@ -123,14 +126,14 @@ RunnerArgs parse_runner_args(int& argc, char** argv) {
     args.jsonl_path = env;
   }
   if (const char* env = std::getenv("FL_RETRIES"); env != nullptr) {
-    args.retries = static_cast<int>(parse_int("FL_RETRIES", env, 0));
+    args.retries = static_cast<int>(parse_int_flag("FL_RETRIES", env, 0, 1000000));
   }
   if (const char* env = std::getenv("FL_CELL_TIMEOUT_S"); env != nullptr) {
-    args.cell_timeout_s = parse_seconds("FL_CELL_TIMEOUT_S", env);
+    args.cell_timeout_s = parse_seconds_flag("FL_CELL_TIMEOUT_S", env);
   }
   if (const char* env = std::getenv("FL_MEM_MB"); env != nullptr) {
     args.memory_limit_mb =
-        static_cast<std::size_t>(parse_int("FL_MEM_MB", env, 0));
+        static_cast<std::size_t>(parse_int_flag("FL_MEM_MB", env, 0));
   }
   if (const char* env = std::getenv("FL_TRACE"); env != nullptr) {
     args.trace_path = env;
@@ -160,16 +163,16 @@ RunnerArgs parse_runner_args(int& argc, char** argv) {
     if (arg == "--resume") {
       args.resume = true;
     } else if (take_value("--jobs", &value)) {
-      requested_jobs = static_cast<int>(parse_int("--jobs", value, 0));
+      requested_jobs = static_cast<int>(parse_int_flag("--jobs", value, 0, 1 << 20));
     } else if (take_value("--jsonl", &value)) {
       args.jsonl_path = value;
     } else if (take_value("--retries", &value)) {
-      args.retries = static_cast<int>(parse_int("--retries", value, 0));
+      args.retries = static_cast<int>(parse_int_flag("--retries", value, 0, 1000000));
     } else if (take_value("--cell-timeout", &value)) {
-      args.cell_timeout_s = parse_seconds("--cell-timeout", value);
+      args.cell_timeout_s = parse_seconds_flag("--cell-timeout", value);
     } else if (take_value("--mem-mb", &value)) {
       args.memory_limit_mb =
-          static_cast<std::size_t>(parse_int("--mem-mb", value, 0));
+          static_cast<std::size_t>(parse_int_flag("--mem-mb", value, 0));
     } else if (take_value("--trace", &value)) {
       args.trace_path = value;
     } else {

@@ -35,6 +35,18 @@ class FaultInjector;
 // std::invalid_argument when FL_JOBS is set but not a positive integer.
 int resolve_jobs(int requested = 0);
 
+// Strict whole-string flag parsing, shared by every subcommand that takes
+// numeric knobs (sweep runners, the serve daemon). Junk ("", "4x", "1e3"),
+// out-of-range and overflowing values throw std::invalid_argument naming
+// the flag and the accepted range — a long-running job must not silently
+// start with a zero budget because "10s" parsed as 0.
+long long parse_int_flag(std::string_view what, std::string_view text,
+                         long long min_value,
+                         long long max_value = (1LL << 62));
+// Seconds >= 0; rejects negatives, junk, and non-finite values ("inf",
+// "nan" — an infinite budget is spelled 0, not inf).
+double parse_seconds_flag(std::string_view what, std::string_view text);
+
 // Flags every sweep driver shares. parse_runner_args strips the flags it
 // recognizes out of argv (leaving positional arguments for the driver),
 // validates their values (std::invalid_argument on junk — a sweep must not

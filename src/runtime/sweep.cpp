@@ -5,11 +5,17 @@
 #include <fstream>
 #include <utility>
 
+#include "runtime/fault.h"
+
 namespace fl::runtime {
 
 SweepSession::SweepSession(std::string bench, std::size_t grid_size,
-                           std::uint64_t base_seed, RunnerArgs args)
-    : bench_(std::move(bench)), grid_size_(grid_size), args_(std::move(args)) {
+                           std::uint64_t base_seed, RunnerArgs args,
+                           SweepSessionOptions options)
+    : bench_(std::move(bench)),
+      grid_size_(grid_size),
+      args_(std::move(args)),
+      options_(options) {
   resume_.completed.assign(grid_size_, false);
   if (!args_.jsonl_path.empty()) {
     // Resume only has meaning when there is a file to resume; a missing
@@ -20,7 +26,7 @@ SweepSession::SweepSession(std::string bench, std::size_t grid_size,
     if (have_file) {
       resume_ = scan_jsonl_resume(args_.jsonl_path, bench_, grid_size_);
     }
-    writer_.emplace(args_.jsonl_path, /*append=*/have_file);
+    writer_.emplace(args_.jsonl_path, /*append=*/have_file, options_.faults);
     sink_.emplace(writer_->stream(), [w = &*writer_] { w->sync(); });
     if (!have_file) {
       // Manifest header first, made durable before any cell runs, so a
@@ -31,7 +37,7 @@ SweepSession::SweepSession(std::string bench, std::size_t grid_size,
       if (resume_.completed[i]) sink_->skip(i);
     }
   }
-  signals_.emplace(cancel_);
+  if (options_.install_signal_handler) signals_.emplace(cancel_);
 }
 
 SweepSession::~SweepSession() = default;
@@ -41,8 +47,9 @@ GridConfig SweepSession::grid_config() const {
   config.jobs = args_.jobs;
   config.retries = args_.retries;
   config.cell_timeout_s = args_.cell_timeout_s;
-  config.cancel = &cancel_;
+  config.cancel = &cancel();
   config.completed = resume_.completed;
+  config.faults = options_.faults;
   return config;
 }
 
@@ -53,20 +60,41 @@ void SweepSession::note_interrupted(std::size_t index) {
 int SweepSession::finish(
     const GridReport& report,
     const std::function<JsonObject(std::size_t)>& record_base) {
+  // A sink write below may itself hit the failure it is reporting (the disk
+  // that swallowed a cell's record is still full). Keep going: every broken
+  // cell is still named on stderr, and the lost-durability exit code wins.
+  bool sink_broken = false;
+  const auto sink_write = [&](std::size_t index, std::string line) {
+    if (!sink_ || sink_broken) return;
+    try {
+      sink_->write(index, std::move(line));
+    } catch (const std::exception& e) {
+      sink_broken = true;
+      std::fprintf(stderr, "%s: checkpoint write failed: %s\n", bench_.c_str(),
+                   e.what());
+    }
+  };
+
   for (std::size_t i = 0; i < report.cells.size(); ++i) {
     const CellOutcome& cell = report.cells[i];
     if (cell.status != CellOutcome::Status::kFailed) continue;
-    if (sink_) {
-      JsonObject o = record_base(i);
-      o.field("status", "failed")
-          .field("reason", cell.error)
-          .field("attempt", cell.attempts);
-      sink_->write(i, o.str());
-    }
+    JsonObject o = record_base(i);
+    o.field("status", "failed")
+        .field("reason", cell.error)
+        .field("attempt", cell.attempts);
+    sink_write(i, o.str());
     std::fprintf(stderr, "%s: cell %zu failed after %d attempt(s): %s\n",
                  bench_.c_str(), i, cell.attempts, cell.error.c_str());
   }
-  if (sink_) sink_->flush();
+  if (sink_ && !sink_broken) {
+    try {
+      sink_->flush();
+    } catch (const std::exception& e) {
+      sink_broken = true;
+      std::fprintf(stderr, "%s: checkpoint flush failed: %s\n", bench_.c_str(),
+                   e.what());
+    }
+  }
 
   std::fprintf(stderr,
                "%s: %zu ok, %zu failed, %zu resumed, %zu cancelled of %zu "
@@ -79,7 +107,7 @@ int SweepSession::finish(
     const int signo = ScopedSignalHandler::last_signal();
     return 128 + (signo > 0 ? signo : SIGINT);
   }
-  return report.failed > 0 ? 1 : 0;
+  return (report.failed > 0 || sink_broken) ? 1 : 0;
 }
 
 }  // namespace fl::runtime

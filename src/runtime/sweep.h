@@ -46,15 +46,34 @@
 
 namespace fl::runtime {
 
+class FaultInjector;
+
+// Embedding knobs for hosts that are not a standalone sweep process. The
+// serve daemon runs many SweepSessions inside one process that already owns
+// the (process-global) signal handler: each job session gets the daemon's
+// per-job cancel token instead of installing its own handler.
+struct SweepSessionOptions {
+  // Install the process-wide SIGINT/SIGTERM handler (standalone drivers).
+  // Must be false when an enclosing component already owns it.
+  bool install_signal_handler = true;
+  // External cancellation source used instead of the session's own token
+  // (the daemon's per-job token, pre-wired to its drain logic).
+  const CancelToken* cancel = nullptr;
+  // Fault injector for the durable writer and the grid (tests); nullptr =
+  // the global FL_FAULT-configured one.
+  const FaultInjector* faults = nullptr;
+};
+
 class SweepSession {
  public:
   // Opens the JSONL file named by `args` (append mode when resuming onto an
   // existing file, after validating its manifest against `bench` and
   // `grid_size`), writes + syncs the run header on fresh runs, and installs
-  // the signal handler. Throws std::runtime_error on an unwritable path or
-  // a manifest mismatch.
+  // the signal handler (unless `options` opts out). Throws
+  // std::runtime_error on an unwritable path or a manifest mismatch.
   SweepSession(std::string bench, std::size_t grid_size,
-               std::uint64_t base_seed, RunnerArgs args);
+               std::uint64_t base_seed, RunnerArgs args,
+               SweepSessionOptions options = {});
   ~SweepSession();
   SweepSession(const SweepSession&) = delete;
   SweepSession& operator=(const SweepSession&) = delete;
@@ -62,8 +81,10 @@ class SweepSession {
   // nullptr when the sweep runs without --jsonl.
   JsonlSink* sink() { return sink_ ? &*sink_ : nullptr; }
   const RunnerArgs& args() const { return args_; }
-  const CancelToken& cancel() const { return cancel_; }
-  bool cancelled() const { return cancel_.cancelled(); }
+  const CancelToken& cancel() const {
+    return options_.cancel != nullptr ? *options_.cancel : cancel_;
+  }
+  bool cancelled() const { return cancel().cancelled(); }
   // Cells already completed in the resumed file (0 on fresh runs).
   std::size_t num_resumed() const { return resume_.num_completed; }
 
@@ -81,7 +102,9 @@ class SweepSession {
   // deterministic coordinate fields, starting with "cell" — prints a
   // one-line outcome summary, drains + syncs the sink, and returns the
   // process exit code: 128+signo when interrupted, 1 when any cell failed,
-  // 0 otherwise.
+  // 0 otherwise. A checkpoint write/fsync failure here (ENOSPC mid-drain)
+  // is reported on stderr and forces exit code 1 — a sweep whose results
+  // never became durable must not exit 0.
   int finish(const GridReport& report,
              const std::function<JsonObject(std::size_t)>& record_base);
 
@@ -89,6 +112,7 @@ class SweepSession {
   std::string bench_;
   std::size_t grid_size_;
   RunnerArgs args_;
+  SweepSessionOptions options_;
   ResumeState resume_;
   CancelToken cancel_;
   std::optional<JsonlWriter> writer_;

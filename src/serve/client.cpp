@@ -1,0 +1,125 @@
+#include "serve/client.h"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "runtime/jsonl.h"
+#include "serve/session.h"
+
+namespace fl::serve {
+
+ServeClient::ServeClient(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)) {}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool ServeClient::send(const std::string& line) {
+  std::string buf = line;
+  buf.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    const ssize_t n =
+        ::send(fd_, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> ServeClient::read_line() {
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+int ServeClient::submit_and_stream(const JobSpec& spec, std::ostream& out) {
+  if (!send(submit_line(spec))) return ClientExit::kConnectionLost;
+  bool accepted = false;
+  while (const auto line = read_line()) {
+    out << *line << "\n";
+    out.flush();
+    const auto event = runtime::json_string_field(*line, "event");
+    if (!event.has_value()) continue;
+    if (*event == "rejected") return ClientExit::kRejected;
+    if (*event == "error") return ClientExit::kUsage;
+    if (*event == "accepted") {
+      accepted = true;
+      if (spec.detach) return ClientExit::kDone;  // fire-and-forget
+      continue;
+    }
+    if (*event == "terminal") {
+      const auto state = runtime::json_string_field(*line, "state");
+      if (state == "done") return ClientExit::kDone;
+      if (state == "cancelled" || state == "interrupted") {
+        return ClientExit::kInterrupted;
+      }
+      return ClientExit::kFailed;
+    }
+  }
+  (void)accepted;
+  return ClientExit::kConnectionLost;
+}
+
+int ServeClient::status(std::optional<std::uint64_t> id, std::ostream& out) {
+  if (!send(status_line(id))) return ClientExit::kConnectionLost;
+  while (const auto line = read_line()) {
+    out << *line << "\n";
+    out.flush();
+    const auto event = runtime::json_string_field(*line, "event");
+    if (!event.has_value()) continue;
+    if (*event == "error") return ClientExit::kUsage;
+    // Single-job answers are one "job" line; full answers end with the
+    // "status" summary.
+    if (*event == "status" || (id.has_value() && *event == "job")) {
+      return ClientExit::kDone;
+    }
+  }
+  return ClientExit::kConnectionLost;
+}
+
+int ServeClient::cancel(std::uint64_t id, std::ostream& out) {
+  if (!send(cancel_line(id))) return ClientExit::kConnectionLost;
+  while (const auto line = read_line()) {
+    out << *line << "\n";
+    out.flush();
+    const auto event = runtime::json_string_field(*line, "event");
+    if (event == "cancel_ack") {
+      return runtime::json_bool_field(*line, "ok").value_or(false)
+                 ? ClientExit::kDone
+                 : ClientExit::kFailed;
+    }
+    if (event == "error") return ClientExit::kUsage;
+  }
+  return ClientExit::kConnectionLost;
+}
+
+int ServeClient::shutdown(std::ostream& out) {
+  if (!send(shutdown_line())) return ClientExit::kConnectionLost;
+  while (const auto line = read_line()) {
+    out << *line << "\n";
+    out.flush();
+    if (runtime::json_string_field(*line, "event") == "shutting_down") {
+      return ClientExit::kDone;
+    }
+  }
+  return ClientExit::kConnectionLost;
+}
+
+}  // namespace fl::serve

@@ -1,0 +1,57 @@
+// Client side of the serve protocol: connect to a daemon socket, send one
+// request, stream the response lines, and map the outcome to a process exit
+// code the CLI and CI scripts can branch on:
+//
+//   0  job reached terminal state "done" (or status/cancel/shutdown ack'd)
+//   1  job reached terminal state "failed" / cancel targeted an unknown job
+//   2  usage / malformed request (daemon "error" event)
+//   3  submission rejected ("overloaded" backpressure or "draining")
+//   4  job cancelled or interrupted (daemon drained mid-job)
+//   5  connection lost before a terminal answer arrived
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace fl::serve {
+
+struct ClientExit {
+  static constexpr int kDone = 0;
+  static constexpr int kFailed = 1;
+  static constexpr int kUsage = 2;
+  static constexpr int kRejected = 3;
+  static constexpr int kInterrupted = 4;
+  static constexpr int kConnectionLost = 5;
+};
+
+class ServeClient {
+ public:
+  // Connects immediately; throws std::runtime_error when nothing listens.
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Submits the job and streams every event line to `out` until the
+  // terminal event (or the connection drops). Returns a ClientExit code.
+  int submit_and_stream(const JobSpec& spec, std::ostream& out);
+
+  // One-shot ops; responses are echoed to `out`.
+  int status(std::optional<std::uint64_t> id, std::ostream& out);
+  int cancel(std::uint64_t id, std::ostream& out);
+  int shutdown(std::ostream& out);
+
+ private:
+  bool send(const std::string& line);
+  // Reads one complete line; nullopt on EOF/error.
+  std::optional<std::string> read_line();
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace fl::serve

@@ -1,0 +1,285 @@
+#include "serve/jobs.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "attacks/appsat.h"
+#include "attacks/cycsat.h"
+#include "attacks/double_dip.h"
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "core/full_lock.h"
+#include "core/verify.h"
+#include "netlist/bench_io.h"
+#include "runtime/seed.h"
+#include "runtime/sweep.h"
+#include "serve/protocol.h"
+
+namespace fl::serve {
+
+using runtime::JsonObject;
+
+namespace {
+
+// Streams per-DIP-iteration records to the job's subscriber as "trace"
+// events — the same fields attacks::JsonlTraceSink writes to --trace files.
+class StreamTraceSink final : public attacks::IterationTraceSink {
+ public:
+  explicit StreamTraceSink(JobContext& ctx) : ctx_(ctx) {}
+
+  void record(const attacks::IterationTrace& trace) override {
+    JsonObject o;
+    o.field("attack", trace.attack);
+    if (trace.cell >= 0) o.field("cell", trace.cell);
+    o.field("iter", trace.iteration)
+        .field("dip", trace.dip)
+        .field("cv_ratio", trace.cv_ratio)
+        .field("decisions", trace.decisions)
+        .field("propagations", trace.propagations)
+        .field("conflicts", trace.conflicts)
+        .field("solve_s", trace.solve_s)
+        .field("clauses_added", trace.clauses_added)
+        .field("vars_added", trace.vars_added)
+        .field("encode_s", trace.encode_s);
+    ctx_.emit("trace", std::move(o));
+  }
+
+ private:
+  JobContext& ctx_;
+};
+
+std::string key_string(const std::vector<bool>& key) {
+  std::string s;
+  s.reserve(key.size());
+  for (const bool b : key) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+attacks::AttackResult run_one_attack(const std::string& name,
+                                     const core::LockedCircuit& locked,
+                                     const attacks::Oracle& oracle,
+                                     const attacks::AttackOptions& options) {
+  if (name == "sat") return attacks::SatAttack(options).run(locked, oracle);
+  if (name == "cycsat") return attacks::CycSat(options).run(locked, oracle);
+  if (name == "appsat") {
+    attacks::AppSatOptions app_options;
+    app_options.base = options;
+    return attacks::AppSat(app_options).run(locked, oracle);
+  }
+  return attacks::DoubleDip(options).run(locked, oracle);
+}
+
+// Per-cell resolution shared with the CLI: "auto" follows cyclicity, and
+// double-dip (acyclic-only) degrades to cycsat on cyclic netlists.
+std::string resolve_attack(const std::string& requested, bool cyclic) {
+  std::string name = requested == "auto" ? (cyclic ? "cycsat" : "sat")
+                                         : requested;
+  if (name == "double-dip" && cyclic) name = "cycsat";
+  return name;
+}
+
+JobResult run_lock_job(const JobSpec& spec, JobContext& ctx) {
+  JobResult result;
+  const netlist::Netlist original = netlist::read_bench_file(spec.bench_path);
+  if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+    result.interrupted = true;
+    return result;
+  }
+  std::vector<int> sizes = spec.sizes.empty() ? std::vector<int>{16}
+                                              : spec.sizes;
+  core::FullLockConfig config = core::FullLockConfig::with_plrs(sizes);
+  config.seed = spec.seed;
+  const core::LockedCircuit locked = core::full_lock(original, config);
+  if (!core::verify_unlocks(original, locked, 16, 1)) {
+    throw std::runtime_error("lock verification failed: correct key does not "
+                             "unlock the circuit");
+  }
+  netlist::write_bench_file(locked.netlist, spec.out_path);
+  {
+    std::ofstream key_file(spec.out_path + ".key");
+    for (std::size_t i = 0; i < locked.correct_key.size(); ++i) {
+      key_file << locked.netlist.gate(locked.netlist.keys()[i]).name << " "
+               << (locked.correct_key[i] ? 1 : 0) << "\n";
+    }
+    if (!key_file) {
+      throw runtime::WriteFault("writing " + spec.out_path +
+                                ".key failed (disk full?)");
+    }
+  }
+  result.fields.field("gates_before", original.num_logic_gates())
+      .field("gates_after", locked.netlist.num_logic_gates())
+      .field("key_bits", locked.key_bits())
+      .field("out_path", spec.out_path);
+  return result;
+}
+
+JobResult run_attack_job(const JobSpec& spec, JobContext& ctx) {
+  JobResult result;
+  core::LockedCircuit locked;
+  locked.netlist = netlist::read_bench_file(spec.locked_path);
+  locked.scheme = "file";
+  const netlist::Netlist oracle_netlist =
+      netlist::read_bench_file(spec.oracle_path);
+  const attacks::Oracle oracle(oracle_netlist);
+
+  attacks::AttackOptions options;
+  options.timeout_s = spec.attack_timeout_s;
+  options.deadline = ctx.deadline;  // the job budget caps the attack budget
+  options.interrupt = ctx.cancel != nullptr ? ctx.cancel->flag() : nullptr;
+  options.memory_limit_mb = spec.memory_limit_mb;
+  StreamTraceSink trace(ctx);
+  if (spec.trace) options.trace = &trace;
+
+  const std::string name =
+      resolve_attack(spec.attack, locked.netlist.is_cyclic());
+  const attacks::AttackResult attack =
+      run_one_attack(name, locked, oracle, options);
+  if (attack.status == attacks::AttackStatus::kInterrupted) {
+    result.interrupted = true;
+    return result;
+  }
+  result.fields.field("attack", name)
+      .field("status", attacks::to_string(attack.status))
+      .field("iterations", attack.iterations)
+      .field("oracle_queries", attack.oracle_queries)
+      .field("key_bits", locked.netlist.num_keys())
+      .field("mean_clause_var_ratio", attack.mean_clause_var_ratio)
+      .field("attack_s", attack.seconds);
+  if (attack.status == attacks::AttackStatus::kSuccess) {
+    result.fields.field("key", key_string(attack.key));
+  }
+  return result;
+}
+
+JobResult run_sweep_job(const JobSpec& spec, JobContext& ctx) {
+  JobResult result;
+  const netlist::Netlist original = netlist::read_bench_file(spec.bench_path);
+
+  struct Cell {
+    int size;
+    int replica;
+    std::uint64_t seed;
+  };
+  std::vector<int> sizes = spec.sizes.empty() ? std::vector<int>{4, 8, 16}
+                                              : spec.sizes;
+  std::vector<Cell> grid;
+  for (const int size : sizes) {
+    for (int r = 0; r < spec.replicas; ++r) {
+      grid.push_back({size, r,
+                      runtime::derive_seed(
+                          spec.seed, {static_cast<std::uint64_t>(size),
+                                      static_cast<std::uint64_t>(r)})});
+    }
+  }
+
+  // Cells run serially inside the job: the daemon parallelizes across jobs,
+  // and a serial grid keeps the checkpoint byte-identical across restarts.
+  runtime::RunnerArgs run_args;
+  run_args.jobs = 1;
+  run_args.jsonl_path = spec.jsonl_path;
+  // A scheduler-level retry must continue the checkpoint the failed attempt
+  // left behind, not truncate it — cells already durable stay done.
+  run_args.resume = spec.resume || ctx.attempt > 0;
+  run_args.memory_limit_mb = spec.memory_limit_mb;
+
+  runtime::SweepSessionOptions session_options;
+  session_options.install_signal_handler = false;  // the daemon owns signals
+  session_options.cancel = ctx.cancel;
+  session_options.faults = ctx.faults;
+  runtime::SweepSession session("serve_sweep", grid.size(), spec.seed,
+                                run_args, session_options);
+
+  const auto record_base = [&](std::size_t i) {
+    JsonObject o;
+    o.field("cell", i)
+        .field("bench", "serve_sweep")
+        .field("circuit", original.name())
+        .field("plr_size", grid[i].size)
+        .field("replica", grid[i].replica)
+        .field("seed", grid[i].seed);
+    return o;
+  };
+
+  const runtime::GridReport report = runtime::run_grid(
+      grid.size(), session.grid_config(),
+      [&](const runtime::CellContext& cell_ctx) {
+        const std::size_t i = cell_ctx.index;
+        core::FullLockConfig config =
+            core::FullLockConfig::with_plrs({grid[i].size});
+        config.seed = grid[i].seed;
+        const core::LockedCircuit locked = core::full_lock(original, config);
+        const attacks::Oracle oracle(original);
+
+        attacks::AttackOptions options;
+        options.timeout_s = cell_ctx.effective_timeout(spec.attack_timeout_s);
+        options.deadline = ctx.deadline;
+        options.interrupt = cell_ctx.interrupt;
+        options.memory_limit_mb = spec.memory_limit_mb;
+        const bool cyclic = locked.netlist.is_cyclic();
+        const std::string name = resolve_attack(spec.attack, cyclic);
+        const attacks::AttackResult attack =
+            run_one_attack(name, locked, oracle, options);
+        if (attack.status == attacks::AttackStatus::kInterrupted) {
+          session.note_interrupted(i);
+          return;
+        }
+        if (session.sink() != nullptr) {
+          JsonObject o = record_base(i);
+          o.field("key_bits", locked.key_bits())
+              .field("cyclic", cyclic)
+              .field("attack", name)
+              .field("status", attacks::to_string(attack.status))
+              .field("iterations", attack.iterations)
+              .field("mean_clause_var_ratio", attack.mean_clause_var_ratio)
+              .field("oracle_queries", attack.oracle_queries)
+              .field("mean_iteration_s", attack.mean_iteration_seconds)
+              .field("wall_s", attack.seconds);
+          session.sink()->write(i, o.str());
+        }
+        // Mirror the committed cell to the streaming client.
+        JsonObject o;
+        o.field("cell", i)
+            .field("plr_size", grid[i].size)
+            .field("replica", grid[i].replica)
+            .field("status", attacks::to_string(attack.status))
+            .field("iterations", attack.iterations)
+            .field("wall_s", attack.seconds);
+        ctx.emit("cell", std::move(o));
+      });
+
+  // finish() writes failure records, drains + syncs the checkpoint, and maps
+  // the outcome to an exit code; >= 128 means the cancel token fired.
+  const int exit_code = session.finish(report, record_base);
+  if (exit_code >= 128 ||
+      (ctx.cancel != nullptr && ctx.cancel->cancelled())) {
+    result.interrupted = true;
+    return result;
+  }
+  if (exit_code != 0) {
+    throw std::runtime_error(
+        "sweep finished with " + std::to_string(report.failed) +
+        " failed cell(s) of " + std::to_string(report.cells.size()) +
+        " (checkpoint " + spec.jsonl_path + ")");
+  }
+  result.fields.field("cells", grid.size())
+      .field("cells_ok", report.ok)
+      .field("cells_resumed", session.num_resumed())
+      .field("jsonl_path", spec.jsonl_path);
+  return result;
+}
+
+}  // namespace
+
+JobRunner default_job_runner() {
+  return [](const JobSpec& spec, JobContext& ctx) -> JobResult {
+    switch (spec.kind) {
+      case JobKind::kLock: return run_lock_job(spec, ctx);
+      case JobKind::kAttack: return run_attack_job(spec, ctx);
+      case JobKind::kSweep: return run_sweep_job(spec, ctx);
+    }
+    throw std::logic_error("unreachable job kind");
+  };
+}
+
+}  // namespace fl::serve

@@ -1,0 +1,17 @@
+// The serve daemon's real job runners: lock / attack / sweep over .bench
+// files, mirroring the CLI subcommands but wired into a JobContext — the
+// job's cancel token and deadline reach the attack engine (so the watchdog
+// rarely has to escalate), trace records stream to the submitting client,
+// and sweep jobs run inside an embedded SweepSession whose durable JSONL
+// checkpoint is what makes daemon crash recovery resume instead of redo.
+#pragma once
+
+#include "serve/scheduler.h"
+
+namespace fl::serve {
+
+// The production runner handed to Scheduler. Throws propagate to the
+// scheduler's per-job fault isolation (retry/backoff, terminal "failed").
+JobRunner default_job_runner();
+
+}  // namespace fl::serve

@@ -32,7 +32,9 @@ constexpr std::uint64_t kBaseSeed = 42;
 // files from two runs compare byte-for-byte).
 int run_mini_sweep(RunnerArgs args, const FaultInjector* faults) {
   args.jobs = 1;  // serial: the byte-identical reference discipline
-  SweepSession session("mini", kCells, kBaseSeed, args);
+  SweepSessionOptions options;
+  options.faults = faults;  // reaches both the grid and the durable writer
+  SweepSession session("mini", kCells, kBaseSeed, args, options);
   const auto record_base = [&](std::size_t i) {
     JsonObject o;
     o.field("cell", i)
@@ -40,10 +42,8 @@ int run_mini_sweep(RunnerArgs args, const FaultInjector* faults) {
         .field("seed", derive_seed(kBaseSeed, {static_cast<std::uint64_t>(i)}));
     return o;
   };
-  GridConfig config = session.grid_config();
-  if (faults != nullptr) config.faults = faults;
   const GridReport report =
-      run_grid(kCells, config, [&](const CellContext& ctx) {
+      run_grid(kCells, session.grid_config(), [&](const CellContext& ctx) {
         JsonObject o = record_base(ctx.index);
         o.field("value",
                 derive_seed(7, {static_cast<std::uint64_t>(ctx.index)}));
@@ -88,7 +88,7 @@ TEST(Resume, KilledSweepResumesByteIdentical) {
   ASSERT_NE(pid, -1);
   if (pid == 0) {
     FaultInjector faults;
-    faults.add({/*cell=*/3, FaultKind::kExit, /*count=*/99});
+    faults.add(FaultSpec::at_cell(3, FaultKind::kExit, /*count=*/99));
     RunnerArgs crash_args;
     crash_args.jsonl_path = crash_path;
     run_mini_sweep(crash_args, &faults);
@@ -131,7 +131,7 @@ TEST(Resume, FailedCellsAreTerminalNotHoles) {
   // Cell 2 fails on every attempt despite one retry: the sweep finishes
   // with a structured failure record and a nonzero exit code.
   FaultInjector faults;
-  faults.add({/*cell=*/2, FaultKind::kThrow, /*count=*/99});
+  faults.add(FaultSpec::at_cell(2, FaultKind::kThrow, /*count=*/99));
   RunnerArgs args;
   args.jsonl_path = path;
   args.retries = 1;
@@ -160,6 +160,56 @@ TEST(Resume, FailedCellsAreTerminalNotHoles) {
   EXPECT_EQ(run_mini_sweep(resume_args, &faults), 0);
   EXPECT_EQ(slurp(path), before);
 
+  std::remove(path.c_str());
+}
+
+TEST(Resume, CheckpointWriteFaultForcesNonzeroExitThenResumes) {
+  const std::string full_path = ::testing::TempDir() + "/fl_ws_full.jsonl";
+  const std::string path = ::testing::TempDir() + "/fl_ws_enospc.jsonl";
+  std::remove(full_path.c_str());
+  std::remove(path.c_str());
+
+  RunnerArgs full_args;
+  full_args.jsonl_path = full_path;
+  ASSERT_EQ(run_mini_sweep(full_args, nullptr), 0);
+
+  // The disk fills right after the manifest header commits: every later
+  // sync fails with (injected) ENOSPC. No cell record becomes durable, and
+  // the sweep must not exit 0 — results that never reached disk are not
+  // results.
+  FaultInjector faults;
+  faults.add(FaultSpec::at_write(
+      static_cast<std::size_t>(JsonlWriter::sync_sequence()) + 1,
+      FaultKind::kEWrite, /*count=*/1 << 20));
+  RunnerArgs args;
+  args.jsonl_path = path;
+  ::testing::internal::CaptureStderr();
+  EXPECT_NE(run_mini_sweep(args, &faults), 0);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("fault-injected"), std::string::npos) << err;
+
+  // The file holds the fsynced header plus at most the one record that was
+  // already in the stream buffer when the disk filled (it lands at close;
+  // a complete record is resumable-from). The poisoned stream let nothing
+  // after it through — in particular none of the failure records, which
+  // would otherwise sit next to the value records they contradict.
+  const std::vector<std::string> partial = lines_of(slurp(path));
+  ASSERT_LE(partial.size(), 2u);
+  ASSERT_GE(partial.size(), 1u);
+  EXPECT_EQ(json_string_field(partial[0], "record"), "run_header");
+  for (const std::string& line : partial) {
+    EXPECT_EQ(line.find("\"status\":\"failed\""), std::string::npos) << line;
+  }
+
+  // Disk space frees up: --resume re-runs everything that never committed
+  // and converges to the exact byte stream of an undisturbed run.
+  RunnerArgs resume_args;
+  resume_args.jsonl_path = path;
+  resume_args.resume = true;
+  EXPECT_EQ(run_mini_sweep(resume_args, nullptr), 0);
+  EXPECT_EQ(slurp(path), slurp(full_path));
+
+  std::remove(full_path.c_str());
   std::remove(path.c_str());
 }
 

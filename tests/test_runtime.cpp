@@ -186,8 +186,8 @@ TEST(Runner, SuppressedParallelFailuresAreReportedToStderr) {
 
 TEST(Runner, GridConfigIsolatesAndRetriesFailingCells) {
   FaultInjector faults;
-  faults.add({/*cell=*/2, FaultKind::kThrow, /*count=*/1});  // heals itself
-  faults.add({/*cell=*/4, FaultKind::kOom, /*count=*/99});   // terminal
+  faults.add(FaultSpec::at_cell(2, FaultKind::kThrow, 1));  // heals itself
+  faults.add(FaultSpec::at_cell(4, FaultKind::kOom, 99));   // terminal
   GridConfig config;
   config.jobs = 1;
   config.retries = 1;
