@@ -1,9 +1,12 @@
 // Figure 7: average clauses-to-variables ratio of the CNF the SAT solver
-// works on during deobfuscation, per locking scheme.
+// works on during deobfuscation, per locking scheme. Every scheme is
+// resolved through the lock-scheme registry (locking/scheme.h), so new
+// registry entries join the grid by adding one SchemeSpec row.
 //
 // Expected shape: Full-Lock highest (paper: 3.77, in the hard 3..6 band of
-// Fig. 1), Cross-Lock next (cascade-free MUX trees), LUT-Lock after that,
-// and XOR/point-function schemes (RLL / SARLock / Anti-SAT) lowest.
+// Fig. 1), with InterLock (logic folded into routing blocks) close behind,
+// Cross-Lock next (cascade-free MUX trees), LUT-Lock after that, and
+// XOR/point-function schemes (RLL / SARLock / Anti-SAT / SFLL-HD) lowest.
 //
 // The grid is one cell per (scheme, circuit) pair, fanned out over the
 // shared worker pool (--jobs N / FL_JOBS); the table averages each scheme
@@ -18,12 +21,7 @@
 #include "attacks/oracle.h"
 #include "bench/bench_util.h"
 #include "cnf/miter.h"
-#include "core/full_lock.h"
-#include "locking/antisat.h"
-#include "locking/crosslock.h"
-#include "locking/lutlock.h"
-#include "locking/rll.h"
-#include "locking/sarlock.h"
+#include "locking/scheme.h"
 #include "netlist/profiles.h"
 #include "runtime/jsonl.h"
 #include "runtime/runner.h"
@@ -36,68 +34,63 @@ using fl::bench::TablePrinter;
 using fl::core::LockedCircuit;
 using fl::netlist::Netlist;
 
-// Key budget roughly equalized across schemes so the ratio comparison is
-// about CNF *structure*, not key count.
-LockedCircuit lock_scheme(const std::string& scheme, const Netlist& original,
+// One grid row per registry scheme. Key budget roughly equalized across
+// schemes so the ratio comparison is about CNF *structure*, not key count;
+// `routing_ladder` marks the wire-hungry schemes that fall back down the
+// size ladder on small hosts.
+struct SchemeSpec {
+  const char* display;  // table label
+  const char* name;     // registry name (lock::find_scheme)
+  const char* params;   // canonical "key=value" options
+  bool routing_ladder;  // retry shrinking `sizes` until the host fits
+};
+
+const std::vector<SchemeSpec>& schemes() {
+  static const std::vector<SchemeSpec> s = {
+      {"RLL", "rll", "keys=64", false},
+      {"SARLock", "sarlock", "keys=16", false},
+      {"Anti-SAT", "antisat", "inputs=16", false},
+      {"SFLL-HD", "sfll-hd", "keys=16,hd=2", false},
+      {"LUT-Lock", "lut-lock", "luts=24,prefer_small=0", false},
+      {"Cross-Lock", "cross-lock", "", false},
+      {"InterLock", "interlock", "", true},
+      {"Full-Lock", "full-lock", "", true},
+  };
+  return s;
+}
+
+LockedCircuit lock_scheme(const SchemeSpec& spec, const Netlist& original,
                           std::uint64_t seed) {
-  if (scheme == "RLL") {
-    fl::lock::RllConfig c;
-    c.num_keys = 64;
-    c.seed = seed;
-    return fl::lock::rll_lock(original, c);
-  }
-  if (scheme == "SARLock") {
-    fl::lock::SarLockConfig c;
-    c.num_keys = 16;
-    c.seed = seed;
-    return fl::lock::sarlock_lock(original, c);
-  }
-  if (scheme == "Anti-SAT") {
-    fl::lock::AntiSatConfig c;
-    c.block_inputs = 16;
-    c.seed = seed;
-    return fl::lock::antisat_lock(original, c);
-  }
-  if (scheme == "LUT-Lock") {
-    fl::lock::LutLockConfig c;
-    c.num_luts = 24;
-    c.prefer_small = false;  // paper's LUT-Lock targets multi-input gates
-    c.seed = seed;
-    return fl::lock::lutlock_lock(original, c);
-  }
-  if (scheme == "Cross-Lock") {
-    // The crossbar needs a wide-enough antichain, which depends on the
-    // random wire draw; retry a deterministic sequence of sub-seeds.
-    for (std::uint64_t attempt = 0; attempt < 16; ++attempt) {
-      fl::lock::CrossLockConfig c;  // the paper's 32x36 crossbar
-      c.seed = fl::runtime::derive_seed(seed, {attempt});
+  if (spec.routing_ladder) {
+    // Resilient-class routing configuration; smaller hosts fall back down
+    // the ladder until enough disjoint live wires exist.
+    for (const std::vector<int>& sizes :
+         {std::vector<int>{32, 16, 8}, {16, 16, 8}, {16, 8}, {8}}) {
       try {
-        return fl::lock::crosslock_lock(original, c);
+        return fl::lock::lock_with(
+            spec.name, original,
+            fl::lock::make_options(seed, sizes, spec.params));
       } catch (const std::invalid_argument&) {
         continue;
       }
     }
-    throw std::invalid_argument("crosslock: no viable wire draw in 16 tries");
+    throw std::invalid_argument(std::string(spec.name) +
+                                ": host too small for any ladder config");
   }
-  // Resilient-class Full-Lock configuration; smaller hosts fall back down
-  // the ladder until enough disjoint live wires exist.
-  for (const std::vector<int>& sizes :
-       {std::vector<int>{32, 16, 8}, {16, 16, 8}, {16, 8}, {8}}) {
-    fl::core::FullLockConfig c = fl::core::FullLockConfig::with_plrs(sizes);
-    c.seed = seed;
+  // Wire selection depends on the random draw for the crossbar schemes;
+  // retry a deterministic sequence of sub-seeds before giving up.
+  for (std::uint64_t attempt = 0; attempt < 16; ++attempt) {
     try {
-      return fl::core::full_lock(original, c);
+      return fl::lock::lock_with(
+          spec.name, original,
+          fl::lock::make_options(fl::runtime::derive_seed(seed, {attempt}),
+                                 {}, spec.params));
     } catch (const std::invalid_argument&) {
       continue;
     }
   }
-  throw std::invalid_argument("host too small for any Full-Lock config");
-}
-
-const std::vector<std::string>& schemes() {
-  static const std::vector<std::string> s = {
-      "RLL", "SARLock", "Anti-SAT", "LUT-Lock", "Cross-Lock", "Full-Lock"};
-  return s;
+  throw std::invalid_argument(std::string(spec.name) +
+                              ": no viable configuration in 16 tries");
 }
 
 std::vector<std::string> circuits() {
@@ -111,7 +104,7 @@ struct Cell {
   std::uint64_t seed;
 };
 
-double run_cell(const std::string& scheme, const std::string& circuit,
+double run_cell(const SchemeSpec& scheme, const std::string& circuit,
                 std::uint64_t seed) {
   const Netlist original = fl::netlist::make_circuit(circuit, 3);
   const LockedCircuit locked = lock_scheme(scheme, original, seed);
@@ -124,13 +117,13 @@ double run_cell(const std::string& scheme, const std::string& circuit,
   return fl::cnf::deobfuscation_cnf_ratio(locked.netlist, /*num_dips=*/64, 29);
 }
 
-void print_table(const std::vector<std::string>& names,
+void print_table(const std::vector<SchemeSpec>& specs,
                  const std::vector<double>& ratios) {
   const std::size_t per_scheme = circuits().size();
   TablePrinter table("Fig. 7 — average clauses/variables ratio during "
                      "deobfuscation");
   table.row({"scheme", "ratio"}, 14);
-  for (std::size_t s = 0; s < names.size(); ++s) {
+  for (std::size_t s = 0; s < specs.size(); ++s) {
     double sum = 0.0;
     for (std::size_t c = 0; c < per_scheme; ++c) {
       sum += ratios[s * per_scheme + c];
@@ -138,10 +131,10 @@ void print_table(const std::vector<std::string>& names,
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.2f",
                   sum / static_cast<double>(per_scheme));
-    table.row({names[s], buf}, 14);
+    table.row({specs[s].display, buf}, 14);
   }
-  std::printf("(paper shape: Full-Lock highest at ~3.8, Cross-Lock closest, "
-              "XOR/point-function schemes lowest)\n");
+  std::printf("(paper shape: Full-Lock and InterLock highest at ~3.8, "
+              "Cross-Lock closest, XOR/point-function schemes lowest)\n");
 }
 
 }  // namespace
@@ -169,7 +162,7 @@ int main(int argc, char** argv) {
       fl::runtime::JsonObject o;
       o.field("cell", i)
           .field("bench", "fig7")
-          .field("scheme", schemes()[grid[i].scheme])
+          .field("scheme", schemes()[grid[i].scheme].name)
           .field("circuit", circuit_names[grid[i].circuit])
           .field("seed", grid[i].seed);
       return o;

@@ -1,21 +1,27 @@
-// Table 5: smallest SAT-resilient locking configuration per benchmark —
-// Full-Lock PLRs vs Cross-Lock 32x36 crossbars.
+// Table 5: smallest SAT-resilient locking configuration per benchmark.
 //
-// For each circuit, both schemes escalate through a configuration ladder
-// until the attack times out at the scaled budget; the first resilient
-// rung is reported. Expected shape: Full-Lock reaches resilience with
-// fewer/smaller blocks than Cross-Lock (paper: e.g. apex4 needs
-// 2x32x32 + 1x8x8 PLRs vs 11 32x36 crossbars).
+// Every scheme is a registry entry (locking/scheme.h) with a configuration
+// ladder: for each circuit the scheme escalates rung by rung until the
+// attack times out at the scaled budget, and the first resilient rung is
+// reported. The seed grid covers Full-Lock PLRs vs Cross-Lock 32x36
+// crossbars (the paper's comparison) plus InterLock and SFLL-HD ladders.
+// Expected shape: Full-Lock/InterLock reach resilience with fewer/smaller
+// blocks than Cross-Lock (paper: e.g. apex4 needs 2x32x32 + 1x8x8 PLRs vs
+// 11 32x36 crossbars); SFLL-HD resists the plain SAT attack at small key
+// widths by construction (point function) but falls to FALL.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
 #include "bench/bench_util.h"
-#include "core/full_lock.h"
-#include "locking/crosslock.h"
+#include "locking/scheme.h"
 #include "netlist/profiles.h"
+#include "runtime/seed.h"
 
 namespace {
 
@@ -26,22 +32,20 @@ std::vector<std::string> circuits() {
   return {"c432", "c499", "c880", "apex2", "i4"};
 }
 
-// Full-Lock escalation ladder (paper configurations are sums of 8/16/32
-// CLNs; the rungs below walk upward in total key material).
-const std::vector<std::vector<int>>& fulllock_ladder() {
-  static const std::vector<std::vector<int>> ladder = {
-      {8}, {16}, {16, 8}, {16, 16}, {16, 16, 8}, {32}, {32, 16}, {32, 32}};
-  return ladder;
-}
-constexpr int kMaxCrossbars = 6;
-
-struct SchemeResult {
-  std::string config;  // first resilient rung, or "broken thru <max>"
-  bool found = false;
-  double attack_seconds_at_break = 0.0;  // time of last breakable rung
+// One escalation rung: lock `repeat` times (accumulating key bits) with the
+// given sizes/params. repeat > 1 models stacked Cross-Lock crossbars.
+struct Rung {
+  std::string label;
+  int repeat = 1;
+  std::vector<int> sizes;
+  std::string params;
 };
-std::map<std::string, SchemeResult> g_fulllock;
-std::map<std::string, SchemeResult> g_crosslock;
+
+struct SchemeLadder {
+  std::string display;  // table column
+  std::string name;     // registry scheme name
+  std::vector<Rung> rungs;
+};
 
 std::string ladder_label(const std::vector<int>& sizes) {
   std::map<int, int> counts;
@@ -55,6 +59,48 @@ std::string ladder_label(const std::vector<int>& sizes) {
   return label;
 }
 
+// Routing ladders walk upward in total key material (paper configurations
+// are sums of 8/16/32 CLNs).
+std::vector<Rung> routing_rungs() {
+  std::vector<Rung> rungs;
+  for (const std::vector<int>& sizes :
+       {std::vector<int>{8}, {16}, {16, 8}, {16, 16}, {16, 16, 8}, {32},
+        {32, 16}, {32, 32}}) {
+    rungs.push_back({ladder_label(sizes), 1, sizes, ""});
+  }
+  return rungs;
+}
+
+const std::vector<SchemeLadder>& ladders() {
+  static const std::vector<SchemeLadder> all = [] {
+    std::vector<SchemeLadder> l;
+    l.push_back({"Full-Lock", "full-lock", routing_rungs()});
+    l.push_back({"InterLock", "interlock", routing_rungs()});
+    SchemeLadder cross{"Cross-Lock", "cross-lock", {}};
+    for (int k = 1; k <= 6; ++k) {
+      // k stacked 32x36 crossbars, applied with distinct sub-seeds.
+      cross.rungs.push_back({std::to_string(k) + "x32x36", k, {}, ""});
+    }
+    l.push_back(std::move(cross));
+    SchemeLadder sfll{"SFLL-HD", "sfll-hd", {}};
+    for (const char* p : {"keys=8,hd=1", "keys=12,hd=2", "keys=16,hd=2",
+                          "keys=16,hd=4"}) {
+      sfll.rungs.push_back({p, 1, {}, p});
+    }
+    l.push_back(std::move(sfll));
+    return l;
+  }();
+  return all;
+}
+
+struct SchemeResult {
+  std::string config;  // first resilient rung, or "broken thru <max>"
+  bool found = false;
+  double attack_seconds_at_break = 0.0;  // time of last breakable rung
+};
+// results[ladder display][circuit]
+std::map<std::string, std::map<std::string, SchemeResult>> g_results;
+
 bool attack_times_out(const fl::netlist::Netlist& original,
                       const fl::core::LockedCircuit& locked, double* seconds) {
   const fl::attacks::Oracle oracle(original);
@@ -66,26 +112,46 @@ bool attack_times_out(const fl::netlist::Netlist& original,
   return result.status == fl::attacks::AttackStatus::kTimeout;
 }
 
-void run_fulllock(benchmark::State& state) {
-  const std::string circuit = circuits()[state.range(0)];
+// Applies the rung: `repeat` registry locks stacked on one another, key
+// material concatenated. Throws std::invalid_argument when the circuit
+// cannot host the configuration (too few disjoint wires).
+fl::core::LockedCircuit lock_rung(const SchemeLadder& ladder, const Rung& rung,
+                                  const fl::netlist::Netlist& original,
+                                  std::uint64_t seed) {
+  fl::core::LockedCircuit acc;
+  acc.netlist = original;
+  acc.scheme = ladder.name;
+  for (int i = 0; i < rung.repeat; ++i) {
+    const fl::core::LockedCircuit step = fl::lock::lock_with(
+        ladder.name, acc.netlist,
+        fl::lock::make_options(
+            fl::runtime::derive_seed(seed, {static_cast<std::uint64_t>(i)}),
+            rung.sizes, rung.params));
+    acc.netlist = step.netlist;
+    acc.correct_key.insert(acc.correct_key.end(), step.correct_key.begin(),
+                           step.correct_key.end());
+    acc.params = step.params;
+  }
+  return acc;
+}
+
+void run_ladder(benchmark::State& state) {
+  const SchemeLadder& ladder = ladders()[state.range(0)];
+  const std::string circuit = circuits()[state.range(1)];
   SchemeResult score;
-  score.config = "broken thru " + ladder_label(fulllock_ladder().back());
+  score.config = "broken thru " + ladder.rungs.back().label;
   for (auto _ : state) {
     const fl::netlist::Netlist original = fl::netlist::make_circuit(circuit, 1);
-    for (const std::vector<int>& sizes : fulllock_ladder()) {
-      fl::core::FullLockConfig config = fl::core::FullLockConfig::with_plrs(
-          sizes, fl::core::ClnTopology::kBanyanNonBlocking,
-          fl::core::CycleMode::kAvoid, true, 0.5);
-      config.seed = 5;
+    for (const Rung& rung : ladder.rungs) {
       fl::core::LockedCircuit locked;
       try {
-        locked = fl::core::full_lock(original, config);
+        locked = lock_rung(ladder, rung, original, 5);
       } catch (const std::invalid_argument&) {
         continue;  // circuit too small for this rung
       }
       double seconds = 0.0;
       if (attack_times_out(original, locked, &seconds)) {
-        score.config = ladder_label(sizes);
+        score.config = rung.label;
         score.found = true;
         break;
       }
@@ -93,65 +159,30 @@ void run_fulllock(benchmark::State& state) {
     }
   }
   state.counters["resilient"] = score.found ? 1 : 0;
-  g_fulllock[circuit] = score;
-}
-
-void run_crosslock(benchmark::State& state) {
-  const std::string circuit = circuits()[state.range(0)];
-  SchemeResult score;
-  score.config = "broken thru " + std::to_string(kMaxCrossbars) + "x32x36";
-  for (auto _ : state) {
-    const fl::netlist::Netlist original = fl::netlist::make_circuit(circuit, 1);
-    for (int k = 1; k <= kMaxCrossbars; ++k) {
-      fl::core::LockedCircuit locked;
-      try {
-        fl::netlist::Netlist working = original;
-        // k crossbars: apply the transform k times with distinct seeds.
-        fl::core::LockedCircuit acc;
-        acc.netlist = original;
-        acc.scheme = "cross-lock";
-        for (int i = 0; i < k; ++i) {
-          fl::lock::CrossLockConfig config;
-          config.num_sources = 32;
-          config.num_destinations = 36;
-          config.seed = 100 + i;
-          const fl::core::LockedCircuit step =
-              fl::lock::crosslock_lock(acc.netlist, config);
-          acc.netlist = step.netlist;
-          acc.correct_key.insert(acc.correct_key.end(),
-                                 step.correct_key.begin(),
-                                 step.correct_key.end());
-        }
-        locked = std::move(acc);
-      } catch (const std::invalid_argument&) {
-        continue;
-      }
-      double seconds = 0.0;
-      if (attack_times_out(original, locked, &seconds)) {
-        score.config = std::to_string(k) + "x32x36";
-        score.found = true;
-        break;
-      }
-      score.attack_seconds_at_break = seconds;
-    }
-  }
-  state.counters["resilient"] = score.found ? 1 : 0;
-  g_crosslock[circuit] = score;
+  g_results[ladder.display][circuit] = score;
 }
 
 void print_table() {
-  TablePrinter table("Table 5 — smallest SAT-resilient configuration "
-                     "(TO = " + std::to_string(fl::bench::attack_timeout_s()) +
-                     " s)");
-  table.row({"circuit", "gates", "Full-Lock", "Cross-Lock"}, 20);
+  char title[96];
+  std::snprintf(title, sizeof(title),
+                "Table 5 — smallest SAT-resilient configuration (TO = %g s)",
+                fl::bench::attack_timeout_s());
+  TablePrinter table(title);
+  std::vector<std::string> header = {"circuit", "gates"};
+  for (const SchemeLadder& ladder : ladders()) header.push_back(ladder.display);
+  table.row(header, 20);
   for (const std::string& c : circuits()) {
     const auto profile = fl::netlist::find_profile(c);
-    table.row({c, std::to_string(profile->num_gates), g_fulllock[c].config,
-               g_crosslock[c].config},
-              20);
+    std::vector<std::string> row = {c, std::to_string(profile->num_gates)};
+    for (const SchemeLadder& ladder : ladders()) {
+      row.push_back(g_results[ladder.display][c].config);
+    }
+    table.row(row, 20);
   }
   std::printf("(paper shape: Full-Lock reaches SAT resilience with smaller/"
-              "fewer blocks than Cross-Lock on every circuit)\n");
+              "fewer blocks than Cross-Lock on every circuit; SFLL-HD's "
+              "point function stalls the SAT attack at tiny key widths but "
+              "falls to the FALL attack instead)\n");
 }
 
 }  // namespace
@@ -159,17 +190,15 @@ void print_table() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   const auto names = circuits();
-  for (std::size_t ci = 0; ci < names.size(); ++ci) {
-    benchmark::RegisterBenchmark(("table5/fulllock/" + names[ci]).c_str(),
-                                 run_fulllock)
-        ->Arg(static_cast<int>(ci))
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
-    benchmark::RegisterBenchmark(("table5/crosslock/" + names[ci]).c_str(),
-                                 run_crosslock)
-        ->Arg(static_cast<int>(ci))
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
+  for (std::size_t li = 0; li < ladders().size(); ++li) {
+    for (std::size_t ci = 0; ci < names.size(); ++ci) {
+      benchmark::RegisterBenchmark(
+          ("table5/" + ladders()[li].name + "/" + names[ci]).c_str(),
+          run_ladder)
+          ->Args({static_cast<long>(li), static_cast<long>(ci)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
   }
   benchmark::RunSpecifiedBenchmarks();
   print_table();

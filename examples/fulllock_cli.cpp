@@ -1,37 +1,53 @@
 // File-based command-line front end: lock / attack / sweep / report on
 // .bench netlists, the workflow an IP owner or red-team would actually run.
 //
-//   lock:    example_fulllock_cli lock <in.bench> <out.bench> [plr sizes...]
-//            Writes the locked netlist, the key to <out.bench>.key, and a
+//   lock:    example_fulllock_cli lock <in.bench> <out.bench> [sizes...]
+//                                      [--scheme NAME] [--opt K=V,...]
+//                                      [--seed S]
+//            Locks with any registered scheme (default: full-lock; run
+//            `schemes` for the list). Writes the locked netlist with
+//            provenance header comments, the key to <out.bench>.key, and a
 //            structural Verilog view to <out.bench>.v.
+//   schemes: example_fulllock_cli schemes [--names]
+//            Lists every registered lock scheme with its parameters and
+//            capability flags; --names prints bare names (one per line) for
+//            scripting.
+//   gen:     example_fulllock_cli gen <profile> <out.bench> [--seed S]
+//            Writes a benchmark circuit (c17 or a Table 5 / scaled profile)
+//            as .bench — the oracle/input side of a lock-attack pipeline.
 //   attack:  example_fulllock_cli attack <locked.bench> <oracle.bench>
 //                                        [timeout_s] [--attack NAME]
 //                                        [--portfolio K] [--par-mode M]
 //                                        [--encode M] [--no-preprocess]
-//                                        [--trace FILE]
+//                                        [--require-key] [--trace FILE]
 //            Runs an oracle-guided attack with the oracle circuit standing
-//            in for the activated chip. --attack picks the algorithm (auto,
-//            sat, cycsat, appsat, double-dip; auto = cycsat on cyclic
-//            netlists, sat otherwise). --portfolio K uses K solver threads;
-//            --par-mode picks how they cooperate: race (independent attacks,
-//            first finisher cancels the rest), share (one attack, K
-//            clause-sharing CDCL workers), or cubes (cube-and-conquer over
-//            the swap-key variables). --encode selects the miter encoding
-//            (auto = key-cone on acyclic locks, cone, full) and
-//            --no-preprocess disables base-miter CNF preprocessing — both
-//            mostly useful for A/B measurements. --trace FILE appends one
-//            JSONL record per DIP iteration (schema in EXPERIMENTS.md).
-//   sweep:   example_fulllock_cli sweep <in.bench> [plr sizes...]
-//            Locks <in.bench> once per (PLR size, seed index) cell and
+//            in for the activated chip. The lock scheme is recovered from
+//            the .bench provenance header when present. --attack picks the
+//            algorithm (auto, sat, cycsat, appsat, double-dip, fall; auto =
+//            cycsat on cyclic netlists, sat otherwise). --portfolio K uses
+//            K solver threads; --par-mode picks how they cooperate: race
+//            (independent attacks, first finisher cancels the rest), share
+//            (one attack, K clause-sharing CDCL workers), or cubes
+//            (cube-and-conquer over the swap-key variables). --encode
+//            selects the miter encoding (auto = key-cone on acyclic locks,
+//            cone, full; cone is rejected up front for cyclic-capable
+//            schemes) and --no-preprocess disables base-miter CNF
+//            preprocessing. --require-key exits 3 unless a verified key was
+//            recovered (CI gate). --trace FILE appends one JSONL record per
+//            DIP iteration (schema in EXPERIMENTS.md).
+//   sweep:   example_fulllock_cli sweep <in.bench> [sizes...]
+//                                       [--scheme LIST] [--opt K=V,...]
+//            Locks <in.bench> once per (scheme, size, seed index) cell and
 //            attacks each instance, fanning the grid out over a worker
-//            pool. --jobs N / FL_JOBS sets the pool size (1 = serial
-//            reference loop); --jsonl PATH / FL_JSONL records one JSON
-//            object per cell (durably — flushed + fsynced as written);
-//            --resume continues an interrupted sweep, skipping cells
-//            already in the file; --retries/--cell-timeout/--mem-mb bound
-//            per-cell failures (see EXPERIMENTS.md). FULLLOCK_SEED /
-//            FULLLOCK_SWEEP_SEEDS set the base seed and per-size replica
-//            count.
+//            pool. --scheme takes a comma-separated list of registry names
+//            (default: full-lock) as an extra grid axis. --jobs N / FL_JOBS
+//            sets the pool size (1 = serial reference loop); --jsonl PATH /
+//            FL_JSONL records one JSON object per cell (durably — flushed +
+//            fsynced as written); --resume continues an interrupted sweep,
+//            skipping cells already in the file; --retries/--cell-timeout/
+//            --mem-mb bound per-cell failures (see EXPERIMENTS.md).
+//            FULLLOCK_SEED / FULLLOCK_SWEEP_SEEDS set the base seed and
+//            per-size replica count.
 //   report:  example_fulllock_cli report <netlist.bench>
 //            Prints structural statistics and the PPA estimate.
 //   serve:   example_fulllock_cli serve <socket> [--state FILE] [--workers N]
@@ -46,11 +62,12 @@
 //            128+signo.
 //   submit:  example_fulllock_cli submit <socket> lock|attack|sweep ... |
 //                                        status [ID] | cancel <ID> | shutdown
-//            Client for a running daemon. Streams the job's event records
-//            (accepted/started/trace/cell/retry/terminal) to stdout and maps
-//            the outcome to an exit code: 0 done, 1 failed, 2 usage, 3
-//            rejected (overloaded/draining), 4 cancelled/interrupted, 5
-//            connection lost.
+//            Client for a running daemon. lock/sweep take --scheme NAME and
+//            --opt K=V,...; attack takes --encode M. Streams the job's
+//            event records (accepted/started/trace/cell/retry/terminal) to
+//            stdout and maps the outcome to an exit code: 0 done, 1 failed,
+//            2 usage, 3 rejected (overloaded/draining), 4 cancelled/
+//            interrupted, 5 connection lost.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -63,11 +80,13 @@
 #include "attacks/appsat.h"
 #include "attacks/cycsat.h"
 #include "attacks/double_dip.h"
+#include "attacks/fall.h"
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
-#include "core/full_lock.h"
 #include "core/verify.h"
+#include "locking/scheme.h"
 #include "netlist/bench_io.h"
+#include "netlist/profiles.h"
 #include "netlist/verilog_io.h"
 #include "ppa/estimator.h"
 #include "runtime/jsonl.h"
@@ -82,55 +101,140 @@ using namespace fl;
 namespace {
 
 int cmd_lock(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr, "usage: lock <in.bench> <out.bench> [sizes...]\n");
+  std::vector<std::string> positional;
+  std::string scheme = "full-lock";
+  std::string opt_text;
+  std::uint64_t seed = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scheme" && i + 1 < argc) {
+      scheme = argv[++i];
+    } else if (arg.rfind("--scheme=", 0) == 0) {
+      scheme = arg.substr(9);
+    } else if (arg == "--opt" && i + 1 < argc) {
+      if (!opt_text.empty()) opt_text += ",";
+      opt_text += argv[++i];
+    } else if (arg.rfind("--opt=", 0) == 0) {
+      if (!opt_text.empty()) opt_text += ",";
+      opt_text += arg.substr(6);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: lock <in.bench> <out.bench> [sizes...]\n"
+                 "  --scheme NAME  one of: %s (default: full-lock)\n"
+                 "  --opt K=V,...  scheme parameters (run `schemes` for "
+                 "each scheme's knobs)\n"
+                 "  --seed S       lock seed (default: 1)\n",
+                 lock::scheme_names().c_str());
     return 2;
   }
-  const netlist::Netlist original = netlist::read_bench_file(argv[2]);
+  const netlist::Netlist original = netlist::read_bench_file(positional[0]);
   std::vector<int> sizes;
-  for (int i = 4; i < argc; ++i) sizes.push_back(std::atoi(argv[i]));
-  if (sizes.empty()) sizes = {16};
-  const core::LockedCircuit locked =
-      core::full_lock(original, core::FullLockConfig::with_plrs(sizes));
+  for (std::size_t i = 2; i < positional.size(); ++i) {
+    sizes.push_back(std::atoi(positional[i].c_str()));
+  }
+  const lock::LockScheme* s = lock::find_scheme(scheme);
+  if (s == nullptr) {
+    std::fprintf(stderr, "unknown lock scheme '%s'; available schemes: %s\n",
+                 scheme.c_str(), lock::scheme_names().c_str());
+    return 2;
+  }
+  lock::SchemeOptions options;
+  try {
+    options = lock::make_options(seed, sizes, opt_text);
+    s->validate(options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "lock: %s\n", e.what());
+    return 2;
+  }
+  const core::LockedCircuit locked = s->lock(original, options);
   if (!core::verify_unlocks(original, locked, 16, 1)) {
     std::fprintf(stderr, "internal error: correct key failed verification\n");
     return 1;
   }
-  const std::string out_path = argv[3];
-  netlist::write_bench_file(locked.netlist, out_path);
-  {
-    std::ofstream key_file(out_path + ".key");
-    for (std::size_t i = 0; i < locked.correct_key.size(); ++i) {
-      key_file << locked.netlist.gate(locked.netlist.keys()[i]).name << " "
-               << (locked.correct_key[i] ? 1 : 0) << "\n";
-    }
-  }
+  const std::string out_path = positional[1];
+  lock::write_locked_circuit(locked, out_path);
   {
     std::ofstream v_file(out_path + ".v");
     netlist::write_verilog(locked.netlist, v_file);
   }
-  std::printf("locked %s: %zu -> %zu gates, %zu key bits\n", argv[2],
-              original.num_logic_gates(), locked.netlist.num_logic_gates(),
-              locked.key_bits());
+  std::printf("locked %s with %s (%s): %zu -> %zu gates, %zu key bits\n",
+              positional[0].c_str(), locked.scheme.c_str(),
+              locked.params.c_str(), original.num_logic_gates(),
+              locked.netlist.num_logic_gates(), locked.key_bits());
   std::printf("wrote %s, %s.key, %s.v\n", out_path.c_str(), out_path.c_str(),
               out_path.c_str());
   return 0;
 }
 
-// Attack names cmd_attack/cmd_sweep accept for --attack.
-constexpr const char* kKnownAttacks = "auto, sat, cycsat, appsat, double-dip";
-
-bool known_attack(const std::string& name) {
-  return name == "auto" || name == "sat" || name == "cycsat" ||
-         name == "appsat" || name == "double-dip";
+int cmd_schemes(int argc, char** argv) {
+  const bool names_only = argc > 2 && std::string(argv[2]) == "--names";
+  for (const lock::LockScheme* s : lock::registry()) {
+    const std::string name(s->name());
+    if (names_only) {
+      std::printf("%s\n", name.c_str());
+      continue;
+    }
+    const lock::SchemeCaps caps = s->caps();
+    std::printf("%-11s %s\n", name.c_str(),
+                std::string(s->description()).c_str());
+    std::printf("            params: %s\n",
+                std::string(s->params_help()).c_str());
+    std::printf("            caps:%s%s%s%s\n",
+                caps.may_be_cyclic ? " may-be-cyclic" : "",
+                caps.removal_resilient ? " removal-resilient" : "",
+                caps.point_function ? " point-function" : "",
+                caps.has_routing_blocks ? " routing-blocks" : "");
+  }
+  return 0;
 }
 
-// --encode values cmd_attack/cmd_sweep accept (attacks::EncodeMode).
-std::optional<attacks::EncodeMode> parse_encode_mode(const std::string& name) {
-  if (name == "auto") return attacks::EncodeMode::kAuto;
-  if (name == "cone") return attacks::EncodeMode::kCone;
-  if (name == "full") return attacks::EncodeMode::kFull;
-  return std::nullopt;
+int cmd_gen(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::uint64_t seed = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: gen <profile> <out.bench> [--seed S]\n"
+                 "profiles: c17");
+    for (const auto& p : netlist::table5_profiles()) {
+      std::fprintf(stderr, ", %s", p.name.c_str());
+    }
+    for (const auto& p : netlist::scaled_profiles()) {
+      std::fprintf(stderr, ", %s", p.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  netlist::Netlist circuit;
+  if (positional[0] == "c17") {
+    circuit = netlist::make_c17();
+  } else {
+    const auto profile = netlist::find_profile(positional[0]);
+    if (!profile.has_value()) {
+      std::fprintf(stderr, "unknown profile '%s' (run `gen` for the list)\n",
+                   positional[0].c_str());
+      return 2;
+    }
+    circuit = netlist::make_circuit(*profile, seed);
+  }
+  netlist::write_bench_file(circuit, positional[1]);
+  std::printf("wrote %s: %zu inputs, %zu outputs, %zu gates\n",
+              positional[1].c_str(), circuit.num_inputs(),
+              circuit.num_outputs(), circuit.num_logic_gates());
+  return 0;
 }
 
 // One --trace sink shared by every attack a command runs (thread-safe, so
@@ -155,6 +259,7 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   std::string par_mode = "race";
   std::string encode = "auto";
   bool preprocess = true;
+  bool require_key = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--portfolio" && i + 1 < argc) {
@@ -175,6 +280,8 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
       encode = arg.substr(9);
     } else if (arg == "--no-preprocess") {
       preprocess = false;
+    } else if (arg == "--require-key") {
+      require_key = true;
     } else {
       positional.push_back(arg);
     }
@@ -187,16 +294,16 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
                  par_mode.c_str());
     return 2;
   }
-  if (!known_attack(attack)) {
+  if (!lock::known_attack(attack)) {
     std::fprintf(stderr,
                  "unknown attack '%s'; available attacks: %s\n"
                  "(add --trace FILE to record one JSONL line per DIP "
                  "iteration)\n",
-                 attack.c_str(), kKnownAttacks);
+                 attack.c_str(), lock::kKnownAttacks);
     return 2;
   }
   const std::optional<attacks::EncodeMode> encode_mode =
-      parse_encode_mode(encode);
+      attacks::parse_encode_mode(encode);
   if (!encode_mode.has_value()) {
     std::fprintf(stderr,
                  "unknown --encode '%s'; available modes: auto, cone, full\n",
@@ -214,15 +321,35 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
                  "cone, or full\n"
                  "  --no-preprocess disable CNF preprocessing of the base "
                  "miter\n"
+                 "  --require-key   exit 3 unless a verified key was "
+                 "recovered\n"
                  "  --trace FILE    per-DIP-iteration JSONL trace\n",
-                 kKnownAttacks);
+                 lock::kKnownAttacks);
     return 2;
   }
-  core::LockedCircuit locked;
-  locked.netlist = netlist::read_bench_file(positional[0]);
-  locked.scheme = "file";
-  const netlist::Netlist oracle_netlist = netlist::read_bench_file(positional[1]);
+  // Scheme and parameters come back from the .bench provenance header when
+  // the lock was made by this tool; foreign files fall back to "file".
+  core::LockedCircuit locked = lock::read_locked_circuit(positional[0]);
+  const netlist::Netlist oracle_netlist =
+      netlist::read_bench_file(positional[1]);
   const attacks::Oracle oracle(oracle_netlist);
+  const bool cyclic = locked.netlist.is_cyclic();
+  // Reject --encode cone before any solver work: first against the scheme's
+  // declared capabilities, then against the loaded netlist itself.
+  try {
+    lock::validate_encode_option(
+        encode, locked.scheme, lock::make_options(1, {}, locked.params));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "attack: %s\n", e.what());
+    return 2;
+  }
+  if (*encode_mode == attacks::EncodeMode::kCone && cyclic) {
+    std::fprintf(stderr,
+                 "attack: --encode cone requires an acyclic netlist, but %s "
+                 "is cyclic; use --encode auto or --encode full\n",
+                 positional[0].c_str());
+    return 2;
+  }
   attacks::AttackOptions options;
   options.timeout_s =
       positional.size() > 2 ? std::atof(positional[2].c_str()) : 60.0;
@@ -233,14 +360,30 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   options.memory_limit_mb = run_args.memory_limit_mb;
   TraceFile trace(run_args);
   if (trace.sink.has_value()) options.trace = &*trace.sink;
-  const bool cyclic = locked.netlist.is_cyclic();
-  if (attack == "auto") attack = cyclic ? "cycsat" : "sat";
-  if (attack == "double-dip" && cyclic) {
-    std::fprintf(stderr,
-                 "double-dip requires an acyclic netlist; use cycsat or "
-                 "appsat for cyclic locks\n");
-    return 2;
+  attack = lock::resolve_attack(attack, cyclic);
+
+  if (attack == "fall") {
+    attacks::FallOptions fall_options;
+    const attacks::FallResult fall =
+        attacks::fall_attack(locked, oracle, fall_options);
+    std::printf("fall attack on %s [scheme %s] (%zu key bits): %s\n",
+                positional[0].c_str(), locked.scheme.c_str(),
+                locked.netlist.num_keys(),
+                fall.key_recovered ? "success" : "failed");
+    std::printf("restore unit %s, %d protected bits, %d error patterns, "
+                "%d candidates tested, stripped error rate %.4f\n",
+                fall.restore_identified ? "identified" : "not found",
+                fall.protected_bits, fall.error_patterns,
+                fall.candidates_tested, fall.stripped_error_rate);
+    if (fall.key_recovered) {
+      std::printf("inferred hamming distance h = %d\n", fall.hd);
+      std::printf("recovered key (verified):");
+      for (const bool b : fall.key) std::printf("%d", b ? 1 : 0);
+      std::printf("\n");
+    }
+    return require_key && !fall.key_recovered ? 3 : 0;
   }
+
   attacks::AttackResult result;
   std::string extra;
   if (attack == "sat") {
@@ -271,9 +414,9 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
                   static_cast<unsigned long long>(dd.fallback_iterations));
     extra = buf;
   }
-  std::printf("%s attack on %s (%zu key bits): %s\n", attack.c_str(),
-              positional[0].c_str(), locked.netlist.num_keys(),
-              to_string(result.status));
+  std::printf("%s attack on %s [scheme %s] (%zu key bits): %s\n",
+              attack.c_str(), positional[0].c_str(), locked.scheme.c_str(),
+              locked.netlist.num_keys(), to_string(result.status));
   std::printf("iterations %llu, %.2f s, %llu oracle queries, mean iteration "
               "%.4f s, mean clause/var ratio %.2f\n",
               static_cast<unsigned long long>(result.iterations),
@@ -298,28 +441,31 @@ int cmd_attack(int argc, char** argv, const runtime::RunnerArgs& run_args) {
                 static_cast<unsigned long long>(
                     result.solver_stats.imported_clauses));
   }
+  bool verified = false;
   if (result.status == attacks::AttackStatus::kSuccess) {
-    const bool good = core::verify_unlocks(oracle_netlist, locked.netlist,
-                                           result.key, 16, 1);
-    std::printf("recovered key (%s):", good ? "verified" : "UNVERIFIED");
+    verified = core::verify_unlocks(oracle_netlist, locked.netlist,
+                                    result.key, 16, 1);
+    std::printf("recovered key (%s):", verified ? "verified" : "UNVERIFIED");
     for (const bool b : result.key) std::printf("%d", b ? 1 : 0);
     std::printf("\n");
   }
-  return 0;
+  return require_key && !verified ? 3 : 0;
 }
 
 int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: sweep <in.bench> [sizes...] (--attack NAME, "
-                 "--portfolio K, --par-mode race|share|cubes, "
-                 "--encode auto|cone|full, --no-preprocess, "
-                 "--jobs N, --jsonl PATH, --resume, --retries N, "
-                 "--cell-timeout S, --mem-mb M, --trace PATH)\n");
+                 "usage: sweep <in.bench> [sizes...] (--scheme LIST, "
+                 "--opt K=V, --attack NAME, --portfolio K, "
+                 "--par-mode race|share|cubes, --encode auto|cone|full, "
+                 "--no-preprocess, --jobs N, --jsonl PATH, --resume, "
+                 "--retries N, --cell-timeout S, --mem-mb M, --trace PATH)\n");
     return 2;
   }
   const netlist::Netlist original = netlist::read_bench_file(argv[2]);
   std::vector<int> sizes;
+  std::vector<std::string> schemes;
+  std::string opt_text;
   std::string attack = "auto";
   int portfolio = 0;
   std::string par_mode = "race";
@@ -327,10 +473,21 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   bool preprocess = true;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string scheme_list;
     if (arg == "--attack" && i + 1 < argc) {
       attack = argv[++i];
     } else if (arg.rfind("--attack=", 0) == 0) {
       attack = arg.substr(9);
+    } else if (arg == "--scheme" && i + 1 < argc) {
+      scheme_list = argv[++i];
+    } else if (arg.rfind("--scheme=", 0) == 0) {
+      scheme_list = arg.substr(9);
+    } else if (arg == "--opt" && i + 1 < argc) {
+      if (!opt_text.empty()) opt_text += ",";
+      opt_text += argv[++i];
+    } else if (arg.rfind("--opt=", 0) == 0) {
+      if (!opt_text.empty()) opt_text += ",";
+      opt_text += arg.substr(6);
     } else if (arg == "--portfolio" && i + 1 < argc) {
       portfolio = std::atoi(argv[++i]);
     } else if (arg.rfind("--portfolio=", 0) == 0) {
@@ -348,14 +505,24 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
     } else {
       sizes.push_back(std::atoi(arg.c_str()));
     }
+    // Split "a,b,c" scheme lists into grid values.
+    for (std::size_t from = 0; from < scheme_list.size();) {
+      std::size_t comma = scheme_list.find(',', from);
+      if (comma == std::string::npos) comma = scheme_list.size();
+      if (comma > from) {
+        schemes.push_back(scheme_list.substr(from, comma - from));
+      }
+      from = comma + 1;
+    }
   }
-  if (!known_attack(attack)) {
+  if (schemes.empty()) schemes = {"full-lock"};
+  if (!lock::known_attack(attack)) {
     std::fprintf(stderr, "unknown attack '%s'; available attacks: %s\n",
-                 attack.c_str(), kKnownAttacks);
+                 attack.c_str(), lock::kKnownAttacks);
     return 2;
   }
   const std::optional<attacks::EncodeMode> encode_mode =
-      parse_encode_mode(encode);
+      attacks::parse_encode_mode(encode);
   if (!encode_mode.has_value()) {
     std::fprintf(stderr,
                  "unknown --encode '%s'; available modes: auto, cone, full\n",
@@ -380,7 +547,30 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
   const std::uint64_t base =
       base_env ? static_cast<std::uint64_t>(std::atoll(base_env)) : 17;
 
+  // Every (scheme, size) combination is validated before the grid runs, so
+  // a bad parameter fails the whole sweep at parse time, not cell 37.
+  for (const std::string& scheme : schemes) {
+    const lock::LockScheme* s = lock::find_scheme(scheme);
+    if (s == nullptr) {
+      std::fprintf(stderr,
+                   "unknown lock scheme '%s'; available schemes: %s\n",
+                   scheme.c_str(), lock::scheme_names().c_str());
+      return 2;
+    }
+    try {
+      for (const int size : sizes) {
+        s->validate(lock::make_options(base, {size}, opt_text));
+      }
+      lock::validate_encode_option(encode, scheme,
+                                   lock::make_options(base, sizes, opt_text));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "sweep: %s\n", e.what());
+      return 2;
+    }
+  }
+
   struct Cell {
+    int scheme;  // index into `schemes`
     int size;
     int replica;
     std::uint64_t seed;
@@ -392,12 +582,15 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
     attacks::AttackResult attack;
   };
   std::vector<Cell> grid;
-  for (const int size : sizes) {
-    for (int r = 0; r < replicas; ++r) {
-      grid.push_back({size, r,
-                      runtime::derive_seed(
-                          base, {static_cast<std::uint64_t>(size),
-                                 static_cast<std::uint64_t>(r)})});
+  for (int s = 0; s < static_cast<int>(schemes.size()); ++s) {
+    for (const int size : sizes) {
+      for (int r = 0; r < replicas; ++r) {
+        grid.push_back({s, size, r,
+                        runtime::derive_seed(
+                            base, {static_cast<std::uint64_t>(s),
+                                   static_cast<std::uint64_t>(size),
+                                   static_cast<std::uint64_t>(r)})});
+      }
     }
   }
   std::vector<CellResult> results(grid.size());
@@ -409,6 +602,7 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
     o.field("cell", i)
         .field("bench", "cli_sweep")
         .field("circuit", original.name())
+        .field("scheme", schemes[grid[i].scheme])
         .field("plr_size", grid[i].size)
         .field("replica", grid[i].replica)
         .field("seed", grid[i].seed);
@@ -422,10 +616,9 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
       [&](const runtime::CellContext& ctx) {
         const std::size_t i = ctx.index;
         const Cell& cell = grid[i];
-        core::FullLockConfig config =
-            core::FullLockConfig::with_plrs({cell.size});
-        config.seed = cell.seed;
-        const core::LockedCircuit locked = core::full_lock(original, config);
+        const core::LockedCircuit locked = lock::lock_with(
+            schemes[cell.scheme], original,
+            lock::make_options(cell.seed, {cell.size}, opt_text));
         const attacks::Oracle oracle(original);
         attacks::AttackOptions options;
         options.timeout_s = ctx.effective_timeout(
@@ -447,9 +640,7 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
         results[i].cyclic = cyclic;
         // Resolve the attack per cell: "auto" follows cyclicity, and
         // double-dip (acyclic-only) degrades to cycsat on cyclic cells.
-        std::string cell_attack =
-            attack == "auto" ? (cyclic ? "cycsat" : "sat") : attack;
-        if (cell_attack == "double-dip" && cyclic) cell_attack = "cycsat";
+        const std::string cell_attack = lock::resolve_attack(attack, cyclic);
         results[i].attack_name = cell_attack;
         if (cell_attack == "sat") {
           results[i].attack = attacks::SatAttack(options).run(locked, oracle);
@@ -459,6 +650,19 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
           attacks::AppSatOptions app_options;
           app_options.base = options;
           results[i].attack = attacks::AppSat(app_options).run(locked, oracle);
+        } else if (cell_attack == "fall") {
+          // FALL has its own result shape; map the essentials onto the
+          // generic record (success iff a verified key came back).
+          const attacks::FallResult fall =
+              attacks::fall_attack(locked, oracle);
+          results[i].attack.status =
+              fall.key_recovered ? attacks::AttackStatus::kSuccess
+                                 : attacks::AttackStatus::kIterationLimit;
+          results[i].attack.key = fall.key;
+          results[i].attack.iterations =
+              static_cast<std::uint64_t>(fall.candidates_tested);
+          results[i].attack.oracle_queries =
+              static_cast<std::uint64_t>(fall.error_patterns);
         } else {
           results[i].attack = attacks::DoubleDip(options).run(locked, oracle);
         }
@@ -509,16 +713,18 @@ int cmd_sweep(int argc, char** argv, const runtime::RunnerArgs& run_args) {
         }
       });
 
-  std::printf("%-6s %-8s %-10s %-12s %-10s %s\n", "size", "replica",
-              "key_bits", "status", "iters", "time_s");
+  std::printf("%-11s %-6s %-8s %-10s %-12s %-10s %s\n", "scheme", "size",
+              "replica", "key_bits", "status", "iters", "time_s");
   for (std::size_t i = 0; i < grid.size(); ++i) {
+    const char* scheme_name = schemes[grid[i].scheme].c_str();
     if (report.cells[i].status != runtime::CellOutcome::Status::kOk) {
-      std::printf("%-6d %-8d %-10s %-12s\n", grid[i].size, grid[i].replica,
-                  "-", runtime::to_string(report.cells[i].status));
+      std::printf("%-11s %-6d %-8d %-10s %-12s\n", scheme_name,
+                  grid[i].size, grid[i].replica, "-",
+                  runtime::to_string(report.cells[i].status));
       continue;
     }
-    std::printf("%-6d %-8d %-10zu %-12s %-10llu %.2f\n", grid[i].size,
-                grid[i].replica, results[i].key_bits,
+    std::printf("%-11s %-6d %-8d %-10zu %-12s %-10llu %.2f\n", scheme_name,
+                grid[i].size, grid[i].replica, results[i].key_bits,
                 attacks::to_string(results[i].attack.status),
                 static_cast<unsigned long long>(results[i].attack.iterations),
                 results[i].attack.seconds);
@@ -572,11 +778,13 @@ int cmd_submit(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: submit <socket> <op> ...\n"
-        "  lock <in.bench> <out.bench> [sizes...] [--seed S]\n"
+        "  lock <in.bench> <out.bench> [sizes...] [--scheme NAME]\n"
+        "       [--opt K=V,...] [--seed S]\n"
         "  attack <locked.bench> <oracle.bench> [--attack NAME]\n"
-        "         [--attack-timeout S] [--trace]\n"
-        "  sweep <in.bench> --jsonl PATH [sizes...] [--replicas N]\n"
-        "        [--seed S] [--resume] [--attack NAME] [--attack-timeout S]\n"
+        "         [--encode auto|cone|full] [--attack-timeout S] [--trace]\n"
+        "  sweep <in.bench> --jsonl PATH [sizes...] [--scheme NAME]\n"
+        "        [--opt K=V,...] [--replicas N] [--seed S] [--resume]\n"
+        "        [--attack NAME] [--attack-timeout S]\n"
         "  status [ID] | cancel <ID> | shutdown\n"
         "job flags (lock/attack/sweep): --priority P, --job-timeout S,\n"
         "  --retries N, --mem-mb M, --detach\n"
@@ -637,6 +845,13 @@ int cmd_submit(int argc, char** argv) {
             runtime::parse_int_flag("--mem-mb", value(), 0, 1LL << 40));
       } else if (arg == "--attack") {
         spec.attack = value();
+      } else if (arg == "--scheme") {
+        spec.scheme = value();
+      } else if (arg == "--opt") {
+        if (!spec.scheme_params.empty()) spec.scheme_params += ",";
+        spec.scheme_params += value();
+      } else if (arg == "--encode") {
+        spec.encode = value();
       } else if (arg == "--attack-timeout") {
         spec.attack_timeout_s =
             runtime::parse_seconds_flag("--attack-timeout", value());
@@ -661,11 +876,6 @@ int cmd_submit(int argc, char** argv) {
         return usage();
       }
     }
-    if (!known_attack(spec.attack)) {
-      std::fprintf(stderr, "unknown attack '%s'; available attacks: %s\n",
-                   spec.attack.c_str(), kKnownAttacks);
-      return 2;
-    }
     std::size_t sizes_from = 0;
     if (spec.kind == serve::JobKind::kLock) {
       if (positional.size() < 2) return usage();
@@ -686,6 +896,8 @@ int cmd_submit(int argc, char** argv) {
       spec.sizes.push_back(static_cast<int>(
           runtime::parse_int_flag("size", positional[i], 2, 4096)));
     }
+    // Full admission-time validation (attack/scheme/encode names, scheme
+    // parameters) lives in validate_spec, shared with the daemon.
     serve::validate_spec(spec);
     return client.submit_and_stream(spec, std::cout);
   } catch (const serve::ProtocolError& e) {
@@ -715,10 +927,14 @@ int main(int argc, char** argv) {
     // sweep consume them, the single-shot subcommands ignore them.
     const runtime::RunnerArgs run_args = runtime::parse_runner_args(argc, argv);
     if (cmd == "lock") return cmd_lock(argc, argv);
+    if (cmd == "schemes") return cmd_schemes(argc, argv);
+    if (cmd == "gen") return cmd_gen(argc, argv);
     if (cmd == "attack") return cmd_attack(argc, argv, run_args);
     if (cmd == "sweep") return cmd_sweep(argc, argv, run_args);
     if (cmd == "report") return cmd_report(argc, argv);
-    std::fprintf(stderr, "usage: %s lock|attack|sweep|report|serve|submit ...\n",
+    std::fprintf(stderr,
+                 "usage: %s lock|schemes|gen|attack|sweep|report|serve|submit "
+                 "...\n",
                  argc > 0 ? argv[0] : "fulllock_cli");
     return 2;
   } catch (const std::exception& e) {

@@ -13,13 +13,8 @@
 #include "attacks/oracle.h"
 #include "attacks/removal.h"
 #include "attacks/sat_attack.h"
-#include "core/full_lock.h"
 #include "core/verify.h"
-#include "locking/antisat.h"
-#include "locking/crosslock.h"
-#include "locking/lutlock.h"
-#include "locking/rll.h"
-#include "locking/sarlock.h"
+#include "locking/scheme.h"
 #include "netlist/profiles.h"
 #include "ppa/estimator.h"
 
@@ -34,40 +29,28 @@ int main(int argc, char** argv) {
               original.num_logic_gates(), base_ppa.area_um2);
   std::printf("attack timeout: %.1f s\n\n", timeout);
 
+  // Every scheme comes from the registry; the params strings pick key
+  // budgets comparable enough for a side-by-side table.
   struct Entry {
     std::string name;
     core::LockedCircuit locked;
   };
+  const std::vector<std::pair<std::string, std::string>> configs = {
+      {"rll", "keys=32"},
+      {"sarlock", "keys=12"},
+      {"antisat", "inputs=12"},
+      {"sfll-hd", "keys=12,hd=2"},
+      {"lut-lock", "luts=16"},
+      {"cross-lock", "sources=16,dests=20"},
+      {"interlock", "sizes=8"},
+      {"full-lock", "sizes=16"},
+  };
   std::vector<Entry> entries;
-  {
-    lock::RllConfig c;
-    c.num_keys = 32;
-    entries.push_back({"rll", lock::rll_lock(original, c)});
+  for (const auto& [name, params] : configs) {
+    entries.push_back(
+        {name, lock::lock_with(name, original,
+                               lock::make_options(1, {}, params))});
   }
-  {
-    lock::SarLockConfig c;
-    c.num_keys = 12;
-    entries.push_back({"sarlock", lock::sarlock_lock(original, c)});
-  }
-  {
-    lock::AntiSatConfig c;
-    c.block_inputs = 12;
-    entries.push_back({"antisat", lock::antisat_lock(original, c)});
-  }
-  {
-    lock::LutLockConfig c;
-    c.num_luts = 16;
-    entries.push_back({"lut-lock", lock::lutlock_lock(original, c)});
-  }
-  {
-    lock::CrossLockConfig c;
-    c.num_sources = 16;
-    c.num_destinations = 20;
-    entries.push_back({"cross-lock", lock::crosslock_lock(original, c)});
-  }
-  entries.push_back(
-      {"full-lock",
-       core::full_lock(original, core::FullLockConfig::with_plrs({16}))});
 
   std::printf("%-12s%-7s%-9s%-10s%-14s%-12s%-14s\n", "scheme", "keys",
               "area+%", "corrupt%", "sat-attack", "removal", "appsat");

@@ -31,6 +31,13 @@ const char* to_string(EncodeMode mode) {
   return "?";
 }
 
+std::optional<EncodeMode> parse_encode_mode(std::string_view name) {
+  if (name == "auto") return EncodeMode::kAuto;
+  if (name == "cone") return EncodeMode::kCone;
+  if (name == "full") return EncodeMode::kFull;
+  return std::nullopt;
+}
+
 void JsonlTraceSink::record(const IterationTrace& trace) {
   runtime::JsonObject o;
   o.field("attack", trace.attack);

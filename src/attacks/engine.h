@@ -43,6 +43,7 @@
 #include <ostream>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "attacks/oracle.h"
@@ -86,6 +87,9 @@ const char* to_string(AttackStatus status);
 enum class EncodeMode : std::uint8_t { kAuto, kCone, kFull };
 
 const char* to_string(EncodeMode mode);
+// "auto" | "cone" | "full" -> mode; std::nullopt for anything else. Shared
+// by the CLI's --encode flag and the serve JobSpec's encode field.
+std::optional<EncodeMode> parse_encode_mode(std::string_view name);
 
 // One completed DIP iteration, as handed to an IterationTraceSink. The
 // solver counters are deltas over the DIP-miter solve alone (policy work —

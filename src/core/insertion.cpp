@@ -13,9 +13,7 @@ using netlist::GateId;
 using netlist::GateType;
 using netlist::Netlist;
 
-namespace {
-
-bool negatable(GateType type) {
+bool negatable_gate(GateType type) {
   switch (type) {
     case GateType::kAnd:
     case GateType::kNand:
@@ -31,7 +29,7 @@ bool negatable(GateType type) {
   }
 }
 
-GateType negate_type(GateType type) {
+GateType negated_gate_type(GateType type) {
   switch (type) {
     case GateType::kAnd: return GateType::kNand;
     case GateType::kNand: return GateType::kAnd;
@@ -44,6 +42,8 @@ GateType negate_type(GateType type) {
     default: throw std::logic_error("gate type is not negatable");
   }
 }
+
+namespace {
 
 // Wires eligible to feed a CLN: logic gates or primary inputs with at least
 // one *live* reader (a reader feeding some primary output — otherwise the
@@ -91,8 +91,11 @@ std::vector<GateId> candidate_wires(const Netlist& netlist) {
   return candidates;
 }
 
-std::vector<GateId> select_wires(const Netlist& netlist, int n,
-                                 CycleMode mode, std::mt19937_64& rng) {
+}  // namespace
+
+std::vector<GateId> select_routing_wires(const Netlist& netlist, int n,
+                                         CycleMode mode,
+                                         std::mt19937_64& rng) {
   std::vector<GateId> candidates = candidate_wires(netlist);
   if (static_cast<int>(candidates.size()) < n) {
     throw std::invalid_argument("not enough candidate wires for PLR");
@@ -153,6 +156,8 @@ std::vector<GateId> select_wires(const Netlist& netlist, int n,
   return chosen;
 }
 
+namespace {
+
 struct Reader {
   GateId gate;       // kNullGate for output ports
   std::size_t slot;  // fanin pin, or output-port index
@@ -168,7 +173,7 @@ PlrInsertion insert_plr(Netlist& netlist, const PlrConfig& config,
   }
   const int n = config.cln.n;
   const std::vector<GateId> wires =
-      select_wires(netlist, n, config.cycle_mode, rng);
+      select_routing_wires(netlist, n, config.cycle_mode, rng);
 
   // Record every reader of each selected wire before any edit.
   std::vector<std::vector<Reader>> readers(n);
@@ -197,9 +202,9 @@ PlrInsertion insert_plr(Netlist& netlist, const PlrConfig& config,
   std::vector<bool> negated(n, false);
   std::uniform_real_distribution<double> coin(0.0, 1.0);
   for (int i = 0; i < n; ++i) {
-    if (negatable(netlist.gate(wires[i]).type) &&
+    if (negatable_gate(netlist.gate(wires[i]).type) &&
         coin(rng) < config.negate_probability) {
-      netlist.retype(wires[i], negate_type(netlist.gate(wires[i]).type));
+      netlist.retype(wires[i], negated_gate_type(netlist.gate(wires[i]).type));
       negated[i] = true;
       ++result.num_negated_drivers;
     }

@@ -41,4 +41,21 @@ struct PlrInsertion {
 PlrInsertion insert_plr(netlist::Netlist& netlist, const PlrConfig& config,
                         std::mt19937_64& rng, const std::string& name_prefix);
 
+// Building blocks shared with other routing-based schemes (InterLock).
+
+// True for the gate types whose polarity can be flipped by a retype
+// (AND<->NAND, OR<->NOR, XOR<->XNOR, BUF<->NOT).
+bool negatable_gate(netlist::GateType type);
+// The negated counterpart; throws std::logic_error if !negatable_gate.
+netlist::GateType negated_gate_type(netlist::GateType type);
+
+// Selects `n` distinct routing-eligible wires (live logic gates or primary
+// inputs, outside any key cone) under the cycle-mode constraint: kAvoid
+// picks an antichain, kForce a comparable pair plus fill, kAllow anything.
+// Throws std::invalid_argument when the netlist cannot supply them.
+std::vector<netlist::GateId> select_routing_wires(const netlist::Netlist&
+                                                      netlist,
+                                                  int n, CycleMode mode,
+                                                  std::mt19937_64& rng);
+
 }  // namespace fl::core

@@ -28,6 +28,10 @@ struct LockedCircuit {
   netlist::Netlist netlist;        // carries the key inputs
   std::vector<bool> correct_key;   // aligned with netlist.keys()
   std::string scheme;              // e.g. "full-lock", "rll", "sarlock"
+  // Canonical "key=value,key=value" parameter list when the lock was made
+  // through the scheme registry (lock::lock_with). Stamped into the .bench
+  // header / .key file so the attack side recovers full provenance.
+  std::string params;
   std::vector<RoutingBlockHint> routing_blocks;  // empty for logic-only locks
 
   std::size_t key_bits() const { return correct_key.size(); }

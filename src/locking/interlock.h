@@ -1,0 +1,56 @@
+// InterLock (Kamali et al., ICCAD'20): the Full-Lock authors' follow-on.
+//
+// Like a PLR, a group of wires is routed through a key-configured CLN — but
+// a fraction of the downstream logic is *folded into* the routing block:
+// selected consumer gates become key-programmable LUTs whose truth tables
+// are part of the block's configuration. A removal adversary who rips out
+// the block (even knowing the full routing) also rips out real logic, so
+// removal fails functionally rather than structurally — the property the
+// original Full-Lock only approximates through driver negation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/insertion.h"
+#include "core/locked_circuit.h"
+
+namespace fl::lock {
+
+struct InterLockBlockConfig {
+  core::ClnConfig cln;
+  // Fraction of CLN outputs whose consuming gate is folded into the block
+  // as a key-programmable LUT (the "twisted logic" of the paper).
+  double fold_fraction = 1.0;
+  // Leading-gate negation rate, absorbed by the CLN inverter layer.
+  double negate_probability = 0.5;
+};
+
+struct InterLockConfig {
+  std::vector<InterLockBlockConfig> blocks;  // one entry per routing block
+  std::uint64_t seed = 1;
+
+  // k blocks with n-input CLNs sharing common settings.
+  static InterLockConfig with_blocks(std::vector<int> cln_sizes,
+                                     double fold_fraction = 1.0,
+                                     double negate_probability = 0.5,
+                                     std::uint64_t seed = 1);
+};
+
+struct InterLockReport {
+  int num_blocks = 0;
+  int num_folded_gates = 0;    // consumers absorbed as in-block LUTs
+  int num_negated_drivers = 0;
+  std::size_t key_bits = 0;
+};
+
+// Locks a copy of `original` (always acyclic: wires are chosen as an
+// antichain). The routing-block hints list the folded LUT roots as block
+// outputs, so the removal attack models an adversary who removes the whole
+// reconfigurable block — embedded logic included. Throws
+// std::invalid_argument if the circuit is too small for a requested CLN.
+core::LockedCircuit interlock_lock(const netlist::Netlist& original,
+                                   const InterLockConfig& config,
+                                   InterLockReport* report = nullptr);
+
+}  // namespace fl::lock

@@ -20,9 +20,12 @@ core::LockedCircuit lutlock_lock(const netlist::Netlist& original,
   locked.netlist.set_name(original.name() + "_lutlock");
   netlist::Netlist& net = locked.netlist;
 
+  // Only live gates: a LUT on logic outside every output cone carries key
+  // bits that provably never affect the function.
+  const std::vector<bool> live = netlist::live_gates(net);
   std::vector<GateId> candidates;
   for (GateId g = 0; g < net.num_gates(); ++g) {
-    if (core::lut_replaceable(net, g)) candidates.push_back(g);
+    if (live[g] && core::lut_replaceable(net, g)) candidates.push_back(g);
   }
   if (static_cast<int>(candidates.size()) < config.num_luts) {
     throw std::invalid_argument("lutlock: not enough replaceable gates");

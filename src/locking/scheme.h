@@ -1,0 +1,135 @@
+// Pluggable lock-scheme registry: every locking transform in this library
+// (Full-Lock and the comparison schemes of §4) behind one interface, keyed
+// by name. The CLI (`lock --scheme NAME`), the serve daemon's JobSpec, the
+// sweep drivers, and the bench grids all resolve schemes here instead of
+// hardcoding core::full_lock.
+//
+// A scheme is configured by a SchemeOptions: a seed, a generic integer
+// `sizes` axis (the per-scheme "main knob" — PLR/CLN widths for the routing
+// schemes, key/LUT counts for the logic schemes), and free-form key=value
+// parameters. Each scheme parses and range-checks its own parameters,
+// canonicalizes them back into LockedCircuit.params, and reports capability
+// flags (cyclic, removal-resilient, point-function) that drive attack
+// auto-selection and --encode validation before any attack runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/locked_circuit.h"
+
+namespace fl::lock {
+
+// Capability flags for one (scheme, options) combination.
+struct SchemeCaps {
+  // lock() may return a cyclic netlist (e.g. full-lock with cycle=force).
+  // Gates --encode cone at option-parse/admission time.
+  bool may_be_cyclic = false;
+  // The removal attack's block bypass is expected to fail *functionally*
+  // (driver negation, folded logic, or a stripped function), not just
+  // structurally.
+  bool removal_resilient = false;
+  // Point-function corruption: wrong keys err on a vanishing fraction of
+  // inputs (SAT-iteration bomb; AppSAT's target). The property suite checks
+  // low corruption for these and high corruption for the rest.
+  bool point_function = false;
+  // lock() emits RoutingBlockHints, so the removal attack applies.
+  bool has_routing_blocks = false;
+};
+
+struct SchemeOptions {
+  std::uint64_t seed = 1;
+  // Generic size axis (sweep grids): scheme-specific meaning, documented in
+  // params_help(). Explicit key=value parameters win over sizes.
+  std::vector<int> sizes;
+  std::map<std::string, std::string> params;
+};
+
+// Merges "key=value[,key=value...]" into options.params (later wins).
+// Throws std::invalid_argument on entries without '='.
+void parse_params_into(SchemeOptions& options, std::string_view text);
+
+inline SchemeOptions make_options(std::uint64_t seed,
+                                  std::vector<int> sizes = {},
+                                  std::string_view params_text = {}) {
+  SchemeOptions options;
+  options.seed = seed;
+  options.sizes = std::move(sizes);
+  parse_params_into(options, params_text);
+  return options;
+}
+
+class LockScheme {
+ public:
+  virtual ~LockScheme() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  // One-line "key=value" summary of the accepted parameters and defaults.
+  virtual std::string_view params_help() const = 0;
+
+  // Capability flags under `options` (parameters are read leniently here —
+  // call validate() for strict checking).
+  virtual SchemeCaps caps(const SchemeOptions& options) const = 0;
+  SchemeCaps caps() const { return caps(SchemeOptions{}); }
+
+  // Strict parameter parsing without locking anything: throws
+  // std::invalid_argument naming the offending parameter. Used by the CLI
+  // at flag-parse time and by the serve daemon at admission.
+  virtual void validate(const SchemeOptions& options) const = 0;
+
+  // Locks a copy of `original`. The result carries this scheme's canonical
+  // name and parameter string (LockedCircuit.scheme / .params). Throws
+  // std::invalid_argument on bad parameters or an unsuitable circuit.
+  virtual core::LockedCircuit lock(const netlist::Netlist& original,
+                                   const SchemeOptions& options) const = 0;
+};
+
+// All registered schemes, sorted by name. Never empty; pointers live for
+// the program's lifetime.
+const std::vector<const LockScheme*>& registry();
+// nullptr when unknown.
+const LockScheme* find_scheme(std::string_view name);
+// "antisat, cross-lock, ..." — for error messages and usage text.
+std::string scheme_names();
+
+// Convenience: find + lock. Throws std::invalid_argument on unknown names.
+core::LockedCircuit lock_with(std::string_view scheme,
+                              const netlist::Netlist& original,
+                              const SchemeOptions& options);
+
+// ---- Attack-side helpers driven by the registry ----------------------
+
+// Attack names the CLI / serve accept for --attack.
+extern const char* const kKnownAttacks;
+bool known_attack(std::string_view name);
+
+// Shared "auto" resolution: cycsat on cyclic locks, sat otherwise;
+// double-dip (acyclic-only) degrades to cycsat on cyclic netlists.
+std::string resolve_attack(std::string_view requested, bool cyclic);
+
+// Rejects --encode cone when the named scheme's capabilities say the lock
+// may be cyclic (cone encoding requires an acyclic netlist). Unknown scheme
+// names pass — cyclicity is then checked against the loaded netlist.
+// Throws std::invalid_argument with an actionable message.
+void validate_encode_option(std::string_view encode, std::string_view scheme,
+                            const SchemeOptions& options);
+
+// ---- Locked-circuit provenance I/O -----------------------------------
+
+// Writes `path` (.bench with "# lock-scheme:"/"# lock-params:" header
+// comments) and `path`.key (same header + one "name bit" line per key).
+// Throws std::runtime_error when a write fails.
+void write_locked_circuit(const core::LockedCircuit& locked,
+                          const std::string& path);
+
+// Reads a locked .bench, recovering scheme/params from the header comments
+// written by write_locked_circuit. Files from other tools load fine and
+// fall back to scheme "file". correct_key stays empty (the attacker's
+// view); read the .key file separately if the key is needed.
+core::LockedCircuit read_locked_circuit(const std::string& path);
+
+}  // namespace fl::lock

@@ -1,0 +1,38 @@
+// SFLL-HD (Yasin et al., CCS'17): stripped-functionality logic locking.
+//
+// The vendor ships a *functionally stripped* circuit (FSC): a perturb unit
+// flips one output on every input whose first k bits lie at Hamming
+// distance exactly h from a hard-coded secret K*. A restore unit with k key
+// inputs flips the same output whenever HD(X, K) == h; under K == K* the
+// two flips cancel on every input and the original function returns. A
+// wrong key corrupts only the thin Hamming shells of K and K* —
+// C(k, h)/2^k of the input space each — so the SAT attack needs ~2^k/C(k,h)
+// DIPs, while a removal adversary who strips the restore unit is left with
+// the FSC, which is *not* the original circuit (unlike SARLock). The
+// structural seam between the key-free perturb cone and the key-bearing
+// restore cone is what the FALL-style attack (attacks/fall.h) exploits.
+#pragma once
+
+#include <cstdint>
+
+#include "core/locked_circuit.h"
+
+namespace fl::lock {
+
+struct SfllHdConfig {
+  int num_keys = 16;  // k, clamped to the circuit's input count
+  int hd = 2;         // h, the protected Hamming distance (0 <= h <= k)
+  std::uint64_t seed = 1;
+};
+
+core::LockedCircuit sfll_hd_lock(const netlist::Netlist& original,
+                                 const SfllHdConfig& config);
+
+// Building block shared with the FALL-style attack: appends a popcount
+// network + comparator computing [popcount(bits) == h] and returns its
+// output gate. `bits` must be non-empty; 0 <= h.
+netlist::GateId build_hd_equals(netlist::Netlist& netlist,
+                                const std::vector<netlist::GateId>& bits,
+                                int h);
+
+}  // namespace fl::lock

@@ -7,10 +7,11 @@
 #include "attacks/appsat.h"
 #include "attacks/cycsat.h"
 #include "attacks/double_dip.h"
+#include "attacks/fall.h"
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
-#include "core/full_lock.h"
 #include "core/verify.h"
+#include "locking/scheme.h"
 #include "netlist/bench_io.h"
 #include "runtime/seed.h"
 #include "runtime/sweep.h"
@@ -67,16 +68,27 @@ attacks::AttackResult run_one_attack(const std::string& name,
     app_options.base = options;
     return attacks::AppSat(app_options).run(locked, oracle);
   }
+  if (name == "fall") {
+    // FALL has its own result shape; map the essentials onto the generic
+    // record (success iff a fully verified key came back).
+    const attacks::FallResult fall = attacks::fall_attack(locked, oracle);
+    attacks::AttackResult result;
+    result.status = fall.key_recovered
+                        ? attacks::AttackStatus::kSuccess
+                        : attacks::AttackStatus::kIterationLimit;
+    result.key = fall.key;
+    result.iterations = static_cast<std::uint64_t>(fall.candidates_tested);
+    result.oracle_queries = static_cast<std::uint64_t>(fall.error_patterns);
+    return result;
+  }
   return attacks::DoubleDip(options).run(locked, oracle);
 }
 
-// Per-cell resolution shared with the CLI: "auto" follows cyclicity, and
-// double-dip (acyclic-only) degrades to cycsat on cyclic netlists.
-std::string resolve_attack(const std::string& requested, bool cyclic) {
-  std::string name = requested == "auto" ? (cyclic ? "cycsat" : "sat")
-                                         : requested;
-  if (name == "double-dip" && cyclic) name = "cycsat";
-  return name;
+// Translates the spec's encode string (validated at admission; journals from
+// older daemons may omit it) into the attack engine's mode.
+attacks::EncodeMode encode_mode_of(const JobSpec& spec) {
+  return attacks::parse_encode_mode(spec.encode)
+      .value_or(attacks::EncodeMode::kAuto);
 }
 
 JobResult run_lock_job(const JobSpec& spec, JobContext& ctx) {
@@ -86,28 +98,26 @@ JobResult run_lock_job(const JobSpec& spec, JobContext& ctx) {
     result.interrupted = true;
     return result;
   }
-  std::vector<int> sizes = spec.sizes.empty() ? std::vector<int>{16}
-                                              : spec.sizes;
-  core::FullLockConfig config = core::FullLockConfig::with_plrs(sizes);
-  config.seed = spec.seed;
-  const core::LockedCircuit locked = core::full_lock(original, config);
+  const std::vector<int> sizes = spec.sizes.empty() ? std::vector<int>{16}
+                                                    : spec.sizes;
+  const core::LockedCircuit locked = lock::lock_with(
+      spec.scheme, original,
+      lock::make_options(spec.seed, sizes, spec.scheme_params));
   if (!core::verify_unlocks(original, locked, 16, 1)) {
     throw std::runtime_error("lock verification failed: correct key does not "
                              "unlock the circuit");
   }
-  netlist::write_bench_file(locked.netlist, spec.out_path);
-  {
-    std::ofstream key_file(spec.out_path + ".key");
-    for (std::size_t i = 0; i < locked.correct_key.size(); ++i) {
-      key_file << locked.netlist.gate(locked.netlist.keys()[i]).name << " "
-               << (locked.correct_key[i] ? 1 : 0) << "\n";
-    }
-    if (!key_file) {
-      throw runtime::WriteFault("writing " + spec.out_path +
-                                ".key failed (disk full?)");
-    }
+  try {
+    // Writes the .bench (with scheme/params provenance headers) + .key pair.
+    lock::write_locked_circuit(locked, spec.out_path);
+  } catch (const runtime::WriteFault&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    throw runtime::WriteFault(e.what());
   }
-  result.fields.field("gates_before", original.num_logic_gates())
+  result.fields.field("scheme", locked.scheme)
+      .field("params", locked.params)
+      .field("gates_before", original.num_logic_gates())
       .field("gates_after", locked.netlist.num_logic_gates())
       .field("key_bits", locked.key_bits())
       .field("out_path", spec.out_path);
@@ -116,23 +126,46 @@ JobResult run_lock_job(const JobSpec& spec, JobContext& ctx) {
 
 JobResult run_attack_job(const JobSpec& spec, JobContext& ctx) {
   JobResult result;
-  core::LockedCircuit locked;
-  locked.netlist = netlist::read_bench_file(spec.locked_path);
-  locked.scheme = "file";
+  // Scheme + params come back from the provenance header when the lock was
+  // made by this tool (CLI lock / lock job); foreign files read as "file".
+  const core::LockedCircuit locked =
+      lock::read_locked_circuit(spec.locked_path);
   const netlist::Netlist oracle_netlist =
       netlist::read_bench_file(spec.oracle_path);
   const attacks::Oracle oracle(oracle_netlist);
+  const bool cyclic = locked.netlist.is_cyclic();
+  if (spec.encode == "cone" && cyclic) {
+    throw std::invalid_argument(
+        "encode mode 'cone' requires an acyclic netlist, but " +
+        spec.locked_path + " is cyclic; use encode auto or full");
+  }
 
   attacks::AttackOptions options;
   options.timeout_s = spec.attack_timeout_s;
   options.deadline = ctx.deadline;  // the job budget caps the attack budget
   options.interrupt = ctx.cancel != nullptr ? ctx.cancel->flag() : nullptr;
   options.memory_limit_mb = spec.memory_limit_mb;
+  options.encode_mode = encode_mode_of(spec);
   StreamTraceSink trace(ctx);
   if (spec.trace) options.trace = &trace;
 
-  const std::string name =
-      resolve_attack(spec.attack, locked.netlist.is_cyclic());
+  const std::string name = lock::resolve_attack(spec.attack, cyclic);
+  if (name == "fall") {
+    const attacks::FallResult fall = attacks::fall_attack(locked, oracle);
+    result.fields.field("attack", name)
+        .field("scheme", locked.scheme)
+        .field("status", fall.key_recovered ? "success" : "iteration-limit")
+        .field("restore_identified", fall.restore_identified)
+        .field("protected_bits", fall.protected_bits)
+        .field("error_patterns", fall.error_patterns)
+        .field("candidates_tested", fall.candidates_tested)
+        .field("stripped_error_rate", fall.stripped_error_rate)
+        .field("key_bits", locked.netlist.num_keys());
+    if (fall.key_recovered) {
+      result.fields.field("hd", fall.hd).field("key", key_string(fall.key));
+    }
+    return result;
+  }
   const attacks::AttackResult attack =
       run_one_attack(name, locked, oracle, options);
   if (attack.status == attacks::AttackStatus::kInterrupted) {
@@ -140,6 +173,7 @@ JobResult run_attack_job(const JobSpec& spec, JobContext& ctx) {
     return result;
   }
   result.fields.field("attack", name)
+      .field("scheme", locked.scheme)
       .field("status", attacks::to_string(attack.status))
       .field("iterations", attack.iterations)
       .field("oracle_queries", attack.oracle_queries)
@@ -195,6 +229,7 @@ JobResult run_sweep_job(const JobSpec& spec, JobContext& ctx) {
     o.field("cell", i)
         .field("bench", "serve_sweep")
         .field("circuit", original.name())
+        .field("scheme", spec.scheme)
         .field("plr_size", grid[i].size)
         .field("replica", grid[i].replica)
         .field("seed", grid[i].seed);
@@ -205,10 +240,10 @@ JobResult run_sweep_job(const JobSpec& spec, JobContext& ctx) {
       grid.size(), session.grid_config(),
       [&](const runtime::CellContext& cell_ctx) {
         const std::size_t i = cell_ctx.index;
-        core::FullLockConfig config =
-            core::FullLockConfig::with_plrs({grid[i].size});
-        config.seed = grid[i].seed;
-        const core::LockedCircuit locked = core::full_lock(original, config);
+        const core::LockedCircuit locked = lock::lock_with(
+            spec.scheme, original,
+            lock::make_options(grid[i].seed, {grid[i].size},
+                               spec.scheme_params));
         const attacks::Oracle oracle(original);
 
         attacks::AttackOptions options;
@@ -216,8 +251,9 @@ JobResult run_sweep_job(const JobSpec& spec, JobContext& ctx) {
         options.deadline = ctx.deadline;
         options.interrupt = cell_ctx.interrupt;
         options.memory_limit_mb = spec.memory_limit_mb;
+        options.encode_mode = encode_mode_of(spec);
         const bool cyclic = locked.netlist.is_cyclic();
-        const std::string name = resolve_attack(spec.attack, cyclic);
+        const std::string name = lock::resolve_attack(spec.attack, cyclic);
         const attacks::AttackResult attack =
             run_one_attack(name, locked, oracle, options);
         if (attack.status == attacks::AttackStatus::kInterrupted) {
@@ -240,6 +276,7 @@ JobResult run_sweep_job(const JobSpec& spec, JobContext& ctx) {
         // Mirror the committed cell to the streaming client.
         JsonObject o;
         o.field("cell", i)
+            .field("scheme", spec.scheme)
             .field("plr_size", grid[i].size)
             .field("replica", grid[i].replica)
             .field("status", attacks::to_string(attack.status))

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+
+#include "locking/scheme.h"
 
 namespace fl::serve {
 
@@ -89,7 +92,12 @@ void append_spec_fields(JsonObject& o, const JobSpec& spec) {
   if (!spec.locked_path.empty()) o.field("locked_path", spec.locked_path);
   if (!spec.oracle_path.empty()) o.field("oracle_path", spec.oracle_path);
   o.field("attack", spec.attack)
-      .field("attack_timeout_s", spec.attack_timeout_s);
+      .field("attack_timeout_s", spec.attack_timeout_s)
+      .field("encode", spec.encode)
+      .field("scheme", spec.scheme);
+  if (!spec.scheme_params.empty()) {
+    o.field("scheme_params", spec.scheme_params);
+  }
   if (!spec.bench_path.empty()) o.field("bench_path", spec.bench_path);
   if (!spec.out_path.empty()) o.field("out_path", spec.out_path);
   if (!spec.jsonl_path.empty()) o.field("jsonl_path", spec.jsonl_path);
@@ -121,6 +129,11 @@ JobSpec parse_spec_fields(const std::string& line) {
   }
   if (auto v = runtime::json_string_field(line, "attack")) spec.attack = *v;
   spec.attack_timeout_s = seconds_in(line, "attack_timeout_s", 60.0);
+  if (auto v = runtime::json_string_field(line, "encode")) spec.encode = *v;
+  if (auto v = runtime::json_string_field(line, "scheme")) spec.scheme = *v;
+  if (auto v = runtime::json_string_field(line, "scheme_params")) {
+    spec.scheme_params = *v;
+  }
 
   if (auto v = runtime::json_string_field(line, "bench_path")) {
     spec.bench_path = *v;
@@ -137,12 +150,56 @@ JobSpec parse_spec_fields(const std::string& line) {
   return spec;
 }
 
+namespace {
+
+// Admission-time scheme validation for lock/sweep jobs: the scheme must be
+// registered, its parameters must parse under every requested size, and
+// "--encode cone" is rejected up front for cyclic-capable configurations.
+// ProtocolError carries the scheme's own message, so the client sees the
+// same diagnostics the CLI would print.
+void validate_scheme_fields(const JobSpec& spec) {
+  const lock::LockScheme* scheme = lock::find_scheme(spec.scheme);
+  if (scheme == nullptr) {
+    bad("unknown lock scheme '" + spec.scheme + "' (known: " +
+        lock::scheme_names() + ")");
+  }
+  try {
+    std::vector<int> sizes = spec.sizes;
+    if (sizes.empty()) {
+      sizes = spec.kind == JobKind::kSweep ? std::vector<int>{4, 8, 16}
+                                           : std::vector<int>{16};
+    }
+    for (const int size : sizes) {
+      scheme->validate(
+          lock::make_options(spec.seed, {size}, spec.scheme_params));
+    }
+    if (spec.kind == JobKind::kSweep) {
+      lock::validate_encode_option(
+          spec.encode, spec.scheme,
+          lock::make_options(spec.seed, sizes, spec.scheme_params));
+    }
+  } catch (const std::invalid_argument& e) {
+    bad(e.what());
+  }
+}
+
+}  // namespace
+
 void validate_spec(const JobSpec& spec) {
   for (const int n : spec.sizes) {
     if (n < 2 || n > 4096) {
-      bad("sizes entries must be PLR widths in [2, 4096], got " +
+      bad("sizes entries must be scheme sizes in [2, 4096], got " +
           std::to_string(n));
     }
+  }
+  if (!lock::known_attack(spec.attack)) {
+    bad("unknown attack '" + spec.attack + "' (known: " +
+        std::string(lock::kKnownAttacks) + ")");
+  }
+  if (spec.encode != "auto" && spec.encode != "cone" &&
+      spec.encode != "full") {
+    bad("unknown encode mode '" + spec.encode +
+        "' (expected auto|cone|full)");
   }
   switch (spec.kind) {
     case JobKind::kAttack:
@@ -155,10 +212,12 @@ void validate_spec(const JobSpec& spec) {
         bad("sweep job requires jsonl_path (the durable checkpoint file "
             "that makes the job resumable)");
       }
+      validate_scheme_fields(spec);
       break;
     case JobKind::kLock:
       if (spec.bench_path.empty()) bad("lock job requires bench_path");
       if (spec.out_path.empty()) bad("lock job requires out_path");
+      validate_scheme_fields(spec);
       break;
   }
 }

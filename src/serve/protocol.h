@@ -10,7 +10,8 @@
 //   {"op":"submit","kind":"sweep","bench_path":"c.bench","sizes":[4,8],
 //    "replicas":2,"seed":17,"jsonl_path":"out.jsonl","resume":true}
 //   {"op":"submit","kind":"lock","bench_path":"c.bench",
-//    "out_path":"locked.bench","sizes":[16],"seed":7}
+//    "out_path":"locked.bench","scheme":"sfll-hd",
+//    "scheme_params":"keys=8,hd=1","sizes":[16],"seed":7}
 //   {"op":"status"}            every job, plus a summary line
 //   {"op":"status","id":3}     one job
 //   {"op":"cancel","id":3}
@@ -90,11 +91,20 @@ struct JobSpec {
   std::string oracle_path;
   std::string attack = "auto";
   double attack_timeout_s = 60.0;
+  // attack: miter encoding "auto" | "cone" | "full". "cone" is rejected at
+  // admission for cyclic-capable schemes and at run time for cyclic files.
+  std::string encode = "auto";
   // sweep / lock
   std::string bench_path;
   std::string out_path;    // lock
   std::string jsonl_path;  // sweep: durable checkpoint file (required)
-  std::vector<int> sizes;  // PLR sizes (sweep/lock); default {4,8,16}/{16}
+  // lock/sweep: registry scheme name (lock::scheme_names()) plus its
+  // "key=value,..." parameters — validated at admission via the scheme's
+  // own validate(), so a bad submit is rejected before it queues.
+  std::string scheme = "full-lock";
+  std::string scheme_params;
+  std::vector<int> sizes;  // scheme size axis (sweep/lock); default
+                           // {4,8,16}/{16}
   int replicas = 1;        // sweep: seeds per size
   std::uint64_t seed = 17;
   bool resume = false;     // sweep: continue jsonl_path if it exists

@@ -1,17 +1,17 @@
-// Cross-scheme property sweeps: every locking transform must (1) preserve
-// the interface, (2) unlock under its correct key, (3) be deterministic in
-// its seed, (4) produce keys following the keyinput naming convention, and
-// (5) never leave the correct key as the all-zeros vector by construction
-// accident more often than chance would allow.
+// Cross-scheme property sweeps over the lock-scheme registry: every
+// registered transform must (1) preserve the interface and account for its
+// key width, (2) unlock under its correct key, (3) be deterministic in its
+// seed, (4) produce keys following the keyinput naming convention,
+// (5) stamp its canonical scheme/params provenance, and (6) corrupt wrong
+// keys in the shape its capability flags promise (point functions err on
+// almost nothing; the rest corrupt measurably).
 #include <gtest/gtest.h>
 
-#include "core/full_lock.h"
+#include <map>
+#include <string>
+
 #include "core/verify.h"
-#include "locking/antisat.h"
-#include "locking/crosslock.h"
-#include "locking/lutlock.h"
-#include "locking/rll.h"
-#include "locking/sarlock.h"
+#include "locking/scheme.h"
 #include "netlist/profiles.h"
 
 namespace fl {
@@ -20,58 +20,48 @@ namespace {
 using core::LockedCircuit;
 using netlist::Netlist;
 
-LockedCircuit lock_with(const std::string& scheme, const Netlist& original,
-                        std::uint64_t seed) {
-  if (scheme == "rll") {
-    lock::RllConfig c;
-    c.num_keys = 12;
-    c.seed = seed;
-    return lock::rll_lock(original, c);
-  }
-  if (scheme == "sarlock") {
-    lock::SarLockConfig c;
-    c.num_keys = 8;
-    c.seed = seed;
-    return lock::sarlock_lock(original, c);
-  }
-  if (scheme == "antisat") {
-    lock::AntiSatConfig c;
-    c.block_inputs = 6;
-    c.seed = seed;
-    return lock::antisat_lock(original, c);
-  }
-  if (scheme == "lut-lock") {
-    lock::LutLockConfig c;
-    c.num_luts = 6;
-    c.seed = seed;
-    return lock::lutlock_lock(original, c);
-  }
-  if (scheme == "cross-lock") {
-    lock::CrossLockConfig c;
-    c.num_sources = 8;
-    c.num_destinations = 10;
-    c.seed = seed;
-    return lock::crosslock_lock(original, c);
-  }
-  core::FullLockConfig c = core::FullLockConfig::with_plrs({8});
-  c.seed = seed;
-  return core::full_lock(original, c);
+// Small-but-representative parameters per scheme, keeping the whole grid
+// fast. A scheme added to the registry without a row here fails loudly.
+const std::map<std::string, std::string>& test_params() {
+  static const std::map<std::string, std::string> params = {
+      {"antisat", "inputs=6"},
+      {"cross-lock", "sources=8,dests=10"},
+      {"full-lock", "sizes=8"},
+      {"interlock", "sizes=8"},
+      {"lut-lock", "luts=6"},
+      {"rll", "keys=12"},
+      {"sarlock", "keys=8"},
+      {"sfll-hd", "keys=8,hd=1"},
+  };
+  return params;
 }
 
 struct PropertyCase {
-  const char* scheme;
+  std::string scheme;
   const char* profile;
   std::uint64_t seed;
 };
+
+LockedCircuit lock_case(const PropertyCase& p, const Netlist& original) {
+  const auto it = test_params().find(p.scheme);
+  if (it == test_params().end()) {
+    ADD_FAILURE() << "scheme '" << p.scheme
+                  << "' has no test parameters; add a test_params() row";
+  }
+  const std::string params =
+      it == test_params().end() ? std::string() : it->second;
+  return lock::lock_with(p.scheme, original,
+                         lock::make_options(p.seed, {}, params));
+}
 
 class LockProperty : public ::testing::TestWithParam<PropertyCase> {};
 
 TEST_P(LockProperty, InterfaceAndUnlockInvariants) {
   const PropertyCase p = GetParam();
   const Netlist original = netlist::make_circuit(p.profile, p.seed);
-  const LockedCircuit locked = lock_with(p.scheme, original, p.seed);
+  const LockedCircuit locked = lock_case(p, original);
 
-  // (1) Interface preserved.
+  // (1) Interface preserved, key width accounted for.
   ASSERT_EQ(locked.netlist.num_inputs(), original.num_inputs());
   ASSERT_EQ(locked.netlist.num_outputs(), original.num_outputs());
   ASSERT_EQ(locked.netlist.num_keys(), locked.correct_key.size());
@@ -83,7 +73,7 @@ TEST_P(LockProperty, InterfaceAndUnlockInvariants) {
                                    !locked.netlist.is_cyclic()));
 
   // (3) Deterministic in the seed.
-  const LockedCircuit again = lock_with(p.scheme, original, p.seed);
+  const LockedCircuit again = lock_case(p, original);
   EXPECT_EQ(again.correct_key, locked.correct_key);
   EXPECT_EQ(again.netlist.num_gates(), locked.netlist.num_gates());
 
@@ -92,15 +82,43 @@ TEST_P(LockProperty, InterfaceAndUnlockInvariants) {
     EXPECT_TRUE(locked.netlist.gate(k).name.starts_with("keyinput"))
         << locked.netlist.gate(k).name;
   }
+
+  // (5) Canonical provenance stamped by the registry.
+  EXPECT_EQ(locked.scheme, p.scheme);
+  EXPECT_FALSE(locked.params.empty());
+
+  // (6) Wrong-key corruption matches the declared capability class.
+  const lock::LockScheme* scheme = lock::find_scheme(p.scheme);
+  ASSERT_NE(scheme, nullptr);
+  const lock::SchemeCaps caps = scheme->caps(
+      lock::make_options(p.seed, {}, test_params().at(p.scheme)));
+  if (caps.point_function) {
+    // Each wrong key errs on a vanishing fraction of the input space.
+    const core::CorruptionStats corruption =
+        core::output_corruption(original, locked, 8, 4, p.seed);
+    EXPECT_LT(corruption.mean_error_rate, 0.05)
+        << "point-function scheme corrupts too much";
+  } else {
+    // The maximally-wrong key (all bits flipped: every truth table
+    // complemented, every XOR inverted, every route permuted) is provably a
+    // different function. Random sampling can miss the corrupted minterms
+    // for schemes with few small key cones (e.g. lut-lock's 6 LUTs deep in
+    // i4's wide AND cones), so where the netlist is acyclic we settle it
+    // with the SAT miter instead of pattern counting.
+    std::vector<bool> flipped = locked.correct_key;
+    flipped.flip();
+    EXPECT_FALSE(core::verify_unlocks(original, locked.netlist, flipped, 16,
+                                      p.seed, !locked.netlist.is_cyclic()))
+        << "non-point-function scheme is equivalent under the flipped key";
+  }
 }
 
 std::vector<PropertyCase> grid() {
   std::vector<PropertyCase> cases;
-  for (const char* scheme : {"full-lock", "rll", "sarlock", "antisat",
-                             "lut-lock", "cross-lock"}) {
+  for (const lock::LockScheme* scheme : lock::registry()) {
     for (const char* profile : {"c499", "i4"}) {
       for (const std::uint64_t seed : {3ull, 17ull}) {
-        cases.push_back({scheme, profile, seed});
+        cases.push_back({std::string(scheme->name()), profile, seed});
       }
     }
   }

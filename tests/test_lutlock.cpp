@@ -1,4 +1,6 @@
-// LUT-Lock baseline.
+// LUT-Lock-specific claims: site selection and corruption magnitude.
+// Generic lock invariants run for every registry scheme in
+// test_lock_properties.cpp.
 #include <gtest/gtest.h>
 
 #include "core/verify.h"
@@ -9,27 +11,6 @@ namespace fl::lock {
 namespace {
 
 using netlist::Netlist;
-
-TEST(LutLock, CorrectKeyUnlocks) {
-  const Netlist original = netlist::make_circuit("c432", 71);
-  LutLockConfig config;
-  config.num_luts = 12;
-  const core::LockedCircuit locked = lutlock_lock(original, config);
-  EXPECT_EQ(locked.scheme, "lut-lock");
-  EXPECT_GE(locked.key_bits(), 2u * 12);  // smallest LUT has 2 rows
-  EXPECT_TRUE(core::verify_unlocks(original, locked, 16, 1, /*sat=*/true));
-}
-
-TEST(LutLock, InvertedTablesCorrupt) {
-  const Netlist original = netlist::make_circuit("c499", 72);
-  LutLockConfig config;
-  config.num_luts = 8;
-  const core::LockedCircuit locked = lutlock_lock(original, config);
-  std::vector<bool> wrong = locked.correct_key;
-  wrong.flip();
-  EXPECT_FALSE(core::verify_unlocks(original, locked.netlist, wrong, 16, 2,
-                                    /*sat=*/true));
-}
 
 TEST(LutLock, PreferSmallPicksCheapGates) {
   const Netlist original = netlist::make_circuit("c880", 73);
@@ -42,6 +23,24 @@ TEST(LutLock, PreferSmallPicksCheapGates) {
   const auto k_small = lutlock_lock(original, small).key_bits();
   const auto k_any = lutlock_lock(original, any).key_bits();
   EXPECT_LE(k_small, k_any);
+}
+
+TEST(LutLock, OnlyLiveGatesAreKeyed) {
+  // One live gate, one dead gate. The single LUT must land on the live one:
+  // a key on dead logic provably never affects the function.
+  Netlist original;
+  const auto a = original.add_input("a");
+  const auto b = original.add_input("b");
+  original.mark_output(
+      original.add_gate(netlist::GateType::kAnd, {a, b}), "y");
+  original.add_gate(netlist::GateType::kOr, {a, b});  // dead
+  LutLockConfig config;
+  config.num_luts = 1;
+  const core::LockedCircuit locked = lutlock_lock(original, config);
+  std::vector<bool> wrong = locked.correct_key;
+  wrong.flip();
+  EXPECT_FALSE(core::verify_unlocks(original, locked.netlist, wrong, 8, 1,
+                                    /*sat=*/true));
 }
 
 TEST(LutLock, TooManyLutsThrows) {

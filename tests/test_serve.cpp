@@ -47,6 +47,9 @@ JobSpec sweep_spec() {
   spec.replicas = 3;
   spec.seed = 99;
   spec.resume = true;
+  spec.scheme = "interlock";
+  spec.scheme_params = "fold=1,negate=0.5";
+  spec.encode = "full";
   return spec;
 }
 
@@ -68,6 +71,9 @@ TEST(ServeProtocol, SubmitRoundTripsEveryField) {
   EXPECT_EQ(got.replicas, 3);
   EXPECT_EQ(got.seed, 99u);
   EXPECT_TRUE(got.resume);
+  EXPECT_EQ(got.scheme, "interlock");
+  EXPECT_EQ(got.scheme_params, "fold=1,negate=0.5");
+  EXPECT_EQ(got.encode, "full");
 }
 
 TEST(ServeProtocol, ControlOpsRoundTrip) {
@@ -129,6 +135,57 @@ TEST(ServeProtocol, ValidateSpecRequiresPathsPerKind) {
   EXPECT_THROW(validate_spec(lock), ProtocolError);  // no out_path
   lock.out_path = "locked.bench";
   EXPECT_NO_THROW(validate_spec(lock));
+}
+
+TEST(ServeProtocol, SchemeFieldsValidatedAtAdmission) {
+  JobSpec lock;
+  lock.kind = JobKind::kLock;
+  lock.bench_path = "c.bench";
+  lock.out_path = "locked.bench";
+  // Any registry scheme with well-formed params is admitted...
+  lock.scheme = "sfll-hd";
+  lock.scheme_params = "keys=8,hd=1";
+  EXPECT_NO_THROW(validate_spec(lock));
+  // ...but a bad submit is rejected before it ever queues.
+  lock.scheme = "nonesuch";
+  EXPECT_THROW(validate_spec(lock), ProtocolError);
+  lock.scheme = "sfll-hd";
+  lock.scheme_params = "keys=4,hd=9";  // hd > keys
+  EXPECT_THROW(validate_spec(lock), ProtocolError);
+  lock.scheme_params = "kyes=8";  // unknown parameter
+  EXPECT_THROW(validate_spec(lock), ProtocolError);
+
+  JobSpec sweep;
+  sweep.kind = JobKind::kSweep;
+  sweep.bench_path = "c.bench";
+  sweep.jsonl_path = "out.jsonl";
+  sweep.scheme = "interlock";
+  EXPECT_NO_THROW(validate_spec(sweep));
+  sweep.attack = "nonesuch";
+  EXPECT_THROW(validate_spec(sweep), ProtocolError);
+  sweep.attack = "auto";
+  sweep.encode = "sideways";
+  EXPECT_THROW(validate_spec(sweep), ProtocolError);
+  // cone + a scheme configured to force cycles: rejected at admission.
+  sweep.encode = "cone";
+  sweep.scheme = "full-lock";
+  sweep.scheme_params = "cycle=force";
+  EXPECT_THROW(validate_spec(sweep), ProtocolError);
+  sweep.scheme_params = "";
+  EXPECT_NO_THROW(validate_spec(sweep));
+
+  // Attack jobs don't resolve scheme fields at admission (the scheme comes
+  // from the locked file's provenance), but encode is still checked.
+  JobSpec attack;
+  attack.kind = JobKind::kAttack;
+  attack.locked_path = "l.bench";
+  attack.oracle_path = "o.bench";
+  attack.scheme = "nonesuch";  // ignored for attacks
+  EXPECT_NO_THROW(validate_spec(attack));
+  attack.attack = "fall";
+  EXPECT_NO_THROW(validate_spec(attack));
+  attack.encode = "sideways";
+  EXPECT_THROW(validate_spec(attack), ProtocolError);
 }
 
 // ---------------------------------------------------------------------------

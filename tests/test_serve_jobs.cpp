@@ -1,0 +1,131 @@
+// End-to-end through the serve daemon's production job runners (below the
+// socket/scheduler): a lock job writes scheme provenance the attack job
+// recovers, the FALL runner defeats SFLL-HD from files alone, and sweep
+// records carry the scheme axis.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/verify.h"
+#include "locking/scheme.h"
+#include "netlist/bench_io.h"
+#include "netlist/profiles.h"
+#include "runtime/jsonl.h"
+#include "serve/jobs.h"
+#include "serve/protocol.h"
+
+namespace fl::serve {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// Runs a spec through the production runner with a collecting context.
+std::string run_job(const JobSpec& spec,
+                    std::vector<std::string>* events = nullptr) {
+  JobContext context;
+  context.id = 1;
+  context.emit = [events](const char* type, runtime::JsonObject payload) {
+    if (events != nullptr) {
+      events->push_back(std::string(type) + " " + payload.str());
+    }
+  };
+  JobResult result = default_job_runner()(spec, context);
+  EXPECT_FALSE(result.interrupted);
+  return result.fields.str();
+}
+
+TEST(ServeJobs, LockThenAttackKeepsSchemeProvenance) {
+  const netlist::Netlist original = netlist::make_circuit("c432", 1);
+  const std::string bench = temp_path("jobs_c432.bench");
+  netlist::write_bench_file(original, bench);
+
+  JobSpec lock;
+  lock.kind = JobKind::kLock;
+  lock.bench_path = bench;
+  lock.out_path = temp_path("jobs_locked.bench");
+  lock.scheme = "sfll-hd";
+  lock.scheme_params = "keys=8,hd=1";
+  lock.seed = 7;
+  validate_spec(lock);
+  const std::string lock_fields = run_job(lock);
+  EXPECT_NE(lock_fields.find("\"scheme\":\"sfll-hd\""), std::string::npos)
+      << lock_fields;
+
+  // Provenance round-trips through the .bench header, never "file".
+  const core::LockedCircuit reloaded =
+      lock::read_locked_circuit(lock.out_path);
+  EXPECT_EQ(reloaded.scheme, "sfll-hd");
+  EXPECT_FALSE(reloaded.params.empty());
+
+  JobSpec attack;
+  attack.kind = JobKind::kAttack;
+  attack.locked_path = lock.out_path;
+  attack.oracle_path = bench;
+  attack.attack = "fall";
+  validate_spec(attack);
+  const std::string attack_fields = run_job(attack);
+  EXPECT_NE(attack_fields.find("\"scheme\":\"sfll-hd\""), std::string::npos)
+      << attack_fields;
+  EXPECT_NE(attack_fields.find("\"status\":\"success\""), std::string::npos)
+      << attack_fields;
+  const std::optional<std::string> key =
+      runtime::json_string_field(attack_fields, "key");
+  ASSERT_TRUE(key.has_value());
+  ASSERT_EQ(key->size(), 8u);
+  std::vector<bool> key_bits;
+  for (const char c : *key) key_bits.push_back(c == '1');
+  EXPECT_TRUE(core::verify_unlocks(original, reloaded.netlist, key_bits, 16, 1,
+                                   /*also_sat_check=*/true));
+}
+
+TEST(ServeJobs, SweepRecordsCarryTheSchemeAxis) {
+  const netlist::Netlist original = netlist::make_circuit("c432", 1);
+  const std::string bench = temp_path("jobs_sweep_c432.bench");
+  netlist::write_bench_file(original, bench);
+
+  JobSpec sweep;
+  sweep.kind = JobKind::kSweep;
+  sweep.bench_path = bench;
+  sweep.jsonl_path = temp_path("jobs_sweep.jsonl");
+  sweep.scheme = "rll";
+  sweep.scheme_params = "keys=12";
+  sweep.sizes = {4};
+  sweep.replicas = 1;
+  sweep.attack = "sat";
+  sweep.attack_timeout_s = 60.0;
+  validate_spec(sweep);
+  std::vector<std::string> events;
+  const std::string fields = run_job(sweep, &events);
+  EXPECT_NE(fields.find("\"cells\":1"), std::string::npos) << fields;
+
+  // Both the durable JSONL checkpoint and the streamed cell event carry the
+  // scheme so downstream analysis can group by it.
+  std::ifstream jsonl(sweep.jsonl_path);
+  ASSERT_TRUE(jsonl.good());
+  std::string line;
+  bool found_record = false;
+  while (std::getline(jsonl, line)) {
+    if (line.find("\"scheme\":\"rll\"") != std::string::npos) {
+      found_record = true;
+    }
+  }
+  EXPECT_TRUE(found_record);
+  bool found_event = false;
+  for (const std::string& event : events) {
+    if (event.rfind("cell ", 0) == 0 &&
+        event.find("\"scheme\":\"rll\"") != std::string::npos) {
+      found_event = true;
+    }
+  }
+  EXPECT_TRUE(found_event);
+}
+
+}  // namespace
+}  // namespace fl::serve
